@@ -1,0 +1,48 @@
+//! Pattern-mining scalability over session size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lagalyzer_core::prelude::*;
+use lagalyzer_sim::{apps, runner};
+
+fn bench_mining_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mine_patterns_by_app");
+    group.sample_size(15);
+    // Small, medium, large episode populations.
+    for profile in [apps::crossword_sage(), apps::jmol(), apps::euclide()] {
+        let session = AnalysisSession::new(
+            runner::simulate_session(&profile, 0, 42),
+            AnalysisConfig::default(),
+        );
+        group.throughput(Throughput::Elements(session.episodes().len() as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!(
+                "{}_{}eps",
+                profile.name,
+                session.episodes().len()
+            )),
+            &session,
+            |b, s| b.iter(|| s.mine_patterns()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_signature(c: &mut Criterion) {
+    let session = AnalysisSession::new(
+        runner::simulate_session(&apps::gantt_project(), 0, 42),
+        AnalysisConfig::default(),
+    );
+    let symbols = session.trace().symbols();
+    // Deep GanttProject trees are the worst case for signatures.
+    let deepest = session
+        .episodes()
+        .iter()
+        .max_by_key(|e| e.tree().len())
+        .expect("episodes exist");
+    c.bench_function("shape_signature_deep_tree", |b| {
+        b.iter(|| ShapeSignature::of_tree(deepest.tree(), symbols))
+    });
+}
+
+criterion_group!(benches, bench_mining_scaling, bench_signature);
+criterion_main!(benches);

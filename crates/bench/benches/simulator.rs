@@ -1,0 +1,22 @@
+//! Simulator throughput: how fast sessions are synthesized (relevant for
+//! anyone regenerating the study).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lagalyzer_sim::{apps, runner};
+
+fn bench_sessions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_session");
+    group.sample_size(10);
+    for profile in [apps::crossword_sage(), apps::jedit(), apps::euclide()] {
+        group.throughput(Throughput::Elements(profile.scale.traced_episodes));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(profile.name.clone()),
+            &profile,
+            |b, p| b.iter(|| runner::simulate_session(p, 0, 42)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sessions);
+criterion_main!(benches);

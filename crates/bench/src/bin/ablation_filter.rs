@@ -1,0 +1,47 @@
+//! Ablation: the tracer-side filter threshold (3 ms in the paper).
+//!
+//! Sweeps the analysis-relevant consequences of the filter: how many
+//! episodes survive, how many patterns are mined, and how the trigger
+//! classification's "unspecified" share grows as child intervals fall
+//! below the threshold.
+
+use lagalyzer_core::prelude::*;
+use lagalyzer_core::trigger::TriggerBreakdown;
+use lagalyzer_model::DurationNs;
+use lagalyzer_sim::{apps, runner};
+use lagalyzer_trace::TraceFilter;
+
+fn main() {
+    let profile = apps::swing_set();
+    let trace = runner::simulate_session(&profile, 0, lagalyzer_bench::SEED);
+    println!("app: {} (session 0)", profile.name);
+    println!(
+        "{:>12} {:>10} {:>10} {:>12}",
+        "filter [ms]", "episodes", "patterns", "unspec [%]"
+    );
+    for threshold_ms in [0u64, 1, 3, 10, 30, 100] {
+        // Re-apply a stricter filter on top of the recorded trace, exactly
+        // what a tracer with that threshold would have kept.
+        let mut filter = TraceFilter::new(DurationNs::from_millis(threshold_ms));
+        let kept: Vec<_> = trace
+            .episodes()
+            .iter()
+            .filter_map(|e| filter.admit(e.clone()))
+            .collect();
+        let meta = trace.meta().clone();
+        let mut b = lagalyzer_model::SessionTraceBuilder::new(meta, trace.symbols().clone());
+        for e in &kept {
+            b.push_episode(e.clone()).expect("order preserved");
+        }
+        let session = AnalysisSession::new(b.finish(), AnalysisConfig::default());
+        let patterns = session.mine_patterns();
+        let trig = TriggerBreakdown::of_all(&session);
+        println!(
+            "{:>12} {:>10} {:>10} {:>12.1}",
+            threshold_ms,
+            kept.len(),
+            patterns.len(),
+            trig.fractions()[3] * 100.0
+        );
+    }
+}

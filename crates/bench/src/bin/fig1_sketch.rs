@@ -1,0 +1,17 @@
+//! Regenerates Fig 1: the episode sketch of a 1705 ms paint episode with a
+//! long native DrawLine call and a nested garbage collection.
+
+use lagalyzer_bench::experiments_dir;
+use lagalyzer_sim::scenarios;
+use lagalyzer_viz::ascii::ascii_sketch;
+use lagalyzer_viz::sketch::{render_sketch, SketchOptions};
+
+fn main() {
+    let scenario = scenarios::figure1();
+    let svg = render_sketch(&scenario.episode, &scenario.symbols, &SketchOptions::default());
+    let path = experiments_dir().join("fig1_sketch.svg");
+    std::fs::write(&path, svg).expect("write fig1 svg");
+    println!("{}", ascii_sketch(&scenario.episode, &scenario.symbols, 100));
+    println!("episode duration: {}", scenario.episode.duration());
+    println!("saved {}", path.display());
+}

@@ -1,0 +1,21 @@
+//! Regenerates Fig 2: a GanttProject episode with deeply nested paint
+//! intervals.
+
+use lagalyzer_bench::experiments_dir;
+use lagalyzer_sim::scenarios;
+use lagalyzer_viz::ascii::ascii_sketch;
+use lagalyzer_viz::sketch::{render_sketch, SketchOptions};
+
+fn main() {
+    let scenario = scenarios::figure2();
+    let svg = render_sketch(&scenario.episode, &scenario.symbols, &SketchOptions::default());
+    let path = experiments_dir().join("fig2_sketch.svg");
+    std::fs::write(&path, svg).expect("write fig2 svg");
+    println!("{}", ascii_sketch(&scenario.episode, &scenario.symbols, 100));
+    println!(
+        "tree size: {} intervals, depth {}",
+        scenario.episode.tree().len(),
+        scenario.episode.tree().max_depth()
+    );
+    println!("saved {}", path.display());
+}

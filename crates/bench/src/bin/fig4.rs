@@ -1,0 +1,26 @@
+//! Regenerates Fig 4: long-latency episodes in patterns
+//! (always / sometimes / once / never).
+
+use lagalyzer_bench::{full_study, save_figure};
+use lagalyzer_report::figures;
+
+fn main() {
+    let study = full_study();
+    let fig = figures::fig4(&study);
+    print!("{}", fig.text);
+    save_figure(&fig);
+
+    let mut consistent = 0.0;
+    let mut ever = 0.0;
+    for app in &study.apps {
+        consistent += app.aggregate.occurrence.consistent_fraction();
+        ever += app.aggregate.occurrence.ever_perceptible_fraction();
+    }
+    let n = study.apps.len() as f64;
+    println!("\npaper: 96% of patterns consistently slow or fast; 22% ever perceptible");
+    println!(
+        "measured: {:.0}% consistent; {:.0}% ever perceptible",
+        consistent / n * 100.0,
+        ever / n * 100.0
+    );
+}

@@ -1,0 +1,30 @@
+//! Regenerates Fig 5: triggers of (perceptible) episodes.
+
+use lagalyzer_bench::{full_study, save_figure};
+use lagalyzer_report::figures;
+
+fn main() {
+    let study = full_study();
+    for perceptible in [false, true] {
+        let fig = figures::fig5(&study, perceptible);
+        println!("== {} ==", fig.id);
+        print!("{}", fig.text);
+        save_figure(&fig);
+    }
+    let n = study.apps.len() as f64;
+    let mut mean = [0.0f64; 4];
+    for app in &study.apps {
+        let fr = app.aggregate.trigger_perceptible.fractions();
+        for (m, f) in mean.iter_mut().zip(fr) {
+            *m += f / n;
+        }
+    }
+    println!("\npaper (perceptible means): 40% input, 47% output, 7% async");
+    println!(
+        "measured: {:.0}% input, {:.0}% output, {:.0}% async, {:.0}% unspecified",
+        mean[0] * 100.0,
+        mean[1] * 100.0,
+        mean[2] * 100.0,
+        mean[3] * 100.0
+    );
+}

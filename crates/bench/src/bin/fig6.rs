@@ -1,0 +1,35 @@
+//! Regenerates Fig 6: location where time was spent during (perceptible)
+//! episodes.
+
+use lagalyzer_bench::{full_study, save_figure};
+use lagalyzer_report::figures;
+
+fn main() {
+    let study = full_study();
+    for perceptible in [false, true] {
+        let (samples, intervals) = figures::fig6(&study, perceptible);
+        println!("== {} ==", samples.id);
+        print!("{}", samples.text);
+        println!("== {} ==", intervals.id);
+        print!("{}", intervals.text);
+        save_figure(&samples);
+        save_figure(&intervals);
+    }
+    let n = study.apps.len() as f64;
+    let mut lib = 0.0;
+    let mut gc = 0.0;
+    let mut native = 0.0;
+    for app in &study.apps {
+        lib += app.aggregate.location_perceptible.library / n;
+        gc += app.aggregate.location_perceptible.gc / n;
+        native += app.aggregate.location_perceptible.native / n;
+    }
+    println!("\npaper (perceptible means): 52% library / 48% application; 11% GC; 5% native");
+    println!(
+        "measured: {:.0}% library / {:.0}% application; {:.0}% GC; {:.0}% native",
+        lib * 100.0,
+        (1.0 - lib) * 100.0,
+        gc * 100.0,
+        native * 100.0
+    );
+}

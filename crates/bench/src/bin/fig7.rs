@@ -1,0 +1,28 @@
+//! Regenerates Fig 7: concurrency in episodes (average number of runnable
+//! threads).
+
+use lagalyzer_bench::{full_study, save_figure};
+use lagalyzer_report::figures;
+
+fn main() {
+    let study = full_study();
+    for perceptible in [false, true] {
+        let fig = figures::fig7(&study, perceptible);
+        println!("== {} ==", fig.id);
+        print!("{}", fig.text);
+        save_figure(&fig);
+    }
+    let n = study.apps.len() as f64;
+    let mean_all: f64 = study.apps.iter().map(|a| a.aggregate.concurrency.all).sum::<f64>() / n;
+    let above_one: Vec<&str> = study
+        .apps
+        .iter()
+        .filter(|a| a.aggregate.concurrency.perceptible > 1.0)
+        .map(|a| a.aggregate.name.as_str())
+        .collect();
+    println!("\npaper: 1.2 runnable threads on average; only Arabeske, FindBugs, NetBeans exceed 1 during perceptible episodes");
+    println!(
+        "measured: {mean_all:.2} on average; above 1 during perceptible episodes: {}",
+        above_one.join(", ")
+    );
+}

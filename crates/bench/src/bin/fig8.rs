@@ -1,0 +1,30 @@
+//! Regenerates Fig 8: synchronization and sleep during (perceptible)
+//! episodes.
+
+use lagalyzer_bench::{full_study, save_figure};
+use lagalyzer_report::figures;
+
+fn main() {
+    let study = full_study();
+    for perceptible in [false, true] {
+        let fig = figures::fig8(&study, perceptible);
+        println!("== {} ==", fig.id);
+        print!("{}", fig.text);
+        save_figure(&fig);
+    }
+    let by_name = |name: &str| {
+        study
+            .apps
+            .iter()
+            .find(|a| a.aggregate.name == name)
+            .map(|a| a.aggregate.causes_perceptible)
+            .expect("app present")
+    };
+    println!("\npaper: jEdit >25% waiting; FreeMind 12% blocked; Euclide >60% sleeping");
+    println!(
+        "measured: jEdit {:.0}% waiting; FreeMind {:.0}% blocked; Euclide {:.0}% sleeping",
+        by_name("JEdit").waiting * 100.0,
+        by_name("FreeMind").blocked * 100.0,
+        by_name("Euclide").sleeping * 100.0
+    );
+}

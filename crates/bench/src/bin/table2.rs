@@ -1,0 +1,14 @@
+//! Regenerates Table II: the application suite.
+
+use lagalyzer_sim::apps;
+
+fn main() {
+    println!("{:<15} {:<10} {:>8}  Description", "Application", "Version", "Classes");
+    println!("{}", "-".repeat(70));
+    for p in apps::standard_suite() {
+        println!(
+            "{:<15} {:<10} {:>8}  {}",
+            p.name, p.version, p.classes, p.description
+        );
+    }
+}

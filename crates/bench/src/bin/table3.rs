@@ -1,0 +1,18 @@
+//! Regenerates Table III (overall statistics) from four simulated sessions
+//! per application, and prints the paper-vs-measured comparison.
+
+use lagalyzer_bench::{experiments_dir, full_study};
+use lagalyzer_report::{compare, table3};
+
+fn main() {
+    eprintln!("simulating 14 applications x 4 sessions ...");
+    let study = full_study();
+    let table = table3::render(&study);
+    println!("{table}");
+    std::fs::write(experiments_dir().join("table3.txt"), &table).expect("write table3");
+
+    let comparisons = compare::table3_comparisons(&study);
+    println!("{}", compare::render(&comparisons));
+    println!("{}", compare::summary(&comparisons, 0.15));
+    println!("{}", compare::summary(&comparisons, 0.50));
+}

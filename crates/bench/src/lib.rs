@@ -1,0 +1,54 @@
+//! Shared plumbing for the experiment binaries and benches.
+
+use std::fs;
+use std::path::PathBuf;
+
+use lagalyzer_report::figures::Figure;
+use lagalyzer_report::Study;
+use lagalyzer_sim::apps;
+
+/// The default seed used by every experiment (reproducibility).
+pub const SEED: u64 = 42;
+
+/// Where experiment outputs (SVG, text series) are written.
+pub fn experiments_dir() -> PathBuf {
+    let dir = PathBuf::from("target/experiments");
+    fs::create_dir_all(&dir).expect("can create target/experiments");
+    dir
+}
+
+/// Runs the full 14-application study with the paper's four sessions per
+/// application.
+pub fn full_study() -> Study {
+    Study::run(&apps::standard_suite(), 4, SEED)
+}
+
+/// Runs a reduced study (fewer sessions) for quick iterations.
+pub fn quick_study(sessions: u32) -> Study {
+    Study::run(&apps::standard_suite(), sessions, SEED)
+}
+
+/// Saves a figure's SVG and text form under `target/experiments/`.
+pub fn save_figure(fig: &Figure) {
+    let dir = experiments_dir();
+    fs::write(dir.join(format!("{}.svg", fig.id)), &fig.svg).expect("write svg");
+    fs::write(dir.join(format!("{}.txt", fig.id)), &fig.text).expect("write txt");
+    eprintln!("saved {}/{}.svg", dir.display(), fig.id);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn experiments_dir_is_created() {
+        let dir = experiments_dir();
+        assert!(dir.exists());
+    }
+
+    #[test]
+    fn quick_study_covers_suite() {
+        let study = quick_study(1);
+        assert_eq!(study.apps.len(), 14);
+    }
+}

@@ -1,0 +1,419 @@
+//! `lagalyzer` — the command-line front end.
+//!
+//! Subcommands:
+//!
+//! * `apps` — list the built-in application profiles (Table II);
+//! * `simulate` — synthesize a session trace to a file;
+//! * `analyze` — print overall statistics for a trace (a Table III row);
+//! * `patterns` — print the pattern browser table for a trace;
+//! * `sketch` — render an episode sketch (SVG or ASCII);
+//! * `experiments` — regenerate every table and figure of the paper.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use lagalyzer_core::browser::{PatternBrowser, SortBy};
+use lagalyzer_core::prelude::*;
+use lagalyzer_model::{DurationNs, SessionTrace};
+use lagalyzer_report::{figures, table3, Study};
+use lagalyzer_sim::{apps, runner};
+use lagalyzer_viz::ascii::ascii_sketch;
+use lagalyzer_viz::sketch::{render_pattern_gallery, render_sketch, SketchOptions};
+use lagalyzer_viz::timeline::{render_timeline, TimelineOptions};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(command) = args.first() else {
+        print_usage();
+        return Ok(());
+    };
+    let rest = &args[1..];
+    match command.as_str() {
+        "apps" => cmd_apps(),
+        "simulate" => cmd_simulate(rest),
+        "analyze" => cmd_analyze(rest),
+        "patterns" => cmd_patterns(rest),
+        "sketch" => cmd_sketch(rest),
+        "timeline" => cmd_timeline(rest),
+        "stable" => cmd_stable(rest),
+        "diff" => cmd_diff(rest),
+        "experiments" => cmd_experiments(rest),
+        "help" | "--help" | "-h" => {
+            print_usage();
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}; try `lagalyzer help`")),
+    }
+}
+
+fn print_usage() {
+    println!(
+        "lagalyzer — latency profile analysis and visualization\n\
+         \n\
+         usage: lagalyzer <command> [options]\n\
+         \n\
+         commands:\n\
+           apps                               list built-in application profiles\n\
+           simulate --app NAME [--session N] [--seed S] [--text] --out FILE\n\
+                                              synthesize a session trace\n\
+           analyze FILE [--threshold-ms MS] [--histogram]\n\
+                                              overall statistics of a trace\n\
+           patterns FILE [--perceptible-only] [--sort count|total|max|perceptible]\n\
+                                              browse mined patterns\n\
+           sketch FILE [--episode N | --pattern N [--gallery]] [--ascii] [--out FILE.svg]\n\
+                                              render an episode sketch\n\
+           timeline FILE [--out FILE.svg]     render the whole-session timeline\n\
+           stable FILE [FILE...]              stable slow patterns across several traces\n\
+           diff BASELINE CANDIDATE            pattern-level regression report\n\
+           experiments [--out-dir DIR] [--sessions N] [--seed S]\n\
+                                              regenerate the paper's tables and figures"
+    );
+}
+
+/// Fetches the value following a `--flag`.
+fn opt_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn opt_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+fn parse_u64(args: &[String], flag: &str, default: u64) -> Result<u64, String> {
+    match opt_value(args, flag) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("{flag} expects a number, got {v:?}")),
+    }
+}
+
+fn cmd_apps() -> Result<(), String> {
+    println!("{:<15} {:<10} {:>8}  description", "name", "version", "classes");
+    for p in apps::standard_suite() {
+        println!(
+            "{:<15} {:<10} {:>8}  {}",
+            p.name, p.version, p.classes, p.description
+        );
+    }
+    Ok(())
+}
+
+fn cmd_simulate(args: &[String]) -> Result<(), String> {
+    let app_name = opt_value(args, "--app").ok_or("simulate requires --app NAME")?;
+    let profile = apps::by_name(app_name)
+        .ok_or_else(|| format!("unknown application {app_name:?}; see `lagalyzer apps`"))?;
+    let session = parse_u64(args, "--session", 0)? as u32;
+    let seed = parse_u64(args, "--seed", 42)?;
+    let out = opt_value(args, "--out").ok_or("simulate requires --out FILE")?;
+    let trace = runner::simulate_session(&profile, session, seed);
+    let file = fs::File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
+    let mut writer = std::io::BufWriter::new(file);
+    if opt_flag(args, "--text") {
+        lagalyzer_trace::text::write(&trace, &mut writer).map_err(|e| e.to_string())?;
+    } else {
+        lagalyzer_trace::binary::write(&trace, &mut writer).map_err(|e| e.to_string())?;
+    }
+    writer.flush().map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} ({} traced episodes, {} filtered) to {out}",
+        profile.name,
+        trace.episodes().len(),
+        trace.short_episode_count()
+    );
+    Ok(())
+}
+
+/// Loads a trace, auto-detecting the codec from the file contents.
+fn load_trace(path: &str) -> Result<SessionTrace, String> {
+    lagalyzer_trace::read_path(path).map_err(|e| format!("cannot load {path}: {e}"))
+}
+
+fn session_from(args: &[String], path: &str) -> Result<AnalysisSession, String> {
+    let threshold = parse_u64(args, "--threshold-ms", 100)?;
+    Ok(AnalysisSession::new(
+        load_trace(path)?,
+        AnalysisConfig {
+            perceptible_threshold: DurationNs::from_millis(threshold),
+        },
+    ))
+}
+
+fn cmd_analyze(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("analyze requires a trace file")?;
+    let session = session_from(args, path)?;
+    let stats = SessionStats::compute(&session);
+    let meta = session.trace().meta();
+    println!("application       {}", meta.application);
+    println!("session           {}", meta.session);
+    println!("E2E               {:.0} s", stats.end_to_end.as_secs_f64());
+    println!("in-episode        {:.0} %", stats.in_episode_fraction * 100.0);
+    println!("episodes < 3ms    {}", stats.short_count);
+    println!("episodes >= 3ms   {}", stats.traced_count);
+    println!("episodes >= 100ms {}", stats.perceptible_count);
+    println!("long per minute   {:.0}", stats.long_per_minute);
+    println!("distinct patterns {}", stats.distinct_patterns);
+    println!("episodes in pats  {}", stats.episodes_in_patterns);
+    println!("singleton pats    {:.0} %", stats.singleton_fraction * 100.0);
+    println!("mean tree size    {:.1}", stats.mean_tree_size);
+    println!("mean tree depth   {:.1}", stats.mean_tree_depth);
+    if opt_flag(args, "--histogram") {
+        let histogram = lagalyzer_core::DurationHistogram::of(&session);
+        println!("\nepisode duration distribution:");
+        print!("{}", histogram.to_ascii(50));
+        println!(
+            "fraction handled under 128ms: {:.1} %",
+            histogram.fraction_under(DurationNs::from_millis(128)) * 100.0
+        );
+    }
+    Ok(())
+}
+
+fn cmd_patterns(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("patterns requires a trace file")?;
+    let session = session_from(args, path)?;
+    let patterns = session.mine_patterns();
+    let mut browser = PatternBrowser::new(&session, &patterns);
+    if opt_flag(args, "--perceptible-only") {
+        browser.perceptible_only(true);
+    }
+    if let Some(sort) = opt_value(args, "--sort") {
+        browser.sort_by(match sort {
+            "count" => SortBy::Count,
+            "total" => SortBy::TotalLag,
+            "max" => SortBy::MaxLag,
+            "perceptible" => SortBy::PerceptibleCount,
+            other => return Err(format!("unknown sort order {other:?}")),
+        });
+    }
+    print!("{}", browser.to_table());
+    Ok(())
+}
+
+fn cmd_sketch(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("sketch requires a trace file")?;
+    let session = session_from(args, path)?;
+    // --pattern N selects the first episode of the N-th pattern (what the
+    // paper's pattern browser shows on selection); --episode N selects by
+    // dispatch order.
+    let index = if let Some(p) = opt_value(args, "--pattern") {
+        let rank: usize = p
+            .parse()
+            .map_err(|_| format!("--pattern expects a number, got {p:?}"))?;
+        let patterns = session.mine_patterns();
+        let pattern = patterns
+            .patterns()
+            .get(rank)
+            .ok_or_else(|| format!("trace has {} patterns, no rank {rank}", patterns.len()))?;
+        if opt_flag(args, "--gallery") {
+            // Render all of the pattern's episodes as mini-sketches on a
+            // common scale (paper §II-E browsing flow).
+            let episodes: Vec<_> = pattern
+                .episode_indices()
+                .iter()
+                .map(|&i| &session.episodes()[i])
+                .collect();
+            let svg = render_pattern_gallery(
+                &episodes,
+                session.trace().symbols(),
+                &SketchOptions::default(),
+            );
+            return match opt_value(args, "--out") {
+                Some(out) => {
+                    fs::write(out, svg).map_err(|e| format!("cannot write {out}: {e}"))?;
+                    println!("wrote gallery of {} episodes to {out}", episodes.len());
+                    Ok(())
+                }
+                None => {
+                    println!("{svg}");
+                    Ok(())
+                }
+            };
+        }
+        pattern.episode_indices()[0]
+    } else {
+        parse_u64(args, "--episode", 0)? as usize
+    };
+    let episode = session
+        .episodes()
+        .get(index)
+        .ok_or_else(|| format!("trace has {} episodes, no index {index}", session.episodes().len()))?;
+    if opt_flag(args, "--ascii") {
+        print!("{}", ascii_sketch(episode, session.trace().symbols(), 100));
+        return Ok(());
+    }
+    let svg = render_sketch(episode, session.trace().symbols(), &SketchOptions::default());
+    match opt_value(args, "--out") {
+        Some(out) => {
+            fs::write(out, svg).map_err(|e| format!("cannot write {out}: {e}"))?;
+            println!("wrote sketch of episode {index} to {out}");
+        }
+        None => println!("{svg}"),
+    }
+    Ok(())
+}
+
+fn cmd_timeline(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("timeline requires a trace file")?;
+    let session = session_from(args, path)?;
+    let svg = render_timeline(&session, &TimelineOptions::default());
+    match opt_value(args, "--out") {
+        Some(out) => {
+            fs::write(out, svg).map_err(|e| format!("cannot write {out}: {e}"))?;
+            println!("wrote timeline to {out}");
+        }
+        None => println!("{svg}"),
+    }
+    Ok(())
+}
+
+fn cmd_stable(args: &[String]) -> Result<(), String> {
+    let paths: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    if paths.is_empty() {
+        return Err("stable requires at least one trace file".into());
+    }
+    let sessions: Vec<AnalysisSession> = paths
+        .iter()
+        .map(|p| session_from(args, p))
+        .collect::<Result<_, _>>()?;
+    let multi = lagalyzer_core::MultiPatternSet::mine(&sessions);
+    println!(
+        "{} traces, {} merged patterns ({} recurring in every trace)",
+        sessions.len(),
+        multi.len(),
+        multi.recurring().count()
+    );
+    let problems = multi.stable_problems();
+    println!("stable slow patterns (perceptible wherever they occur):");
+    for (i, p) in problems.iter().take(15).enumerate() {
+        let sig: String = p.signature().as_str().chars().take(70).collect();
+        println!(
+            "  {i:>2}. {:>4} episodes / {:>3} perceptible, total {} — {sig}",
+            p.total_episodes(),
+            p.total_perceptible(),
+            p.total_lag(),
+        );
+    }
+    if problems.is_empty() {
+        println!("  (none)");
+    }
+    Ok(())
+}
+
+fn cmd_diff(args: &[String]) -> Result<(), String> {
+    let paths: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let [baseline_path, candidate_path] = paths.as_slice() else {
+        return Err("diff requires exactly two trace files: BASELINE CANDIDATE".into());
+    };
+    let baseline = session_from(args, baseline_path)?;
+    let candidate = session_from(args, candidate_path)?;
+    let diff = lagalyzer_core::SessionDiff::between(&baseline, &candidate);
+    const TOLERANCE: f64 = 0.20;
+    println!("{}", diff.summary(TOLERANCE));
+    let trim = |sig: &lagalyzer_core::ShapeSignature| -> String {
+        sig.as_str().chars().take(64).collect()
+    };
+    let regressions = diff.regressions(TOLERANCE);
+    if !regressions.is_empty() {
+        println!("\nregressions (mean lag, perceptible count):");
+        for d in regressions.iter().take(10) {
+            println!(
+                "  {} -> {}  ({} -> {} perceptible)  {}",
+                d.baseline_mean,
+                d.candidate_mean,
+                d.baseline_perceptible,
+                d.candidate_perceptible,
+                trim(&d.signature)
+            );
+        }
+    }
+    let improvements = diff.improvements(TOLERANCE);
+    if !improvements.is_empty() {
+        println!("\nimprovements:");
+        for d in improvements.iter().take(10) {
+            println!(
+                "  {} -> {}  ({} -> {} perceptible)  {}",
+                d.baseline_mean,
+                d.candidate_mean,
+                d.baseline_perceptible,
+                d.candidate_perceptible,
+                trim(&d.signature)
+            );
+        }
+    }
+    if !diff.appeared.is_empty() {
+        println!("\nnew patterns (episodes, perceptible):");
+        for (sig, eps, perc) in diff.appeared.iter().take(10) {
+            println!("  {eps:>5} {perc:>4}  {}", trim(sig));
+        }
+    }
+    if !diff.disappeared.is_empty() {
+        println!("\ndisappeared patterns (episodes, perceptible):");
+        for (sig, eps, perc) in diff.disappeared.iter().take(10) {
+            println!("  {eps:>5} {perc:>4}  {}", trim(sig));
+        }
+    }
+    Ok(())
+}
+
+fn cmd_experiments(args: &[String]) -> Result<(), String> {
+    let out_dir = PathBuf::from(opt_value(args, "--out-dir").unwrap_or("target/experiments"));
+    let sessions = parse_u64(args, "--sessions", 4)? as u32;
+    let seed = parse_u64(args, "--seed", 42)?;
+    fs::create_dir_all(&out_dir).map_err(|e| format!("cannot create {out_dir:?}: {e}"))?;
+
+    eprintln!("simulating {} apps x {sessions} sessions ...", apps::standard_suite().len());
+    let study = Study::run(&apps::standard_suite(), sessions, seed);
+
+    let table = table3::render(&study);
+    write_out(&out_dir, "table3.txt", &table)?;
+    println!("{table}");
+
+    let mut figs = vec![
+        figures::fig3(&study),
+        figures::fig4(&study),
+        figures::fig5(&study, false),
+        figures::fig5(&study, true),
+        figures::fig7(&study, false),
+        figures::fig7(&study, true),
+        figures::fig8(&study, false),
+        figures::fig8(&study, true),
+    ];
+    for scope in [false, true] {
+        let (a, b) = figures::fig6(&study, scope);
+        figs.push(a);
+        figs.push(b);
+    }
+    for fig in &figs {
+        write_out(&out_dir, &format!("{}.svg", fig.id), &fig.svg)?;
+        write_out(&out_dir, &format!("{}.txt", fig.id), &fig.text)?;
+    }
+    let html = lagalyzer_report::html::render(&study);
+    write_out(&out_dir, "report.html", &html)?;
+    println!(
+        "wrote {} figures and report.html to {}",
+        figs.len(),
+        out_dir.display()
+    );
+    Ok(())
+}
+
+fn write_out(dir: &Path, name: &str, content: &str) -> Result<(), String> {
+    let path = dir.join(name);
+    fs::write(&path, content).map_err(|e| format!("cannot write {path:?}: {e}"))
+}

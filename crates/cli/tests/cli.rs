@@ -1,0 +1,220 @@
+//! End-to-end tests of the `lagalyzer` binary.
+
+use std::process::Command;
+
+fn lagalyzer() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_lagalyzer"))
+}
+
+fn run_ok(args: &[&str]) -> String {
+    let output = lagalyzer().args(args).output().expect("binary runs");
+    assert!(
+        output.status.success(),
+        "lagalyzer {args:?} failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    String::from_utf8(output.stdout).expect("utf-8 output")
+}
+
+#[test]
+fn help_lists_commands() {
+    let out = run_ok(&["help"]);
+    for cmd in ["apps", "simulate", "analyze", "patterns", "sketch", "experiments"] {
+        assert!(out.contains(cmd), "help missing {cmd}");
+    }
+}
+
+#[test]
+fn no_args_prints_usage() {
+    let out = run_ok(&[]);
+    assert!(out.contains("usage:"));
+}
+
+#[test]
+fn apps_lists_the_suite() {
+    let out = run_ok(&["apps"]);
+    for app in ["Arabeske", "NetBeans", "SwingSet"] {
+        assert!(out.contains(app));
+    }
+    assert_eq!(out.lines().count(), 15, "header + 14 apps");
+}
+
+#[test]
+fn unknown_command_fails() {
+    let output = lagalyzer().arg("frobnicate").output().unwrap();
+    assert!(!output.status.success());
+    assert!(String::from_utf8_lossy(&output.stderr).contains("unknown command"));
+}
+
+#[test]
+fn simulate_analyze_patterns_sketch_roundtrip() {
+    let dir = std::env::temp_dir().join(format!("lagalyzer-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("trace.lgz");
+    let trace_str = trace.to_str().unwrap();
+
+    let out = run_ok(&[
+        "simulate", "--app", "CrosswordSage", "--seed", "9", "--out", trace_str,
+    ]);
+    assert!(out.contains("CrosswordSage"));
+    assert!(trace.exists());
+
+    let out = run_ok(&["analyze", trace_str]);
+    assert!(out.contains("episodes >= 100ms"));
+    assert!(out.contains("distinct patterns"));
+
+    let out = run_ok(&["patterns", trace_str, "--perceptible-only", "--sort", "total"]);
+    assert!(out.contains("rank"));
+    assert!(out.lines().count() > 2);
+
+    let out = run_ok(&["sketch", trace_str, "--episode", "0", "--ascii"]);
+    assert!(out.contains("depth 0"));
+
+    let svg_path = dir.join("sketch.svg");
+    run_ok(&["sketch", trace_str, "--episode", "1", "--out", svg_path.to_str().unwrap()]);
+    let svg = std::fs::read_to_string(&svg_path).unwrap();
+    assert!(svg.starts_with("<svg"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn text_format_traces_also_load() {
+    let dir = std::env::temp_dir().join(format!("lagalyzer-cli-text-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("trace.lgzt");
+    let trace_str = trace.to_str().unwrap();
+    run_ok(&["simulate", "--app", "JEdit", "--text", "--out", trace_str]);
+    let content = std::fs::read_to_string(&trace).unwrap();
+    assert!(content.starts_with("lagalyzer-trace v1"));
+    let out = run_ok(&["analyze", trace_str]);
+    assert!(out.contains("JEdit"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn analyze_rejects_garbage() {
+    let dir = std::env::temp_dir().join(format!("lagalyzer-cli-bad-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = dir.join("bad.lgz");
+    std::fs::write(&bad, b"this is not a trace").unwrap();
+    let output = lagalyzer()
+        .args(["analyze", bad.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!output.status.success());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn custom_threshold_flag() {
+    let dir = std::env::temp_dir().join(format!("lagalyzer-cli-thr-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("t.lgz");
+    run_ok(&["simulate", "--app", "JMol", "--out", trace.to_str().unwrap()]);
+    let strict = run_ok(&["analyze", trace.to_str().unwrap(), "--threshold-ms", "50"]);
+    let lax = run_ok(&["analyze", trace.to_str().unwrap(), "--threshold-ms", "500"]);
+    let count = |s: &str| -> u64 {
+        s.lines()
+            .find(|l| l.starts_with("episodes >= 100ms"))
+            .and_then(|l| l.split_whitespace().last())
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0)
+    };
+    assert!(count(&strict) > count(&lax));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn timeline_renders_svg() {
+    let dir = std::env::temp_dir().join(format!("lagalyzer-cli-tl-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("t.lgz");
+    run_ok(&["simulate", "--app", "CrosswordSage", "--out", trace.to_str().unwrap()]);
+    let svg_path = dir.join("timeline.svg");
+    run_ok(&["timeline", trace.to_str().unwrap(), "--out", svg_path.to_str().unwrap()]);
+    let svg = std::fs::read_to_string(&svg_path).unwrap();
+    assert!(svg.starts_with("<svg"));
+    assert!(svg.contains("CrosswordSage"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn stable_merges_multiple_traces() {
+    let dir = std::env::temp_dir().join(format!("lagalyzer-cli-st-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let t0 = dir.join("s0.lgz");
+    let t1 = dir.join("s1.lgz");
+    run_ok(&["simulate", "--app", "JEdit", "--session", "0", "--out", t0.to_str().unwrap()]);
+    run_ok(&["simulate", "--app", "JEdit", "--session", "1", "--out", t1.to_str().unwrap()]);
+    let out = run_ok(&["stable", t0.to_str().unwrap(), t1.to_str().unwrap()]);
+    assert!(out.contains("2 traces"));
+    assert!(out.contains("merged patterns"));
+    assert!(out.contains("stable slow patterns"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sketch_by_pattern_rank() {
+    let dir = std::env::temp_dir().join(format!("lagalyzer-cli-pr-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("t.lgz");
+    run_ok(&["simulate", "--app", "JFreeChart", "--out", trace.to_str().unwrap()]);
+    let out = run_ok(&["sketch", trace.to_str().unwrap(), "--pattern", "0", "--ascii"]);
+    assert!(out.contains("depth 0"));
+    // An out-of-range pattern rank fails cleanly.
+    let output = lagalyzer()
+        .args(["sketch", trace.to_str().unwrap(), "--pattern", "999999"])
+        .output()
+        .unwrap();
+    assert!(!output.status.success());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Full experiments run — slow, so opt in with `cargo test -- --ignored`.
+#[test]
+#[ignore = "runs the full 14-app study; invoke with --ignored"]
+fn experiments_regenerate_all_figures() {
+    let dir = std::env::temp_dir().join(format!("lagalyzer-cli-exp-{}", std::process::id()));
+    let out = run_ok(&[
+        "experiments",
+        "--out-dir",
+        dir.to_str().unwrap(),
+        "--sessions",
+        "1",
+        "--seed",
+        "3",
+    ]);
+    assert!(out.contains("Mean"));
+    for file in [
+        "table3.txt",
+        "fig3.svg",
+        "fig4.svg",
+        "fig5_perceptible.svg",
+        "fig6_perceptible_samples.svg",
+        "fig7_perceptible.svg",
+        "fig8_perceptible.svg",
+        "report.html",
+    ] {
+        assert!(dir.join(file).exists(), "missing {file}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn diff_compares_two_traces() {
+    let dir = std::env::temp_dir().join(format!("lagalyzer-cli-diff-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let a = dir.join("a.lgz");
+    let b = dir.join("b.lgz");
+    run_ok(&["simulate", "--app", "FreeMind", "--session", "0", "--out", a.to_str().unwrap()]);
+    run_ok(&["simulate", "--app", "FreeMind", "--session", "1", "--out", b.to_str().unwrap()]);
+    let out = run_ok(&["diff", a.to_str().unwrap(), b.to_str().unwrap()]);
+    assert!(out.contains("common patterns"));
+    // Same app, same library: nothing should appear or disappear.
+    assert!(out.contains("0 appeared, 0 disappeared"));
+    // One file is an error.
+    let output = lagalyzer().args(["diff", a.to_str().unwrap()]).output().unwrap();
+    assert!(!output.status.success());
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,347 @@
+//! Aggregation of per-session results into per-application rows.
+//!
+//! Every row in the paper's Table III and every per-application bar in
+//! Figs 3–8 is the average over the four sessions recorded for that
+//! application; this module implements exactly that averaging.
+
+use crate::causes::CauseStats;
+use crate::concurrency::ConcurrencyStats;
+use crate::location::LocationStats;
+use crate::occurrence::OccurrenceBreakdown;
+use crate::stats::SessionStats;
+use crate::trigger::TriggerBreakdown;
+
+/// The averaged per-application analysis results.
+#[derive(Clone, Debug, Default)]
+pub struct AppAggregate {
+    /// Application name.
+    pub name: String,
+    /// Number of sessions aggregated.
+    pub sessions: usize,
+    /// Averaged Table III row.
+    pub stats: AveragedStats,
+    /// Summed trigger breakdown over all episodes.
+    pub trigger_all: TriggerBreakdown,
+    /// Summed trigger breakdown over perceptible episodes.
+    pub trigger_perceptible: TriggerBreakdown,
+    /// Summed occurrence breakdown over patterns.
+    pub occurrence: OccurrenceBreakdown,
+    /// Averaged location shares over all episodes.
+    pub location_all: LocationStats,
+    /// Averaged location shares over perceptible episodes.
+    pub location_perceptible: LocationStats,
+    /// Averaged cause partition over all episodes.
+    pub causes_all: CauseStats,
+    /// Averaged cause partition over perceptible episodes.
+    pub causes_perceptible: CauseStats,
+    /// Averaged concurrency (all, perceptible).
+    pub concurrency: ConcurrencyStats,
+    /// Averaged Fig 3 curve, resampled on a common grid of pattern
+    /// fractions (x) with mean episode coverage (y).
+    pub coverage_curve: Vec<(f64, f64)>,
+}
+
+/// Table III columns averaged over sessions (floating point where the
+/// paper rounds).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct AveragedStats {
+    /// Mean end-to-end seconds.
+    pub e2e_secs: f64,
+    /// Mean in-episode fraction.
+    pub in_episode_fraction: f64,
+    /// Mean filtered-episode count.
+    pub short_count: f64,
+    /// Mean traced-episode count.
+    pub traced_count: f64,
+    /// Mean perceptible-episode count.
+    pub perceptible_count: f64,
+    /// Mean perceptible episodes per in-episode minute.
+    pub long_per_minute: f64,
+    /// Mean distinct patterns.
+    pub distinct_patterns: f64,
+    /// Mean episodes in patterns.
+    pub episodes_in_patterns: f64,
+    /// Mean singleton fraction.
+    pub singleton_fraction: f64,
+    /// Mean tree size.
+    pub mean_tree_size: f64,
+    /// Mean tree depth.
+    pub mean_tree_depth: f64,
+}
+
+impl AveragedStats {
+    /// Averages a set of session rows.
+    pub fn over(rows: &[SessionStats]) -> AveragedStats {
+        let n = rows.len().max(1) as f64;
+        let mut out = AveragedStats::default();
+        for r in rows {
+            out.e2e_secs += r.end_to_end.as_secs_f64();
+            out.in_episode_fraction += r.in_episode_fraction;
+            out.short_count += r.short_count as f64;
+            out.traced_count += r.traced_count as f64;
+            out.perceptible_count += r.perceptible_count as f64;
+            out.long_per_minute += r.long_per_minute;
+            out.distinct_patterns += r.distinct_patterns as f64;
+            out.episodes_in_patterns += r.episodes_in_patterns as f64;
+            out.singleton_fraction += r.singleton_fraction;
+            out.mean_tree_size += r.mean_tree_size;
+            out.mean_tree_depth += r.mean_tree_depth;
+        }
+        out.e2e_secs /= n;
+        out.in_episode_fraction /= n;
+        out.short_count /= n;
+        out.traced_count /= n;
+        out.perceptible_count /= n;
+        out.long_per_minute /= n;
+        out.distinct_patterns /= n;
+        out.episodes_in_patterns /= n;
+        out.singleton_fraction /= n;
+        out.mean_tree_size /= n;
+        out.mean_tree_depth /= n;
+        out
+    }
+}
+
+/// Element-wise sum of trigger breakdowns.
+pub fn sum_triggers(parts: &[TriggerBreakdown]) -> TriggerBreakdown {
+    let mut out = TriggerBreakdown::default();
+    for p in parts {
+        out.input += p.input;
+        out.output += p.output;
+        out.asynchronous += p.asynchronous;
+        out.unspecified += p.unspecified;
+    }
+    out
+}
+
+/// Element-wise sum of occurrence breakdowns.
+pub fn sum_occurrences(parts: &[OccurrenceBreakdown]) -> OccurrenceBreakdown {
+    let mut out = OccurrenceBreakdown::default();
+    for p in parts {
+        out.always += p.always;
+        out.sometimes += p.sometimes;
+        out.once += p.once;
+        out.never += p.never;
+    }
+    out
+}
+
+/// Mean of location stats.
+pub fn mean_locations(parts: &[LocationStats]) -> LocationStats {
+    let n = parts.len().max(1) as f64;
+    let mut out = LocationStats::default();
+    for p in parts {
+        out.library += p.library;
+        out.application += p.application;
+        out.gc += p.gc;
+        out.native += p.native;
+    }
+    out.library /= n;
+    out.application /= n;
+    out.gc /= n;
+    out.native /= n;
+    out
+}
+
+/// Mean of cause stats.
+pub fn mean_causes(parts: &[CauseStats]) -> CauseStats {
+    let n = parts.len().max(1) as f64;
+    let mut out = CauseStats::default();
+    for p in parts {
+        out.blocked += p.blocked;
+        out.waiting += p.waiting;
+        out.sleeping += p.sleeping;
+        out.runnable += p.runnable;
+    }
+    out.blocked /= n;
+    out.waiting /= n;
+    out.sleeping /= n;
+    out.runnable /= n;
+    out
+}
+
+/// Mean of concurrency stats.
+pub fn mean_concurrency(parts: &[ConcurrencyStats]) -> ConcurrencyStats {
+    let n = parts.len().max(1) as f64;
+    let mut out = ConcurrencyStats::default();
+    for p in parts {
+        out.all += p.all;
+        out.perceptible += p.perceptible;
+    }
+    out.all /= n;
+    out.perceptible /= n;
+    out
+}
+
+/// Resamples several Fig 3 curves onto a common 100-point grid and
+/// averages them. Each input curve must be sorted by x.
+pub fn mean_coverage_curves(curves: &[Vec<(f64, f64)>]) -> Vec<(f64, f64)> {
+    if curves.is_empty() {
+        return Vec::new();
+    }
+    let grid: Vec<f64> = (1..=100).map(|i| i as f64 / 100.0).collect();
+    grid.iter()
+        .map(|&x| {
+            let mean_y: f64 = curves
+                .iter()
+                .map(|curve| sample_curve(curve, x))
+                .sum::<f64>()
+                / curves.len() as f64;
+            (x, mean_y)
+        })
+        .collect()
+}
+
+/// Step-samples a monotone curve at `x` (coverage is a step function of
+/// pattern count).
+fn sample_curve(curve: &[(f64, f64)], x: f64) -> f64 {
+    let mut y = 0.0;
+    for &(cx, cy) in curve {
+        if cx <= x + 1e-12 {
+            y = cy;
+        } else {
+            break;
+        }
+    }
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lagalyzer_model::DurationNs;
+
+    fn row(traced: u64, perceptible: u64) -> SessionStats {
+        SessionStats {
+            end_to_end: DurationNs::from_secs(100),
+            in_episode_fraction: 0.2,
+            short_count: 1000,
+            traced_count: traced,
+            perceptible_count: perceptible,
+            long_per_minute: 10.0,
+            distinct_patterns: 50,
+            episodes_in_patterns: traced - 5,
+            singleton_fraction: 0.5,
+            mean_tree_size: 8.0,
+            mean_tree_depth: 5.0,
+        }
+    }
+
+    #[test]
+    fn averaging_rows() {
+        let avg = AveragedStats::over(&[row(100, 10), row(200, 30)]);
+        assert!((avg.traced_count - 150.0).abs() < 1e-12);
+        assert!((avg.perceptible_count - 20.0).abs() < 1e-12);
+        assert!((avg.e2e_secs - 100.0).abs() < 1e-12);
+        assert!((avg.episodes_in_patterns - 145.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_average_is_default() {
+        assert_eq!(AveragedStats::over(&[]), AveragedStats::default());
+    }
+
+    #[test]
+    fn trigger_and_occurrence_sums() {
+        use crate::occurrence::OccurrenceBreakdown;
+        use crate::trigger::TriggerBreakdown;
+        let t = sum_triggers(&[
+            TriggerBreakdown {
+                input: 1,
+                output: 2,
+                asynchronous: 3,
+                unspecified: 4,
+            },
+            TriggerBreakdown {
+                input: 10,
+                output: 20,
+                asynchronous: 30,
+                unspecified: 40,
+            },
+        ]);
+        assert_eq!(t.input, 11);
+        assert_eq!(t.total(), 110);
+        let o = sum_occurrences(&[
+            OccurrenceBreakdown {
+                always: 1,
+                sometimes: 1,
+                once: 1,
+                never: 1,
+            },
+            OccurrenceBreakdown {
+                always: 2,
+                sometimes: 0,
+                once: 0,
+                never: 2,
+            },
+        ]);
+        assert_eq!(o.always, 3);
+        assert_eq!(o.total(), 8);
+    }
+
+    #[test]
+    fn mean_structs() {
+        let l = mean_locations(&[
+            LocationStats {
+                library: 0.2,
+                application: 0.8,
+                gc: 0.1,
+                native: 0.0,
+            },
+            LocationStats {
+                library: 0.4,
+                application: 0.6,
+                gc: 0.3,
+                native: 0.2,
+            },
+        ]);
+        assert!((l.library - 0.3).abs() < 1e-12);
+        assert!((l.gc - 0.2).abs() < 1e-12);
+
+        let c = mean_causes(&[
+            CauseStats {
+                blocked: 0.1,
+                waiting: 0.1,
+                sleeping: 0.1,
+                runnable: 0.7,
+            },
+            CauseStats {
+                blocked: 0.3,
+                waiting: 0.1,
+                sleeping: 0.1,
+                runnable: 0.5,
+            },
+        ]);
+        assert!((c.blocked - 0.2).abs() < 1e-12);
+        assert!((c.runnable - 0.6).abs() < 1e-12);
+
+        let k = mean_concurrency(&[
+            ConcurrencyStats {
+                all: 1.0,
+                perceptible: 0.8,
+            },
+            ConcurrencyStats {
+                all: 1.4,
+                perceptible: 1.0,
+            },
+        ]);
+        assert!((k.all - 1.2).abs() < 1e-12);
+        assert!((k.perceptible - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coverage_resampling() {
+        // Single pattern covering everything: a step at x=1.
+        let a = vec![(1.0, 1.0)];
+        // Two patterns: 80% at half the patterns, 100% at all.
+        let b = vec![(0.5, 0.8), (1.0, 1.0)];
+        let mean = mean_coverage_curves(&[a, b]);
+        assert_eq!(mean.len(), 100);
+        // At x=0.5 curve a contributes 0, curve b contributes 0.8.
+        let at_half = mean.iter().find(|(x, _)| (*x - 0.5).abs() < 1e-9).unwrap();
+        assert!((at_half.1 - 0.4).abs() < 1e-9);
+        let last = mean.last().unwrap();
+        assert!((last.1 - 1.0).abs() < 1e-9);
+        assert!(mean_coverage_curves(&[]).is_empty());
+    }
+}

@@ -1,0 +1,174 @@
+//! Cause analysis: GUI-thread states during episodes (the paper's Fig 8).
+//!
+//! Partitions the GUI thread's sampled time into blocked (contended
+//! monitor), waiting (`Object.wait()` / `LockSupport.park()`), sleeping
+//! (`Thread.sleep()`), and runnable.
+
+use lagalyzer_model::{Episode, ThreadState};
+
+use crate::session::AnalysisSession;
+
+/// Fractions of GUI-thread samples per state (one Fig 8 bar).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CauseStats {
+    /// Blocked entering a contended monitor.
+    pub blocked: f64,
+    /// Waiting in `Object.wait()` / `LockSupport.park()`.
+    pub waiting: f64,
+    /// Voluntarily sleeping.
+    pub sleeping: f64,
+    /// Runnable (doing work).
+    pub runnable: f64,
+}
+
+impl CauseStats {
+    /// Computes the partition over `episodes` for the session's GUI
+    /// thread.
+    pub fn of<'a, I>(session: &AnalysisSession, episodes: I) -> CauseStats
+    where
+        I: IntoIterator<Item = &'a Episode>,
+    {
+        let _ = session; // kept for API symmetry with the other analyses
+        let mut counts = [0u64; 4];
+        for episode in episodes {
+            for snap in episode.samples() {
+                // Attribute each episode to its own dispatch thread; this
+                // is what lets LagAlyzer handle toolkits with several
+                // event-dispatch threads (paper §V).
+                if let Some(ts) = snap.thread(episode.thread()) {
+                    let slot = match ts.state {
+                        ThreadState::Blocked => 0,
+                        ThreadState::Waiting => 1,
+                        ThreadState::Sleeping => 2,
+                        ThreadState::Runnable => 3,
+                    };
+                    counts[slot] += 1;
+                }
+            }
+        }
+        let total = counts.iter().sum::<u64>().max(1) as f64;
+        CauseStats {
+            blocked: counts[0] as f64 / total,
+            waiting: counts[1] as f64 / total,
+            sleeping: counts[2] as f64 / total,
+            runnable: counts[3] as f64 / total,
+        }
+    }
+
+    /// Partition over all traced episodes (upper Fig 8 graph).
+    pub fn of_all(session: &AnalysisSession) -> CauseStats {
+        CauseStats::of(session, session.episodes())
+    }
+
+    /// Partition over perceptible episodes (lower Fig 8 graph).
+    pub fn of_perceptible(session: &AnalysisSession) -> CauseStats {
+        let perceptible: Vec<&Episode> = session.perceptible_episodes().collect();
+        CauseStats::of(session, perceptible)
+    }
+
+    /// The synchronization share (blocked + waiting) the paper discusses.
+    pub fn synchronization(&self) -> f64 {
+        self.blocked + self.waiting
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::AnalysisConfig;
+    use lagalyzer_model::prelude::*;
+
+    fn ms(v: u64) -> TimeNs {
+        TimeNs::from_millis(v)
+    }
+
+    fn episode_with_states(id: u32, start: u64, dur: u64, states: &[ThreadState]) -> Episode {
+        let mut t = IntervalTreeBuilder::new();
+        t.enter(IntervalKind::Dispatch, None, ms(start)).unwrap();
+        t.exit(ms(start + dur)).unwrap();
+        let mut eb = EpisodeBuilder::new(EpisodeId::from_raw(id), ThreadId::from_raw(0))
+            .tree(t.finish().unwrap());
+        for (i, &state) in states.iter().enumerate() {
+            eb = eb.sample(SampleSnapshot::new(
+                ms(start + 1 + i as u64),
+                vec![ThreadSample::new(ThreadId::from_raw(0), state, vec![])],
+            ));
+        }
+        eb.build().unwrap()
+    }
+
+    fn session(episodes: Vec<Episode>) -> AnalysisSession {
+        let meta = SessionMeta {
+            application: "C".into(),
+            session: SessionId::from_raw(0),
+            gui_thread: ThreadId::from_raw(0),
+            end_to_end: DurationNs::from_secs(100),
+            filter_threshold: DurationNs::TRACE_FILTER_DEFAULT,
+        };
+        let mut b = SessionTraceBuilder::new(meta, SymbolTable::new());
+        for e in episodes {
+            b.push_episode(e).unwrap();
+        }
+        AnalysisSession::new(b.finish(), AnalysisConfig::default())
+    }
+
+    #[test]
+    fn partition_fractions() {
+        use ThreadState::*;
+        let s = session(vec![episode_with_states(
+            0,
+            0,
+            50,
+            &[Runnable, Runnable, Blocked, Waiting, Sleeping, Runnable, Waiting, Runnable],
+        )]);
+        let c = CauseStats::of_all(&s);
+        assert!((c.blocked - 0.125).abs() < 1e-12);
+        assert!((c.waiting - 0.25).abs() < 1e-12);
+        assert!((c.sleeping - 0.125).abs() < 1e-12);
+        assert!((c.runnable - 0.5).abs() < 1e-12);
+        assert!((c.blocked + c.waiting + c.sleeping + c.runnable - 1.0).abs() < 1e-12);
+        assert!((c.synchronization() - 0.375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn only_gui_thread_counted() {
+        use ThreadState::*;
+        let mut t = IntervalTreeBuilder::new();
+        t.enter(IntervalKind::Dispatch, None, ms(0)).unwrap();
+        t.exit(ms(50)).unwrap();
+        let e = EpisodeBuilder::new(EpisodeId::from_raw(0), ThreadId::from_raw(0))
+            .tree(t.finish().unwrap())
+            .sample(SampleSnapshot::new(
+                ms(10),
+                vec![
+                    ThreadSample::new(ThreadId::from_raw(0), Runnable, vec![]),
+                    ThreadSample::new(ThreadId::from_raw(1), Sleeping, vec![]),
+                ],
+            ))
+            .build()
+            .unwrap();
+        let s = session(vec![e]);
+        let c = CauseStats::of_all(&s);
+        assert_eq!(c.sleeping, 0.0, "background sleep must not count");
+        assert!((c.runnable - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perceptible_scope_differs() {
+        use ThreadState::*;
+        let s = session(vec![
+            episode_with_states(0, 0, 50, &[Runnable, Runnable]),
+            episode_with_states(1, 100, 300, &[Sleeping, Sleeping, Runnable]),
+        ]);
+        let all = CauseStats::of_all(&s);
+        let perceptible = CauseStats::of_perceptible(&s);
+        assert!(perceptible.sleeping > all.sleeping);
+        assert!((perceptible.sleeping - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_set_is_zero() {
+        let s = session(vec![]);
+        assert_eq!(CauseStats::of_all(&s), CauseStats::default());
+    }
+}

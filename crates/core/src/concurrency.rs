@@ -1,0 +1,133 @@
+//! Concurrency analysis: average runnable threads (the paper's Fig 7).
+//!
+//! Each call-stack sample records every thread's state; counting the
+//! runnable ones per sample and averaging yields the concurrency measure:
+//! exactly 1 means only the GUI thread was runnable, below 1 means the GUI
+//! thread itself was sometimes blocked, above 1 means background threads
+//! competed for the CPU.
+
+use lagalyzer_model::Episode;
+
+use crate::session::AnalysisSession;
+
+/// Average number of runnable threads per sample over `episodes`.
+/// Returns `None` when no samples exist in the set.
+pub fn concurrency_over<'a, I>(episodes: I) -> Option<f64>
+where
+    I: IntoIterator<Item = &'a Episode>,
+{
+    let mut samples = 0u64;
+    let mut runnable = 0u64;
+    for episode in episodes {
+        for snap in episode.samples() {
+            samples += 1;
+            runnable += snap.runnable_count() as u64;
+        }
+    }
+    (samples > 0).then(|| runnable as f64 / samples as f64)
+}
+
+/// The Fig 7 pair for one session: concurrency over all episodes and over
+/// perceptible episodes.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ConcurrencyStats {
+    /// Average runnable threads over all traced episodes.
+    pub all: f64,
+    /// Average runnable threads over perceptible episodes.
+    pub perceptible: f64,
+}
+
+/// Computes the Fig 7 statistics for one session. Sets with no samples
+/// report 0.
+pub fn concurrency_stats(session: &AnalysisSession) -> ConcurrencyStats {
+    let perceptible: Vec<&Episode> = session.perceptible_episodes().collect();
+    ConcurrencyStats {
+        all: concurrency_over(session.episodes()).unwrap_or(0.0),
+        perceptible: concurrency_over(perceptible.iter().copied()).unwrap_or(0.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::AnalysisConfig;
+    use lagalyzer_model::prelude::*;
+
+    fn ms(v: u64) -> TimeNs {
+        TimeNs::from_millis(v)
+    }
+
+    fn episode(id: u32, start: u64, dur: u64, runnable_per_sample: &[usize]) -> Episode {
+        let mut t = IntervalTreeBuilder::new();
+        t.enter(IntervalKind::Dispatch, None, ms(start)).unwrap();
+        t.exit(ms(start + dur)).unwrap();
+        let mut eb = EpisodeBuilder::new(EpisodeId::from_raw(id), ThreadId::from_raw(0))
+            .tree(t.finish().unwrap());
+        for (i, &n) in runnable_per_sample.iter().enumerate() {
+            let mut threads = Vec::new();
+            for j in 0..3 {
+                let state = if j < n {
+                    ThreadState::Runnable
+                } else {
+                    ThreadState::Waiting
+                };
+                threads.push(ThreadSample::new(ThreadId::from_raw(j as u32), state, vec![]));
+            }
+            eb = eb.sample(SampleSnapshot::new(
+                ms(start + 1 + i as u64),
+                threads,
+            ));
+        }
+        eb.build().unwrap()
+    }
+
+    fn session(episodes: Vec<Episode>) -> AnalysisSession {
+        let meta = SessionMeta {
+            application: "C".into(),
+            session: SessionId::from_raw(0),
+            gui_thread: ThreadId::from_raw(0),
+            end_to_end: DurationNs::from_secs(100),
+            filter_threshold: DurationNs::TRACE_FILTER_DEFAULT,
+        };
+        let mut b = SessionTraceBuilder::new(meta, SymbolTable::new());
+        for e in episodes {
+            b.push_episode(e).unwrap();
+        }
+        AnalysisSession::new(b.finish(), AnalysisConfig::default())
+    }
+
+    #[test]
+    fn averages_runnable_counts() {
+        let s = session(vec![episode(0, 0, 50, &[1, 2, 3])]);
+        let c = concurrency_stats(&s);
+        assert!((c.all - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perceptible_scope_separates() {
+        let s = session(vec![
+            episode(0, 0, 50, &[2, 2]),     // fast: 2 runnable
+            episode(1, 100, 300, &[1, 0]),  // slow: 0.5 runnable
+        ]);
+        let c = concurrency_stats(&s);
+        assert!((c.all - 1.25).abs() < 1e-12, "all {}", c.all);
+        assert!((c.perceptible - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_samples_reports_zero() {
+        let s = session(vec![episode(0, 0, 50, &[])]);
+        let c = concurrency_stats(&s);
+        assert_eq!(c.all, 0.0);
+        assert_eq!(c.perceptible, 0.0);
+        assert_eq!(concurrency_over(s.episodes()), None);
+    }
+
+    #[test]
+    fn below_one_means_gui_blocked() {
+        let s = session(vec![episode(0, 0, 200, &[0, 0, 1, 1])]);
+        let c = concurrency_stats(&s);
+        assert!(c.perceptible < 1.0);
+        assert!((c.perceptible - 0.5).abs() < 1e-12);
+    }
+}

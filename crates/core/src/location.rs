@@ -1,0 +1,227 @@
+//! Location analysis: where episode time is spent (the paper's Fig 6).
+//!
+//! Two independent partitions per episode set:
+//!
+//! * **application vs runtime library** — from the call-stack samples of
+//!   the GUI thread, classified by the fully qualified class name of the
+//!   executing method;
+//! * **GC and native** — from the explicit GC and native intervals in the
+//!   trace, as fractions of total episode time.
+
+use lagalyzer_model::{DurationNs, Episode, IntervalKind, OriginClassifier, CodeOrigin};
+
+use crate::session::AnalysisSession;
+
+/// The Fig 6 time shares for one episode set.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LocationStats {
+    /// Share of GUI-thread samples executing runtime-library code.
+    pub library: f64,
+    /// Share of GUI-thread samples executing application code.
+    pub application: f64,
+    /// Share of episode time inside garbage collections.
+    pub gc: f64,
+    /// Share of episode time inside native calls.
+    pub native: f64,
+}
+
+impl LocationStats {
+    /// Computes the shares over `episodes` using the given classifier.
+    pub fn of<'a, I>(
+        session: &AnalysisSession,
+        episodes: I,
+        classifier: &OriginClassifier,
+    ) -> LocationStats
+    where
+        I: IntoIterator<Item = &'a Episode>,
+    {
+        let symbols = session.trace().symbols();
+        let mut lib_samples = 0u64;
+        let mut app_samples = 0u64;
+        let mut total_time = DurationNs::ZERO;
+        let mut gc_time = DurationNs::ZERO;
+        let mut native_time = DurationNs::ZERO;
+        for episode in episodes {
+            total_time += episode.duration();
+            gc_time += episode.tree().outermost_kind_time(IntervalKind::Gc);
+            native_time += episode.tree().outermost_kind_time(IntervalKind::Native);
+            for snap in episode.samples() {
+                // LagAlyzer supports multiple dispatch threads (paper §V):
+                // each episode is attributed to the thread that dispatched
+                // it, which is the GUI thread in single-EDT toolkits.
+                let Some(ts) = snap.thread(episode.thread()) else {
+                    continue;
+                };
+                match ts.top_origin(symbols, classifier) {
+                    CodeOrigin::RuntimeLibrary => lib_samples += 1,
+                    CodeOrigin::Application => app_samples += 1,
+                }
+            }
+        }
+        let samples = (lib_samples + app_samples).max(1) as f64;
+        LocationStats {
+            library: lib_samples as f64 / samples,
+            application: app_samples as f64 / samples,
+            gc: gc_time.fraction_of(total_time.max(DurationNs::from_nanos(1))),
+            native: native_time.fraction_of(total_time.max(DurationNs::from_nanos(1))),
+        }
+    }
+
+    /// Shares over all traced episodes (upper Fig 6 graph).
+    pub fn of_all(session: &AnalysisSession, classifier: &OriginClassifier) -> LocationStats {
+        LocationStats::of(session, session.episodes(), classifier)
+    }
+
+    /// Shares over perceptible episodes (lower Fig 6 graph).
+    pub fn of_perceptible(
+        session: &AnalysisSession,
+        classifier: &OriginClassifier,
+    ) -> LocationStats {
+        let perceptible: Vec<&Episode> = session.perceptible_episodes().collect();
+        LocationStats::of(session, perceptible, classifier)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::AnalysisConfig;
+    use lagalyzer_model::prelude::*;
+
+    fn ms(v: u64) -> TimeNs {
+        TimeNs::from_millis(v)
+    }
+
+    /// An episode of 1000 ms with given GC/native child spans and samples
+    /// whose top frames alternate between library and app as requested.
+    fn build_session(
+        gc_ms: u64,
+        native_ms: u64,
+        lib_samples: usize,
+        app_samples: usize,
+    ) -> AnalysisSession {
+        let meta = SessionMeta {
+            application: "L".into(),
+            session: SessionId::from_raw(0),
+            gui_thread: ThreadId::from_raw(0),
+            end_to_end: DurationNs::from_secs(10),
+            filter_threshold: DurationNs::TRACE_FILTER_DEFAULT,
+        };
+        let mut b = SessionTraceBuilder::new(meta, SymbolTable::new());
+        let lib = b.symbols_mut().method("javax.swing.JList", "paint");
+        let app = b.symbols_mut().method("org.app.Model", "work");
+        let mut t = IntervalTreeBuilder::new();
+        t.enter(IntervalKind::Dispatch, None, ms(0)).unwrap();
+        let mut cursor = 10;
+        if gc_ms > 0 {
+            t.leaf(IntervalKind::Gc, None, ms(cursor), ms(cursor + gc_ms))
+                .unwrap();
+            cursor += gc_ms + 5;
+        }
+        if native_ms > 0 {
+            t.leaf(
+                IntervalKind::Native,
+                Some(lib),
+                ms(cursor),
+                ms(cursor + native_ms),
+            )
+            .unwrap();
+        }
+        t.exit(ms(1000)).unwrap();
+        let mut eb = EpisodeBuilder::new(EpisodeId::from_raw(0), ThreadId::from_raw(0))
+            .tree(t.finish().unwrap());
+        let mut at = 500;
+        for i in 0..(lib_samples + app_samples) {
+            let frame = if i < lib_samples {
+                StackFrame::java(lib)
+            } else {
+                StackFrame::java(app)
+            };
+            eb = eb.sample(SampleSnapshot::new(
+                ms(at),
+                vec![ThreadSample::new(
+                    ThreadId::from_raw(0),
+                    ThreadState::Runnable,
+                    vec![frame],
+                )],
+            ));
+            at += 10;
+        }
+        b.push_episode(eb.build().unwrap()).unwrap();
+        AnalysisSession::new(b.finish(), AnalysisConfig::default())
+    }
+
+    #[test]
+    fn sample_partition() {
+        let s = build_session(0, 0, 3, 1);
+        let stats = LocationStats::of_all(&s, &OriginClassifier::java_default());
+        assert!((stats.library - 0.75).abs() < 1e-12);
+        assert!((stats.application - 0.25).abs() < 1e-12);
+        assert!((stats.library + stats.application - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interval_partition() {
+        let s = build_session(200, 300, 1, 1);
+        let stats = LocationStats::of_all(&s, &OriginClassifier::java_default());
+        assert!((stats.gc - 0.2).abs() < 1e-9, "gc {}", stats.gc);
+        assert!((stats.native - 0.3).abs() < 1e-9, "native {}", stats.native);
+    }
+
+    #[test]
+    fn no_samples_yields_zero_shares() {
+        let s = build_session(100, 0, 0, 0);
+        let stats = LocationStats::of_all(&s, &OriginClassifier::java_default());
+        assert_eq!(stats.library, 0.0);
+        assert_eq!(stats.application, 0.0);
+        assert!(stats.gc > 0.0);
+    }
+
+    #[test]
+    fn perceptible_scope_differs_from_all() {
+        // One slow episode full of GC, one fast with none: the perceptible
+        // view must show a higher GC share.
+        let meta = SessionMeta {
+            application: "L".into(),
+            session: SessionId::from_raw(0),
+            gui_thread: ThreadId::from_raw(0),
+            end_to_end: DurationNs::from_secs(10),
+            filter_threshold: DurationNs::TRACE_FILTER_DEFAULT,
+        };
+        let mut b = SessionTraceBuilder::new(meta, SymbolTable::new());
+        let mut t = IntervalTreeBuilder::new();
+        t.enter(IntervalKind::Dispatch, None, ms(0)).unwrap();
+        t.leaf(IntervalKind::Gc, None, ms(10), ms(400)).unwrap();
+        t.exit(ms(500)).unwrap();
+        b.push_episode(
+            EpisodeBuilder::new(EpisodeId::from_raw(0), ThreadId::from_raw(0))
+                .tree(t.finish().unwrap())
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        let mut t = IntervalTreeBuilder::new();
+        t.enter(IntervalKind::Dispatch, None, ms(600)).unwrap();
+        t.exit(ms(650)).unwrap();
+        b.push_episode(
+            EpisodeBuilder::new(EpisodeId::from_raw(1), ThreadId::from_raw(0))
+                .tree(t.finish().unwrap())
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        let s = AnalysisSession::new(b.finish(), AnalysisConfig::default());
+        let classifier = OriginClassifier::java_default();
+        let all = LocationStats::of_all(&s, &classifier);
+        let perceptible = LocationStats::of_perceptible(&s, &classifier);
+        assert!(perceptible.gc > all.gc);
+        assert!((perceptible.gc - 390.0 / 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_episode_set() {
+        let s = build_session(0, 0, 1, 1);
+        let stats = LocationStats::of(&s, [], &OriginClassifier::java_default());
+        assert_eq!(stats, LocationStats::default());
+    }
+}

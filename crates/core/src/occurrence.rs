@@ -1,0 +1,267 @@
+//! Occurrence classification of patterns (the paper's Fig 4).
+//!
+//! For each pattern: are its episodes perceptibly slow **always**,
+//! **sometimes**, **once**, or **never**? Singleton patterns with a
+//! perceptible episode classify as *always* (paper §IV-B).
+
+use crate::patterns::{Pattern, PatternSet};
+
+/// The Fig 4 occurrence classes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Occurrence {
+    /// All episodes of the pattern are perceptible — a deterministic
+    /// problem, probably quick to understand.
+    Always,
+    /// Some but not all episodes are perceptible — possibly
+    /// non-deterministic, possibly hard to understand.
+    Sometimes,
+    /// Exactly one episode is perceptible — often the pattern's first,
+    /// pointing at initialization activity such as class loading.
+    Once,
+    /// No episode is perceptible.
+    Never,
+}
+
+impl Occurrence {
+    /// All classes in Fig 4 order.
+    pub const ALL: [Occurrence; 4] = [
+        Occurrence::Always,
+        Occurrence::Sometimes,
+        Occurrence::Once,
+        Occurrence::Never,
+    ];
+
+    /// Display label as used in the figure.
+    pub const fn label(self) -> &'static str {
+        match self {
+            Occurrence::Always => "always",
+            Occurrence::Sometimes => "sometimes",
+            Occurrence::Once => "once",
+            Occurrence::Never => "never",
+        }
+    }
+
+    /// Classifies one pattern.
+    pub fn of_pattern(pattern: &Pattern) -> Occurrence {
+        let perceptible = pattern.perceptible_count();
+        let count = pattern.count();
+        if perceptible == 0 {
+            Occurrence::Never
+        } else if perceptible == count {
+            // Includes perceptible singletons, per the paper.
+            Occurrence::Always
+        } else if perceptible == 1 {
+            Occurrence::Once
+        } else {
+            Occurrence::Sometimes
+        }
+    }
+}
+
+impl std::fmt::Display for Occurrence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Per-class pattern counts for one session (one Fig 4 bar).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OccurrenceBreakdown {
+    /// Patterns whose episodes are always perceptible.
+    pub always: u64,
+    /// Patterns with several (but not all) perceptible episodes.
+    pub sometimes: u64,
+    /// Patterns with exactly one perceptible episode.
+    pub once: u64,
+    /// Patterns with no perceptible episode.
+    pub never: u64,
+}
+
+impl OccurrenceBreakdown {
+    /// Classifies every pattern in `set`.
+    pub fn of(set: &PatternSet) -> OccurrenceBreakdown {
+        let mut out = OccurrenceBreakdown::default();
+        for p in set.patterns() {
+            match Occurrence::of_pattern(p) {
+                Occurrence::Always => out.always += 1,
+                Occurrence::Sometimes => out.sometimes += 1,
+                Occurrence::Once => out.once += 1,
+                Occurrence::Never => out.never += 1,
+            }
+        }
+        out
+    }
+
+    /// Total patterns classified.
+    pub fn total(&self) -> u64 {
+        self.always + self.sometimes + self.once + self.never
+    }
+
+    /// Class shares in Fig 4 order `[always, sometimes, once, never]`,
+    /// each in `[0, 1]`.
+    pub fn fractions(&self) -> [f64; 4] {
+        let t = self.total().max(1) as f64;
+        [
+            self.always as f64 / t,
+            self.sometimes as f64 / t,
+            self.once as f64 / t,
+            self.never as f64 / t,
+        ]
+    }
+
+    /// Fraction of patterns that are consistently slow or fast (always +
+    /// never) — the paper reports 96% on average.
+    pub fn consistent_fraction(&self) -> f64 {
+        let t = self.total().max(1) as f64;
+        (self.always + self.never) as f64 / t
+    }
+
+    /// Fraction of patterns with at least one perceptible episode — the
+    /// paper reports 22% on average.
+    pub fn ever_perceptible_fraction(&self) -> f64 {
+        let t = self.total().max(1) as f64;
+        (self.always + self.sometimes + self.once) as f64 / t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::{AnalysisConfig, AnalysisSession};
+    use lagalyzer_model::prelude::*;
+
+    fn ms(v: u64) -> TimeNs {
+        TimeNs::from_millis(v)
+    }
+
+    /// One pattern per spec: (name, list of episode durations in ms).
+    fn session_with(specs: &[(&str, &[u64])]) -> AnalysisSession {
+        let meta = SessionMeta {
+            application: "O".into(),
+            session: SessionId::from_raw(0),
+            gui_thread: ThreadId::from_raw(0),
+            end_to_end: DurationNs::from_secs(1000),
+            filter_threshold: DurationNs::TRACE_FILTER_DEFAULT,
+        };
+        let mut b = SessionTraceBuilder::new(meta, SymbolTable::new());
+        let mut cursor = 0u64;
+        let mut id = 0u32;
+        // Interleave specs round-robin so grouping does the work.
+        let max_len = specs.iter().map(|(_, d)| d.len()).max().unwrap_or(0);
+        for round in 0..max_len {
+            for (name, durations) in specs {
+                let Some(&dur) = durations.get(round) else {
+                    continue;
+                };
+                let m = b.symbols_mut().method(name, "run");
+                let mut t = IntervalTreeBuilder::new();
+                t.enter(IntervalKind::Dispatch, None, ms(cursor)).unwrap();
+                t.leaf(IntervalKind::Listener, Some(m), ms(cursor + 1), ms(cursor + dur - 1))
+                    .unwrap();
+                t.exit(ms(cursor + dur)).unwrap();
+                b.push_episode(
+                    EpisodeBuilder::new(EpisodeId::from_raw(id), ThreadId::from_raw(0))
+                        .tree(t.finish().unwrap())
+                        .build()
+                        .unwrap(),
+                )
+                .unwrap();
+                id += 1;
+                cursor += dur + 10;
+            }
+        }
+        AnalysisSession::new(b.finish(), AnalysisConfig::default())
+    }
+
+    #[test]
+    fn four_classes_classified() {
+        let s = session_with(&[
+            ("always.A", &[200, 300, 150]),
+            ("sometimes.S", &[200, 50, 150, 40]),
+            ("once.O", &[200, 50, 40]),
+            ("never.N", &[50, 40, 30]),
+        ]);
+        let set = s.mine_patterns();
+        let breakdown = OccurrenceBreakdown::of(&set);
+        assert_eq!(
+            breakdown,
+            OccurrenceBreakdown {
+                always: 1,
+                sometimes: 1,
+                once: 1,
+                never: 1,
+            }
+        );
+        assert_eq!(breakdown.total(), 4);
+    }
+
+    #[test]
+    fn perceptible_singleton_is_always() {
+        let s = session_with(&[("single.S", &[250])]);
+        let set = s.mine_patterns();
+        assert_eq!(
+            Occurrence::of_pattern(&set.patterns()[0]),
+            Occurrence::Always
+        );
+    }
+
+    #[test]
+    fn imperceptible_singleton_is_never() {
+        let s = session_with(&[("single.S", &[25])]);
+        let set = s.mine_patterns();
+        assert_eq!(
+            Occurrence::of_pattern(&set.patterns()[0]),
+            Occurrence::Never
+        );
+    }
+
+    #[test]
+    fn two_perceptible_of_three_is_sometimes() {
+        let s = session_with(&[("p.P", &[200, 200, 50])]);
+        let set = s.mine_patterns();
+        assert_eq!(
+            Occurrence::of_pattern(&set.patterns()[0]),
+            Occurrence::Sometimes
+        );
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let s = session_with(&[
+            ("a.A", &[200]),
+            ("b.B", &[50]),
+            ("c.C", &[50, 200]),
+            ("d.D", &[10, 20]),
+        ]);
+        let breakdown = OccurrenceBreakdown::of(&s.mine_patterns());
+        let fr = breakdown.fractions();
+        assert!((fr.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_fractions() {
+        let s = session_with(&[
+            ("a.A", &[200, 300]),   // always
+            ("b.B", &[10, 20]),     // never
+            ("c.C", &[200, 10, 5]), // once
+        ]);
+        let breakdown = OccurrenceBreakdown::of(&s.mine_patterns());
+        assert!((breakdown.consistent_fraction() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((breakdown.ever_perceptible_fraction() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Occurrence::Always.to_string(), "always");
+        assert_eq!(Occurrence::Never.label(), "never");
+        assert_eq!(Occurrence::ALL.len(), 4);
+    }
+
+    #[test]
+    fn empty_breakdown() {
+        let b = OccurrenceBreakdown::default();
+        assert_eq!(b.total(), 0);
+        assert_eq!(b.fractions(), [0.0; 4]);
+        assert_eq!(b.consistent_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,470 @@
+//! Pattern mining: grouping episodes into structural equivalence classes.
+//!
+//! Following the paper's §II-C: episodes whose dispatch interval has no
+//! children carry no structure and are excluded; the remaining episodes are
+//! grouped by [`ShapeSignature`]. Each pattern records lag statistics
+//! (min / average / max / total, paper §II-E) and the set of member
+//! episodes; [`PatternSet::cumulative_coverage`] reproduces Fig 3.
+
+use std::collections::HashMap;
+
+use lagalyzer_model::DurationNs;
+
+use crate::session::AnalysisSession;
+use crate::shape::ShapeSignature;
+
+/// Lag statistics over one pattern's episodes (paper §II-E).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LagStats {
+    /// Number of episodes.
+    pub count: u64,
+    /// Shortest episode.
+    pub min: DurationNs,
+    /// Longest episode.
+    pub max: DurationNs,
+    /// Total lag over all episodes.
+    pub total: DurationNs,
+}
+
+impl LagStats {
+    /// The average lag.
+    pub fn mean(&self) -> DurationNs {
+        if self.count == 0 {
+            DurationNs::ZERO
+        } else {
+            self.total / self.count
+        }
+    }
+}
+
+/// One mined pattern: a structural equivalence class of episodes.
+#[derive(Clone, Debug)]
+pub struct Pattern {
+    signature: ShapeSignature,
+    /// Indices into the session's episode slice, in dispatch order.
+    episodes: Vec<usize>,
+    stats: LagStats,
+    perceptible: u64,
+    first_is_perceptible: bool,
+    /// Descendants of the dispatch interval of the pattern's first episode
+    /// (Table III "Descs").
+    tree_size: usize,
+    /// Interval-tree depth of the first episode (Table III "Depth").
+    tree_depth: u32,
+    gc_episode_count: u64,
+}
+
+impl Pattern {
+    /// The structural signature shared by all member episodes.
+    pub fn signature(&self) -> &ShapeSignature {
+        &self.signature
+    }
+
+    /// Indices of member episodes into [`AnalysisSession::episodes`], in
+    /// dispatch order.
+    pub fn episode_indices(&self) -> &[usize] {
+        &self.episodes
+    }
+
+    /// Number of member episodes.
+    pub fn count(&self) -> u64 {
+        self.stats.count
+    }
+
+    /// Lag statistics.
+    pub fn stats(&self) -> &LagStats {
+        &self.stats
+    }
+
+    /// Number of perceptible member episodes.
+    pub fn perceptible_count(&self) -> u64 {
+        self.perceptible
+    }
+
+    /// True if the pattern has exactly one episode.
+    pub fn is_singleton(&self) -> bool {
+        self.stats.count == 1
+    }
+
+    /// True if the pattern's first (earliest-dispatched) episode is the
+    /// perceptible one — the initialization tell the paper describes.
+    pub fn first_is_perceptible(&self) -> bool {
+        self.first_is_perceptible
+    }
+
+    /// Dispatch-descendant count of the representative episode.
+    pub fn tree_size(&self) -> usize {
+        self.tree_size
+    }
+
+    /// Interval-tree depth of the representative episode.
+    pub fn tree_depth(&self) -> u32 {
+        self.tree_depth
+    }
+
+    /// How many member episodes contain at least one GC interval. Because
+    /// GC is excluded from the signature, this tells a developer whether a
+    /// pattern always or rarely collects (paper §II-D).
+    pub fn gc_episode_count(&self) -> u64 {
+        self.gc_episode_count
+    }
+}
+
+/// The result of mining one session.
+#[derive(Clone, Debug)]
+pub struct PatternSet {
+    /// Patterns sorted by descending episode count (ties: by signature).
+    patterns: Vec<Pattern>,
+    structureless: u64,
+    total_structured: u64,
+}
+
+impl PatternSet {
+    /// Mines the patterns of `session` (also available as
+    /// [`AnalysisSession::mine_patterns`]).
+    pub fn mine(session: &AnalysisSession) -> PatternSet {
+        let symbols = session.trace().symbols();
+        let threshold = session.perceptible_threshold();
+        let mut groups: HashMap<ShapeSignature, Vec<usize>> = HashMap::new();
+        let mut structureless = 0u64;
+        for (idx, episode) in session.episodes().iter().enumerate() {
+            if episode.is_structureless() {
+                structureless += 1;
+                continue;
+            }
+            let sig = ShapeSignature::of_tree(episode.tree(), symbols);
+            groups.entry(sig).or_default().push(idx);
+        }
+        let mut total_structured = 0u64;
+        let mut patterns: Vec<Pattern> = groups
+            .into_iter()
+            .map(|(signature, episodes)| {
+                let mut stats = LagStats {
+                    count: 0,
+                    min: DurationNs::from_nanos(u64::MAX),
+                    max: DurationNs::ZERO,
+                    total: DurationNs::ZERO,
+                };
+                let mut perceptible = 0u64;
+                let mut gc_count = 0u64;
+                for &idx in &episodes {
+                    let episode = &session.episodes()[idx];
+                    let d = episode.duration();
+                    stats.count += 1;
+                    stats.min = stats.min.min(d);
+                    stats.max = stats.max.max(d);
+                    stats.total += d;
+                    if d >= threshold {
+                        perceptible += 1;
+                    }
+                    if episode
+                        .tree()
+                        .contains_kind(lagalyzer_model::IntervalKind::Gc)
+                    {
+                        gc_count += 1;
+                    }
+                }
+                total_structured += stats.count;
+                let first = &session.episodes()[episodes[0]];
+                Pattern {
+                    signature,
+                    first_is_perceptible: first.duration() >= threshold,
+                    tree_size: first.tree().descendant_count(first.tree().root()),
+                    tree_depth: first.tree().max_depth(),
+                    episodes,
+                    stats,
+                    perceptible,
+                    gc_episode_count: gc_count,
+                }
+            })
+            .collect();
+        patterns.sort_by(|a, b| {
+            b.count()
+                .cmp(&a.count())
+                .then_with(|| a.signature.cmp(&b.signature))
+        });
+        PatternSet {
+            patterns,
+            structureless,
+            total_structured,
+        }
+    }
+
+    /// Patterns in descending episode-count order.
+    pub fn patterns(&self) -> &[Pattern] {
+        &self.patterns
+    }
+
+    /// Number of distinct patterns (Table III "Dist").
+    pub fn len(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// True if the session had no structured episodes.
+    pub fn is_empty(&self) -> bool {
+        self.patterns.is_empty()
+    }
+
+    /// Number of episodes covered by patterns (Table III "#Eps").
+    pub fn covered_episodes(&self) -> u64 {
+        self.total_structured
+    }
+
+    /// Number of structureless episodes excluded from mining.
+    pub fn structureless_episodes(&self) -> u64 {
+        self.structureless
+    }
+
+    /// Number of singleton patterns (Table III "One-Ep" numerator).
+    pub fn singleton_count(&self) -> usize {
+        self.patterns.iter().filter(|p| p.is_singleton()).count()
+    }
+
+    /// Fraction of patterns that are singletons.
+    pub fn singleton_fraction(&self) -> f64 {
+        if self.patterns.is_empty() {
+            0.0
+        } else {
+            self.singleton_count() as f64 / self.patterns.len() as f64
+        }
+    }
+
+    /// Mean dispatch-descendant count over patterns (Table III "Descs").
+    pub fn mean_tree_size(&self) -> f64 {
+        if self.patterns.is_empty() {
+            return 0.0;
+        }
+        self.patterns.iter().map(|p| p.tree_size as f64).sum::<f64>() / self.patterns.len() as f64
+    }
+
+    /// Mean interval-tree depth over patterns (Table III "Depth").
+    pub fn mean_tree_depth(&self) -> f64 {
+        if self.patterns.is_empty() {
+            return 0.0;
+        }
+        self.patterns
+            .iter()
+            .map(|p| f64::from(p.tree_depth))
+            .sum::<f64>()
+            / self.patterns.len() as f64
+    }
+
+    /// The Fig 3 curve: for each prefix of patterns (sorted by descending
+    /// episode count), the fraction of patterns used (x) and the fraction
+    /// of episodes covered (y), both in `[0, 1]`.
+    pub fn cumulative_coverage(&self) -> Vec<(f64, f64)> {
+        let n = self.patterns.len();
+        let total = self.total_structured.max(1) as f64;
+        let mut out = Vec::with_capacity(n);
+        let mut cum = 0u64;
+        for (i, p) in self.patterns.iter().enumerate() {
+            cum += p.count();
+            out.push(((i + 1) as f64 / n as f64, cum as f64 / total));
+        }
+        out
+    }
+
+    /// Convenience for the Pareto check: the episode coverage of the top
+    /// `fraction` of patterns.
+    pub fn coverage_of_top(&self, fraction: f64) -> f64 {
+        let take = ((self.patterns.len() as f64) * fraction).ceil() as usize;
+        let covered: u64 = self.patterns.iter().take(take).map(Pattern::count).sum();
+        covered as f64 / self.total_structured.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::AnalysisConfig;
+    use lagalyzer_model::prelude::*;
+
+    fn ms(v: u64) -> TimeNs {
+        TimeNs::from_millis(v)
+    }
+
+    /// Builds a trace with `specs`: each entry is (symbol name, duration
+    /// ms, include GC child).
+    fn trace_with(specs: &[(&str, u64, bool)]) -> AnalysisSession {
+        let meta = SessionMeta {
+            application: "P".into(),
+            session: SessionId::from_raw(0),
+            gui_thread: ThreadId::from_raw(0),
+            end_to_end: DurationNs::from_secs(100),
+            filter_threshold: DurationNs::TRACE_FILTER_DEFAULT,
+        };
+        let mut b = SessionTraceBuilder::new(meta, SymbolTable::new());
+        let mut cursor = 0u64;
+        for (i, (name, dur, gc)) in specs.iter().enumerate() {
+            let mut t = IntervalTreeBuilder::new();
+            t.enter(IntervalKind::Dispatch, None, ms(cursor)).unwrap();
+            if !name.is_empty() {
+                let m = b.symbols_mut().method(name, "run");
+                t.enter(IntervalKind::Listener, Some(m), ms(cursor + 1)).unwrap();
+                if *gc {
+                    t.leaf(IntervalKind::Gc, None, ms(cursor + 2), ms(cursor + 3))
+                        .unwrap();
+                }
+                t.exit(ms(cursor + dur - 1)).unwrap();
+            }
+            t.exit(ms(cursor + dur)).unwrap();
+            b.push_episode(
+                EpisodeBuilder::new(EpisodeId::from_raw(i as u32), ThreadId::from_raw(0))
+                    .tree(t.finish().unwrap())
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap();
+            cursor += dur + 10;
+        }
+        AnalysisSession::new(b.finish(), AnalysisConfig::default())
+    }
+
+    #[test]
+    fn equivalent_episodes_group() {
+        let s = trace_with(&[("a.A", 50, false), ("a.A", 200, false), ("b.B", 50, false)]);
+        let set = s.mine_patterns();
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.covered_episodes(), 3);
+        // Sorted by count: a.A pattern (2 episodes) first.
+        assert_eq!(set.patterns()[0].count(), 2);
+        assert_eq!(set.patterns()[1].count(), 1);
+        assert!(set.patterns()[1].is_singleton());
+    }
+
+    #[test]
+    fn gc_exclusion_merges_variants() {
+        let s = trace_with(&[("a.A", 50, false), ("a.A", 60, true)]);
+        let set = s.mine_patterns();
+        assert_eq!(set.len(), 1, "GC child must not split the pattern");
+        assert_eq!(set.patterns()[0].gc_episode_count(), 1);
+    }
+
+    #[test]
+    fn structureless_episodes_excluded() {
+        let s = trace_with(&[("", 50, false), ("a.A", 60, false), ("", 200, false)]);
+        let set = s.mine_patterns();
+        assert_eq!(set.len(), 1);
+        assert_eq!(set.covered_episodes(), 1);
+        assert_eq!(set.structureless_episodes(), 2);
+    }
+
+    #[test]
+    fn lag_stats_computed() {
+        let s = trace_with(&[("a.A", 50, false), ("a.A", 150, false), ("a.A", 100, false)]);
+        let set = s.mine_patterns();
+        let p = &set.patterns()[0];
+        assert_eq!(p.count(), 3);
+        assert_eq!(p.stats().min, DurationNs::from_millis(50));
+        assert_eq!(p.stats().max, DurationNs::from_millis(150));
+        assert_eq!(p.stats().total, DurationNs::from_millis(300));
+        assert_eq!(p.stats().mean(), DurationNs::from_millis(100));
+        assert_eq!(p.perceptible_count(), 2);
+    }
+
+    #[test]
+    fn first_is_perceptible_flag() {
+        let slow_first = trace_with(&[("a.A", 200, false), ("a.A", 50, false)]);
+        assert!(slow_first.mine_patterns().patterns()[0].first_is_perceptible());
+        let fast_first = trace_with(&[("a.A", 50, false), ("a.A", 200, false)]);
+        assert!(!fast_first.mine_patterns().patterns()[0].first_is_perceptible());
+    }
+
+    #[test]
+    fn partition_property() {
+        let s = trace_with(&[
+            ("a.A", 50, false),
+            ("b.B", 60, false),
+            ("a.A", 70, false),
+            ("c.C", 80, false),
+            ("", 90, false),
+        ]);
+        let set = s.mine_patterns();
+        let sum: u64 = set.patterns().iter().map(Pattern::count).sum();
+        assert_eq!(sum, set.covered_episodes());
+        assert_eq!(
+            set.covered_episodes() + set.structureless_episodes(),
+            s.episodes().len() as u64
+        );
+        // Every structured episode appears in exactly one pattern.
+        let mut seen = std::collections::HashSet::new();
+        for p in set.patterns() {
+            for &idx in p.episode_indices() {
+                assert!(seen.insert(idx), "episode {idx} in two patterns");
+            }
+        }
+    }
+
+    #[test]
+    fn cumulative_coverage_monotone_and_complete() {
+        let s = trace_with(&[
+            ("a.A", 10, false),
+            ("a.A", 11, false),
+            ("a.A", 12, false),
+            ("b.B", 13, false),
+            ("c.C", 14, false),
+        ]);
+        let curve = s.mine_patterns().cumulative_coverage();
+        assert_eq!(curve.len(), 3);
+        for w in curve.windows(2) {
+            assert!(w[0].0 < w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+        let last = curve.last().unwrap();
+        assert!((last.0 - 1.0).abs() < 1e-12);
+        assert!((last.1 - 1.0).abs() < 1e-12);
+        // Top pattern covers 3/5 of episodes.
+        assert!((curve[0].1 - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coverage_of_top_fraction() {
+        let s = trace_with(&[
+            ("a.A", 10, false),
+            ("a.A", 11, false),
+            ("a.A", 12, false),
+            ("b.B", 13, false),
+        ]);
+        let set = s.mine_patterns();
+        // Top 50% of 2 patterns = 1 pattern = 3 of 4 episodes.
+        assert!((set.coverage_of_top(0.5) - 0.75).abs() < 1e-12);
+        assert!((set.coverage_of_top(1.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_session_mines_empty_set() {
+        let s = trace_with(&[]);
+        let set = s.mine_patterns();
+        assert!(set.is_empty());
+        assert_eq!(set.len(), 0);
+        assert_eq!(set.singleton_fraction(), 0.0);
+        assert_eq!(set.mean_tree_size(), 0.0);
+        assert!(set.cumulative_coverage().is_empty());
+    }
+
+    #[test]
+    fn tree_metrics_recorded() {
+        let s = trace_with(&[("a.A", 50, false)]);
+        let set = s.mine_patterns();
+        let p = &set.patterns()[0];
+        assert_eq!(p.tree_size(), 1);
+        assert_eq!(p.tree_depth(), 1);
+        assert!((set.mean_tree_size() - 1.0).abs() < 1e-12);
+        assert!((set.mean_tree_depth() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mining_is_deterministic() {
+        let s = trace_with(&[
+            ("a.A", 50, false),
+            ("b.B", 60, false),
+            ("c.C", 70, false),
+            ("b.B", 80, false),
+        ]);
+        let a = s.mine_patterns();
+        let b = s.mine_patterns();
+        let sig_a: Vec<&str> = a.patterns().iter().map(|p| p.signature().as_str()).collect();
+        let sig_b: Vec<&str> = b.patterns().iter().map(|p| p.signature().as_str()).collect();
+        assert_eq!(sig_a, sig_b);
+    }
+}

@@ -1,0 +1,136 @@
+//! The analysis session: one ingested trace plus analysis configuration.
+
+use lagalyzer_model::{DurationNs, Episode, SessionTrace};
+
+use crate::patterns::PatternSet;
+
+/// Configuration shared by all analyses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AnalysisConfig {
+    /// Episodes at or above this duration are perceptible (paper: 100 ms).
+    pub perceptible_threshold: DurationNs,
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> Self {
+        AnalysisConfig {
+            perceptible_threshold: DurationNs::PERCEPTIBLE_DEFAULT,
+        }
+    }
+}
+
+/// One trace loaded for analysis.
+///
+/// LagAlyzer is an offline tool: the complete trace must exist before
+/// analysis starts (paper §II-A), which is exactly what this type
+/// represents. All analyses take an `&AnalysisSession`.
+#[derive(Clone, Debug)]
+pub struct AnalysisSession {
+    trace: SessionTrace,
+    config: AnalysisConfig,
+}
+
+impl AnalysisSession {
+    /// Ingests a trace with the given configuration.
+    pub fn new(trace: SessionTrace, config: AnalysisConfig) -> Self {
+        AnalysisSession { trace, config }
+    }
+
+    /// The underlying trace.
+    pub fn trace(&self) -> &SessionTrace {
+        &self.trace
+    }
+
+    /// The analysis configuration.
+    pub fn config(&self) -> &AnalysisConfig {
+        &self.config
+    }
+
+    /// The perceptibility threshold in effect.
+    pub fn perceptible_threshold(&self) -> DurationNs {
+        self.config.perceptible_threshold
+    }
+
+    /// True if `episode` is perceptible under this session's threshold.
+    pub fn is_perceptible(&self, episode: &Episode) -> bool {
+        episode.is_perceptible(self.config.perceptible_threshold)
+    }
+
+    /// All traced episodes.
+    pub fn episodes(&self) -> &[Episode] {
+        self.trace.episodes()
+    }
+
+    /// The perceptible episodes.
+    pub fn perceptible_episodes(&self) -> impl Iterator<Item = &Episode> {
+        self.trace
+            .perceptible_episodes(self.config.perceptible_threshold)
+    }
+
+    /// Mines the episode patterns of this session (paper §II-C/§II-D).
+    pub fn mine_patterns(&self) -> PatternSet {
+        PatternSet::mine(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lagalyzer_model::prelude::*;
+
+    fn tiny_trace() -> SessionTrace {
+        let meta = SessionMeta {
+            application: "T".into(),
+            session: SessionId::from_raw(0),
+            gui_thread: ThreadId::from_raw(0),
+            end_to_end: DurationNs::from_secs(10),
+            filter_threshold: DurationNs::TRACE_FILTER_DEFAULT,
+        };
+        let mut b = SessionTraceBuilder::new(meta, SymbolTable::new());
+        for (i, dur) in [50u64, 150].iter().enumerate() {
+            let start = i as u64 * 1000;
+            let mut t = IntervalTreeBuilder::new();
+            t.enter(IntervalKind::Dispatch, None, TimeNs::from_millis(start))
+                .unwrap();
+            t.exit(TimeNs::from_millis(start + dur)).unwrap();
+            b.push_episode(
+                EpisodeBuilder::new(EpisodeId::from_raw(i as u32), ThreadId::from_raw(0))
+                    .tree(t.finish().unwrap())
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn default_config_uses_100ms() {
+        assert_eq!(
+            AnalysisConfig::default().perceptible_threshold,
+            DurationNs::from_millis(100)
+        );
+    }
+
+    #[test]
+    fn perceptible_filtering_respects_config() {
+        let session = AnalysisSession::new(tiny_trace(), AnalysisConfig::default());
+        assert_eq!(session.perceptible_episodes().count(), 1);
+        let lax = AnalysisSession::new(
+            tiny_trace(),
+            AnalysisConfig {
+                perceptible_threshold: DurationNs::from_millis(10),
+            },
+        );
+        assert_eq!(lax.perceptible_episodes().count(), 2);
+    }
+
+    #[test]
+    fn accessors() {
+        let session = AnalysisSession::new(tiny_trace(), AnalysisConfig::default());
+        assert_eq!(session.episodes().len(), 2);
+        assert_eq!(session.trace().meta().application, "T");
+        assert!(session.is_perceptible(&session.episodes()[1]));
+        assert!(!session.is_perceptible(&session.episodes()[0]));
+    }
+}

@@ -1,0 +1,257 @@
+//! Structural tree signatures (the paper's §II-D pattern definition).
+//!
+//! Two episodes are equivalent when their interval trees have the same
+//! *structure*: the same interval types and symbolic information (class and
+//! method names) in the same tree arrangement. Two things are deliberately
+//! excluded from the comparison:
+//!
+//! * **GC nodes** — garbage collection may or may not be the fault of the
+//!   surrounding interval, so ignoring GC lets a developer see whether a
+//!   pattern always or rarely contains collections;
+//! * **timing** — structurally equal episodes belong to the same pattern
+//!   regardless of how long they took, which is what makes the
+//!   always/sometimes/once/never occurrence analysis possible.
+//!
+//! The signature is rendered as a canonical string over resolved symbol
+//! names, so signatures are stable across sessions (each session has its
+//! own symbol-id assignment) and hash/compare without false positives.
+
+use std::fmt;
+
+use lagalyzer_model::{IntervalKind, IntervalTree, NodeId, SymbolTable};
+
+/// A canonical structural signature of an episode's interval tree.
+///
+/// ```
+/// use lagalyzer_model::prelude::*;
+/// use lagalyzer_core::ShapeSignature;
+///
+/// # fn main() -> Result<(), ModelError> {
+/// let mut symbols = SymbolTable::new();
+/// let paint = symbols.method("javax.swing.JFrame", "paint");
+/// let mut b = IntervalTreeBuilder::new();
+/// b.enter(IntervalKind::Dispatch, None, TimeNs::ZERO)?;
+/// b.leaf(IntervalKind::Paint, Some(paint), TimeNs::from_millis(1), TimeNs::from_millis(5))?;
+/// b.exit(TimeNs::from_millis(6))?;
+/// let tree = b.finish()?;
+/// let sig = ShapeSignature::of_tree(&tree, &symbols);
+/// assert_eq!(sig.as_str(), "D[P(javax.swing.JFrame.paint)]");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ShapeSignature {
+    key: String,
+}
+
+impl ShapeSignature {
+    /// Computes the signature of a tree, excluding GC nodes and timing.
+    pub fn of_tree(tree: &IntervalTree, symbols: &SymbolTable) -> Self {
+        let mut key = String::with_capacity(tree.len() * 8);
+        write_node(tree, tree.root(), symbols, &mut key);
+        ShapeSignature { key }
+    }
+
+    /// The canonical string form.
+    pub fn as_str(&self) -> &str {
+        &self.key
+    }
+}
+
+impl fmt::Debug for ShapeSignature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ShapeSignature({})", self.key)
+    }
+}
+
+impl fmt::Display for ShapeSignature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.key)
+    }
+}
+
+/// Serializes one node (and its non-GC descendants) into `out`.
+fn write_node(tree: &IntervalTree, id: NodeId, symbols: &SymbolTable, out: &mut String) {
+    let interval = tree.interval(id);
+    debug_assert_ne!(interval.kind, IntervalKind::Gc, "GC nodes are skipped");
+    out.push(interval.kind.tag() as char);
+    if let Some(sym) = interval.symbol {
+        out.push('(');
+        out.push_str(symbols.resolve(sym.class).unwrap_or("?"));
+        out.push('.');
+        out.push_str(symbols.resolve(sym.method).unwrap_or("?"));
+        out.push(')');
+    }
+    let children: Vec<NodeId> = tree
+        .children(id)
+        .iter()
+        .copied()
+        .filter(|&c| tree.interval(c).kind != IntervalKind::Gc)
+        .collect();
+    if !children.is_empty() {
+        out.push('[');
+        for (i, child) in children.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_node(tree, *child, symbols, out);
+        }
+        out.push(']');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lagalyzer_model::prelude::*;
+
+    fn ms(v: u64) -> TimeNs {
+        TimeNs::from_millis(v)
+    }
+
+    /// Builds a dispatch tree from a closure operating on the builder.
+    fn tree<F: FnOnce(&mut IntervalTreeBuilder, &mut SymbolTable)>(
+        f: F,
+    ) -> (IntervalTree, SymbolTable) {
+        let mut symbols = SymbolTable::new();
+        let mut b = IntervalTreeBuilder::new();
+        b.enter(IntervalKind::Dispatch, None, ms(0)).unwrap();
+        f(&mut b, &mut symbols);
+        b.exit(ms(10_000)).unwrap();
+        (b.finish().unwrap(), symbols)
+    }
+
+    #[test]
+    fn bare_dispatch_signature() {
+        let (t, s) = tree(|_, _| {});
+        assert_eq!(ShapeSignature::of_tree(&t, &s).as_str(), "D");
+    }
+
+    #[test]
+    fn timing_is_ignored() {
+        let (fast, s1) = tree(|b, sym| {
+            let m = sym.method("a.B", "c");
+            b.leaf(IntervalKind::Listener, Some(m), ms(1), ms(2)).unwrap();
+        });
+        let (slow, s2) = tree(|b, sym| {
+            let m = sym.method("a.B", "c");
+            b.leaf(IntervalKind::Listener, Some(m), ms(100), ms(9000))
+                .unwrap();
+        });
+        assert_eq!(
+            ShapeSignature::of_tree(&fast, &s1),
+            ShapeSignature::of_tree(&slow, &s2)
+        );
+    }
+
+    #[test]
+    fn gc_nodes_are_excluded() {
+        let (without_gc, s1) = tree(|b, sym| {
+            let m = sym.method("a.B", "c");
+            b.leaf(IntervalKind::Native, Some(m), ms(1), ms(5)).unwrap();
+        });
+        let (with_gc, s2) = tree(|b, sym| {
+            let m = sym.method("a.B", "c");
+            b.enter(IntervalKind::Native, Some(m), ms(1)).unwrap();
+            b.leaf(IntervalKind::Gc, None, ms(2), ms(3)).unwrap();
+            b.exit(ms(5)).unwrap();
+            // A sibling GC directly under the dispatch, too.
+            b.leaf(IntervalKind::Gc, None, ms(6), ms(7)).unwrap();
+        });
+        assert_eq!(
+            ShapeSignature::of_tree(&without_gc, &s1),
+            ShapeSignature::of_tree(&with_gc, &s2)
+        );
+    }
+
+    #[test]
+    fn symbols_distinguish_patterns() {
+        let (a, s1) = tree(|b, sym| {
+            let m = sym.method("a.B", "c");
+            b.leaf(IntervalKind::Listener, Some(m), ms(1), ms(2)).unwrap();
+        });
+        let (b2, s2) = tree(|b, sym| {
+            let m = sym.method("a.B", "other");
+            b.leaf(IntervalKind::Listener, Some(m), ms(1), ms(2)).unwrap();
+        });
+        assert_ne!(
+            ShapeSignature::of_tree(&a, &s1),
+            ShapeSignature::of_tree(&b2, &s2)
+        );
+    }
+
+    #[test]
+    fn kinds_distinguish_patterns() {
+        let (a, s1) = tree(|b, _| {
+            b.leaf(IntervalKind::Paint, None, ms(1), ms(2)).unwrap();
+        });
+        let (b2, s2) = tree(|b, _| {
+            b.leaf(IntervalKind::Listener, None, ms(1), ms(2)).unwrap();
+        });
+        assert_ne!(
+            ShapeSignature::of_tree(&a, &s1),
+            ShapeSignature::of_tree(&b2, &s2)
+        );
+    }
+
+    #[test]
+    fn child_order_matters() {
+        let (ab, s1) = tree(|b, _| {
+            b.leaf(IntervalKind::Paint, None, ms(1), ms(2)).unwrap();
+            b.leaf(IntervalKind::Native, None, ms(3), ms(4)).unwrap();
+        });
+        let (ba, s2) = tree(|b, _| {
+            b.leaf(IntervalKind::Native, None, ms(1), ms(2)).unwrap();
+            b.leaf(IntervalKind::Paint, None, ms(3), ms(4)).unwrap();
+        });
+        assert_ne!(
+            ShapeSignature::of_tree(&ab, &s1),
+            ShapeSignature::of_tree(&ba, &s2)
+        );
+    }
+
+    #[test]
+    fn nesting_matters() {
+        let (nested, s1) = tree(|b, _| {
+            b.enter(IntervalKind::Listener, None, ms(1)).unwrap();
+            b.leaf(IntervalKind::Paint, None, ms(2), ms(3)).unwrap();
+            b.exit(ms(4)).unwrap();
+        });
+        let (flat, s2) = tree(|b, _| {
+            b.leaf(IntervalKind::Listener, None, ms(1), ms(2)).unwrap();
+            b.leaf(IntervalKind::Paint, None, ms(3), ms(4)).unwrap();
+        });
+        assert_ne!(
+            ShapeSignature::of_tree(&nested, &s1),
+            ShapeSignature::of_tree(&flat, &s2)
+        );
+    }
+
+    #[test]
+    fn signature_is_stable_across_symbol_tables() {
+        // Same logical structure, different interning order.
+        let (a, s1) = tree(|b, sym| {
+            let _noise = sym.intern("unrelated.Class");
+            let m = sym.method("x.Y", "z");
+            b.leaf(IntervalKind::Listener, Some(m), ms(1), ms(2)).unwrap();
+        });
+        let (b2, s2) = tree(|b, sym| {
+            let m = sym.method("x.Y", "z");
+            b.leaf(IntervalKind::Listener, Some(m), ms(1), ms(2)).unwrap();
+        });
+        assert_eq!(
+            ShapeSignature::of_tree(&a, &s1),
+            ShapeSignature::of_tree(&b2, &s2)
+        );
+    }
+
+    #[test]
+    fn display_renders_key() {
+        let (t, s) = tree(|b, _| {
+            b.leaf(IntervalKind::Async, None, ms(1), ms(2)).unwrap();
+        });
+        let sig = ShapeSignature::of_tree(&t, &s);
+        assert_eq!(sig.to_string(), "D[A]");
+        assert_eq!(format!("{sig:?}"), "ShapeSignature(D[A])");
+    }
+}

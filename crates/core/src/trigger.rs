@@ -1,0 +1,286 @@
+//! Trigger classification of episodes (the paper's Fig 5).
+//!
+//! The trigger of an episode is determined by a pre-order traversal of its
+//! interval tree: the type of the first `listener`, `paint`, or `async`
+//! interval decides — listener means input, paint means output, async
+//! means an asynchronous notification. Episodes with none of these (no
+//! children, or only children below the tracer's filter) are unspecified.
+//!
+//! One quirk (paper §IV-C footnote): the Swing repaint manager enqueues
+//! repaint requests in a way that produces an `async` interval containing a
+//! `paint` interval even though no background thread is involved. Such
+//! episodes are reclassified as output.
+
+use lagalyzer_model::{Episode, IntervalKind, IntervalTree, NodeId};
+
+use crate::session::AnalysisSession;
+
+/// The Fig 5 trigger classes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Trigger {
+    /// Input handling (listener notification: mouse, keyboard, ...).
+    Input,
+    /// Output production (rendering to the screen).
+    Output,
+    /// An asynchronous notification from a background thread.
+    Asynchronous,
+    /// No trigger interval above the tracing filter.
+    Unspecified,
+}
+
+impl Trigger {
+    /// All classes in Fig 5 order.
+    pub const ALL: [Trigger; 4] = [
+        Trigger::Input,
+        Trigger::Output,
+        Trigger::Asynchronous,
+        Trigger::Unspecified,
+    ];
+
+    /// Display label as used in the figure.
+    pub const fn label(self) -> &'static str {
+        match self {
+            Trigger::Input => "input",
+            Trigger::Output => "output",
+            Trigger::Asynchronous => "asynchronous",
+            Trigger::Unspecified => "unspecified",
+        }
+    }
+
+    /// Classifies one episode.
+    pub fn of_episode(episode: &Episode) -> Trigger {
+        let tree = episode.tree();
+        for id in tree.pre_order() {
+            match tree.interval(id).kind {
+                IntervalKind::Listener => return Trigger::Input,
+                IntervalKind::Paint => return Trigger::Output,
+                IntervalKind::Async => {
+                    // Repaint-manager special case: an async interval whose
+                    // subtree contains a paint is really an output episode.
+                    return if subtree_contains_paint(tree, id) {
+                        Trigger::Output
+                    } else {
+                        Trigger::Asynchronous
+                    };
+                }
+                _ => {}
+            }
+        }
+        Trigger::Unspecified
+    }
+}
+
+impl std::fmt::Display for Trigger {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+fn subtree_contains_paint(tree: &IntervalTree, id: NodeId) -> bool {
+    tree.pre_order_from(id)
+        .skip(1)
+        .any(|d| tree.interval(d).kind == IntervalKind::Paint)
+}
+
+/// Episode counts per trigger class (one Fig 5 bar).
+///
+/// ```
+/// use lagalyzer_core::prelude::*;
+/// use lagalyzer_core::trigger::TriggerBreakdown;
+/// use lagalyzer_sim::{apps, runner};
+///
+/// let session = AnalysisSession::new(
+///     runner::simulate_session(&apps::jmol(), 0, 1),
+///     AnalysisConfig::default(),
+/// );
+/// let b = TriggerBreakdown::of_perceptible(&session);
+/// // JMol's perceptible lag is almost entirely output (rendering).
+/// assert!(b.fractions()[1] > 0.9);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TriggerBreakdown {
+    /// Input-triggered episodes.
+    pub input: u64,
+    /// Output-triggered episodes.
+    pub output: u64,
+    /// Asynchronously triggered episodes.
+    pub asynchronous: u64,
+    /// Episodes with no visible trigger.
+    pub unspecified: u64,
+}
+
+impl TriggerBreakdown {
+    /// Classifies every episode yielded by `episodes`.
+    pub fn of<'a, I: IntoIterator<Item = &'a Episode>>(episodes: I) -> TriggerBreakdown {
+        let mut out = TriggerBreakdown::default();
+        for e in episodes {
+            match Trigger::of_episode(e) {
+                Trigger::Input => out.input += 1,
+                Trigger::Output => out.output += 1,
+                Trigger::Asynchronous => out.asynchronous += 1,
+                Trigger::Unspecified => out.unspecified += 1,
+            }
+        }
+        out
+    }
+
+    /// Breakdown over all traced episodes (Fig 5, upper graph).
+    pub fn of_all(session: &AnalysisSession) -> TriggerBreakdown {
+        TriggerBreakdown::of(session.episodes())
+    }
+
+    /// Breakdown over perceptible episodes (Fig 5, lower graph).
+    pub fn of_perceptible(session: &AnalysisSession) -> TriggerBreakdown {
+        TriggerBreakdown::of(session.perceptible_episodes())
+    }
+
+    /// Total episodes classified.
+    pub fn total(&self) -> u64 {
+        self.input + self.output + self.asynchronous + self.unspecified
+    }
+
+    /// Class shares in Fig 5 order `[input, output, async, unspecified]`.
+    pub fn fractions(&self) -> [f64; 4] {
+        let t = self.total().max(1) as f64;
+        [
+            self.input as f64 / t,
+            self.output as f64 / t,
+            self.asynchronous as f64 / t,
+            self.unspecified as f64 / t,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lagalyzer_model::prelude::*;
+
+    fn ms(v: u64) -> TimeNs {
+        TimeNs::from_millis(v)
+    }
+
+    fn episode_from<F: FnOnce(&mut IntervalTreeBuilder)>(f: F) -> Episode {
+        let mut b = IntervalTreeBuilder::new();
+        b.enter(IntervalKind::Dispatch, None, ms(0)).unwrap();
+        f(&mut b);
+        b.exit(ms(1000)).unwrap();
+        EpisodeBuilder::new(EpisodeId::from_raw(0), ThreadId::from_raw(0))
+            .tree(b.finish().unwrap())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn listener_first_means_input() {
+        let e = episode_from(|b| {
+            b.leaf(IntervalKind::Listener, None, ms(1), ms(2)).unwrap();
+            b.leaf(IntervalKind::Paint, None, ms(3), ms(4)).unwrap();
+        });
+        assert_eq!(Trigger::of_episode(&e), Trigger::Input);
+    }
+
+    #[test]
+    fn paint_first_means_output() {
+        let e = episode_from(|b| {
+            b.leaf(IntervalKind::Paint, None, ms(1), ms(2)).unwrap();
+            b.leaf(IntervalKind::Listener, None, ms(3), ms(4)).unwrap();
+        });
+        assert_eq!(Trigger::of_episode(&e), Trigger::Output);
+    }
+
+    #[test]
+    fn async_without_paint_is_asynchronous() {
+        let e = episode_from(|b| {
+            b.enter(IntervalKind::Async, None, ms(1)).unwrap();
+            b.leaf(IntervalKind::Native, None, ms(2), ms(3)).unwrap();
+            b.exit(ms(4)).unwrap();
+        });
+        assert_eq!(Trigger::of_episode(&e), Trigger::Asynchronous);
+    }
+
+    #[test]
+    fn repaint_manager_async_paint_reclassified_as_output() {
+        let e = episode_from(|b| {
+            b.enter(IntervalKind::Async, None, ms(1)).unwrap();
+            b.leaf(IntervalKind::Paint, None, ms(2), ms(3)).unwrap();
+            b.exit(ms(4)).unwrap();
+        });
+        assert_eq!(Trigger::of_episode(&e), Trigger::Output);
+    }
+
+    #[test]
+    fn deeply_nested_paint_under_async_still_output() {
+        let e = episode_from(|b| {
+            b.enter(IntervalKind::Async, None, ms(1)).unwrap();
+            b.enter(IntervalKind::Native, None, ms(2)).unwrap();
+            b.leaf(IntervalKind::Paint, None, ms(3), ms(4)).unwrap();
+            b.exit(ms(5)).unwrap();
+            b.exit(ms(6)).unwrap();
+        });
+        assert_eq!(Trigger::of_episode(&e), Trigger::Output);
+    }
+
+    #[test]
+    fn bare_dispatch_is_unspecified() {
+        let e = episode_from(|_| {});
+        assert_eq!(Trigger::of_episode(&e), Trigger::Unspecified);
+    }
+
+    #[test]
+    fn gc_only_episode_is_unspecified() {
+        // Arabeske's System.gc() episodes: a GC child but no trigger.
+        let e = episode_from(|b| {
+            b.leaf(IntervalKind::Gc, None, ms(1), ms(600)).unwrap();
+        });
+        assert_eq!(Trigger::of_episode(&e), Trigger::Unspecified);
+    }
+
+    #[test]
+    fn native_only_episode_is_unspecified() {
+        let e = episode_from(|b| {
+            b.leaf(IntervalKind::Native, None, ms(1), ms(2)).unwrap();
+        });
+        assert_eq!(Trigger::of_episode(&e), Trigger::Unspecified);
+    }
+
+    #[test]
+    fn pre_order_finds_nested_trigger() {
+        // The first trigger interval may be nested under a native call.
+        let e = episode_from(|b| {
+            b.enter(IntervalKind::Native, None, ms(1)).unwrap();
+            b.leaf(IntervalKind::Listener, None, ms(2), ms(3)).unwrap();
+            b.exit(ms(4)).unwrap();
+        });
+        assert_eq!(Trigger::of_episode(&e), Trigger::Input);
+    }
+
+    #[test]
+    fn breakdown_counts_and_fractions() {
+        let episodes = [episode_from(|b| {
+                b.leaf(IntervalKind::Listener, None, ms(1), ms(2)).unwrap();
+            }),
+            episode_from(|b| {
+                b.leaf(IntervalKind::Paint, None, ms(1), ms(2)).unwrap();
+            }),
+            episode_from(|b| {
+                b.leaf(IntervalKind::Paint, None, ms(1), ms(2)).unwrap();
+            }),
+            episode_from(|_| {})];
+        let breakdown = TriggerBreakdown::of(episodes.iter());
+        assert_eq!(breakdown.input, 1);
+        assert_eq!(breakdown.output, 2);
+        assert_eq!(breakdown.asynchronous, 0);
+        assert_eq!(breakdown.unspecified, 1);
+        assert_eq!(breakdown.total(), 4);
+        let fr = breakdown.fractions();
+        assert!((fr[1] - 0.5).abs() < 1e-12);
+        assert!((fr.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Trigger::Input.to_string(), "input");
+        assert_eq!(Trigger::ALL[3].label(), "unspecified");
+    }
+}

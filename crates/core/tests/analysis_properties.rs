@@ -1,0 +1,275 @@
+//! Property-based tests over the analyses' invariants (DESIGN.md §6).
+
+use lagalyzer_core::occurrence::{Occurrence, OccurrenceBreakdown};
+use lagalyzer_core::prelude::*;
+use lagalyzer_core::trigger::TriggerBreakdown;
+use lagalyzer_model::prelude::*;
+use lagalyzer_model::OriginClassifier;
+use proptest::prelude::*;
+
+fn ms(v: u64) -> TimeNs {
+    TimeNs::from_millis(v)
+}
+
+/// A random episode spec: which of 6 shapes, duration, and whether to
+/// inject a GC child.
+#[derive(Clone, Debug)]
+struct EpSpec {
+    shape: u8,
+    dur_ms: u64,
+    gc: bool,
+    states: Vec<u8>,
+}
+
+fn ep_spec() -> impl Strategy<Value = EpSpec> {
+    (
+        0u8..6,
+        5u64..600,
+        any::<bool>(),
+        proptest::collection::vec(0u8..4, 0..6),
+    )
+        .prop_map(|(shape, dur_ms, gc, states)| EpSpec {
+            shape,
+            dur_ms,
+            gc,
+            states,
+        })
+}
+
+fn build_session(specs: &[EpSpec]) -> AnalysisSession {
+    let meta = SessionMeta {
+        application: "Prop".into(),
+        session: SessionId::from_raw(0),
+        gui_thread: ThreadId::from_raw(0),
+        end_to_end: DurationNs::from_secs(3600),
+        filter_threshold: DurationNs::TRACE_FILTER_DEFAULT,
+    };
+    let mut b = SessionTraceBuilder::new(meta, SymbolTable::new());
+    let lib = b.symbols_mut().method("javax.swing.JPanel", "paint");
+    let app = b.symbols_mut().method("org.app.Main", "work");
+    let mut cursor = 0u64;
+    for (i, spec) in specs.iter().enumerate() {
+        let start = cursor;
+        let end = start + spec.dur_ms;
+        let mut t = IntervalTreeBuilder::new();
+        t.enter(IntervalKind::Dispatch, None, ms(start)).unwrap();
+        let inner_end = start + spec.dur_ms - 1;
+        let inner_start = start + 1;
+        if inner_end > inner_start {
+            match spec.shape {
+                0 => {
+                    // bare dispatch
+                }
+                1 => {
+                    t.leaf(IntervalKind::Listener, Some(app), ms(inner_start), ms(inner_end))
+                        .unwrap();
+                }
+                2 => {
+                    t.leaf(IntervalKind::Paint, Some(lib), ms(inner_start), ms(inner_end))
+                        .unwrap();
+                }
+                3 => {
+                    // async with non-paint work
+                    t.enter(IntervalKind::Async, None, ms(inner_start)).unwrap();
+                    if inner_end > inner_start + 2 {
+                        t.leaf(
+                            IntervalKind::Native,
+                            Some(lib),
+                            ms(inner_start + 1),
+                            ms(inner_end - 1),
+                        )
+                        .unwrap();
+                    }
+                    t.exit(ms(inner_end)).unwrap();
+                }
+                4 => {
+                    // repaint-manager shape: async(paint)
+                    t.enter(IntervalKind::Async, None, ms(inner_start)).unwrap();
+                    if inner_end > inner_start + 2 {
+                        t.leaf(
+                            IntervalKind::Paint,
+                            Some(lib),
+                            ms(inner_start + 1),
+                            ms(inner_end - 1),
+                        )
+                        .unwrap();
+                    }
+                    t.exit(ms(inner_end)).unwrap();
+                }
+                _ => {
+                    t.leaf(IntervalKind::Native, Some(lib), ms(inner_start), ms(inner_end))
+                        .unwrap();
+                }
+            }
+            if spec.gc && spec.dur_ms > 4 {
+                // A trailing sibling GC inside the dispatch window; keep it
+                // after the inner child by using the last millisecond.
+                t.leaf(IntervalKind::Gc, None, ms(end - 1), ms(end)).unwrap();
+            }
+        }
+        t.exit(ms(end)).unwrap();
+        let mut eb = EpisodeBuilder::new(EpisodeId::from_raw(i as u32), ThreadId::from_raw(0))
+            .tree(t.finish().unwrap());
+        for (k, &state_sel) in spec.states.iter().enumerate() {
+            let at = start + 1 + (k as u64 * spec.dur_ms.saturating_sub(2)) / (spec.states.len() as u64);
+            let state = ThreadState::ALL[state_sel as usize];
+            let frame = if state_sel % 2 == 0 { lib } else { app };
+            eb = eb.sample(SampleSnapshot::new(
+                ms(at.min(end)),
+                vec![ThreadSample::new(
+                    ThreadId::from_raw(0),
+                    state,
+                    vec![StackFrame::java(frame)],
+                )],
+            ));
+        }
+        b.push_episode(eb.build().unwrap()).unwrap();
+        cursor = end + 3;
+    }
+    AnalysisSession::new(b.finish(), AnalysisConfig::default())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Pattern mining is a partition of the structured episodes.
+    #[test]
+    fn mining_partitions_episodes(specs in proptest::collection::vec(ep_spec(), 0..40)) {
+        let session = build_session(&specs);
+        let set = session.mine_patterns();
+        let covered: u64 = set.patterns().iter().map(|p| p.count()).sum();
+        prop_assert_eq!(covered, set.covered_episodes());
+        prop_assert_eq!(
+            set.covered_episodes() + set.structureless_episodes(),
+            session.episodes().len() as u64
+        );
+        let mut seen = std::collections::HashSet::new();
+        for p in set.patterns() {
+            prop_assert!(p.count() > 0);
+            for &idx in p.episode_indices() {
+                prop_assert!(seen.insert(idx));
+            }
+        }
+    }
+
+    /// Injecting a GC child never changes an episode's pattern signature.
+    #[test]
+    fn gc_injection_preserves_signatures(specs in proptest::collection::vec(ep_spec(), 1..20)) {
+        let with_gc: Vec<EpSpec> = specs.iter().cloned().map(|mut s| { s.gc = true; s }).collect();
+        let without_gc: Vec<EpSpec> = specs.iter().cloned().map(|mut s| { s.gc = false; s }).collect();
+        let a = build_session(&with_gc);
+        let b = build_session(&without_gc);
+        let syms_a = a.trace().symbols();
+        let syms_b = b.trace().symbols();
+        for (ea, eb) in a.episodes().iter().zip(b.episodes()) {
+            let sig_a = ShapeSignature::of_tree(ea.tree(), syms_a);
+            let sig_b = ShapeSignature::of_tree(eb.tree(), syms_b);
+            prop_assert_eq!(sig_a, sig_b);
+        }
+    }
+
+    /// Trigger classification is total and stable under GC injection.
+    #[test]
+    fn trigger_total_and_gc_stable(specs in proptest::collection::vec(ep_spec(), 1..20)) {
+        let with_gc: Vec<EpSpec> = specs.iter().cloned().map(|mut s| { s.gc = true; s }).collect();
+        let a = build_session(&specs);
+        let b = build_session(&with_gc);
+        for (ea, eb) in a.episodes().iter().zip(b.episodes()) {
+            prop_assert_eq!(Trigger::of_episode(ea), Trigger::of_episode(eb));
+        }
+        let breakdown = TriggerBreakdown::of_all(&a);
+        prop_assert_eq!(breakdown.total(), a.episodes().len() as u64);
+    }
+
+    /// The repaint-manager shape always classifies as output, plain async
+    /// never does.
+    #[test]
+    fn repaint_manager_reclassification(dur in 10u64..500) {
+        let rm = build_session(&[EpSpec { shape: 4, dur_ms: dur, gc: false, states: vec![] }]);
+        prop_assert_eq!(Trigger::of_episode(&rm.episodes()[0]), Trigger::Output);
+        let plain = build_session(&[EpSpec { shape: 3, dur_ms: dur, gc: false, states: vec![] }]);
+        prop_assert_eq!(Trigger::of_episode(&plain.episodes()[0]), Trigger::Asynchronous);
+    }
+
+    /// Occurrence classes partition the patterns, and the breakdown counts
+    /// match per-pattern classification.
+    #[test]
+    fn occurrence_partitions_patterns(specs in proptest::collection::vec(ep_spec(), 0..40)) {
+        let session = build_session(&specs);
+        let set = session.mine_patterns();
+        let breakdown = OccurrenceBreakdown::of(&set);
+        prop_assert_eq!(breakdown.total(), set.len() as u64);
+        let mut counts = [0u64; 4];
+        for p in set.patterns() {
+            let i = match Occurrence::of_pattern(p) {
+                Occurrence::Always => 0,
+                Occurrence::Sometimes => 1,
+                Occurrence::Once => 2,
+                Occurrence::Never => 3,
+            };
+            counts[i] += 1;
+        }
+        prop_assert_eq!(
+            counts,
+            [breakdown.always, breakdown.sometimes, breakdown.once, breakdown.never]
+        );
+    }
+
+    /// All reported fractions live in [0, 1] and complementary pairs sum
+    /// to one.
+    #[test]
+    fn fractions_are_sane(specs in proptest::collection::vec(ep_spec(), 0..40)) {
+        let session = build_session(&specs);
+        let classifier = OriginClassifier::java_default();
+        let loc = LocationStats::of_all(&session, &classifier);
+        for v in [loc.library, loc.application, loc.gc, loc.native] {
+            prop_assert!((0.0..=1.0).contains(&v), "{v}");
+        }
+        let has_samples = session.episodes().iter().any(|e| !e.samples().is_empty());
+        if has_samples {
+            prop_assert!((loc.library + loc.application - 1.0).abs() < 1e-9);
+        }
+        let causes = CauseStats::of_all(&session);
+        let sum = causes.blocked + causes.waiting + causes.sleeping + causes.runnable;
+        if has_samples {
+            prop_assert!((sum - 1.0).abs() < 1e-9, "{sum}");
+        }
+        let con = concurrency_stats(&session);
+        prop_assert!(con.all >= 0.0);
+        prop_assert!(con.perceptible >= 0.0);
+    }
+
+    /// The coverage curve is monotone, ends at (1, 1), and coverage_of_top
+    /// agrees with it.
+    #[test]
+    fn coverage_curve_invariants(specs in proptest::collection::vec(ep_spec(), 1..40)) {
+        let session = build_session(&specs);
+        let set = session.mine_patterns();
+        let curve = set.cumulative_coverage();
+        prop_assume!(!curve.is_empty());
+        for w in curve.windows(2) {
+            prop_assert!(w[0].0 < w[1].0 + 1e-12);
+            prop_assert!(w[0].1 <= w[1].1 + 1e-12);
+        }
+        let (lx, ly) = *curve.last().unwrap();
+        prop_assert!((lx - 1.0).abs() < 1e-9);
+        prop_assert!((ly - 1.0).abs() < 1e-9);
+        prop_assert!((set.coverage_of_top(1.0) - 1.0).abs() < 1e-9);
+    }
+
+    /// SessionStats is consistent with its inputs.
+    #[test]
+    fn stats_consistency(specs in proptest::collection::vec(ep_spec(), 0..40)) {
+        let session = build_session(&specs);
+        let stats = SessionStats::compute(&session);
+        prop_assert_eq!(stats.traced_count, session.episodes().len() as u64);
+        prop_assert_eq!(
+            stats.perceptible_count,
+            session.perceptible_episodes().count() as u64
+        );
+        let set = session.mine_patterns();
+        prop_assert_eq!(stats.distinct_patterns, set.len() as u64);
+        prop_assert_eq!(stats.episodes_in_patterns, set.covered_episodes());
+        prop_assert!((0.0..=1.0).contains(&stats.singleton_fraction));
+    }
+}

@@ -1,0 +1,306 @@
+//! End-to-end calibration tests: the analyses, run on simulated sessions,
+//! must land near the paper's published per-application numbers.
+//!
+//! These are the repository's most important tests: they tie the simulator
+//! (substitute for the real applications + LiLa) to the analyzer (the
+//! paper's contribution) and check the *shape* of every headline result.
+
+use lagalyzer_core::aggregate;
+use lagalyzer_core::occurrence::OccurrenceBreakdown;
+use lagalyzer_core::prelude::*;
+use lagalyzer_core::trigger::TriggerBreakdown;
+use lagalyzer_model::OriginClassifier;
+use lagalyzer_sim::{apps, runner};
+
+fn analyze(profile: &lagalyzer_sim::AppProfile, seed: u64) -> Vec<AnalysisSession> {
+    (0..2) // two sessions keep the test quick; the experiments use four
+        .map(|i| {
+            AnalysisSession::new(
+                runner::simulate_session(profile, i, seed),
+                AnalysisConfig::default(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn table3_counts_track_targets() {
+    for profile in [apps::jmol(), apps::gantt_project(), apps::free_mind()] {
+        let sessions = analyze(&profile, 42);
+        let rows: Vec<SessionStats> = sessions.iter().map(SessionStats::compute).collect();
+        let avg = aggregate::AveragedStats::over(&rows);
+        let t = &profile.scale;
+        assert!(
+            (avg.traced_count / t.traced_episodes as f64 - 1.0).abs() < 0.12,
+            "{}: traced {} vs {}",
+            profile.name,
+            avg.traced_count,
+            t.traced_episodes
+        );
+        assert!(
+            (avg.perceptible_count / t.perceptible_episodes as f64 - 1.0).abs() < 0.45,
+            "{}: perceptible {} vs {}",
+            profile.name,
+            avg.perceptible_count,
+            t.perceptible_episodes
+        );
+        assert_eq!(avg.short_count as u64, t.short_episodes);
+        assert!(
+            (avg.in_episode_fraction - t.in_episode_fraction).abs() < 0.12,
+            "{}: in-eps {} vs {}",
+            profile.name,
+            avg.in_episode_fraction,
+            t.in_episode_fraction
+        );
+    }
+}
+
+#[test]
+fn pattern_counts_track_targets() {
+    for profile in [apps::argo_uml(), apps::swing_set()] {
+        let sessions = analyze(&profile, 7);
+        for s in &sessions {
+            let patterns = s.mine_patterns();
+            let target = profile.scale.distinct_patterns as f64;
+            let actual = patterns.len() as f64;
+            assert!(
+                (actual / target - 1.0).abs() < 0.25,
+                "{}: patterns {actual} vs {target}",
+                profile.name
+            );
+            let singleton = patterns.singleton_fraction();
+            assert!(
+                (singleton - profile.scale.singleton_fraction).abs() < 0.2,
+                "{}: singleton {singleton}",
+                profile.name
+            );
+        }
+    }
+}
+
+#[test]
+fn fig3_pareto_shape_holds() {
+    // Roughly 80% of episodes covered by 20% of the patterns.
+    for profile in [apps::jmol(), apps::euclide()] {
+        let sessions = analyze(&profile, 3);
+        for s in &sessions {
+            let coverage = s.mine_patterns().coverage_of_top(0.2);
+            assert!(
+                coverage > 0.6,
+                "{}: top-20% patterns cover only {coverage:.2}",
+                profile.name
+            );
+        }
+    }
+}
+
+#[test]
+fn fig4_occurrence_shape_holds() {
+    // GanttProject: most patterns always slow; FreeMind: most never slow.
+    let gantt = analyze(&apps::gantt_project(), 5);
+    let gantt_occ = aggregate::sum_occurrences(
+        &gantt
+            .iter()
+            .map(|s| OccurrenceBreakdown::of(&s.mine_patterns()))
+            .collect::<Vec<_>>(),
+    );
+    let always_frac = gantt_occ.always as f64 / gantt_occ.total() as f64;
+    assert!(always_frac > 0.4, "GanttProject always {always_frac:.2}");
+
+    let freemind = analyze(&apps::free_mind(), 5);
+    let fm_occ = aggregate::sum_occurrences(
+        &freemind
+            .iter()
+            .map(|s| OccurrenceBreakdown::of(&s.mine_patterns()))
+            .collect::<Vec<_>>(),
+    );
+    let never_frac = fm_occ.never as f64 / fm_occ.total() as f64;
+    assert!(never_frac > 0.8, "FreeMind never {never_frac:.2}");
+}
+
+#[test]
+fn fig5_trigger_shape_holds() {
+    // JMol ~98% output; ArgoUML ~78% input; FindBugs large async;
+    // Arabeske large unspecified.
+    let jmol = analyze(&apps::jmol(), 9);
+    let jb = aggregate::sum_triggers(
+        &jmol
+            .iter()
+            .map(TriggerBreakdown::of_perceptible)
+            .collect::<Vec<_>>(),
+    );
+    assert!(jb.fractions()[1] > 0.85, "JMol output {:?}", jb.fractions());
+
+    let argo = analyze(&apps::argo_uml(), 9);
+    let ab = aggregate::sum_triggers(
+        &argo
+            .iter()
+            .map(TriggerBreakdown::of_perceptible)
+            .collect::<Vec<_>>(),
+    );
+    assert!(ab.fractions()[0] > 0.6, "ArgoUML input {:?}", ab.fractions());
+
+    let findbugs = analyze(&apps::find_bugs(), 9);
+    let fb = aggregate::sum_triggers(
+        &findbugs
+            .iter()
+            .map(TriggerBreakdown::of_perceptible)
+            .collect::<Vec<_>>(),
+    );
+    assert!(
+        fb.fractions()[2] > 0.25,
+        "FindBugs async {:?}",
+        fb.fractions()
+    );
+
+    let arabeske = analyze(&apps::arabeske(), 9);
+    let arb = aggregate::sum_triggers(
+        &arabeske
+            .iter()
+            .map(TriggerBreakdown::of_perceptible)
+            .collect::<Vec<_>>(),
+    );
+    assert!(
+        arb.fractions()[3] > 0.35,
+        "Arabeske unspecified {:?}",
+        arb.fractions()
+    );
+}
+
+#[test]
+fn fig6_location_shape_holds() {
+    let classifier = OriginClassifier::java_default();
+    // Arabeske: GC dominates perceptible lag.
+    let arabeske = analyze(&apps::arabeske(), 13);
+    let loc = aggregate::mean_locations(
+        &arabeske
+            .iter()
+            .map(|s| LocationStats::of_perceptible(s, &classifier))
+            .collect::<Vec<_>>(),
+    );
+    assert!(loc.gc > 0.35, "Arabeske gc {:.2}", loc.gc);
+
+    // JHotDraw: application code dominates.
+    let jhot = analyze(&apps::jhot_draw(), 13);
+    let loc = aggregate::mean_locations(
+        &jhot
+            .iter()
+            .map(|s| LocationStats::of_perceptible(s, &classifier))
+            .collect::<Vec<_>>(),
+    );
+    assert!(
+        loc.application > 0.8,
+        "JHotDraw application {:.2}",
+        loc.application
+    );
+
+    // JFreeChart: a noticeable native share.
+    let jfree = analyze(&apps::jfree_chart(), 13);
+    let loc = aggregate::mean_locations(
+        &jfree
+            .iter()
+            .map(|s| LocationStats::of_perceptible(s, &classifier))
+            .collect::<Vec<_>>(),
+    );
+    assert!(loc.native > 0.1, "JFreeChart native {:.2}", loc.native);
+
+    // Euclide: library time dominates (the Apple sleep is library code).
+    let euclide = analyze(&apps::euclide(), 13);
+    let loc = aggregate::mean_locations(
+        &euclide
+            .iter()
+            .map(|s| LocationStats::of_perceptible(s, &classifier))
+            .collect::<Vec<_>>(),
+    );
+    assert!(loc.library > 0.55, "Euclide library {:.2}", loc.library);
+}
+
+#[test]
+fn fig7_concurrency_shape_holds() {
+    // FindBugs exceeds one runnable thread during perceptible episodes;
+    // Euclide stays below one (the GUI thread sleeps).
+    let findbugs = analyze(&apps::find_bugs(), 17);
+    let c = aggregate::mean_concurrency(
+        &findbugs
+            .iter()
+            .map(concurrency_stats)
+            .collect::<Vec<_>>(),
+    );
+    assert!(c.perceptible > 1.0, "FindBugs perceptible {:.2}", c.perceptible);
+
+    let euclide = analyze(&apps::euclide(), 17);
+    let c = aggregate::mean_concurrency(
+        &euclide.iter().map(concurrency_stats).collect::<Vec<_>>(),
+    );
+    assert!(c.perceptible < 1.0, "Euclide perceptible {:.2}", c.perceptible);
+    // All-episode concurrency is around 1.2 in the paper.
+    assert!(
+        (0.9..1.6).contains(&c.all),
+        "Euclide all-episodes {:.2}",
+        c.all
+    );
+}
+
+#[test]
+fn fig8_cause_shape_holds() {
+    // Euclide: sleep dominates; jEdit: waits stand out; FreeMind: blocked.
+    let euclide = analyze(&apps::euclide(), 21);
+    let c = aggregate::mean_causes(
+        &euclide
+            .iter()
+            .map(CauseStats::of_perceptible)
+            .collect::<Vec<_>>(),
+    );
+    assert!(c.sleeping > 0.35, "Euclide sleeping {:.2}", c.sleeping);
+
+    let jedit = analyze(&apps::jedit(), 21);
+    let c = aggregate::mean_causes(
+        &jedit
+            .iter()
+            .map(CauseStats::of_perceptible)
+            .collect::<Vec<_>>(),
+    );
+    assert!(c.waiting > 0.12, "jEdit waiting {:.2}", c.waiting);
+
+    let freemind = analyze(&apps::free_mind(), 21);
+    let c = aggregate::mean_causes(
+        &freemind
+            .iter()
+            .map(CauseStats::of_perceptible)
+            .collect::<Vec<_>>(),
+    );
+    assert!(c.blocked > 0.05, "FreeMind blocked {:.2}", c.blocked);
+
+    // Aggregated over ALL episodes there is almost no blocking (the
+    // paper's contrast between the two Fig 8 graphs).
+    let all = aggregate::mean_causes(
+        &freemind.iter().map(CauseStats::of_all).collect::<Vec<_>>(),
+    );
+    assert!(all.blocked < 0.05, "FreeMind all-blocked {:.2}", all.blocked);
+}
+
+#[test]
+fn sleep_samples_point_at_apple_toolkit() {
+    // The paper traces every Thread.sleep to Apple's combo-box blink.
+    let sessions = analyze(&apps::euclide(), 23);
+    let mut sleeping = 0;
+    for s in &sessions {
+        let symbols = s.trace().symbols();
+        let gui = s.trace().meta().gui_thread;
+        for e in s.episodes() {
+            for snap in e.samples() {
+                let Some(ts) = snap.thread(gui) else { continue };
+                if ts.state == lagalyzer_model::ThreadState::Sleeping {
+                    sleeping += 1;
+                    let top = ts.top_frame().expect("sleeping samples have frames");
+                    let class = symbols.resolve(top.method.class).unwrap();
+                    assert!(
+                        class.starts_with("com.apple."),
+                        "sleep frame in {class}"
+                    );
+                }
+            }
+        }
+    }
+    assert!(sleeping > 10, "expected many sleeping samples, got {sleeping}");
+}

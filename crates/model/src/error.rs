@@ -1,0 +1,144 @@
+//! Error type for model construction.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::interval::IntervalKind;
+use crate::time::TimeNs;
+
+/// Errors raised while building model objects from raw trace events.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// An `exit` event arrived with no interval currently open.
+    ExitWithoutEnter {
+        /// Time of the offending exit event.
+        at: TimeNs,
+    },
+    /// An event carried a timestamp earlier than the previous event on the
+    /// same thread; interval trees require monotone event times.
+    NonMonotonicTime {
+        /// Timestamp of the previous event.
+        previous: TimeNs,
+        /// The offending earlier timestamp.
+        at: TimeNs,
+    },
+    /// `finish` was called while intervals were still open.
+    UnclosedIntervals {
+        /// How many intervals remained open.
+        open: usize,
+    },
+    /// A tree must start with exactly one root interval.
+    MissingRoot,
+    /// A second top-level interval was opened after the root closed.
+    MultipleRoots {
+        /// Time the second root was opened.
+        at: TimeNs,
+    },
+    /// An episode's root interval must be a dispatch.
+    RootNotDispatch {
+        /// The actual root kind encountered.
+        found: IntervalKind,
+    },
+    /// A sample snapshot lies outside the episode it was attached to.
+    SampleOutOfRange {
+        /// Time of the offending sample.
+        at: TimeNs,
+        /// Episode start.
+        start: TimeNs,
+        /// Episode end.
+        end: TimeNs,
+    },
+    /// Session episodes must be dispatched in non-decreasing start order.
+    EpisodeOrder {
+        /// Start of the previous episode.
+        previous: TimeNs,
+        /// The offending earlier start.
+        at: TimeNs,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::ExitWithoutEnter { at } => {
+                write!(f, "interval exit at {at} without a matching enter")
+            }
+            ModelError::NonMonotonicTime { previous, at } => {
+                write!(f, "event time {at} precedes previous event time {previous}")
+            }
+            ModelError::UnclosedIntervals { open } => {
+                write!(f, "tree finished with {open} interval(s) still open")
+            }
+            ModelError::MissingRoot => write!(f, "interval tree has no root interval"),
+            ModelError::MultipleRoots { at } => {
+                write!(f, "second top-level interval opened at {at}")
+            }
+            ModelError::RootNotDispatch { found } => {
+                write!(f, "episode root must be a dispatch interval, found {found}")
+            }
+            ModelError::SampleOutOfRange { at, start, end } => write!(
+                f,
+                "sample at {at} outside episode window [{start}, {end}]"
+            ),
+            ModelError::EpisodeOrder { previous, at } => write!(
+                f,
+                "episode dispatched at {at} precedes previous episode at {previous}"
+            ),
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_specific() {
+        let e = ModelError::ExitWithoutEnter {
+            at: TimeNs::from_millis(5),
+        };
+        let msg = e.to_string();
+        assert!(msg.starts_with("interval exit"));
+        assert!(msg.contains("0.005s"));
+    }
+
+    #[test]
+    fn error_trait_object_usable() {
+        fn takes_err(_: &(dyn Error + Send + Sync)) {}
+        takes_err(&ModelError::MissingRoot);
+    }
+
+    #[test]
+    fn all_variants_display() {
+        let samples: Vec<ModelError> = vec![
+            ModelError::ExitWithoutEnter { at: TimeNs::ZERO },
+            ModelError::NonMonotonicTime {
+                previous: TimeNs::from_millis(2),
+                at: TimeNs::from_millis(1),
+            },
+            ModelError::UnclosedIntervals { open: 3 },
+            ModelError::MissingRoot,
+            ModelError::MultipleRoots {
+                at: TimeNs::from_millis(4),
+            },
+            ModelError::RootNotDispatch {
+                found: IntervalKind::Paint,
+            },
+            ModelError::SampleOutOfRange {
+                at: TimeNs::from_millis(9),
+                start: TimeNs::ZERO,
+                end: TimeNs::from_millis(5),
+            },
+            ModelError::EpisodeOrder {
+                previous: TimeNs::from_millis(8),
+                at: TimeNs::from_millis(7),
+            },
+        ];
+        for e in samples {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Typed identifiers.
+//!
+//! Each entity in a trace is addressed by a dedicated newtype so that a
+//! thread id can never be confused with an episode id at a call site.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Creates an id from its raw index.
+            pub const fn from_raw(raw: u32) -> Self {
+                $name(raw)
+            }
+
+            /// The raw index backing this id.
+            pub const fn as_raw(self) -> u32 {
+                self.0
+            }
+
+            /// The raw index as `usize`, for arena indexing.
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(raw: u32) -> Self {
+                $name(raw)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifies a thread within one session trace.
+    ///
+    /// ```
+    /// use lagalyzer_model::ids::ThreadId;
+    /// assert_eq!(ThreadId::from_raw(3).to_string(), "t3");
+    /// ```
+    ThreadId,
+    "t"
+);
+
+id_type!(
+    /// Identifies an episode within one session trace, in dispatch order.
+    ///
+    /// ```
+    /// use lagalyzer_model::ids::EpisodeId;
+    /// assert_eq!(EpisodeId::from_raw(17).index(), 17);
+    /// ```
+    EpisodeId,
+    "e"
+);
+
+id_type!(
+    /// Identifies a node within one interval tree.
+    ///
+    /// ```
+    /// use lagalyzer_model::ids::NodeId;
+    /// assert_eq!(NodeId::from_raw(0).as_raw(), 0);
+    /// ```
+    NodeId,
+    "n"
+);
+
+id_type!(
+    /// Identifies an interned string in a [`crate::symbols::SymbolTable`].
+    ///
+    /// ```
+    /// use lagalyzer_model::ids::SymbolId;
+    /// assert_eq!(SymbolId::from_raw(5), SymbolId::from(5u32));
+    /// ```
+    SymbolId,
+    "s"
+);
+
+id_type!(
+    /// Identifies one recorded interactive session of an application.
+    ///
+    /// ```
+    /// use lagalyzer_model::ids::SessionId;
+    /// assert_eq!(SessionId::from_raw(1).to_string(), "session1");
+    /// ```
+    SessionId,
+    "session"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        let a = EpisodeId::from_raw(1);
+        let b = EpisodeId::from_raw(2);
+        assert!(a < b);
+        let set: HashSet<EpisodeId> = [a, b, a].into_iter().collect();
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn debug_and_display_have_prefixes() {
+        assert_eq!(format!("{:?}", ThreadId::from_raw(0)), "t0");
+        assert_eq!(format!("{}", NodeId::from_raw(9)), "n9");
+        assert_eq!(format!("{:?}", SymbolId::from_raw(2)), "s2");
+    }
+
+    #[test]
+    fn raw_round_trip() {
+        for raw in [0u32, 1, 42, u32::MAX] {
+            assert_eq!(SessionId::from_raw(raw).as_raw(), raw);
+        }
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(ThreadId::default(), ThreadId::from_raw(0));
+    }
+}

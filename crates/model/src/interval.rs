@@ -1,0 +1,259 @@
+//! Typed intervals — the paper's Table I.
+//!
+//! | Name     | Description                                              |
+//! |----------|----------------------------------------------------------|
+//! | Dispatch | start to end of a given episode                          |
+//! | Listener | a listener notification call                             |
+//! | Paint    | a graphics rendering operation                           |
+//! | Native   | a JNI native call                                        |
+//! | Async    | the handling of an event posted in a background thread   |
+//! | GC       | a garbage collection                                     |
+
+use std::fmt;
+
+use crate::symbols::MethodRef;
+use crate::time::{DurationNs, TimeNs};
+
+/// The type of an interval (the paper's Table I).
+///
+/// All kinds except [`IntervalKind::Gc`] correspond to method calls and
+/// returns, which is what guarantees proper nesting per thread; GC intervals
+/// nest too because collections are stop-the-world at safe points.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum IntervalKind {
+    /// Start to end of a given episode.
+    Dispatch,
+    /// A listener notification call (handles user input).
+    Listener,
+    /// A graphics rendering operation (produces output).
+    Paint,
+    /// A JNI native call.
+    Native,
+    /// The handling of an event posted by a background thread.
+    Async,
+    /// A garbage collection (stop-the-world; copied into every thread).
+    Gc,
+}
+
+impl IntervalKind {
+    /// All kinds, in Table I order.
+    pub const ALL: [IntervalKind; 6] = [
+        IntervalKind::Dispatch,
+        IntervalKind::Listener,
+        IntervalKind::Paint,
+        IntervalKind::Native,
+        IntervalKind::Async,
+        IntervalKind::Gc,
+    ];
+
+    /// Short display name as used in the paper.
+    pub const fn name(self) -> &'static str {
+        match self {
+            IntervalKind::Dispatch => "Dispatch",
+            IntervalKind::Listener => "Listener",
+            IntervalKind::Paint => "Paint",
+            IntervalKind::Native => "Native",
+            IntervalKind::Async => "Async",
+            IntervalKind::Gc => "GC",
+        }
+    }
+
+    /// Stable single-byte tag used by the binary trace codec.
+    pub const fn tag(self) -> u8 {
+        match self {
+            IntervalKind::Dispatch => b'D',
+            IntervalKind::Listener => b'L',
+            IntervalKind::Paint => b'P',
+            IntervalKind::Native => b'N',
+            IntervalKind::Async => b'A',
+            IntervalKind::Gc => b'G',
+        }
+    }
+
+    /// Parses a codec tag back into a kind.
+    pub const fn from_tag(tag: u8) -> Option<IntervalKind> {
+        match tag {
+            b'D' => Some(IntervalKind::Dispatch),
+            b'L' => Some(IntervalKind::Listener),
+            b'P' => Some(IntervalKind::Paint),
+            b'N' => Some(IntervalKind::Native),
+            b'A' => Some(IntervalKind::Async),
+            b'G' => Some(IntervalKind::Gc),
+            _ => None,
+        }
+    }
+
+    /// True for the kinds that determine an episode's trigger in the
+    /// paper's Fig 5 pre-order scan (listener, paint, async).
+    pub const fn is_trigger_kind(self) -> bool {
+        matches!(
+            self,
+            IntervalKind::Listener | IntervalKind::Paint | IntervalKind::Async
+        )
+    }
+}
+
+impl fmt::Display for IntervalKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One interval: a kind, optional symbolic information, and a time range.
+///
+/// ```
+/// use lagalyzer_model::prelude::*;
+/// let i = Interval::new(IntervalKind::Gc, None, TimeNs::from_millis(10), TimeNs::from_millis(14));
+/// assert_eq!(i.duration(), DurationNs::from_millis(4));
+/// assert!(i.contains(TimeNs::from_millis(12)));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Interval {
+    /// The interval's type.
+    pub kind: IntervalKind,
+    /// Symbolic information: e.g. the class and method of a listener call.
+    /// `None` for GC intervals and bare dispatches.
+    pub symbol: Option<MethodRef>,
+    /// Start instant (inclusive).
+    pub start: TimeNs,
+    /// End instant (exclusive).
+    pub end: TimeNs,
+}
+
+impl Interval {
+    /// Creates an interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end < start`.
+    pub fn new(kind: IntervalKind, symbol: Option<MethodRef>, start: TimeNs, end: TimeNs) -> Self {
+        assert!(end >= start, "interval ends ({end}) before it starts ({start})");
+        Interval {
+            kind,
+            symbol,
+            start,
+            end,
+        }
+    }
+
+    /// The interval's length.
+    pub fn duration(&self) -> DurationNs {
+        self.end - self.start
+    }
+
+    /// True if `t` lies within `[start, end)`.
+    pub fn contains(&self, t: TimeNs) -> bool {
+        self.start <= t && t < self.end
+    }
+
+    /// True if `other` lies entirely within this interval.
+    pub fn encloses(&self, other: &Interval) -> bool {
+        self.start <= other.start && other.end <= self.end
+    }
+
+    /// True if the two intervals share any instant.
+    pub fn overlaps(&self, other: &Interval) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{} .. {}]", self.kind, self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_round_trip() {
+        for kind in IntervalKind::ALL {
+            assert_eq!(IntervalKind::from_tag(kind.tag()), Some(kind));
+        }
+        assert_eq!(IntervalKind::from_tag(b'X'), None);
+    }
+
+    #[test]
+    fn names_match_paper_table1() {
+        let names: Vec<&str> = IntervalKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(
+            names,
+            vec!["Dispatch", "Listener", "Paint", "Native", "Async", "GC"]
+        );
+    }
+
+    #[test]
+    fn trigger_kinds() {
+        assert!(IntervalKind::Listener.is_trigger_kind());
+        assert!(IntervalKind::Paint.is_trigger_kind());
+        assert!(IntervalKind::Async.is_trigger_kind());
+        assert!(!IntervalKind::Dispatch.is_trigger_kind());
+        assert!(!IntervalKind::Native.is_trigger_kind());
+        assert!(!IntervalKind::Gc.is_trigger_kind());
+    }
+
+    #[test]
+    fn interval_geometry() {
+        let outer = Interval::new(
+            IntervalKind::Dispatch,
+            None,
+            TimeNs::from_millis(0),
+            TimeNs::from_millis(100),
+        );
+        let inner = Interval::new(
+            IntervalKind::Paint,
+            None,
+            TimeNs::from_millis(10),
+            TimeNs::from_millis(90),
+        );
+        let disjoint = Interval::new(
+            IntervalKind::Gc,
+            None,
+            TimeNs::from_millis(200),
+            TimeNs::from_millis(210),
+        );
+        assert!(outer.encloses(&inner));
+        assert!(!inner.encloses(&outer));
+        assert!(outer.overlaps(&inner));
+        assert!(!outer.overlaps(&disjoint));
+        assert!(outer.contains(TimeNs::from_millis(0)));
+        assert!(!outer.contains(TimeNs::from_millis(100)), "end is exclusive");
+    }
+
+    #[test]
+    fn zero_length_interval_is_allowed() {
+        let i = Interval::new(
+            IntervalKind::Native,
+            None,
+            TimeNs::from_millis(5),
+            TimeNs::from_millis(5),
+        );
+        assert!(i.duration().is_zero());
+        assert!(!i.contains(TimeNs::from_millis(5)));
+    }
+
+    #[test]
+    #[should_panic(expected = "ends")]
+    fn inverted_interval_panics() {
+        let _ = Interval::new(
+            IntervalKind::Paint,
+            None,
+            TimeNs::from_millis(2),
+            TimeNs::from_millis(1),
+        );
+    }
+
+    #[test]
+    fn display_formats() {
+        let i = Interval::new(
+            IntervalKind::Paint,
+            None,
+            TimeNs::ZERO,
+            TimeNs::from_millis(1),
+        );
+        assert_eq!(i.to_string(), "Paint [0.000s .. 0.001s]");
+        assert_eq!(IntervalKind::Gc.to_string(), "GC");
+    }
+}

@@ -1,0 +1,277 @@
+//! Call-stack samples of all threads.
+//!
+//! The tracer periodically captures the call stacks of all threads together
+//! with each thread's state (paper §II-A, last bullet). A capture of all
+//! threads at one instant is a [`SampleSnapshot`]; each thread's entry is a
+//! [`ThreadSample`]. Sampling is suppressed while a stop-the-world garbage
+//! collection is in progress — the paper's Fig 1 discussion hinges on that
+//! JVMTI behaviour, and the simulator reproduces it.
+
+use std::fmt;
+
+use crate::ids::ThreadId;
+use crate::symbols::{CodeOrigin, MethodRef, OriginClassifier, SymbolTable};
+use crate::time::TimeNs;
+
+/// The scheduling state of a thread at sample time.
+///
+/// Mirrors the four states the paper's Fig 8 partitions GUI-thread time
+/// into: blocked entering a contended monitor, waiting in `Object.wait()` /
+/// `LockSupport.park()`, voluntarily sleeping, or runnable.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum ThreadState {
+    /// Ready to run (or running).
+    Runnable,
+    /// Blocked trying to enter a contended monitor.
+    Blocked,
+    /// Waiting in `Object.wait()` or `LockSupport.park()`.
+    Waiting,
+    /// Voluntarily sleeping in `Thread.sleep()`.
+    Sleeping,
+}
+
+impl ThreadState {
+    /// All states, in Fig 8 stacking order (blocked, wait, sleep, runnable).
+    pub const ALL: [ThreadState; 4] = [
+        ThreadState::Blocked,
+        ThreadState::Waiting,
+        ThreadState::Sleeping,
+        ThreadState::Runnable,
+    ];
+
+    /// Human-readable name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            ThreadState::Runnable => "runnable",
+            ThreadState::Blocked => "blocked",
+            ThreadState::Waiting => "waiting",
+            ThreadState::Sleeping => "sleeping",
+        }
+    }
+
+    /// Stable single-byte tag for the binary trace codec.
+    pub const fn tag(self) -> u8 {
+        match self {
+            ThreadState::Runnable => b'R',
+            ThreadState::Blocked => b'B',
+            ThreadState::Waiting => b'W',
+            ThreadState::Sleeping => b'S',
+        }
+    }
+
+    /// Parses a codec tag.
+    pub const fn from_tag(tag: u8) -> Option<ThreadState> {
+        match tag {
+            b'R' => Some(ThreadState::Runnable),
+            b'B' => Some(ThreadState::Blocked),
+            b'W' => Some(ThreadState::Waiting),
+            b'S' => Some(ThreadState::Sleeping),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ThreadState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One frame of a sampled call stack.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct StackFrame {
+    /// The method executing in this frame.
+    pub method: MethodRef,
+    /// Whether the frame was executing native (JNI) code.
+    pub native: bool,
+}
+
+impl StackFrame {
+    /// A Java (non-native) frame.
+    pub fn java(method: MethodRef) -> Self {
+        StackFrame {
+            method,
+            native: false,
+        }
+    }
+
+    /// A native (JNI) frame.
+    pub fn native(method: MethodRef) -> Self {
+        StackFrame {
+            method,
+            native: true,
+        }
+    }
+}
+
+/// One thread's entry within a [`SampleSnapshot`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ThreadSample {
+    /// The sampled thread.
+    pub thread: ThreadId,
+    /// The thread's scheduling state.
+    pub state: ThreadState,
+    /// The captured stack, innermost (top) frame first. May be empty when
+    /// the sampler could not walk the stack.
+    pub stack: Vec<StackFrame>,
+}
+
+impl ThreadSample {
+    /// Creates a thread sample.
+    pub fn new(thread: ThreadId, state: ThreadState, stack: Vec<StackFrame>) -> Self {
+        ThreadSample {
+            thread,
+            state,
+            stack,
+        }
+    }
+
+    /// The innermost (executing) frame, if the stack is non-empty.
+    pub fn top_frame(&self) -> Option<&StackFrame> {
+        self.stack.first()
+    }
+
+    /// Classifies the executing frame as application or runtime-library
+    /// code. Samples with empty stacks classify as library code — an empty
+    /// stack means the thread was inside the VM itself.
+    pub fn top_origin(
+        &self,
+        symbols: &SymbolTable,
+        classifier: &OriginClassifier,
+    ) -> CodeOrigin {
+        match self.top_frame() {
+            Some(frame) => classifier.classify(symbols, frame.method.class),
+            None => CodeOrigin::RuntimeLibrary,
+        }
+    }
+}
+
+/// A capture of all threads at one instant.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SampleSnapshot {
+    /// Capture instant.
+    pub time: TimeNs,
+    /// One entry per live thread, in thread-id order.
+    pub threads: Vec<ThreadSample>,
+}
+
+impl SampleSnapshot {
+    /// Creates a snapshot; thread entries are sorted by thread id so that
+    /// equality and codecs are canonical.
+    pub fn new(time: TimeNs, mut threads: Vec<ThreadSample>) -> Self {
+        threads.sort_by_key(|t| t.thread);
+        SampleSnapshot { time, threads }
+    }
+
+    /// The entry for `thread`, if it was live at capture time.
+    pub fn thread(&self, thread: ThreadId) -> Option<&ThreadSample> {
+        self.threads.iter().find(|t| t.thread == thread)
+    }
+
+    /// Number of runnable threads in this snapshot — the paper's Fig 7
+    /// concurrency measure counts these per sample.
+    pub fn runnable_count(&self) -> usize {
+        self.threads
+            .iter()
+            .filter(|t| t.state == ThreadState::Runnable)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbols::SymbolTable;
+
+    fn snapshot_fixture(symbols: &mut SymbolTable) -> SampleSnapshot {
+        let app = symbols.method("org.jmol.Render", "paintModel");
+        let lib = symbols.method("javax.swing.JComponent", "paintComponent");
+        SampleSnapshot::new(
+            TimeNs::from_millis(50),
+            vec![
+                ThreadSample::new(
+                    ThreadId::from_raw(1),
+                    ThreadState::Runnable,
+                    vec![StackFrame::java(lib)],
+                ),
+                ThreadSample::new(
+                    ThreadId::from_raw(0),
+                    ThreadState::Runnable,
+                    vec![StackFrame::java(app), StackFrame::java(lib)],
+                ),
+                ThreadSample::new(ThreadId::from_raw(2), ThreadState::Waiting, vec![]),
+            ],
+        )
+    }
+
+    #[test]
+    fn state_tags_round_trip() {
+        for s in ThreadState::ALL {
+            assert_eq!(ThreadState::from_tag(s.tag()), Some(s));
+        }
+        assert_eq!(ThreadState::from_tag(b'?'), None);
+    }
+
+    #[test]
+    fn state_names() {
+        assert_eq!(ThreadState::Runnable.to_string(), "runnable");
+        assert_eq!(ThreadState::Blocked.name(), "blocked");
+    }
+
+    #[test]
+    fn snapshot_sorts_threads() {
+        let mut symbols = SymbolTable::new();
+        let snap = snapshot_fixture(&mut symbols);
+        let ids: Vec<u32> = snap.threads.iter().map(|t| t.thread.as_raw()).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn runnable_count_matches_fig7_semantics() {
+        let mut symbols = SymbolTable::new();
+        let snap = snapshot_fixture(&mut symbols);
+        assert_eq!(snap.runnable_count(), 2);
+    }
+
+    #[test]
+    fn thread_lookup() {
+        let mut symbols = SymbolTable::new();
+        let snap = snapshot_fixture(&mut symbols);
+        assert_eq!(
+            snap.thread(ThreadId::from_raw(2)).unwrap().state,
+            ThreadState::Waiting
+        );
+        assert!(snap.thread(ThreadId::from_raw(9)).is_none());
+    }
+
+    #[test]
+    fn top_origin_classification() {
+        let mut symbols = SymbolTable::new();
+        let snap = snapshot_fixture(&mut symbols);
+        let classifier = OriginClassifier::java_default();
+        let gui = snap.thread(ThreadId::from_raw(0)).unwrap();
+        assert_eq!(
+            gui.top_origin(&symbols, &classifier),
+            CodeOrigin::Application
+        );
+        let bg = snap.thread(ThreadId::from_raw(1)).unwrap();
+        assert_eq!(
+            bg.top_origin(&symbols, &classifier),
+            CodeOrigin::RuntimeLibrary
+        );
+        // Empty stack counts as VM-internal, i.e. library code.
+        let idle = snap.thread(ThreadId::from_raw(2)).unwrap();
+        assert_eq!(
+            idle.top_origin(&symbols, &classifier),
+            CodeOrigin::RuntimeLibrary
+        );
+    }
+
+    #[test]
+    fn frame_constructors() {
+        let mut symbols = SymbolTable::new();
+        let m = symbols.method("a.B", "c");
+        assert!(!StackFrame::java(m).native);
+        assert!(StackFrame::native(m).native);
+    }
+}

@@ -1,0 +1,313 @@
+//! Interned symbolic information: class and method names.
+//!
+//! Traces refer to code locations (listener classes, paint methods, native
+//! functions, stack frames) by name. To keep the in-memory representation
+//! compact — NetBeans sessions reference tens of thousands of distinct
+//! methods — names are interned once in a [`SymbolTable`] and referenced by
+//! [`SymbolId`]. A [`MethodRef`] pairs a class symbol with a method symbol.
+//!
+//! The [`OriginClassifier`] decides whether a class belongs to the
+//! application or to the runtime library, which drives the paper's Fig 6
+//! (location) analysis. The default classifier mirrors the paper's
+//! methodology: classification by fully qualified class-name prefix.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::ids::SymbolId;
+
+/// A reference to a `Class.method` pair via interned symbols.
+///
+/// ```
+/// use lagalyzer_model::symbols::SymbolTable;
+/// let mut t = SymbolTable::new();
+/// let m = t.method("javax.swing.JFrame", "paint");
+/// assert_eq!(t.render(m), "javax.swing.JFrame.paint");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct MethodRef {
+    /// Fully qualified class name symbol.
+    pub class: SymbolId,
+    /// Method name symbol.
+    pub method: SymbolId,
+}
+
+/// Whether a code location belongs to the application under study or to the
+/// runtime library shipped with the platform.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CodeOrigin {
+    /// Application code (anything not matched by a library prefix).
+    Application,
+    /// Runtime library code (JDK, GUI toolkit, vendor extensions).
+    RuntimeLibrary,
+}
+
+impl fmt::Display for CodeOrigin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodeOrigin::Application => write!(f, "application"),
+            CodeOrigin::RuntimeLibrary => write!(f, "runtime library"),
+        }
+    }
+}
+
+/// An append-only interner for class and method names.
+///
+/// Interning the same string twice yields the same [`SymbolId`]; ids are
+/// dense and start at zero, so they double as indices into side tables.
+#[derive(Clone, Debug, Default)]
+pub struct SymbolTable {
+    names: Vec<String>,
+    index: HashMap<String, SymbolId>,
+}
+
+impl SymbolTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        SymbolTable::default()
+    }
+
+    /// Interns `name`, returning its stable id.
+    ///
+    /// ```
+    /// use lagalyzer_model::symbols::SymbolTable;
+    /// let mut t = SymbolTable::new();
+    /// let a = t.intern("java.lang.String");
+    /// let b = t.intern("java.lang.String");
+    /// assert_eq!(a, b);
+    /// ```
+    pub fn intern(&mut self, name: &str) -> SymbolId {
+        if let Some(&id) = self.index.get(name) {
+            return id;
+        }
+        let id = SymbolId::from_raw(
+            u32::try_from(self.names.len()).expect("more than u32::MAX interned symbols"),
+        );
+        self.names.push(name.to_owned());
+        self.index.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Interns a class/method pair as a [`MethodRef`].
+    pub fn method(&mut self, class: &str, method: &str) -> MethodRef {
+        MethodRef {
+            class: self.intern(class),
+            method: self.intern(method),
+        }
+    }
+
+    /// Resolves an id back to its string.
+    ///
+    /// Returns `None` for ids not produced by this table.
+    pub fn resolve(&self, id: SymbolId) -> Option<&str> {
+        self.names.get(id.index()).map(String::as_str)
+    }
+
+    /// Looks up an already interned name without interning it.
+    pub fn lookup(&self, name: &str) -> Option<SymbolId> {
+        self.index.get(name).copied()
+    }
+
+    /// Renders a [`MethodRef`] as `Class.method`.
+    ///
+    /// Unknown symbols render as `?`.
+    pub fn render(&self, m: MethodRef) -> String {
+        format!(
+            "{}.{}",
+            self.resolve(m.class).unwrap_or("?"),
+            self.resolve(m.method).unwrap_or("?")
+        )
+    }
+
+    /// Number of interned symbols.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over `(id, name)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (SymbolId, &str)> {
+        self.names.iter().enumerate().map(|(i, n)| {
+            (
+                SymbolId::from_raw(u32::try_from(i).expect("symbol index overflows u32")),
+                n.as_str(),
+            )
+        })
+    }
+}
+
+/// Classifies class names into application vs runtime-library code by
+/// fully-qualified-name prefix, as in the paper's Fig 6 methodology.
+///
+/// ```
+/// use lagalyzer_model::symbols::{CodeOrigin, OriginClassifier};
+/// let c = OriginClassifier::java_default();
+/// assert_eq!(c.classify_name("javax.swing.JList"), CodeOrigin::RuntimeLibrary);
+/// assert_eq!(c.classify_name("org.argouml.Main"), CodeOrigin::Application);
+/// ```
+#[derive(Clone, Debug)]
+pub struct OriginClassifier {
+    library_prefixes: Vec<String>,
+}
+
+impl OriginClassifier {
+    /// A classifier with an explicit set of runtime-library prefixes.
+    pub fn new<I, S>(library_prefixes: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        OriginClassifier {
+            library_prefixes: library_prefixes.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// The default Java platform prefixes used in the paper's study: the
+    /// JDK (`java.`, `javax.`, `sun.`, `com.sun.`, `jdk.`), and Apple's
+    /// toolkit extensions (`com.apple.`, `apple.`), which host the combo-box
+    /// blink `Thread.sleep` the paper tracks down in §IV-E.
+    pub fn java_default() -> Self {
+        OriginClassifier::new([
+            "java.", "javax.", "sun.", "com.sun.", "jdk.", "com.apple.", "apple.",
+        ])
+    }
+
+    /// Adds another library prefix.
+    pub fn add_prefix(&mut self, prefix: &str) -> &mut Self {
+        self.library_prefixes.push(prefix.to_owned());
+        self
+    }
+
+    /// Classifies a fully qualified class name.
+    pub fn classify_name(&self, class_name: &str) -> CodeOrigin {
+        if self
+            .library_prefixes
+            .iter()
+            .any(|p| class_name.starts_with(p.as_str()))
+        {
+            CodeOrigin::RuntimeLibrary
+        } else {
+            CodeOrigin::Application
+        }
+    }
+
+    /// Classifies an interned class symbol; unknown symbols count as
+    /// application code (conservative: never blames the library for code it
+    /// cannot see).
+    pub fn classify(&self, symbols: &SymbolTable, class: SymbolId) -> CodeOrigin {
+        match symbols.resolve(class) {
+            Some(name) => self.classify_name(name),
+            None => CodeOrigin::Application,
+        }
+    }
+}
+
+impl Default for OriginClassifier {
+    fn default() -> Self {
+        OriginClassifier::java_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_dense() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("a");
+        let b = t.intern("b");
+        let a2 = t.intern("a");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(a.as_raw(), 0);
+        assert_eq!(b.as_raw(), 1);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn resolve_and_lookup() {
+        let mut t = SymbolTable::new();
+        let id = t.intern("javax.swing.JToolBar");
+        assert_eq!(t.resolve(id), Some("javax.swing.JToolBar"));
+        assert_eq!(t.lookup("javax.swing.JToolBar"), Some(id));
+        assert_eq!(t.lookup("missing"), None);
+        assert_eq!(t.resolve(SymbolId::from_raw(99)), None);
+    }
+
+    #[test]
+    fn method_ref_rendering() {
+        let mut t = SymbolTable::new();
+        let m = t.method("sun.java2d.loops.DrawLine", "DrawLine");
+        assert_eq!(t.render(m), "sun.java2d.loops.DrawLine.DrawLine");
+    }
+
+    #[test]
+    fn render_unknown_symbol() {
+        let t = SymbolTable::new();
+        let m = MethodRef {
+            class: SymbolId::from_raw(7),
+            method: SymbolId::from_raw(8),
+        };
+        assert_eq!(t.render(m), "?.?");
+    }
+
+    #[test]
+    fn iter_in_order() {
+        let mut t = SymbolTable::new();
+        t.intern("x");
+        t.intern("y");
+        let names: Vec<&str> = t.iter().map(|(_, n)| n).collect();
+        assert_eq!(names, vec!["x", "y"]);
+    }
+
+    #[test]
+    fn default_classifier_covers_jdk_and_apple() {
+        let c = OriginClassifier::java_default();
+        for lib in [
+            "java.lang.Thread",
+            "javax.swing.JComboBox",
+            "sun.java2d.loops.DrawLine",
+            "com.sun.java.swing.plaf.Foo",
+            "com.apple.laf.AquaComboBoxUI",
+            "apple.awt.CGraphicsDevice",
+        ] {
+            assert_eq!(c.classify_name(lib), CodeOrigin::RuntimeLibrary, "{lib}");
+        }
+        for app in ["org.jmol.Viewer", "net.sf.jedit.Buffer", "Main"] {
+            assert_eq!(c.classify_name(app), CodeOrigin::Application, "{app}");
+        }
+    }
+
+    #[test]
+    fn custom_prefix_extends_library() {
+        let mut c = OriginClassifier::java_default();
+        assert_eq!(
+            c.classify_name("org.netbeans.core.Platform"),
+            CodeOrigin::Application
+        );
+        c.add_prefix("org.netbeans.");
+        assert_eq!(
+            c.classify_name("org.netbeans.core.Platform"),
+            CodeOrigin::RuntimeLibrary
+        );
+    }
+
+    #[test]
+    fn classify_interned_symbol() {
+        let mut t = SymbolTable::new();
+        let lib = t.intern("javax.swing.JTree");
+        let app = t.intern("ganttproject.GanttGraphicArea");
+        let c = OriginClassifier::java_default();
+        assert_eq!(c.classify(&t, lib), CodeOrigin::RuntimeLibrary);
+        assert_eq!(c.classify(&t, app), CodeOrigin::Application);
+        assert_eq!(
+            c.classify(&t, SymbolId::from_raw(42)),
+            CodeOrigin::Application
+        );
+    }
+}

@@ -1,0 +1,392 @@
+//! Nanosecond-resolution virtual time.
+//!
+//! All traces use a virtual clock measured in nanoseconds since session
+//! start. Two newtypes keep instants and durations apart at compile time
+//! ([`TimeNs`] and [`DurationNs`]); arithmetic between them is provided via
+//! the standard operator traits.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An instant on the session-local virtual clock, in nanoseconds since
+/// session start.
+///
+/// ```
+/// use lagalyzer_model::time::{TimeNs, DurationNs};
+/// let t = TimeNs::from_millis(3) + DurationNs::from_micros(500);
+/// assert_eq!(t.as_nanos(), 3_500_000);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TimeNs(u64);
+
+/// A span of virtual time, in nanoseconds.
+///
+/// ```
+/// use lagalyzer_model::time::DurationNs;
+/// let d = DurationNs::from_millis(100);
+/// assert!(d >= DurationNs::PERCEPTIBLE_DEFAULT);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct DurationNs(u64);
+
+impl TimeNs {
+    /// The session start instant.
+    pub const ZERO: TimeNs = TimeNs(0);
+    /// The maximum representable instant.
+    pub const MAX: TimeNs = TimeNs(u64::MAX);
+
+    /// Creates an instant from raw nanoseconds since session start.
+    pub const fn from_nanos(ns: u64) -> Self {
+        TimeNs(ns)
+    }
+
+    /// Creates an instant from microseconds since session start.
+    pub const fn from_micros(us: u64) -> Self {
+        TimeNs(us * 1_000)
+    }
+
+    /// Creates an instant from milliseconds since session start.
+    pub const fn from_millis(ms: u64) -> Self {
+        TimeNs(ms * 1_000_000)
+    }
+
+    /// Creates an instant from seconds since session start.
+    pub const fn from_secs(s: u64) -> Self {
+        TimeNs(s * 1_000_000_000)
+    }
+
+    /// Raw nanoseconds since session start.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Whole milliseconds since session start (truncating).
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Seconds since session start as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Elapsed span since `earlier`, saturating to zero if `earlier` is
+    /// later than `self`.
+    pub fn saturating_since(self, earlier: TimeNs) -> DurationNs {
+        DurationNs(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Returns the later of two instants.
+    pub fn max(self, other: TimeNs) -> TimeNs {
+        TimeNs(self.0.max(other.0))
+    }
+
+    /// Returns the earlier of two instants.
+    pub fn min(self, other: TimeNs) -> TimeNs {
+        TimeNs(self.0.min(other.0))
+    }
+}
+
+impl DurationNs {
+    /// The zero-length span.
+    pub const ZERO: DurationNs = DurationNs(0);
+    /// Default perceptibility threshold used throughout the paper: 100 ms.
+    pub const PERCEPTIBLE_DEFAULT: DurationNs = DurationNs(100_000_000);
+    /// Default tracer-side filter threshold: episodes shorter than 3 ms are
+    /// dropped by the tracing infrastructure and only counted.
+    pub const TRACE_FILTER_DEFAULT: DurationNs = DurationNs(3_000_000);
+
+    /// Creates a span from raw nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        DurationNs(ns)
+    }
+
+    /// Creates a span from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        DurationNs(us * 1_000)
+    }
+
+    /// Creates a span from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        DurationNs(ms * 1_000_000)
+    }
+
+    /// Creates a span from seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        DurationNs(s * 1_000_000_000)
+    }
+
+    /// Raw nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Whole milliseconds (truncating).
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Milliseconds as a float.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Seconds as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// True if the span is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: DurationNs) -> DurationNs {
+        DurationNs(self.0.saturating_sub(other.0))
+    }
+
+    /// Checked addition, `None` on overflow.
+    pub fn checked_add(self, other: DurationNs) -> Option<DurationNs> {
+        self.0.checked_add(other.0).map(DurationNs)
+    }
+
+    /// Returns the longer of two spans.
+    pub fn max(self, other: DurationNs) -> DurationNs {
+        DurationNs(self.0.max(other.0))
+    }
+
+    /// Returns the shorter of two spans.
+    pub fn min(self, other: DurationNs) -> DurationNs {
+        DurationNs(self.0.min(other.0))
+    }
+
+    /// The fraction `self / whole` as a float in `[0, 1]` for nested spans;
+    /// returns 0 when `whole` is zero.
+    pub fn fraction_of(self, whole: DurationNs) -> f64 {
+        if whole.0 == 0 {
+            0.0
+        } else {
+            self.0 as f64 / whole.0 as f64
+        }
+    }
+
+    /// Multiplies the span by a non-negative float, rounding to nearest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or not finite.
+    pub fn mul_f64(self, factor: f64) -> DurationNs {
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "duration factor must be finite and non-negative, got {factor}"
+        );
+        DurationNs((self.0 as f64 * factor).round() as u64)
+    }
+}
+
+impl Add<DurationNs> for TimeNs {
+    type Output = TimeNs;
+    fn add(self, rhs: DurationNs) -> TimeNs {
+        TimeNs(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<DurationNs> for TimeNs {
+    fn add_assign(&mut self, rhs: DurationNs) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<DurationNs> for TimeNs {
+    type Output = TimeNs;
+    fn sub(self, rhs: DurationNs) -> TimeNs {
+        TimeNs(self.0 - rhs.0)
+    }
+}
+
+impl Sub<TimeNs> for TimeNs {
+    type Output = DurationNs;
+    /// The span between two instants.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs` is later than `self`.
+    fn sub(self, rhs: TimeNs) -> DurationNs {
+        debug_assert!(rhs.0 <= self.0, "time went backwards: {rhs:?} > {self:?}");
+        DurationNs(self.0 - rhs.0)
+    }
+}
+
+impl Add for DurationNs {
+    type Output = DurationNs;
+    fn add(self, rhs: DurationNs) -> DurationNs {
+        DurationNs(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for DurationNs {
+    fn add_assign(&mut self, rhs: DurationNs) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for DurationNs {
+    type Output = DurationNs;
+    fn sub(self, rhs: DurationNs) -> DurationNs {
+        debug_assert!(rhs.0 <= self.0, "negative duration: {self:?} - {rhs:?}");
+        DurationNs(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for DurationNs {
+    fn sub_assign(&mut self, rhs: DurationNs) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for DurationNs {
+    type Output = DurationNs;
+    fn mul(self, rhs: u64) -> DurationNs {
+        DurationNs(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for DurationNs {
+    type Output = DurationNs;
+    fn div(self, rhs: u64) -> DurationNs {
+        DurationNs(self.0 / rhs)
+    }
+}
+
+impl Sum for DurationNs {
+    fn sum<I: Iterator<Item = DurationNs>>(iter: I) -> DurationNs {
+        iter.fold(DurationNs::ZERO, Add::add)
+    }
+}
+
+impl fmt::Debug for TimeNs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TimeNs({})", self.0)
+    }
+}
+
+impl fmt::Display for TimeNs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Debug for DurationNs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DurationNs({})", self.0)
+    }
+}
+
+impl fmt::Display for DurationNs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ms = self.as_millis_f64();
+        if ms >= 1000.0 {
+            write!(f, "{:.2}s", self.as_secs_f64())
+        } else if ms >= 1.0 {
+            write!(f, "{ms:.0}ms")
+        } else {
+            write!(f, "{:.0}us", self.0 as f64 / 1e3)
+        }
+    }
+}
+
+impl From<u64> for DurationNs {
+    fn from(ns: u64) -> Self {
+        DurationNs(ns)
+    }
+}
+
+impl From<u64> for TimeNs {
+    fn from(ns: u64) -> Self {
+        TimeNs(ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(TimeNs::from_millis(5).as_nanos(), 5_000_000);
+        assert_eq!(TimeNs::from_secs(2).as_millis(), 2000);
+        assert_eq!(DurationNs::from_micros(7).as_nanos(), 7_000);
+        assert_eq!(DurationNs::from_secs(1).as_millis(), 1000);
+    }
+
+    #[test]
+    fn instant_arithmetic() {
+        let a = TimeNs::from_millis(10);
+        let b = a + DurationNs::from_millis(5);
+        assert_eq!(b - a, DurationNs::from_millis(5));
+        assert_eq!(b - DurationNs::from_millis(15), TimeNs::ZERO);
+    }
+
+    #[test]
+    fn saturating_since_never_underflows() {
+        let early = TimeNs::from_millis(1);
+        let late = TimeNs::from_millis(9);
+        assert_eq!(early.saturating_since(late), DurationNs::ZERO);
+        assert_eq!(late.saturating_since(early), DurationNs::from_millis(8));
+    }
+
+    #[test]
+    fn duration_fraction() {
+        let part = DurationNs::from_millis(25);
+        let whole = DurationNs::from_millis(100);
+        assert!((part.fraction_of(whole) - 0.25).abs() < 1e-12);
+        assert_eq!(part.fraction_of(DurationNs::ZERO), 0.0);
+    }
+
+    #[test]
+    fn duration_scaling() {
+        let d = DurationNs::from_millis(10);
+        assert_eq!(d * 3, DurationNs::from_millis(30));
+        assert_eq!(d / 2, DurationNs::from_millis(5));
+        assert_eq!(d.mul_f64(1.5), DurationNs::from_millis(15));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_factor_panics() {
+        let _ = DurationNs::from_millis(1).mul_f64(-1.0);
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: DurationNs = (1..=4).map(DurationNs::from_millis).sum();
+        assert_eq!(total, DurationNs::from_millis(10));
+    }
+
+    #[test]
+    fn display_picks_sensible_units() {
+        assert_eq!(DurationNs::from_millis(1705).to_string(), "1.71s");
+        assert_eq!(DurationNs::from_millis(843).to_string(), "843ms");
+        assert_eq!(DurationNs::from_micros(250).to_string(), "250us");
+    }
+
+    #[test]
+    fn thresholds_match_paper() {
+        assert_eq!(DurationNs::PERCEPTIBLE_DEFAULT.as_millis(), 100);
+        assert_eq!(DurationNs::TRACE_FILTER_DEFAULT.as_millis(), 3);
+    }
+
+    #[test]
+    fn min_max() {
+        let a = DurationNs::from_millis(1);
+        let b = DurationNs::from_millis(2);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        let x = TimeNs::from_millis(1);
+        let y = TimeNs::from_millis(2);
+        assert_eq!(x.max(y), y);
+        assert_eq!(x.min(y), x);
+    }
+}

@@ -1,0 +1,279 @@
+//! Figure generators: one function per paper figure, each returning the
+//! SVG plus a plain-text data dump of the same series (the experiment
+//! binaries print the text and save the SVG).
+
+use std::fmt::Write as _;
+
+use lagalyzer_viz::charts::{DotChart, MultiLineChart, StackedBarChart};
+
+use crate::study::Study;
+
+/// A rendered figure: the SVG document and the text form of its data.
+#[derive(Clone, Debug)]
+pub struct Figure {
+    /// Short identifier (e.g. `fig5_perceptible`).
+    pub id: String,
+    /// The SVG document.
+    pub svg: String,
+    /// The same data as text rows.
+    pub text: String,
+}
+
+/// Fig 3 — cumulative distribution of episodes into patterns.
+pub fn fig3(study: &Study) -> Figure {
+    let mut chart = MultiLineChart::new(
+        "Fig 3: Cumulative distribution of episodes into patterns",
+        "Patterns [%]",
+        "Cumulative Episodes Count [%]",
+    );
+    let mut text = String::from("app, pct_patterns -> pct_episodes (quartiles)\n");
+    for app in &study.apps {
+        chart.series(app.aggregate.name.clone(), app.aggregate.coverage_curve.clone());
+        let curve = &app.aggregate.coverage_curve;
+        let at = |f: f64| -> f64 {
+            curve
+                .iter()
+                .filter(|(x, _)| *x <= f + 1e-9)
+                .map(|(_, y)| *y)
+                .next_back()
+                .unwrap_or(0.0)
+        };
+        let _ = writeln!(
+            text,
+            "{:<14} 20%->{:>5.1}%  40%->{:>5.1}%  60%->{:>5.1}%  80%->{:>5.1}%",
+            app.aggregate.name,
+            at(0.2) * 100.0,
+            at(0.4) * 100.0,
+            at(0.6) * 100.0,
+            at(0.8) * 100.0,
+        );
+    }
+    Figure {
+        id: "fig3".into(),
+        svg: chart.render(),
+        text,
+    }
+}
+
+/// Fig 4 — long-latency episodes in patterns (always/sometimes/once/never).
+pub fn fig4(study: &Study) -> Figure {
+    let mut chart = StackedBarChart::new(
+        "Fig 4: Long-latency episodes in patterns",
+        &["always", "sometimes", "once", "never"],
+    );
+    let mut text = String::from("app, always%, sometimes%, once%, never%\n");
+    for app in &study.apps {
+        let fr = app.aggregate.occurrence.fractions();
+        chart.row(app.aggregate.name.clone(), &fr);
+        let _ = writeln!(
+            text,
+            "{:<14} {:>5.1} {:>5.1} {:>5.1} {:>5.1}",
+            app.aggregate.name,
+            fr[0] * 100.0,
+            fr[1] * 100.0,
+            fr[2] * 100.0,
+            fr[3] * 100.0,
+        );
+    }
+    Figure {
+        id: "fig4".into(),
+        svg: chart.render(),
+        text,
+    }
+}
+
+/// Fig 5 — triggers of episodes; `perceptible` selects the lower graph.
+pub fn fig5(study: &Study, perceptible: bool) -> Figure {
+    let (title, id) = if perceptible {
+        ("Fig 5 (lower): Triggers of perceptible episodes", "fig5_perceptible")
+    } else {
+        ("Fig 5 (upper): Triggers of all episodes", "fig5_all")
+    };
+    let mut chart =
+        StackedBarChart::new(title, &["input", "output", "asynchronous", "unspecified"]);
+    let mut text = String::from("app, input%, output%, async%, unspecified%\n");
+    for app in &study.apps {
+        let b = if perceptible {
+            &app.aggregate.trigger_perceptible
+        } else {
+            &app.aggregate.trigger_all
+        };
+        let fr = b.fractions();
+        chart.row(app.aggregate.name.clone(), &fr);
+        let _ = writeln!(
+            text,
+            "{:<14} {:>5.1} {:>5.1} {:>5.1} {:>5.1}",
+            app.aggregate.name,
+            fr[0] * 100.0,
+            fr[1] * 100.0,
+            fr[2] * 100.0,
+            fr[3] * 100.0,
+        );
+    }
+    Figure {
+        id: id.into(),
+        svg: chart.render(),
+        text,
+    }
+}
+
+/// Fig 6 — location of episode time. Returns both stacks: samples
+/// (library vs application) and intervals (GC vs native vs mutator).
+pub fn fig6(study: &Study, perceptible: bool) -> (Figure, Figure) {
+    let scope = if perceptible { "perceptible" } else { "all" };
+    let mut samples_chart = StackedBarChart::new(
+        format!("Fig 6 ({scope}): sampled time by code origin"),
+        &["runtime library", "application"],
+    );
+    let mut intervals_chart = StackedBarChart::new(
+        format!("Fig 6 ({scope}): episode time in GC and native code"),
+        &["gc", "native", "other"],
+    );
+    let mut samples_text = String::from("app, library%, application%\n");
+    let mut intervals_text = String::from("app, gc%, native%\n");
+    for app in &study.apps {
+        let loc = if perceptible {
+            &app.aggregate.location_perceptible
+        } else {
+            &app.aggregate.location_all
+        };
+        samples_chart.row(app.aggregate.name.clone(), &[loc.library, loc.application]);
+        intervals_chart.row(
+            app.aggregate.name.clone(),
+            &[loc.gc, loc.native, (1.0 - loc.gc - loc.native).max(0.0)],
+        );
+        let _ = writeln!(
+            samples_text,
+            "{:<14} {:>5.1} {:>5.1}",
+            app.aggregate.name,
+            loc.library * 100.0,
+            loc.application * 100.0,
+        );
+        let _ = writeln!(
+            intervals_text,
+            "{:<14} {:>5.1} {:>5.1}",
+            app.aggregate.name,
+            loc.gc * 100.0,
+            loc.native * 100.0,
+        );
+    }
+    (
+        Figure {
+            id: format!("fig6_{scope}_samples"),
+            svg: samples_chart.render(),
+            text: samples_text,
+        },
+        Figure {
+            id: format!("fig6_{scope}_intervals"),
+            svg: intervals_chart.render(),
+            text: intervals_text,
+        },
+    )
+}
+
+/// Fig 7 — average number of runnable threads per application.
+pub fn fig7(study: &Study, perceptible: bool) -> Figure {
+    let scope = if perceptible { "perceptible" } else { "all" };
+    let mut chart = DotChart::new(
+        format!("Fig 7 ({scope}): concurrency (average # of runnable threads)"),
+        "runnable threads".to_owned(),
+        2.0,
+    );
+    chart.reference(1.0);
+    let mut text = String::from("app, avg runnable threads\n");
+    for app in &study.apps {
+        let v = if perceptible {
+            app.aggregate.concurrency.perceptible
+        } else {
+            app.aggregate.concurrency.all
+        };
+        chart.row(app.aggregate.name.clone(), v);
+        let _ = writeln!(text, "{:<14} {:>5.2}", app.aggregate.name, v);
+    }
+    Figure {
+        id: format!("fig7_{scope}"),
+        svg: chart.render(),
+        text,
+    }
+}
+
+/// Fig 8 — synchronization and sleep during episodes (x-axis zoomed to
+/// 60% like the paper).
+pub fn fig8(study: &Study, perceptible: bool) -> Figure {
+    let scope = if perceptible { "perceptible" } else { "all" };
+    let mut chart = StackedBarChart::new(
+        format!("Fig 8 ({scope}): GUI-thread states (blocked/wait/sleep)"),
+        &["blocked", "wait", "sleeping"],
+    );
+    chart.x_max(0.6);
+    let mut text = String::from("app, blocked%, wait%, sleeping%\n");
+    for app in &study.apps {
+        let c = if perceptible {
+            &app.aggregate.causes_perceptible
+        } else {
+            &app.aggregate.causes_all
+        };
+        chart.row(app.aggregate.name.clone(), &[c.blocked, c.waiting, c.sleeping]);
+        let _ = writeln!(
+            text,
+            "{:<14} {:>5.1} {:>5.1} {:>5.1}",
+            app.aggregate.name,
+            c.blocked * 100.0,
+            c.waiting * 100.0,
+            c.sleeping * 100.0,
+        );
+    }
+    Figure {
+        id: format!("fig8_{scope}"),
+        svg: chart.render(),
+        text,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::study::Study;
+    use lagalyzer_sim::apps;
+
+    fn mini_study() -> Study {
+        Study::run(&[apps::crossword_sage(), apps::jfree_chart()], 1, 3)
+    }
+
+    #[test]
+    fn all_figures_render() {
+        let study = mini_study();
+        let figs = vec![
+            fig3(&study),
+            fig4(&study),
+            fig5(&study, true),
+            fig5(&study, false),
+            fig6(&study, true).0,
+            fig6(&study, true).1,
+            fig6(&study, false).0,
+            fig7(&study, true),
+            fig7(&study, false),
+            fig8(&study, true),
+            fig8(&study, false),
+        ];
+        for f in figs {
+            assert!(f.svg.starts_with("<svg"), "{}", f.id);
+            assert!(f.text.contains("CrosswordSage"), "{}", f.id);
+            assert!(!f.id.is_empty());
+        }
+    }
+
+    #[test]
+    fn fig3_text_reports_quartiles() {
+        let study = mini_study();
+        let f = fig3(&study);
+        assert!(f.text.contains("20%->"));
+        assert!(f.text.contains("80%->"));
+    }
+
+    #[test]
+    fn fig5_scopes_have_distinct_ids() {
+        let study = mini_study();
+        assert_ne!(fig5(&study, true).id, fig5(&study, false).id);
+    }
+}

@@ -1,0 +1,100 @@
+//! Self-contained HTML study report.
+//!
+//! The original LagAlyzer is an interactive Swing tool; the closest
+//! offline equivalent is a single HTML page embedding every figure
+//! (inline SVG keeps it dependency- and network-free) plus the statistics
+//! table — something a team can attach to a bug report or archive with a
+//! CI run.
+
+use std::fmt::Write as _;
+
+use crate::figures::{self, Figure};
+use crate::study::Study;
+use crate::table3;
+
+/// Renders the full study as one self-contained HTML document.
+pub fn render(study: &Study) -> String {
+    let mut figs: Vec<Figure> = vec![
+        figures::fig3(study),
+        figures::fig4(study),
+        figures::fig5(study, false),
+        figures::fig5(study, true),
+    ];
+    for scope in [false, true] {
+        let (samples, intervals) = figures::fig6(study, scope);
+        figs.push(samples);
+        figs.push(intervals);
+    }
+    figs.push(figures::fig7(study, false));
+    figs.push(figures::fig7(study, true));
+    figs.push(figures::fig8(study, false));
+    figs.push(figures::fig8(study, true));
+
+    let mut out = String::new();
+    out.push_str(
+        "<!DOCTYPE html>\n<html lang=\"en\"><head><meta charset=\"utf-8\">\
+         <title>LagAlyzer study report</title>\
+         <style>\
+         body{font-family:sans-serif;max-width:1000px;margin:2em auto;color:#222}\
+         pre{background:#f6f6f6;padding:1em;overflow-x:auto;font-size:12px}\
+         figure{margin:2em 0}figcaption{font-size:13px;color:#555;margin-top:4px}\
+         h1,h2{border-bottom:1px solid #ddd;padding-bottom:4px}\
+         </style></head><body>\n",
+    );
+    let _ = write!(
+        out,
+        "<h1>LagAlyzer study report</h1>\
+         <p>{} applications &times; {} sessions. Perceptibility threshold 100&nbsp;ms; \
+         tracer filter 3&nbsp;ms.</p>",
+        study.apps.len(),
+        study.sessions_per_app
+    );
+    out.push_str("<h2>Overall statistics (Table III)</h2>\n<pre>");
+    out.push_str(&escape_html(&table3::render(study)));
+    out.push_str("</pre>\n");
+    for fig in &figs {
+        let _ = writeln!(
+            out,
+            "<figure id=\"{id}\">{svg}<figcaption>{id}</figcaption></figure>",
+            id = fig.id,
+            svg = fig.svg
+        );
+    }
+    out.push_str("</body></html>\n");
+    out
+}
+
+fn escape_html(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lagalyzer_sim::apps;
+
+    #[test]
+    fn report_is_self_contained_html() {
+        let study = Study::run(&[apps::crossword_sage()], 1, 3);
+        let html = render(&study);
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.ends_with("</html>\n"));
+        assert!(html.contains("CrosswordSage"));
+        // All 12 figures embedded as inline SVG.
+        assert_eq!(html.matches("<figure").count(), 12);
+        assert_eq!(html.matches("<svg").count(), 12);
+        // No external resources are fetched (the SVG xmlns URI is just a
+        // namespace identifier, not a reference).
+        assert!(!html.contains("<img"));
+        assert!(!html.contains("<script"));
+        assert!(!html.contains("<link"));
+    }
+
+    #[test]
+    fn table_is_escaped() {
+        let study = Study::run(&[apps::crossword_sage()], 1, 3);
+        let html = render(&study);
+        // The table's ">= 3ms" column header must be escaped inside <pre>.
+        assert!(html.contains("&gt;= 3ms"));
+    }
+}

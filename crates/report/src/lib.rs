@@ -1,0 +1,32 @@
+//! Experiment drivers: regenerating the paper's tables and figures.
+//!
+//! This crate ties the pipeline together: simulate the 14-application
+//! suite ([`study`]), aggregate per-application results, render text
+//! tables ([`table`], [`table3`]) and SVG figures ([`figures`]), bundle
+//! everything into a self-contained [`html`] report, and compare measured
+//! values against the paper's published numbers ([`paper`], [`compare`]).
+//!
+//! # Example
+//!
+//! ```
+//! use lagalyzer_report::study::Study;
+//! use lagalyzer_sim::apps;
+//!
+//! // A two-app mini-study (the full 14-app study runs in the binaries).
+//! let study = Study::run(&[apps::crossword_sage(), apps::jedit()], 1, 7);
+//! assert_eq!(study.apps.len(), 2);
+//! let table = lagalyzer_report::table3::render(&study);
+//! assert!(table.contains("CrosswordSage"));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod compare;
+pub mod figures;
+pub mod html;
+pub mod paper;
+pub mod study;
+pub mod table;
+pub mod table3;
+
+pub use study::{AppResult, Study};

@@ -1,0 +1,206 @@
+//! Running the characterization study: simulate, analyze, aggregate.
+
+use lagalyzer_core::aggregate::{
+    mean_causes, mean_concurrency, mean_coverage_curves, mean_locations, sum_occurrences,
+    sum_triggers, AppAggregate, AveragedStats,
+};
+use lagalyzer_core::causes::CauseStats;
+use lagalyzer_core::concurrency::concurrency_stats;
+use lagalyzer_core::location::LocationStats;
+use lagalyzer_core::occurrence::OccurrenceBreakdown;
+use lagalyzer_core::session::{AnalysisConfig, AnalysisSession};
+use lagalyzer_core::stats::SessionStats;
+use lagalyzer_core::trigger::TriggerBreakdown;
+use lagalyzer_model::OriginClassifier;
+use lagalyzer_sim::profile::AppProfile;
+use lagalyzer_sim::runner::simulate_session;
+
+/// Analysis results for one application.
+#[derive(Clone, Debug)]
+pub struct AppResult {
+    /// The profile the sessions came from.
+    pub profile: AppProfile,
+    /// Averaged/summed analysis results.
+    pub aggregate: AppAggregate,
+}
+
+/// The complete characterization study.
+#[derive(Clone, Debug)]
+pub struct Study {
+    /// Per-application results in suite order.
+    pub apps: Vec<AppResult>,
+    /// Sessions simulated per application.
+    pub sessions_per_app: u32,
+}
+
+impl Study {
+    /// Simulates `sessions_per_app` sessions for every profile, runs all
+    /// analyses, and aggregates per application (the paper uses four
+    /// sessions per application).
+    pub fn run(profiles: &[AppProfile], sessions_per_app: u32, seed: u64) -> Study {
+        let classifier = OriginClassifier::java_default();
+        let apps = profiles
+            .iter()
+            .map(|profile| {
+                let sessions: Vec<AnalysisSession> = (0..sessions_per_app)
+                    .map(|i| {
+                        AnalysisSession::new(
+                            simulate_session(profile, i, seed),
+                            AnalysisConfig::default(),
+                        )
+                    })
+                    .collect();
+                AppResult {
+                    profile: profile.clone(),
+                    aggregate: aggregate_sessions(&profile.name, &sessions, &classifier),
+                }
+            })
+            .collect();
+        Study {
+            apps,
+            sessions_per_app,
+        }
+    }
+
+    /// The across-application mean of the averaged Table III rows (the
+    /// paper's "Mean" row).
+    pub fn mean_stats(&self) -> AveragedStats {
+        let rows: Vec<AveragedStats> = self.apps.iter().map(|a| a.aggregate.stats).collect();
+        mean_averaged(&rows)
+    }
+}
+
+/// Aggregates per-session analysis outputs for one application.
+pub fn aggregate_sessions(
+    name: &str,
+    sessions: &[AnalysisSession],
+    classifier: &OriginClassifier,
+) -> AppAggregate {
+    let rows: Vec<SessionStats> = sessions.iter().map(SessionStats::compute).collect();
+    let pattern_sets: Vec<_> = sessions.iter().map(|s| s.mine_patterns()).collect();
+    AppAggregate {
+        name: name.to_owned(),
+        sessions: sessions.len(),
+        stats: AveragedStats::over(&rows),
+        trigger_all: sum_triggers(
+            &sessions
+                .iter()
+                .map(TriggerBreakdown::of_all)
+                .collect::<Vec<_>>(),
+        ),
+        trigger_perceptible: sum_triggers(
+            &sessions
+                .iter()
+                .map(TriggerBreakdown::of_perceptible)
+                .collect::<Vec<_>>(),
+        ),
+        occurrence: sum_occurrences(
+            &pattern_sets
+                .iter()
+                .map(OccurrenceBreakdown::of)
+                .collect::<Vec<_>>(),
+        ),
+        location_all: mean_locations(
+            &sessions
+                .iter()
+                .map(|s| LocationStats::of_all(s, classifier))
+                .collect::<Vec<_>>(),
+        ),
+        location_perceptible: mean_locations(
+            &sessions
+                .iter()
+                .map(|s| LocationStats::of_perceptible(s, classifier))
+                .collect::<Vec<_>>(),
+        ),
+        causes_all: mean_causes(
+            &sessions
+                .iter()
+                .map(CauseStats::of_all)
+                .collect::<Vec<_>>(),
+        ),
+        causes_perceptible: mean_causes(
+            &sessions
+                .iter()
+                .map(CauseStats::of_perceptible)
+                .collect::<Vec<_>>(),
+        ),
+        concurrency: mean_concurrency(
+            &sessions.iter().map(concurrency_stats).collect::<Vec<_>>(),
+        ),
+        coverage_curve: mean_coverage_curves(
+            &pattern_sets
+                .iter()
+                .map(|p| p.cumulative_coverage())
+                .collect::<Vec<_>>(),
+        ),
+    }
+}
+
+/// Averages averaged rows once more (for the "Mean" row of Table III).
+fn mean_averaged(rows: &[AveragedStats]) -> AveragedStats {
+    let n = rows.len().max(1) as f64;
+    let mut out = AveragedStats::default();
+    for r in rows {
+        out.e2e_secs += r.e2e_secs;
+        out.in_episode_fraction += r.in_episode_fraction;
+        out.short_count += r.short_count;
+        out.traced_count += r.traced_count;
+        out.perceptible_count += r.perceptible_count;
+        out.long_per_minute += r.long_per_minute;
+        out.distinct_patterns += r.distinct_patterns;
+        out.episodes_in_patterns += r.episodes_in_patterns;
+        out.singleton_fraction += r.singleton_fraction;
+        out.mean_tree_size += r.mean_tree_size;
+        out.mean_tree_depth += r.mean_tree_depth;
+    }
+    out.e2e_secs /= n;
+    out.in_episode_fraction /= n;
+    out.short_count /= n;
+    out.traced_count /= n;
+    out.perceptible_count /= n;
+    out.long_per_minute /= n;
+    out.distinct_patterns /= n;
+    out.episodes_in_patterns /= n;
+    out.singleton_fraction /= n;
+    out.mean_tree_size /= n;
+    out.mean_tree_depth /= n;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lagalyzer_sim::apps;
+
+    #[test]
+    fn study_runs_and_aggregates() {
+        let study = Study::run(&[apps::crossword_sage()], 2, 5);
+        assert_eq!(study.apps.len(), 1);
+        let app = &study.apps[0];
+        assert_eq!(app.aggregate.sessions, 2);
+        assert!(app.aggregate.stats.traced_count > 500.0);
+        assert!(app.aggregate.trigger_all.total() > 0);
+        assert!(app.aggregate.occurrence.total() > 0);
+        assert!(!app.aggregate.coverage_curve.is_empty());
+    }
+
+    #[test]
+    fn mean_stats_average_across_apps() {
+        let study = Study::run(&[apps::crossword_sage(), apps::jedit()], 1, 5);
+        let mean = study.mean_stats();
+        let a = study.apps[0].aggregate.stats.traced_count;
+        let b = study.apps[1].aggregate.stats.traced_count;
+        assert!((mean.traced_count - (a + b) / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn study_is_deterministic() {
+        let a = Study::run(&[apps::jfree_chart()], 1, 9);
+        let b = Study::run(&[apps::jfree_chart()], 1, 9);
+        assert_eq!(
+            a.apps[0].aggregate.stats.perceptible_count,
+            b.apps[0].aggregate.stats.perceptible_count
+        );
+        assert_eq!(a.apps[0].aggregate.trigger_perceptible, b.apps[0].aggregate.trigger_perceptible);
+    }
+}

@@ -1,0 +1,132 @@
+//! Plain-text table formatting.
+
+/// Column alignment.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Align {
+    /// Left-aligned (labels).
+    Left,
+    /// Right-aligned (numbers).
+    Right,
+}
+
+/// A simple monospace table builder.
+#[derive(Clone, Debug)]
+pub struct TextTable {
+    headers: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with `(header, alignment)` column specs.
+    pub fn new(columns: &[(&str, Align)]) -> Self {
+        TextTable {
+            headers: columns.iter().map(|(h, _)| (*h).to_owned()).collect(),
+            aligns: columns.iter().map(|(_, a)| *a).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arity does not match the column count.
+    pub fn row<S: AsRef<str>>(&mut self, cells: &[S]) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows
+            .push(cells.iter().map(|c| c.as_ref().to_owned()).collect());
+        self
+    }
+
+    /// Appends a horizontal separator row.
+    pub fn separator(&mut self) -> &mut Self {
+        self.rows.push(Vec::new()); // empty row marks a separator
+        self
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let n = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], out: &mut String| {
+            for (i, (align, width)) in self.aligns.iter().zip(&widths).enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                match align {
+                    Align::Left => out.push_str(&format!("{cell:<width$}")),
+                    Align::Right => out.push_str(&format!("{cell:>width$}")),
+                }
+            }
+            // Trim trailing spaces for clean diffs.
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        fmt_row(&self.headers, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (n - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            if row.is_empty() {
+                out.push_str(&"-".repeat(total));
+                out.push('\n');
+            } else {
+                fmt_row(row, &mut out);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(&[("name", Align::Left), ("value", Align::Right)]);
+        t.row(&["a", "1"]);
+        t.row(&["longer", "12345"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "name    value");
+        assert_eq!(lines[2], "a           1");
+        assert_eq!(lines[3], "longer  12345");
+    }
+
+    #[test]
+    fn separator_renders_dashes() {
+        let mut t = TextTable::new(&[("a", Align::Left)]);
+        t.row(&["x"]);
+        t.separator();
+        t.row(&["y"]);
+        let s = t.render();
+        assert_eq!(s.lines().filter(|l| l.starts_with('-')).count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut t = TextTable::new(&[("a", Align::Left), ("b", Align::Left)]);
+        t.row(&["only one"]);
+    }
+
+    #[test]
+    fn no_trailing_whitespace() {
+        let mut t = TextTable::new(&[("a", Align::Left), ("b", Align::Left)]);
+        t.row(&["x", "y"]);
+        for line in t.render().lines() {
+            assert_eq!(line, line.trim_end());
+        }
+    }
+}

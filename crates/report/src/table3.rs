@@ -1,0 +1,75 @@
+//! Rendering the paper's Table III (overall statistics).
+
+use crate::study::Study;
+use crate::table::{Align, TextTable};
+use lagalyzer_core::aggregate::AveragedStats;
+
+/// Renders Table III with one row per application plus the mean row, in
+/// the paper's column order.
+pub fn render(study: &Study) -> String {
+    let mut t = TextTable::new(&[
+        ("Benchmarks", Align::Left),
+        ("E2E [s]", Align::Right),
+        ("In-Eps [%]", Align::Right),
+        ("< 3ms", Align::Right),
+        (">= 3ms", Align::Right),
+        (">= 100ms", Align::Right),
+        ("Long/min", Align::Right),
+        ("Dist", Align::Right),
+        ("#Eps", Align::Right),
+        ("One-Ep [%]", Align::Right),
+        ("Descs", Align::Right),
+        ("Depth", Align::Right),
+    ]);
+    for app in &study.apps {
+        t.row(&row_cells(&app.aggregate.name, &app.aggregate.stats));
+    }
+    t.separator();
+    t.row(&row_cells("Mean", &study.mean_stats()));
+    t.render()
+}
+
+fn row_cells(name: &str, s: &AveragedStats) -> Vec<String> {
+    vec![
+        name.to_owned(),
+        format!("{:.0}", s.e2e_secs),
+        format!("{:.0}", s.in_episode_fraction * 100.0),
+        format!("{:.0}", s.short_count),
+        format!("{:.0}", s.traced_count),
+        format!("{:.0}", s.perceptible_count),
+        format!("{:.0}", s.long_per_minute),
+        format!("{:.0}", s.distinct_patterns),
+        format!("{:.0}", s.episodes_in_patterns),
+        format!("{:.0}", s.singleton_fraction * 100.0),
+        format!("{:.0}", s.mean_tree_size),
+        format!("{:.0}", s.mean_tree_depth),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lagalyzer_sim::apps;
+
+    #[test]
+    fn table_has_app_and_mean_rows() {
+        let study = Study::run(&[apps::crossword_sage()], 1, 3);
+        let table = render(&study);
+        assert!(table.contains("CrosswordSage"));
+        assert!(table.contains("Mean"));
+        assert!(table.contains("E2E"));
+        assert!(table.contains(">= 100ms"));
+        // Header + separator + 1 app + separator + mean.
+        assert_eq!(table.lines().count(), 5);
+    }
+
+    #[test]
+    fn numbers_are_rounded_like_the_paper() {
+        let study = Study::run(&[apps::crossword_sage()], 1, 3);
+        let table = render(&study);
+        // No decimal points in data rows (the paper prints integers).
+        for line in table.lines().skip(2) {
+            assert!(!line.contains('.'), "unexpected decimals in {line}");
+        }
+    }
+}

@@ -1,0 +1,376 @@
+//! Heap and garbage-collection model.
+//!
+//! A generational stop-the-world collector, matching the paper's platform
+//! (HotSpot 1.6 in server mode with a stop-the-world collector): mutator
+//! threads allocate into a young generation; when it fills, a minor
+//! collection runs; surviving data is promoted, and when the old generation
+//! fills, a major collection runs. `System.gc()` forces a major collection
+//! immediately. Collections are bracketed JVMTI-style — the simulator's
+//! sampler is suppressed inside the brackets, reproducing the sampling gap
+//! visible in the paper's Fig 1.
+
+use lagalyzer_model::{DurationNs, GcEvent, TimeNs};
+
+use crate::rng::SimRng;
+
+/// Configuration of the [`GcModel`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GcConfig {
+    /// Young-generation capacity in bytes.
+    pub young_capacity: u64,
+    /// Old-generation capacity in bytes.
+    pub old_capacity: u64,
+    /// Fraction of young bytes surviving a minor collection.
+    pub survival_rate: f64,
+    /// Median pause of a minor collection.
+    pub minor_pause: DurationNs,
+    /// Median pause of a major collection.
+    pub major_pause: DurationNs,
+}
+
+impl GcConfig {
+    /// A configuration resembling the paper's 2 GB MacBook Pro: a small
+    /// young generation so interactive allocation rates trigger regular
+    /// minor collections.
+    pub fn macbook_2009() -> Self {
+        GcConfig {
+            young_capacity: 16 << 20,
+            old_capacity: 256 << 20,
+            survival_rate: 0.08,
+            minor_pause: DurationNs::from_millis(22),
+            major_pause: DurationNs::from_millis(420),
+        }
+    }
+
+    /// Derives the GUI-thread allocation rate (bytes/sec of *episode* time)
+    /// that makes minor collections consume roughly `gc_fraction` of
+    /// episode time. Inverting the steady-state: one minor pause `P` per
+    /// `young/rate` seconds of mutation gives fraction `P/(P + young/rate)`.
+    pub fn alloc_rate_for_gc_fraction(&self, gc_fraction: f64) -> u64 {
+        if gc_fraction <= 0.0 {
+            return 0;
+        }
+        let f = gc_fraction.min(0.9);
+        let pause_s = self.minor_pause.as_secs_f64();
+        // mutation seconds between collections
+        let period_s = pause_s * (1.0 - f) / f;
+        (self.young_capacity as f64 / period_s) as u64
+    }
+}
+
+/// Mutable heap state advancing with simulated allocation.
+#[derive(Clone, Debug)]
+pub struct GcModel {
+    config: GcConfig,
+    young_used: u64,
+    old_used: u64,
+    events: Vec<GcEvent>,
+}
+
+/// The collection the heap demands after an allocation, if any.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GcDemand {
+    /// No collection needed.
+    None,
+    /// A minor collection is due.
+    Minor,
+    /// A major collection is due.
+    Major,
+}
+
+impl GcModel {
+    /// Creates a heap with empty generations.
+    pub fn new(config: GcConfig) -> Self {
+        GcModel {
+            config,
+            young_used: 0,
+            old_used: 0,
+            events: Vec::new(),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &GcConfig {
+        &self.config
+    }
+
+    /// Records `bytes` of allocation and reports whether a collection is
+    /// now due. The caller decides *when* to run it (collections happen at
+    /// safe points).
+    pub fn allocate(&mut self, bytes: u64) -> GcDemand {
+        self.young_used += bytes;
+        if self.old_used >= self.config.old_capacity {
+            GcDemand::Major
+        } else if self.young_used >= self.config.young_capacity {
+            GcDemand::Minor
+        } else {
+            GcDemand::None
+        }
+    }
+
+    /// Runs a minor collection starting at `at`, returning the recorded
+    /// event. Survivors are promoted to the old generation.
+    pub fn run_minor(&mut self, at: TimeNs, rng: &mut SimRng) -> GcEvent {
+        self.run_minor_within(at, TimeNs::MAX, rng)
+            .expect("unbounded window always has room")
+    }
+
+    /// Runs a minor collection starting at `at`, clamping its pause so the
+    /// event ends by `max_end` (collections happen at safe points inside a
+    /// known enclosing interval). Returns `None` if the window cannot hold
+    /// even a minimal 1 ms pause; the heap then stays full and the caller
+    /// retries at the next safe point.
+    pub fn run_minor_within(
+        &mut self,
+        at: TimeNs,
+        max_end: TimeNs,
+        rng: &mut SimRng,
+    ) -> Option<GcEvent> {
+        let pause = DurationNs::from_nanos(
+            rng.log_normal(self.config.minor_pause.as_nanos() as f64, 0.3) as u64,
+        )
+        .max(DurationNs::from_millis(1));
+        let end = (at + pause).min(max_end);
+        if end <= at || end - at < DurationNs::from_millis(1) {
+            return None;
+        }
+        let survivors = (self.young_used as f64 * self.config.survival_rate) as u64;
+        self.old_used += survivors;
+        self.young_used = 0;
+        let event = GcEvent {
+            start: at,
+            end,
+            major: false,
+        };
+        self.events.push(event);
+        Some(event)
+    }
+
+    /// Runs a major collection starting at `at` (also used for explicit
+    /// `System.gc()` calls), returning the recorded event.
+    pub fn run_major(&mut self, at: TimeNs, rng: &mut SimRng) -> GcEvent {
+        self.run_major_within(at, TimeNs::MAX, rng)
+            .expect("unbounded window always has room")
+    }
+
+    /// Runs a major collection starting at `at`, clamped to end by
+    /// `max_end`. Returns `None` if the window cannot hold a 1 ms pause.
+    pub fn run_major_within(
+        &mut self,
+        at: TimeNs,
+        max_end: TimeNs,
+        rng: &mut SimRng,
+    ) -> Option<GcEvent> {
+        let pause = DurationNs::from_nanos(
+            rng.log_normal(self.config.major_pause.as_nanos() as f64, 0.25) as u64,
+        )
+        .max(DurationNs::from_millis(50));
+        let end = (at + pause).min(max_end);
+        if end <= at || end - at < DurationNs::from_millis(1) {
+            return None;
+        }
+        self.young_used = 0;
+        self.old_used = (self.old_used as f64 * 0.25) as u64;
+        let event = GcEvent {
+            start: at,
+            end,
+            major: true,
+        };
+        self.events.push(event);
+        Some(event)
+    }
+
+    /// Records an explicit `System.gc()` collection occupying exactly
+    /// `[start, end)` — the script, not the heap, chose the window.
+    pub fn record_explicit_major(&mut self, start: TimeNs, end: TimeNs) -> GcEvent {
+        self.young_used = 0;
+        self.old_used = (self.old_used as f64 * 0.25) as u64;
+        let event = GcEvent {
+            start,
+            end,
+            major: true,
+        };
+        self.events.push(event);
+        event
+    }
+
+    /// All collections recorded so far, in execution order.
+    pub fn events(&self) -> &[GcEvent] {
+        &self.events
+    }
+
+    /// Consumes the model, yielding its event log.
+    pub fn into_events(self) -> Vec<GcEvent> {
+        self.events
+    }
+
+    /// Current young-generation occupancy in bytes (for tests).
+    pub fn young_used(&self) -> u64 {
+        self.young_used
+    }
+
+    /// Current old-generation occupancy in bytes (for tests).
+    pub fn old_used(&self) -> u64 {
+        self.old_used
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> GcModel {
+        GcModel::new(GcConfig::macbook_2009())
+    }
+
+    #[test]
+    fn allocation_below_capacity_demands_nothing() {
+        let mut m = model();
+        assert_eq!(m.allocate(1024), GcDemand::None);
+        assert_eq!(m.young_used(), 1024);
+    }
+
+    #[test]
+    fn filling_young_demands_minor() {
+        let mut m = model();
+        let cap = m.config().young_capacity;
+        assert_eq!(m.allocate(cap), GcDemand::Minor);
+    }
+
+    #[test]
+    fn minor_collection_promotes_and_empties_young() {
+        let mut m = model();
+        let cap = m.config().young_capacity;
+        m.allocate(cap);
+        let mut rng = SimRng::new(0);
+        let event = m.run_minor(TimeNs::from_millis(100), &mut rng);
+        assert!(!event.major);
+        assert_eq!(m.young_used(), 0);
+        let expected = (cap as f64 * m.config().survival_rate) as u64;
+        assert_eq!(m.old_used(), expected);
+        assert!(event.duration() >= DurationNs::from_millis(1));
+    }
+
+    #[test]
+    fn old_gen_pressure_demands_major() {
+        let mut m = model();
+        let mut rng = SimRng::new(0);
+        let young = m.config().young_capacity;
+        let mut guard = 0;
+        loop {
+            match m.allocate(young) {
+                GcDemand::Major => break,
+                _ => {
+                    m.run_minor(TimeNs::from_millis(guard), &mut rng);
+                }
+            }
+            guard += 1;
+            assert!(guard < 100_000, "old generation never filled");
+        }
+        let before = m.old_used();
+        m.run_major(TimeNs::from_secs(10), &mut rng);
+        assert!(m.old_used() < before);
+        assert_eq!(m.young_used(), 0);
+    }
+
+    #[test]
+    fn events_are_recorded_in_order() {
+        let mut m = model();
+        let mut rng = SimRng::new(1);
+        m.run_minor(TimeNs::from_millis(10), &mut rng);
+        m.run_major(TimeNs::from_millis(500), &mut rng);
+        let events = m.events();
+        assert_eq!(events.len(), 2);
+        assert!(!events[0].major);
+        assert!(events[1].major);
+        assert!(events[0].end <= events[1].start);
+        assert_eq!(m.into_events().len(), 2);
+    }
+
+    #[test]
+    fn major_pause_exceeds_minor_typically() {
+        let mut m = model();
+        let mut rng = SimRng::new(2);
+        let minor = m.run_minor(TimeNs::ZERO, &mut rng).duration();
+        let major = m
+            .run_major(TimeNs::from_secs(1), &mut rng)
+            .duration();
+        assert!(major > minor, "major {major} vs minor {minor}");
+    }
+
+    #[test]
+    fn alloc_rate_inversion_is_consistent() {
+        let cfg = GcConfig::macbook_2009();
+        // Target 20% GC time: simulate the steady state and verify the
+        // fraction comes out near the target.
+        let target = 0.20;
+        let rate = cfg.alloc_rate_for_gc_fraction(target);
+        let pause = cfg.minor_pause.as_secs_f64();
+        let period = cfg.young_capacity as f64 / rate as f64;
+        let achieved = pause / (pause + period);
+        assert!((achieved - target).abs() < 0.02, "achieved {achieved}");
+    }
+
+    #[test]
+    fn zero_gc_fraction_means_no_allocation() {
+        assert_eq!(GcConfig::macbook_2009().alloc_rate_for_gc_fraction(0.0), 0);
+    }
+}
+
+#[cfg(test)]
+mod clamp_tests {
+    use super::*;
+
+    #[test]
+    fn minor_within_clamps_to_window() {
+        let mut m = GcModel::new(GcConfig::macbook_2009());
+        m.allocate(m.config().young_capacity);
+        let mut rng = SimRng::new(3);
+        let at = TimeNs::from_millis(100);
+        let max_end = TimeNs::from_millis(103);
+        let event = m.run_minor_within(at, max_end, &mut rng).unwrap();
+        assert!(event.end <= max_end);
+        assert!(event.duration() >= DurationNs::from_millis(1));
+        assert_eq!(m.young_used(), 0, "collection ran");
+    }
+
+    #[test]
+    fn minor_within_defers_when_no_room() {
+        let mut m = GcModel::new(GcConfig::macbook_2009());
+        m.allocate(m.config().young_capacity);
+        let before = m.young_used();
+        let mut rng = SimRng::new(3);
+        let at = TimeNs::from_millis(100);
+        // Less than the 1 ms minimum pause of room.
+        let result = m.run_minor_within(at, at + DurationNs::from_micros(500), &mut rng);
+        assert!(result.is_none());
+        assert_eq!(m.young_used(), before, "heap untouched when deferred");
+        assert!(m.events().is_empty());
+    }
+
+    #[test]
+    fn major_within_clamps_and_defers() {
+        let mut m = GcModel::new(GcConfig::macbook_2009());
+        let mut rng = SimRng::new(5);
+        let at = TimeNs::from_millis(10);
+        let clamped = m
+            .run_major_within(at, at + DurationNs::from_millis(5), &mut rng)
+            .unwrap();
+        assert!(clamped.duration() <= DurationNs::from_millis(5));
+        assert!(clamped.major);
+        let deferred = m.run_major_within(at, at, &mut rng);
+        assert!(deferred.is_none());
+    }
+
+    #[test]
+    fn explicit_major_uses_exact_window() {
+        let mut m = GcModel::new(GcConfig::macbook_2009());
+        m.allocate(12345);
+        let event =
+            m.record_explicit_major(TimeNs::from_millis(5), TimeNs::from_millis(605));
+        assert!(event.major);
+        assert_eq!(event.duration(), DurationNs::from_millis(600));
+        assert_eq!(m.young_used(), 0);
+        assert_eq!(m.events().len(), 1);
+    }
+}

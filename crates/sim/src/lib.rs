@@ -1,0 +1,58 @@
+//! Discrete-event simulator of interactive Java application sessions.
+//!
+//! The LagAlyzer paper characterizes 14 real Swing applications driven by
+//! hand for ~8 minutes each on 2009 hardware. Neither the applications, the
+//! LiLa profiler, nor the human operators are available here, so this crate
+//! stands in for all three: it synthesizes session traces whose statistical
+//! structure matches the paper's per-application measurements, and it feeds
+//! them through the same tracer-side filter and trace format a real LiLa
+//! deployment would.
+//!
+//! The simulator is honest about what it models:
+//!
+//! * a **virtual clock** in nanoseconds; no wall-clock time is involved;
+//! * an **episode template library** per application ([`template`]),
+//!   mirroring how real GUI programs re-execute the same handler trees over
+//!   and over (which is precisely the redundancy LagAlyzer's pattern mining
+//!   exploits);
+//! * a **heap/GC model** ([`gc`]) with allocation-driven minor collections
+//!   and explicit `System.gc()`-style major collections, stop-the-world
+//!   with JVMTI-style bracketing (sampling suppressed);
+//! * a **stack sampler** ([`exec`]) at a fixed cadence, recording per-thread
+//!   states (runnable / blocked / waiting / sleeping) and stacks;
+//! * **background threads** that compete with the GUI thread and post
+//!   asynchronous events;
+//! * the paper's quirks: the Swing repaint-manager's `async(paint)`
+//!   episodes, and Apple's combo-box blink animation that parks the GUI
+//!   thread in `Thread.sleep` inside `com.apple.laf` code.
+//!
+//! The 14 calibrated application profiles live in [`apps`]; scripted
+//! single-episode scenarios reproducing the paper's Fig 1 and Fig 2
+//! sketches live in [`scenarios`].
+//!
+//! # Example
+//!
+//! ```
+//! use lagalyzer_sim::{apps, runner};
+//!
+//! let profile = apps::crossword_sage();
+//! let trace = runner::simulate_session(&profile, 0, 42);
+//! assert_eq!(trace.meta().application, "CrosswordSage");
+//! assert!(!trace.episodes().is_empty());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod apps;
+pub mod exec;
+pub mod gc;
+pub mod names;
+pub mod profile;
+pub mod rng;
+pub mod runner;
+pub mod scenarios;
+pub mod template;
+
+pub use apps::standard_suite;
+pub use profile::AppProfile;
+pub use runner::{simulate_session, simulate_suite, SimulatedApp};

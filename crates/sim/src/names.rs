@@ -1,0 +1,226 @@
+//! Synthetic symbol names.
+//!
+//! Generated traces need believable class and method names: the location
+//! analysis (Fig 6) classifies samples by class-name prefix, and pattern
+//! signatures include symbolic information. This module provides pools of
+//! runtime-library names (JDK, Swing, Java2D, Apple toolkit) and generates
+//! per-application class names under the application's root package.
+
+use lagalyzer_model::{MethodRef, SymbolTable};
+
+use crate::rng::SimRng;
+
+/// Swing component classes used for paint chains.
+pub const SWING_PAINT_CLASSES: &[&str] = &[
+    "javax.swing.JFrame",
+    "javax.swing.JRootPane",
+    "javax.swing.JLayeredPane",
+    "javax.swing.JPanel",
+    "javax.swing.JToolBar",
+    "javax.swing.JComponent",
+    "javax.swing.JScrollPane",
+    "javax.swing.JViewport",
+    "javax.swing.JTree",
+    "javax.swing.JTable",
+    "javax.swing.JSplitPane",
+    "javax.swing.JTabbedPane",
+];
+
+/// Native (JNI) entry points in the Java2D pipeline.
+pub const NATIVE_CLASSES: &[&str] = &[
+    "sun.java2d.loops.DrawLine",
+    "sun.java2d.loops.Blit",
+    "sun.java2d.loops.FillRect",
+    "sun.java2d.loops.DrawGlyphList",
+    "sun.awt.image.ImageRepresentation",
+    "sun.font.StrikeCache",
+];
+
+/// Runtime-library classes whose methods show up in sampled stacks.
+pub const LIBRARY_STACK_CLASSES: &[&str] = &[
+    "javax.swing.plaf.basic.BasicComboBoxUI",
+    "javax.swing.RepaintManager",
+    "javax.swing.text.PlainView",
+    "java.awt.EventQueue",
+    "java.awt.Container",
+    "java.util.HashMap",
+    "java.util.ArrayList",
+    "java.lang.String",
+    "sun.awt.SunToolkit",
+    "javax.swing.SwingUtilities",
+];
+
+/// The Apple toolkit class hosting the combo-box blink animation the paper
+/// traces every `Thread.sleep` back to (§IV-E).
+pub const APPLE_COMBOBOX_CLASS: &str = "com.apple.laf.AquaComboBoxUI";
+/// The blinking method on [`APPLE_COMBOBOX_CLASS`].
+pub const APPLE_COMBOBOX_METHOD: &str = "blinkSelection";
+
+/// Library classes implicated in monitor contention (FreeMind's display
+/// configuration path in the paper).
+pub const CONTENTION_CLASSES: &[&str] = &[
+    "java.awt.GraphicsEnvironment",
+    "sun.awt.CGraphicsDevice",
+    "java.awt.Component",
+];
+
+/// Listener method names for input episodes.
+pub const LISTENER_METHODS: &[&str] = &[
+    "actionPerformed",
+    "mouseClicked",
+    "mousePressed",
+    "mouseDragged",
+    "keyTyped",
+    "keyPressed",
+    "stateChanged",
+    "valueChanged",
+    "itemStateChanged",
+];
+
+/// Method names for application computation frames.
+pub const APP_METHODS: &[&str] = &[
+    "recompute",
+    "updateModel",
+    "layoutChildren",
+    "renderScene",
+    "applyChange",
+    "refreshView",
+    "rebuildIndex",
+    "computeBounds",
+    "validateInput",
+    "loadChunk",
+];
+
+/// Per-application name generator rooted at the app's package.
+#[derive(Clone, Debug)]
+pub struct NamePool {
+    package: String,
+    class_stems: Vec<&'static str>,
+}
+
+impl NamePool {
+    /// Creates a pool for an application root package (e.g. `org.jmol`).
+    pub fn new(package: &str) -> Self {
+        NamePool {
+            package: package.to_owned(),
+            class_stems: vec![
+                "Editor", "Canvas", "Model", "Document", "Controller", "View", "Renderer",
+                "Manager", "Panel", "Action", "Tool", "Graph", "Node", "Layer", "Shape",
+            ],
+        }
+    }
+
+    /// A deterministic application class name for index `i`, e.g.
+    /// `org.jmol.Renderer7`.
+    pub fn app_class(&self, i: usize) -> String {
+        let stem = self.class_stems[i % self.class_stems.len()];
+        format!("{}.{}{}", self.package, stem, i / self.class_stems.len())
+    }
+
+    /// Interns a random application method.
+    pub fn app_method(&self, symbols: &mut SymbolTable, rng: &mut SimRng, i: usize) -> MethodRef {
+        let method = APP_METHODS[rng.index(APP_METHODS.len())];
+        symbols.method(&self.app_class(i), method)
+    }
+
+    /// Interns a random listener on an application class.
+    pub fn listener(&self, symbols: &mut SymbolTable, rng: &mut SimRng, i: usize) -> MethodRef {
+        let method = LISTENER_METHODS[rng.index(LISTENER_METHODS.len())];
+        symbols.method(&self.app_class(i), method)
+    }
+
+    /// Interns a random Swing paint method.
+    pub fn paint(&self, symbols: &mut SymbolTable, rng: &mut SimRng) -> MethodRef {
+        let class = SWING_PAINT_CLASSES[rng.index(SWING_PAINT_CLASSES.len())];
+        symbols.method(class, "paint")
+    }
+
+    /// Interns a random native entry point.
+    pub fn native(&self, symbols: &mut SymbolTable, rng: &mut SimRng) -> MethodRef {
+        let class = NATIVE_CLASSES[rng.index(NATIVE_CLASSES.len())];
+        let method = class.rsplit('.').next().expect("class names are dotted");
+        symbols.method(class, method)
+    }
+
+    /// Interns a random runtime-library stack frame method.
+    pub fn library_frame(&self, symbols: &mut SymbolTable, rng: &mut SimRng) -> MethodRef {
+        let class = LIBRARY_STACK_CLASSES[rng.index(LIBRARY_STACK_CLASSES.len())];
+        let method = APP_METHODS[rng.index(APP_METHODS.len())];
+        symbols.method(class, method)
+    }
+
+    /// Interns the Apple combo-box blink method (sleep attribution).
+    pub fn apple_blink(&self, symbols: &mut SymbolTable) -> MethodRef {
+        symbols.method(APPLE_COMBOBOX_CLASS, APPLE_COMBOBOX_METHOD)
+    }
+
+    /// Interns a contended-monitor library frame.
+    pub fn contention_frame(&self, symbols: &mut SymbolTable, rng: &mut SimRng) -> MethodRef {
+        let class = CONTENTION_CLASSES[rng.index(CONTENTION_CLASSES.len())];
+        symbols.method(class, "getDisplayMode")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lagalyzer_model::{CodeOrigin, OriginClassifier};
+
+    #[test]
+    fn app_classes_are_application_code() {
+        let pool = NamePool::new("org.argouml");
+        let classifier = OriginClassifier::java_default();
+        for i in 0..40 {
+            let name = pool.app_class(i);
+            assert_eq!(
+                classifier.classify_name(&name),
+                CodeOrigin::Application,
+                "{name}"
+            );
+        }
+    }
+
+    #[test]
+    fn library_pools_are_library_code() {
+        let classifier = OriginClassifier::java_default();
+        for class in SWING_PAINT_CLASSES
+            .iter()
+            .chain(NATIVE_CLASSES)
+            .chain(LIBRARY_STACK_CLASSES)
+            .chain(CONTENTION_CLASSES)
+            .chain([&APPLE_COMBOBOX_CLASS])
+        {
+            assert_eq!(
+                classifier.classify_name(class),
+                CodeOrigin::RuntimeLibrary,
+                "{class}"
+            );
+        }
+    }
+
+    #[test]
+    fn app_class_names_are_distinct_per_index() {
+        let pool = NamePool::new("org.x");
+        let a = pool.app_class(0);
+        let b = pool.app_class(1);
+        let c = pool.app_class(15); // wraps the stem list
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn interned_names_render() {
+        let pool = NamePool::new("org.x");
+        let mut symbols = SymbolTable::new();
+        let mut rng = SimRng::new(1);
+        let m = pool.paint(&mut symbols, &mut rng);
+        assert!(symbols.render(m).ends_with(".paint"));
+        let n = pool.native(&mut symbols, &mut rng);
+        assert!(symbols.render(n).starts_with("sun."));
+        let blink = pool.apple_blink(&mut symbols);
+        assert_eq!(
+            symbols.render(blink),
+            "com.apple.laf.AquaComboBoxUI.blinkSelection"
+        );
+    }
+}

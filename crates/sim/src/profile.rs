@@ -1,0 +1,269 @@
+//! Application profiles — the calibration surface of the simulator.
+//!
+//! One [`AppProfile`] fully describes a simulated application: the Table II
+//! identity (name, version, class count), the session-scale targets from
+//! Table III, and the behavioural mixes from Figs 4–8. Profiles are passive
+//! specification data, so their fields are public; the 14 calibrated
+//! instances live in [`crate::apps`].
+
+use lagalyzer_model::DurationNs;
+
+/// Episode-trigger mix (the paper's Fig 5): what fraction of episodes are
+/// triggered by input handling, output production, asynchronous
+/// notifications, or nothing the tracer could see.
+///
+/// Fractions need not sum exactly to 1; they are renormalized on use.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TriggerMix {
+    /// Listener-triggered (mouse, keyboard) episodes.
+    pub input: f64,
+    /// Paint-triggered (rendering) episodes.
+    pub output: f64,
+    /// Episodes triggered by background-thread notifications.
+    pub asynchronous: f64,
+    /// Episodes with no trigger child above the tracer's filter.
+    pub unspecified: f64,
+}
+
+impl TriggerMix {
+    /// The mix as a weight array in `[input, output, async, unspecified]`
+    /// order.
+    pub fn weights(&self) -> [f64; 4] {
+        [self.input, self.output, self.asynchronous, self.unspecified]
+    }
+}
+
+/// Per-pattern perceptibility-occurrence mix (the paper's Fig 4): the
+/// fraction of patterns whose episodes are always / sometimes / once /
+/// never perceptibly slow.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OccurrenceMix {
+    /// Every episode of the pattern is perceptible.
+    pub always: f64,
+    /// Some but not all episodes are perceptible.
+    pub sometimes: f64,
+    /// Exactly one episode (typically the first) is perceptible.
+    pub once: f64,
+    /// No episode is perceptible.
+    pub never: f64,
+}
+
+/// Where GUI-thread time goes during perceptible episodes (Fig 6) and which
+/// states it sits in (Fig 8).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TimeMix {
+    /// Fraction of sampled time with the top frame in runtime-library code
+    /// (the remainder is application code).
+    pub library: f64,
+    /// Fraction of episode time inside garbage collections.
+    pub gc: f64,
+    /// Fraction of episode time inside native (JNI) calls.
+    pub native: f64,
+    /// Fraction of samples with the GUI thread blocked on a monitor.
+    pub blocked: f64,
+    /// Fraction of samples with the GUI thread in `Object.wait()` /
+    /// `LockSupport.park()`.
+    pub waiting: f64,
+    /// Fraction of samples with the GUI thread in `Thread.sleep()` —
+    /// in the paper's study always Apple's combo-box blink animation.
+    pub sleeping: f64,
+}
+
+/// Background-thread population and activity.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BackgroundThreads {
+    /// Number of background threads that show up in samples.
+    pub count: u32,
+    /// Probability that a given background thread is runnable at a sample
+    /// taken during a non-perceptible episode.
+    pub runnable_all: f64,
+    /// Same probability during perceptible episodes. Above `1/count` means
+    /// real competition with the GUI thread (Arabeske, FindBugs, NetBeans
+    /// in the paper).
+    pub runnable_perceptible: f64,
+}
+
+/// Session-scale targets, averaged per session as in Table III.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SessionScale {
+    /// End-to-end session duration in seconds ("E2E").
+    pub e2e_secs: u64,
+    /// Fraction of end-to-end time spent in episodes ("In-Eps").
+    pub in_episode_fraction: f64,
+    /// Episodes below the tracer filter ("< 3ms").
+    pub short_episodes: u64,
+    /// Traced episodes ("≥ 3ms").
+    pub traced_episodes: u64,
+    /// Traced episodes whose dispatch interval has children ("#Eps"); the
+    /// remainder are structureless and excluded from pattern statistics.
+    pub structured_episodes: u64,
+    /// Perceptible episodes ("≥ 100ms").
+    pub perceptible_episodes: u64,
+    /// Distinct patterns ("Dist").
+    pub distinct_patterns: u64,
+    /// Fraction of patterns with a single episode ("One-Ep").
+    pub singleton_fraction: f64,
+    /// Mean descendants of the dispatch interval over patterns ("Descs").
+    pub tree_size: u64,
+    /// Mean interval-tree depth over patterns ("Depth").
+    pub tree_depth: u64,
+}
+
+/// Everything the simulator needs to synthesize sessions of one
+/// application.
+#[derive(Clone, Debug)]
+pub struct AppProfile {
+    /// Application name as in Table II (e.g. "GanttProject").
+    pub name: String,
+    /// Version string as in Table II.
+    pub version: String,
+    /// Class count as in Table II.
+    pub classes: u32,
+    /// One-line description as in Table II.
+    pub description: String,
+    /// Root package for generated application class names.
+    pub package: String,
+    /// Session-scale targets.
+    pub scale: SessionScale,
+    /// Trigger mix over perceptible episodes (Fig 5, lower graph).
+    pub trigger_perceptible: TriggerMix,
+    /// Trigger mix over all traced episodes (Fig 5, upper graph).
+    pub trigger_all: TriggerMix,
+    /// Occurrence mix over patterns (Fig 4).
+    pub occurrence: OccurrenceMix,
+    /// Time mixes during perceptible episodes (Figs 6 and 8).
+    pub time_perceptible: TimeMix,
+    /// Time mixes during short episodes (upper graphs of Figs 6 and 8;
+    /// the paper shows almost no blocking there).
+    pub time_all: TimeMix,
+    /// Background-thread behaviour (Fig 7).
+    pub background: BackgroundThreads,
+    /// True if the application calls `System.gc()` explicitly during
+    /// episodes (Arabeske), producing "empty" perceptible episodes whose
+    /// only child is a major GC.
+    pub explicit_major_gc: bool,
+    /// Fraction of output patterns routed through the Swing repaint
+    /// manager, which materializes as an `async(paint)` tree that the
+    /// analysis must reclassify as output (paper §IV-C footnote).
+    pub repaint_manager_fraction: f64,
+    /// Median duration of perceptible episodes in milliseconds.
+    pub perceptible_median_ms: u64,
+    /// Sampling cadence of the call-stack sampler.
+    pub sample_period: DurationNs,
+}
+
+impl AppProfile {
+    /// Number of sessions the paper records per application.
+    pub const SESSIONS_PER_APP: u32 = 4;
+
+    /// The perceptibility threshold used throughout the study.
+    pub fn perceptible_threshold(&self) -> DurationNs {
+        DurationNs::PERCEPTIBLE_DEFAULT
+    }
+
+    /// The total in-episode time budget for one session, derived from the
+    /// Table III targets (E2E x In-Eps). The runner spends this budget on
+    /// traced episodes first and attributes the remainder to the
+    /// filtered-out short episodes.
+    pub fn in_episode_budget(&self) -> DurationNs {
+        DurationNs::from_secs(self.scale.e2e_secs).mul_f64(self.scale.in_episode_fraction)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_profile() -> AppProfile {
+        AppProfile {
+            name: "Sample".into(),
+            version: "1.0".into(),
+            classes: 100,
+            description: "sample app".into(),
+            package: "org.sample".into(),
+            scale: SessionScale {
+                e2e_secs: 480,
+                in_episode_fraction: 0.25,
+                short_episodes: 1000,
+                traced_episodes: 200,
+                structured_episodes: 180,
+                perceptible_episodes: 20,
+                distinct_patterns: 30,
+                singleton_fraction: 0.5,
+                tree_size: 8,
+                tree_depth: 5,
+            },
+            trigger_perceptible: TriggerMix {
+                input: 0.4,
+                output: 0.5,
+                asynchronous: 0.05,
+                unspecified: 0.05,
+            },
+            trigger_all: TriggerMix {
+                input: 0.5,
+                output: 0.4,
+                asynchronous: 0.05,
+                unspecified: 0.05,
+            },
+            occurrence: OccurrenceMix {
+                always: 0.2,
+                sometimes: 0.05,
+                once: 0.05,
+                never: 0.7,
+            },
+            time_perceptible: TimeMix {
+                library: 0.5,
+                gc: 0.1,
+                native: 0.05,
+                blocked: 0.02,
+                waiting: 0.03,
+                sleeping: 0.05,
+            },
+            time_all: TimeMix {
+                library: 0.5,
+                gc: 0.05,
+                native: 0.05,
+                blocked: 0.0,
+                waiting: 0.0,
+                sleeping: 0.01,
+            },
+            background: BackgroundThreads {
+                count: 2,
+                runnable_all: 0.1,
+                runnable_perceptible: 0.05,
+            },
+            explicit_major_gc: false,
+            repaint_manager_fraction: 0.1,
+            perceptible_median_ms: 220,
+            sample_period: DurationNs::from_millis(10),
+        }
+    }
+
+    #[test]
+    fn trigger_weights_order() {
+        let m = TriggerMix {
+            input: 0.1,
+            output: 0.2,
+            asynchronous: 0.3,
+            unspecified: 0.4,
+        };
+        assert_eq!(m.weights(), [0.1, 0.2, 0.3, 0.4]);
+    }
+
+    #[test]
+    fn budget_is_e2e_times_fraction() {
+        let p = sample_profile();
+        assert_eq!(p.in_episode_budget(), DurationNs::from_secs(120));
+        let mut bigger = sample_profile();
+        bigger.scale.in_episode_fraction = 0.5;
+        assert!(bigger.in_episode_budget() > p.in_episode_budget());
+    }
+
+    #[test]
+    fn threshold_is_100ms() {
+        assert_eq!(
+            sample_profile().perceptible_threshold(),
+            DurationNs::from_millis(100)
+        );
+    }
+}

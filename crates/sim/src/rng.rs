@@ -1,0 +1,265 @@
+//! Seeded randomness helpers.
+//!
+//! Everything the simulator draws goes through [`SimRng`] so that a session
+//! is a pure function of `(profile, session index, seed)` — the property
+//! the determinism tests and the trace-codec benchmarks rely on.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded random source with the distribution helpers the simulator
+/// needs (uniform, Bernoulli, log-normal, Zipf weights).
+#[derive(Clone, Debug)]
+pub struct SimRng {
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent child generator; used to give each episode
+    /// template its own stream so template order doesn't perturb draws.
+    pub fn fork(&mut self, salt: u64) -> SimRng {
+        SimRng::new(self.inner.gen::<u64>() ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+    }
+
+    /// Uniform integer in `[lo, hi]` (inclusive). Returns `lo` when the
+    /// range is empty.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        if hi <= lo {
+            lo
+        } else {
+            self.inner.gen_range(lo..=hi)
+        }
+    }
+
+    /// Uniform `usize` in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index range must be non-empty");
+        self.inner.gen_range(0..n)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.unit() < p.clamp(0.0, 1.0)
+    }
+
+    /// A standard normal deviate via Box–Muller.
+    pub fn standard_normal(&mut self) -> f64 {
+        // Avoid ln(0) by drawing from (0, 1].
+        let u1: f64 = 1.0 - self.unit();
+        let u2: f64 = self.unit();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// A log-normal deviate with the given *median* and shape `sigma`
+    /// (sigma of the underlying normal). Medians are easier to calibrate
+    /// against the paper's reported episode durations than means.
+    pub fn log_normal(&mut self, median: f64, sigma: f64) -> f64 {
+        median * (sigma * self.standard_normal()).exp()
+    }
+
+    /// Picks an index according to `weights` (need not be normalized).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or sums to zero.
+    pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
+        let total: f64 = weights.iter().sum();
+        assert!(
+            total > 0.0 && !weights.is_empty(),
+            "weights must be non-empty with positive sum"
+        );
+        let mut needle = self.unit() * total;
+        for (i, w) in weights.iter().enumerate() {
+            needle -= w;
+            if needle < 0.0 {
+                return i;
+            }
+        }
+        weights.len() - 1
+    }
+}
+
+/// Zipf-like weights `1 / (rank+1)^s` for `n` ranks. With `s ≈ 1` the top
+/// 20% of ranks carry roughly 80% of the mass for realistic `n`, matching
+/// the Pareto shape of the paper's Fig 3.
+pub fn zipf_weights(n: usize, s: f64) -> Vec<f64> {
+    (0..n).map(|rank| 1.0 / ((rank + 1) as f64).powf(s)).collect()
+}
+
+/// Distributes `total` items over `weights.len()` buckets proportionally to
+/// the weights, guaranteeing at least `min_each` per bucket when possible
+/// and conserving the total exactly.
+pub fn apportion(total: u64, weights: &[f64], min_each: u64) -> Vec<u64> {
+    if weights.is_empty() {
+        return Vec::new();
+    }
+    let n = weights.len() as u64;
+    let floor_total = min_each.saturating_mul(n).min(total);
+    let remaining = total - floor_total;
+    let weight_sum: f64 = weights.iter().sum();
+    let mut out: Vec<u64> = weights
+        .iter()
+        .map(|w| {
+            if weight_sum > 0.0 {
+                ((w / weight_sum) * remaining as f64).floor() as u64 + floor_total / n
+            } else {
+                floor_total / n
+            }
+        })
+        .collect();
+    // Fix rounding drift: hand leftovers to the heaviest buckets.
+    let assigned: u64 = out.iter().sum();
+    let mut leftover = total.saturating_sub(assigned);
+    let mut order: Vec<usize> = (0..weights.len()).collect();
+    order.sort_by(|&a, &b| weights[b].partial_cmp(&weights[a]).expect("NaN weight"));
+    let mut i = 0;
+    while leftover > 0 {
+        out[order[i % order.len()]] += 1;
+        leftover -= 1;
+        i += 1;
+    }
+    // If we overshot (total < n * min_each), trim from the lightest.
+    let mut excess: u64 = out.iter().sum::<u64>().saturating_sub(total);
+    let mut j = order.len();
+    while excess > 0 && j > 0 {
+        j -= 1;
+        let idx = order[j];
+        let cut = excess.min(out[idx]);
+        out[idx] -= cut;
+        excess -= cut;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism_same_seed_same_stream() {
+        let mut a = SimRng::new(7);
+        let mut b = SimRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.range_u64(0, 1_000_000), b.range_u64(0, 1_000_000));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let va: Vec<u64> = (0..8).map(|_| a.range_u64(0, u64::MAX)).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.range_u64(0, u64::MAX)).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn fork_is_deterministic_and_independent() {
+        let mut root1 = SimRng::new(9);
+        let mut root2 = SimRng::new(9);
+        let mut f1 = root1.fork(3);
+        let mut f2 = root2.fork(3);
+        assert_eq!(f1.range_u64(0, u64::MAX), f2.range_u64(0, u64::MAX));
+        let mut g = root1.fork(4);
+        assert_ne!(f1.range_u64(0, u64::MAX), g.range_u64(0, u64::MAX));
+    }
+
+    #[test]
+    fn range_handles_degenerate_bounds() {
+        let mut r = SimRng::new(0);
+        assert_eq!(r.range_u64(5, 5), 5);
+        assert_eq!(r.range_u64(9, 3), 9);
+    }
+
+    #[test]
+    fn unit_in_bounds() {
+        let mut r = SimRng::new(0);
+        for _ in 0..1000 {
+            let u = r.unit();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::new(0);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        assert!(r.chance(2.0), "clamped above 1");
+        assert!(!r.chance(-1.0), "clamped below 0");
+    }
+
+    #[test]
+    fn log_normal_median_roughly_holds() {
+        let mut r = SimRng::new(13);
+        let mut draws: Vec<f64> = (0..4001).map(|_| r.log_normal(100.0, 0.5)).collect();
+        draws.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = draws[draws.len() / 2];
+        assert!((70.0..140.0).contains(&median), "median {median}");
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut r = SimRng::new(5);
+        let mut counts = [0u32; 3];
+        for _ in 0..3000 {
+            counts[r.weighted_index(&[8.0, 1.0, 1.0])] += 1;
+        }
+        assert!(counts[0] > counts[1] * 3);
+        assert!(counts[0] > counts[2] * 3);
+    }
+
+    #[test]
+    fn zipf_is_pareto_like() {
+        let w = zipf_weights(100, 1.0);
+        let total: f64 = w.iter().sum();
+        let top20: f64 = w[..20].iter().sum();
+        let share = top20 / total;
+        assert!((0.6..0.95).contains(&share), "top-20% share {share}");
+    }
+
+    #[test]
+    fn apportion_conserves_total() {
+        let w = zipf_weights(17, 1.0);
+        for total in [0u64, 1, 16, 17, 1000, 98765] {
+            let parts = apportion(total, &w, 1);
+            assert_eq!(parts.iter().sum::<u64>(), total, "total {total}");
+        }
+    }
+
+    #[test]
+    fn apportion_min_each_respected_when_possible() {
+        let parts = apportion(100, &zipf_weights(10, 1.0), 2);
+        assert!(parts.iter().all(|&p| p >= 2), "{parts:?}");
+        assert_eq!(parts.iter().sum::<u64>(), 100);
+    }
+
+    #[test]
+    fn apportion_empty_weights() {
+        assert!(apportion(10, &[], 1).is_empty());
+    }
+
+    #[test]
+    fn standard_normal_is_centered() {
+        let mut r = SimRng::new(21);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| r.standard_normal()).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+    }
+}

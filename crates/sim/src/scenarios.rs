@@ -1,0 +1,274 @@
+//! Hand-scripted scenarios reproducing the paper's example figures.
+//!
+//! * [`figure1`] — the episode sketch of Fig 1: a 1705 ms dispatch whose
+//!   entire duration is a `JFrame.paint` chain down to `JToolBar.paint`
+//!   (1347 ms), with an 843 ms native `sun.java2d.loops.DrawLine` call in
+//!   the middle and a 466 ms garbage collection nested inside it. Stack
+//!   samples are suppressed for almost the whole native call (the GUI
+//!   thread sat at the safe point around the collection).
+//! * [`figure2`] — a GanttProject episode with deeply nested recursive
+//!   paint intervals (the tree-size/depth outlier of Table III).
+
+use lagalyzer_model::prelude::*;
+
+/// A scripted episode together with the symbol table naming its intervals.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Human-readable scenario title.
+    pub title: String,
+    /// The scripted episode.
+    pub episode: Episode,
+    /// Symbols referenced by the episode.
+    pub symbols: SymbolTable,
+}
+
+impl Scenario {
+    /// Wraps the scenario into a one-episode session trace (handy for
+    /// feeding scenario episodes through the regular analysis pipeline).
+    pub fn into_trace(self) -> SessionTrace {
+        let end = self.episode.end();
+        let meta = SessionMeta {
+            application: self.title,
+            session: SessionId::from_raw(0),
+            gui_thread: ThreadId::from_raw(0),
+            end_to_end: end.saturating_since(TimeNs::ZERO) + DurationNs::from_secs(1),
+            filter_threshold: DurationNs::TRACE_FILTER_DEFAULT,
+        };
+        let mut builder = SessionTraceBuilder::new(meta, self.symbols);
+        builder
+            .push_episode(self.episode)
+            .expect("single episode is trivially ordered");
+        builder.finish()
+    }
+}
+
+fn ms(v: u64) -> TimeNs {
+    TimeNs::from_millis(v)
+}
+
+/// Builds the Fig 1 episode.
+pub fn figure1() -> Scenario {
+    let mut symbols = SymbolTable::new();
+    let frame_paint = symbols.method("javax.swing.JFrame", "paint");
+    let root_paint = symbols.method("javax.swing.JRootPane", "paint");
+    let layered_paint = symbols.method("javax.swing.JLayeredPane", "paint");
+    let toolbar_paint = symbols.method("javax.swing.JToolBar", "paint");
+    let draw_line = symbols.method("sun.java2d.loops.DrawLine", "DrawLine");
+
+    // Durations from the paper: dispatch 1705, JLayeredPane 1533,
+    // JToolBar 1347, native DrawLine 843 with a 466 ms GC inside.
+    let mut b = IntervalTreeBuilder::new();
+    b.enter(IntervalKind::Dispatch, None, ms(0)).unwrap();
+    b.enter(IntervalKind::Paint, Some(frame_paint), ms(5)).unwrap();
+    b.enter(IntervalKind::Paint, Some(root_paint), ms(60)).unwrap();
+    b.enter(IntervalKind::Paint, Some(layered_paint), ms(120)).unwrap();
+    b.enter(IntervalKind::Paint, Some(toolbar_paint), ms(250)).unwrap();
+    b.enter(IntervalKind::Native, Some(draw_line), ms(560)).unwrap();
+    b.leaf(IntervalKind::Gc, None, ms(760), ms(1226)).unwrap();
+    b.exit(ms(1403)).unwrap(); // DrawLine: 843 ms
+    b.exit(ms(1597)).unwrap(); // JToolBar: 1347 ms
+    b.exit(ms(1653)).unwrap(); // JLayeredPane: 1533 ms
+    b.exit(ms(1680)).unwrap(); // JRootPane
+    b.exit(ms(1700)).unwrap(); // JFrame
+    b.exit(ms(1705)).unwrap(); // dispatch
+    let tree = b.finish().unwrap();
+
+    // Samples every 20 ms, suppressed through almost the entire native
+    // call (the paper's observation: the GUI thread was still at the safe
+    // point before/after the bracketed collection).
+    let suppressed_from = ms(600);
+    let suppressed_to = ms(1390);
+    let gui = ThreadId::from_raw(0);
+    let mut samples = Vec::new();
+    let mut t = ms(20);
+    while t < ms(1705) {
+        if t < suppressed_from || t >= suppressed_to {
+            let stack = vec![
+                StackFrame::java(toolbar_paint),
+                StackFrame::java(layered_paint),
+                StackFrame::java(root_paint),
+                StackFrame::java(frame_paint),
+            ];
+            samples.push(SampleSnapshot::new(
+                t,
+                vec![ThreadSample::new(gui, ThreadState::Runnable, stack)],
+            ));
+        }
+        t += DurationNs::from_millis(20);
+    }
+
+    let episode = EpisodeBuilder::new(EpisodeId::from_raw(0), gui)
+        .tree(tree)
+        .samples(samples)
+        .build()
+        .unwrap();
+    Scenario {
+        title: "Figure 1 episode".into(),
+        episode,
+        symbols,
+    }
+}
+
+/// Builds the Fig 2 GanttProject episode: a paint request to the main
+/// window recursing through a deeply nested component tree.
+pub fn figure2() -> Scenario {
+    let mut symbols = SymbolTable::new();
+    let components = [
+        "javax.swing.JFrame",
+        "javax.swing.JRootPane",
+        "javax.swing.JLayeredPane",
+        "javax.swing.JPanel",
+        "javax.swing.JSplitPane",
+        "javax.swing.JScrollPane",
+        "javax.swing.JViewport",
+        "net.sourceforge.ganttproject.GanttTree",
+        "net.sourceforge.ganttproject.GanttGraphicArea",
+        "net.sourceforge.ganttproject.ChartComponent",
+        "net.sourceforge.ganttproject.TaskLabel",
+        "net.sourceforge.ganttproject.TimeAxis",
+    ];
+    let paints: Vec<MethodRef> = components
+        .iter()
+        .map(|c| symbols.method(c, "paint"))
+        .collect();
+
+    let total = 520u64;
+    let mut b = IntervalTreeBuilder::new();
+    b.enter(IntervalKind::Dispatch, None, ms(0)).unwrap();
+    // Nested chain: each level starts a bit later and ends a bit earlier.
+    for (i, paint) in paints.iter().enumerate() {
+        b.enter(IntervalKind::Paint, Some(*paint), ms(4 + 8 * i as u64))
+            .unwrap();
+    }
+    // A few sibling leaf paints at the deepest level (label rendering).
+    let deepest_start = 4 + 8 * (paints.len() as u64 - 1);
+    let label = symbols.method("net.sourceforge.ganttproject.TaskLabel", "paintComponent");
+    let mut t = deepest_start + 10;
+    for _ in 0..4 {
+        b.leaf(IntervalKind::Paint, Some(label), ms(t), ms(t + 50)).unwrap();
+        t += 60;
+    }
+    for i in (0..paints.len()).rev() {
+        // Unwinding: deeper paints end earlier, so exit times increase as
+        // the recursion pops back toward the frame.
+        b.exit(ms(total - 6 * (i as u64 + 1))).unwrap();
+    }
+    b.exit(ms(total)).unwrap();
+    let tree = b.finish().unwrap();
+
+    let gui = ThreadId::from_raw(0);
+    let mut samples = Vec::new();
+    let mut ts = ms(10);
+    while ts < ms(total) {
+        samples.push(SampleSnapshot::new(
+            ts,
+            vec![ThreadSample::new(
+                gui,
+                ThreadState::Runnable,
+                vec![StackFrame::java(label), StackFrame::java(paints[7])],
+            )],
+        ));
+        ts += DurationNs::from_millis(10);
+    }
+    let episode = EpisodeBuilder::new(EpisodeId::from_raw(0), gui)
+        .tree(tree)
+        .samples(samples)
+        .build()
+        .unwrap();
+    Scenario {
+        title: "Figure 2 GanttProject episode".into(),
+        episode,
+        symbols,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_matches_paper_numbers() {
+        let s = figure1();
+        let tree = s.episode.tree();
+        assert_eq!(s.episode.duration(), DurationNs::from_millis(1705));
+        // Walk down: dispatch -> JFrame -> ... -> native -> GC.
+        let kinds: Vec<IntervalKind> =
+            tree.pre_order().map(|id| tree.interval(id).kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                IntervalKind::Dispatch,
+                IntervalKind::Paint,
+                IntervalKind::Paint,
+                IntervalKind::Paint,
+                IntervalKind::Paint,
+                IntervalKind::Native,
+                IntervalKind::Gc,
+            ]
+        );
+        let native = tree
+            .pre_order()
+            .find(|&id| tree.interval(id).kind == IntervalKind::Native)
+            .unwrap();
+        assert_eq!(
+            tree.interval(native).duration(),
+            DurationNs::from_millis(843)
+        );
+        let gc = tree
+            .pre_order()
+            .find(|&id| tree.interval(id).kind == IntervalKind::Gc)
+            .unwrap();
+        assert_eq!(tree.interval(gc).duration(), DurationNs::from_millis(466));
+    }
+
+    #[test]
+    fn figure1_samples_suppressed_around_gc() {
+        let s = figure1();
+        let gc_window = (ms(760), ms(1226));
+        for sample in s.episode.samples() {
+            assert!(
+                sample.time < gc_window.0 || sample.time >= gc_window.1,
+                "sample at {} inside GC",
+                sample.time
+            );
+        }
+        // Samples exist before and after the suppression window.
+        assert!(s.episode.samples().iter().any(|x| x.time < ms(600)));
+        assert!(s.episode.samples().iter().any(|x| x.time >= ms(1390)));
+    }
+
+    #[test]
+    fn figure1_symbols_name_the_drawline() {
+        let s = figure1();
+        let tree = s.episode.tree();
+        let native = tree
+            .pre_order()
+            .find(|&id| tree.interval(id).kind == IntervalKind::Native)
+            .unwrap();
+        let sym = tree.interval(native).symbol.unwrap();
+        assert_eq!(s.symbols.render(sym), "sun.java2d.loops.DrawLine.DrawLine");
+    }
+
+    #[test]
+    fn figure2_is_deep_and_painty() {
+        let s = figure2();
+        let tree = s.episode.tree();
+        assert!(tree.max_depth() >= 12, "depth {}", tree.max_depth());
+        assert!(tree.len() >= 16, "size {}", tree.len());
+        let paints = tree
+            .pre_order()
+            .filter(|&id| tree.interval(id).kind == IntervalKind::Paint)
+            .count();
+        assert!(paints >= 15);
+        assert!(tree.validate().is_ok());
+    }
+
+    #[test]
+    fn scenarios_convert_to_traces() {
+        for scenario in [figure1(), figure2()] {
+            let trace = scenario.into_trace();
+            assert_eq!(trace.episodes().len(), 1);
+            assert!(trace.meta().end_to_end >= trace.episodes()[0].duration());
+        }
+    }
+}

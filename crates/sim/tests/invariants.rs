@@ -1,0 +1,112 @@
+//! Structural invariants of simulated traces, checked over the whole
+//! application suite (DESIGN.md §6).
+
+use lagalyzer_model::prelude::*;
+use lagalyzer_sim::{apps, runner};
+
+/// Every simulated trace obeys the model's invariants end to end.
+#[test]
+fn all_apps_produce_structurally_valid_traces() {
+    for profile in apps::standard_suite() {
+        let trace = runner::simulate_session(&profile, 0, 99);
+        assert_eq!(trace.meta().application, profile.name);
+        let mut last_start = TimeNs::ZERO;
+        for episode in trace.episodes() {
+            // Trees validate and are rooted at a dispatch.
+            episode.tree().validate().unwrap_or_else(|e| {
+                panic!("{}: invalid tree: {e}", profile.name);
+            });
+            assert_eq!(
+                episode.tree().root_interval().kind,
+                IntervalKind::Dispatch
+            );
+            // Traced episodes are above the filter threshold.
+            assert!(
+                episode.duration() >= trace.meta().filter_threshold,
+                "{}: traced episode below filter",
+                profile.name
+            );
+            // Episodes are time-ordered.
+            assert!(episode.start() >= last_start);
+            last_start = episode.start();
+            // Samples lie inside the episode and include the GUI thread.
+            for snap in episode.samples() {
+                assert!(snap.time >= episode.start() && snap.time <= episode.end());
+                assert!(snap.thread(trace.meta().gui_thread).is_some());
+            }
+        }
+        // GC events are ordered and well-formed.
+        for pair in trace.gc_events().windows(2) {
+            assert!(pair[0].start <= pair[1].start, "{}", profile.name);
+        }
+        for gc in trace.gc_events() {
+            assert!(gc.end >= gc.start);
+        }
+    }
+}
+
+/// Samples are never taken inside a GC interval that lives in the episode
+/// tree (JVMTI-style suppression).
+#[test]
+fn samples_suppressed_inside_tree_gcs() {
+    for profile in [apps::arabeske(), apps::argo_uml()] {
+        let trace = runner::simulate_session(&profile, 1, 7);
+        for episode in trace.episodes() {
+            let tree = episode.tree();
+            let gc_windows: Vec<(TimeNs, TimeNs)> = tree
+                .pre_order()
+                .filter(|&id| tree.interval(id).kind == IntervalKind::Gc)
+                .map(|id| (tree.interval(id).start, tree.interval(id).end))
+                .collect();
+            if gc_windows.is_empty() {
+                continue;
+            }
+            for snap in episode.samples() {
+                for &(s, e) in &gc_windows {
+                    assert!(
+                        snap.time < s || snap.time >= e,
+                        "{}: sample at {} inside GC [{s}, {e}]",
+                        profile.name,
+                        snap.time
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The suite's session traces honor their published short-episode counts
+/// exactly (the tracer reports the count it dropped).
+#[test]
+fn short_counts_exact_across_suite() {
+    for profile in apps::standard_suite() {
+        let trace = runner::simulate_session(&profile, 2, 5);
+        assert_eq!(
+            trace.short_episode_count(),
+            profile.scale.short_episodes,
+            "{}",
+            profile.name
+        );
+        assert!(trace.short_episode_time() > DurationNs::ZERO);
+    }
+}
+
+/// Different seeds give different sessions; equal seeds identical ones.
+#[test]
+fn determinism_and_variation() {
+    let p = apps::find_bugs();
+    let a = runner::simulate_session(&p, 0, 1);
+    let b = runner::simulate_session(&p, 0, 1);
+    let c = runner::simulate_session(&p, 0, 2);
+    assert_eq!(a.episodes(), b.episodes());
+    assert_ne!(
+        a.episodes()
+            .iter()
+            .map(|e| e.duration().as_nanos())
+            .collect::<Vec<_>>(),
+        c.episodes()
+            .iter()
+            .map(|e| e.duration().as_nanos())
+            .collect::<Vec<_>>()
+    );
+}

@@ -1,0 +1,150 @@
+//! Robustness: the simulator must not panic (and must keep its structural
+//! guarantees) for arbitrary — including adversarial — profile parameters,
+//! not just the 14 calibrated ones.
+
+use lagalyzer_model::DurationNs;
+use lagalyzer_sim::profile::{
+    AppProfile, BackgroundThreads, OccurrenceMix, SessionScale, TimeMix, TriggerMix,
+};
+use lagalyzer_sim::runner;
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+struct FuzzParams {
+    traced: u64,
+    structured_frac: f64,
+    perceptible: u64,
+    patterns: u64,
+    singleton_frac: f64,
+    tree_size: u64,
+    tree_depth: u64,
+    in_eps: f64,
+    trig: [f64; 4],
+    occ: [f64; 4],
+    gc: f64,
+    native: f64,
+    sleep: f64,
+    explicit_gc: bool,
+}
+
+fn params() -> impl Strategy<Value = FuzzParams> {
+    (
+        (20u64..400, 0.1f64..1.0, 0u64..60, 2u64..80, 0.0f64..1.0),
+        (1u64..25, 1u64..14, 0.01f64..0.6),
+        [0.01f64..1.0, 0.01f64..1.0, 0.01f64..1.0, 0.01f64..1.0],
+        [0.0f64..1.0, 0.0f64..1.0, 0.0f64..1.0, 0.0f64..1.0],
+        (0.0f64..0.7, 0.0f64..0.4, 0.0f64..0.7, any::<bool>()),
+    )
+        .prop_map(
+            |(
+                (traced, structured_frac, perceptible, patterns, singleton_frac),
+                (tree_size, tree_depth, in_eps),
+                trig,
+                occ,
+                (gc, native, sleep, explicit_gc),
+            )| FuzzParams {
+                traced,
+                structured_frac,
+                perceptible,
+                patterns,
+                singleton_frac,
+                tree_size,
+                tree_depth,
+                in_eps,
+                trig,
+                occ,
+                gc,
+                native,
+                sleep,
+                explicit_gc,
+            },
+        )
+}
+
+fn profile_from(p: &FuzzParams) -> AppProfile {
+    AppProfile {
+        name: "Fuzz".into(),
+        version: "0".into(),
+        classes: 1,
+        description: "fuzzed".into(),
+        package: "org.fuzz".into(),
+        scale: SessionScale {
+            e2e_secs: 60,
+            in_episode_fraction: p.in_eps,
+            short_episodes: 500,
+            traced_episodes: p.traced,
+            structured_episodes: ((p.traced as f64) * p.structured_frac) as u64,
+            perceptible_episodes: p.perceptible.min(p.traced),
+            distinct_patterns: p.patterns,
+            singleton_fraction: p.singleton_frac,
+            tree_size: p.tree_size,
+            tree_depth: p.tree_depth,
+        },
+        trigger_perceptible: TriggerMix {
+            input: p.trig[0],
+            output: p.trig[1],
+            asynchronous: p.trig[2],
+            unspecified: p.trig[3],
+        },
+        trigger_all: TriggerMix {
+            input: p.trig[0],
+            output: p.trig[1],
+            asynchronous: p.trig[2],
+            unspecified: p.trig[3],
+        },
+        occurrence: OccurrenceMix {
+            always: p.occ[0],
+            sometimes: p.occ[1],
+            once: p.occ[2],
+            never: p.occ[3],
+        },
+        time_perceptible: TimeMix {
+            library: 0.5,
+            gc: p.gc,
+            native: p.native,
+            blocked: 0.05,
+            waiting: 0.05,
+            sleeping: p.sleep,
+        },
+        time_all: TimeMix {
+            library: 0.5,
+            gc: p.gc / 2.0,
+            native: p.native,
+            blocked: 0.0,
+            waiting: 0.0,
+            sleeping: 0.0,
+        },
+        background: BackgroundThreads {
+            count: 2,
+            runnable_all: 0.1,
+            runnable_perceptible: 0.1,
+        },
+        explicit_major_gc: p.explicit_gc,
+        repaint_manager_fraction: 0.2,
+        perceptible_median_ms: 200,
+        sample_period: DurationNs::from_millis(10),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any profile yields a structurally valid trace.
+    #[test]
+    fn fuzzed_profiles_simulate_cleanly(p in params(), seed in 0u64..1000) {
+        let profile = profile_from(&p);
+        let trace = runner::simulate_session(&profile, 0, seed);
+        prop_assert!(!trace.episodes().is_empty());
+        let mut last = lagalyzer_model::TimeNs::ZERO;
+        for e in trace.episodes() {
+            prop_assert!(e.tree().validate().is_ok());
+            prop_assert!(e.duration() >= trace.meta().filter_threshold);
+            prop_assert!(e.start() >= last);
+            last = e.start();
+            for s in e.samples() {
+                prop_assert!(s.time >= e.start() && s.time <= e.end());
+            }
+        }
+        prop_assert_eq!(trace.short_episode_count(), profile.scale.short_episodes);
+    }
+}

@@ -1,0 +1,677 @@
+//! Compact binary codec.
+//!
+//! Layout (all integers LEB128 unless noted):
+//!
+//! ```text
+//! magic      8 bytes  b"LGLZTRC\x01"
+//! header     app name (len+utf8), session id, gui thread,
+//!            end-to-end ns, filter threshold ns
+//! records    count, then each record: 1 tag byte + payload
+//! trailer    8 bytes little-endian FNV-1a checksum over header+records
+//! ```
+//!
+//! The checksum lets the reader detect truncation and bit rot before
+//! handing malformed structures to the analyses.
+
+use std::io::{Read, Write};
+
+use lagalyzer_model::prelude::*;
+
+use crate::error::TraceError;
+use crate::record::{records_from_trace, trace_from_records, TraceRecord};
+use crate::varint;
+
+const MAGIC: &[u8; 8] = b"LGLZTRC\x01";
+
+/// Record tag bytes.
+mod tag {
+    pub const SYMBOL: u8 = 1;
+    pub const GC: u8 = 2;
+    pub const SHORT: u8 = 3;
+    pub const EP_BEGIN: u8 = 4;
+    pub const ENTER: u8 = 5;
+    pub const EXIT: u8 = 6;
+    pub const SAMPLE: u8 = 7;
+    pub const EP_END: u8 = 8;
+}
+
+/// Streaming FNV-1a hasher used for the trailer checksum.
+#[derive(Clone, Debug)]
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    fn new() -> Self {
+        Fnv1a(Self::OFFSET)
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// A writer adapter that hashes everything it forwards.
+struct HashingWriter<W> {
+    inner: W,
+    hash: Fnv1a,
+}
+
+impl<W: Write> Write for HashingWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.hash.update(&buf[..n]);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// A reader adapter that hashes everything it yields.
+struct HashingReader<R> {
+    inner: R,
+    hash: Fnv1a,
+}
+
+impl<R: Read> Read for HashingReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.hash.update(&buf[..n]);
+        Ok(n)
+    }
+}
+
+/// Serializes a trace to the binary format.
+///
+/// A `&mut` reference may be passed for `w` (it also implements `Write`).
+///
+/// # Errors
+///
+/// Propagates I/O failures from `w`.
+pub fn write<W: Write>(trace: &SessionTrace, w: W) -> Result<(), TraceError> {
+    let mut hw = HashingWriter {
+        inner: w,
+        hash: Fnv1a::new(),
+    };
+    hw.inner.write_all(MAGIC)?;
+    write_header(trace.meta(), &mut hw)?;
+    let records = records_from_trace(trace);
+    varint::write_u64(&mut hw, records.len() as u64)?;
+    for rec in &records {
+        write_record(rec, &mut hw)?;
+    }
+    let checksum = hw.hash.finish();
+    hw.inner.write_all(&checksum.to_le_bytes())?;
+    hw.inner.flush()?;
+    Ok(())
+}
+
+/// Deserializes a trace from the binary format.
+///
+/// A `&mut` reference may be passed for `r` (it also implements `Read`).
+/// For traces too large to hold decoded, use [`Reader`] to stream records.
+///
+/// # Errors
+///
+/// Fails on I/O errors, bad magic, checksum mismatch, malformed records, or
+/// model-invariant violations.
+pub fn read<R: Read>(r: R) -> Result<SessionTrace, TraceError> {
+    let mut reader = Reader::new(r)?;
+    let mut records = Vec::with_capacity(reader.remaining().min(1 << 20) as usize);
+    while let Some(record) = reader.next_record()? {
+        records.push(record);
+    }
+    Ok(trace_from_records(reader.meta().clone(), records)?)
+}
+
+/// A streaming binary-trace reader: yields one [`TraceRecord`] at a time
+/// so arbitrarily large traces can be processed without holding the whole
+/// decoded stream in memory (e.g. counting records, splitting a trace, or
+/// feeding an incremental analysis).
+///
+/// The trailer checksum is verified when the last record has been read.
+///
+/// ```
+/// # use lagalyzer_model::prelude::*;
+/// # use lagalyzer_trace::binary;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// # let meta = SessionMeta {
+/// #     application: "X".into(),
+/// #     session: SessionId::from_raw(0),
+/// #     gui_thread: ThreadId::from_raw(0),
+/// #     end_to_end: DurationNs::from_secs(1),
+/// #     filter_threshold: DurationNs::TRACE_FILTER_DEFAULT,
+/// # };
+/// # let trace = SessionTraceBuilder::new(meta, SymbolTable::new()).finish();
+/// # let mut bytes = Vec::new();
+/// # binary::write(&trace, &mut bytes)?;
+/// let mut reader = binary::Reader::new(bytes.as_slice())?;
+/// assert_eq!(reader.meta().application, "X");
+/// let mut n = 0;
+/// while let Some(_record) = reader.next_record()? {
+///     n += 1;
+/// }
+/// assert_eq!(n, 0);
+/// # Ok(())
+/// # }
+/// ```
+pub struct Reader<R> {
+    source: HashingReader<R>,
+    meta: SessionMeta,
+    remaining: u64,
+    verified: bool,
+}
+
+impl<R: Read> Reader<R> {
+    /// Opens a binary trace, reading and validating the header.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors, bad magic, an unsupported version, or an
+    /// absurd declared record count.
+    pub fn new(r: R) -> Result<Self, TraceError> {
+        let mut hr = HashingReader {
+            inner: r,
+            hash: Fnv1a::new(),
+        };
+        let mut magic = [0u8; 8];
+        hr.inner.read_exact(&mut magic)?;
+        if magic[..7] != MAGIC[..7] {
+            return Err(TraceError::corrupt("magic", format!("{magic:?}")));
+        }
+        if magic[7] != MAGIC[7] {
+            return Err(TraceError::UnsupportedVersion {
+                found: u32::from(magic[7]),
+            });
+        }
+        let meta = read_header(&mut hr)?;
+        let count = varint::read_u64(&mut hr)?;
+        const MAX_RECORDS: u64 = 1 << 32;
+        if count > MAX_RECORDS {
+            return Err(TraceError::corrupt(
+                "record count",
+                format!("{count} exceeds cap"),
+            ));
+        }
+        Ok(Reader {
+            source: hr,
+            meta,
+            remaining: count,
+            verified: false,
+        })
+    }
+
+    /// The session metadata from the header.
+    pub fn meta(&self) -> &SessionMeta {
+        &self.meta
+    }
+
+    /// How many records are still to be read.
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+
+    /// Reads the next record; `None` after the last one (at which point
+    /// the trailer checksum has been verified).
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors, malformed records, or a checksum mismatch at
+    /// the end of the stream.
+    pub fn next_record(&mut self) -> Result<Option<TraceRecord>, TraceError> {
+        if self.remaining == 0 {
+            if !self.verified {
+                let computed = self.source.hash.finish();
+                let mut trailer = [0u8; 8];
+                self.source.inner.read_exact(&mut trailer)?;
+                let stored = u64::from_le_bytes(trailer);
+                if stored != computed {
+                    return Err(TraceError::ChecksumMismatch { stored, computed });
+                }
+                self.verified = true;
+            }
+            return Ok(None);
+        }
+        let record = read_record(&mut self.source)?;
+        self.remaining -= 1;
+        Ok(Some(record))
+    }
+}
+
+fn write_header<W: Write>(meta: &SessionMeta, w: &mut W) -> Result<(), TraceError> {
+    varint::write_str(w, &meta.application)?;
+    varint::write_u32(w, meta.session.as_raw())?;
+    varint::write_u32(w, meta.gui_thread.as_raw())?;
+    varint::write_u64(w, meta.end_to_end.as_nanos())?;
+    varint::write_u64(w, meta.filter_threshold.as_nanos())?;
+    Ok(())
+}
+
+fn read_header<R: Read>(r: &mut R) -> Result<SessionMeta, TraceError> {
+    Ok(SessionMeta {
+        application: varint::read_str(r)?,
+        session: SessionId::from_raw(varint::read_u32(r)?),
+        gui_thread: ThreadId::from_raw(varint::read_u32(r)?),
+        end_to_end: DurationNs::from_nanos(varint::read_u64(r)?),
+        filter_threshold: DurationNs::from_nanos(varint::read_u64(r)?),
+    })
+}
+
+fn write_record<W: Write>(rec: &TraceRecord, w: &mut W) -> Result<(), TraceError> {
+    match rec {
+        TraceRecord::Symbol { id, name } => {
+            w.write_all(&[tag::SYMBOL])?;
+            varint::write_u32(w, id.as_raw())?;
+            varint::write_str(w, name)?;
+        }
+        TraceRecord::Gc(gc) => {
+            w.write_all(&[tag::GC])?;
+            varint::write_u64(w, gc.start.as_nanos())?;
+            varint::write_u64(w, gc.end.as_nanos())?;
+            w.write_all(&[u8::from(gc.major)])?;
+        }
+        TraceRecord::ShortEpisodes { count, total } => {
+            w.write_all(&[tag::SHORT])?;
+            varint::write_u64(w, *count)?;
+            varint::write_u64(w, total.as_nanos())?;
+        }
+        TraceRecord::EpisodeBegin { id, thread } => {
+            w.write_all(&[tag::EP_BEGIN])?;
+            varint::write_u32(w, id.as_raw())?;
+            varint::write_u32(w, thread.as_raw())?;
+        }
+        TraceRecord::Enter { kind, symbol, at } => {
+            w.write_all(&[tag::ENTER, kind.tag()])?;
+            match symbol {
+                Some(m) => {
+                    w.write_all(&[1])?;
+                    varint::write_u32(w, m.class.as_raw())?;
+                    varint::write_u32(w, m.method.as_raw())?;
+                }
+                None => w.write_all(&[0])?,
+            }
+            varint::write_u64(w, at.as_nanos())?;
+        }
+        TraceRecord::Exit { at } => {
+            w.write_all(&[tag::EXIT])?;
+            varint::write_u64(w, at.as_nanos())?;
+        }
+        TraceRecord::Sample(snap) => {
+            w.write_all(&[tag::SAMPLE])?;
+            varint::write_u64(w, snap.time.as_nanos())?;
+            varint::write_u64(w, snap.threads.len() as u64)?;
+            for ts in &snap.threads {
+                varint::write_u32(w, ts.thread.as_raw())?;
+                w.write_all(&[ts.state.tag()])?;
+                varint::write_u64(w, ts.stack.len() as u64)?;
+                for frame in &ts.stack {
+                    varint::write_u32(w, frame.method.class.as_raw())?;
+                    varint::write_u32(w, frame.method.method.as_raw())?;
+                    w.write_all(&[u8::from(frame.native)])?;
+                }
+            }
+        }
+        TraceRecord::EpisodeEnd => w.write_all(&[tag::EP_END])?,
+    }
+    Ok(())
+}
+
+fn read_byte<R: Read>(r: &mut R) -> Result<u8, TraceError> {
+    let mut b = [0u8; 1];
+    r.read_exact(&mut b)?;
+    Ok(b[0])
+}
+
+fn read_bool<R: Read>(r: &mut R, context: &'static str) -> Result<bool, TraceError> {
+    match read_byte(r)? {
+        0 => Ok(false),
+        1 => Ok(true),
+        other => Err(TraceError::corrupt(context, format!("bad bool {other}"))),
+    }
+}
+
+fn read_record<R: Read>(r: &mut R) -> Result<TraceRecord, TraceError> {
+    const MAX_VEC: u64 = 1 << 24;
+    match read_byte(r)? {
+        tag::SYMBOL => Ok(TraceRecord::Symbol {
+            id: SymbolId::from_raw(varint::read_u32(r)?),
+            name: varint::read_str(r)?,
+        }),
+        tag::GC => {
+            let start = TimeNs::from_nanos(varint::read_u64(r)?);
+            let end = TimeNs::from_nanos(varint::read_u64(r)?);
+            if end < start {
+                return Err(TraceError::corrupt("gc record", "end precedes start"));
+            }
+            let major = read_bool(r, "gc record")?;
+            Ok(TraceRecord::Gc(GcEvent { start, end, major }))
+        }
+        tag::SHORT => Ok(TraceRecord::ShortEpisodes {
+            count: varint::read_u64(r)?,
+            total: DurationNs::from_nanos(varint::read_u64(r)?),
+        }),
+        tag::EP_BEGIN => Ok(TraceRecord::EpisodeBegin {
+            id: EpisodeId::from_raw(varint::read_u32(r)?),
+            thread: ThreadId::from_raw(varint::read_u32(r)?),
+        }),
+        tag::ENTER => {
+            let kind_tag = read_byte(r)?;
+            let kind = IntervalKind::from_tag(kind_tag).ok_or_else(|| {
+                TraceError::corrupt("enter record", format!("bad kind tag {kind_tag}"))
+            })?;
+            let symbol = if read_bool(r, "enter record")? {
+                Some(MethodRef {
+                    class: SymbolId::from_raw(varint::read_u32(r)?),
+                    method: SymbolId::from_raw(varint::read_u32(r)?),
+                })
+            } else {
+                None
+            };
+            Ok(TraceRecord::Enter {
+                kind,
+                symbol,
+                at: TimeNs::from_nanos(varint::read_u64(r)?),
+            })
+        }
+        tag::EXIT => Ok(TraceRecord::Exit {
+            at: TimeNs::from_nanos(varint::read_u64(r)?),
+        }),
+        tag::SAMPLE => {
+            let time = TimeNs::from_nanos(varint::read_u64(r)?);
+            let n_threads = varint::read_u64(r)?;
+            if n_threads > MAX_VEC {
+                return Err(TraceError::corrupt("sample record", "thread count cap"));
+            }
+            let mut threads = Vec::with_capacity(n_threads as usize);
+            for _ in 0..n_threads {
+                let thread = ThreadId::from_raw(varint::read_u32(r)?);
+                let state_tag = read_byte(r)?;
+                let state = ThreadState::from_tag(state_tag).ok_or_else(|| {
+                    TraceError::corrupt("sample record", format!("bad state tag {state_tag}"))
+                })?;
+                let n_frames = varint::read_u64(r)?;
+                if n_frames > MAX_VEC {
+                    return Err(TraceError::corrupt("sample record", "frame count cap"));
+                }
+                let mut stack = Vec::with_capacity(n_frames as usize);
+                for _ in 0..n_frames {
+                    let method = MethodRef {
+                        class: SymbolId::from_raw(varint::read_u32(r)?),
+                        method: SymbolId::from_raw(varint::read_u32(r)?),
+                    };
+                    let native = read_bool(r, "sample record")?;
+                    stack.push(StackFrame { method, native });
+                }
+                threads.push(ThreadSample::new(thread, state, stack));
+            }
+            Ok(TraceRecord::Sample(SampleSnapshot::new(time, threads)))
+        }
+        tag::EP_END => Ok(TraceRecord::EpisodeEnd),
+        other => Err(TraceError::corrupt(
+            "record tag",
+            format!("unknown tag {other}"),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::text;
+
+    fn ms(v: u64) -> TimeNs {
+        TimeNs::from_millis(v)
+    }
+
+    fn fixture() -> SessionTrace {
+        let meta = SessionMeta {
+            application: "JEdit".into(),
+            session: SessionId::from_raw(3),
+            gui_thread: ThreadId::from_raw(0),
+            end_to_end: DurationNs::from_secs(502),
+            filter_threshold: DurationNs::TRACE_FILTER_DEFAULT,
+        };
+        let mut b = SessionTraceBuilder::new(meta, SymbolTable::new());
+        let listener = b.symbols_mut().method("org.gjt.sp.jedit.Buffer", "keyTyped");
+        let native = b.symbols_mut().method("sun.java2d.loops.Blit", "Blit");
+
+        let mut t = IntervalTreeBuilder::new();
+        t.enter(IntervalKind::Dispatch, None, ms(0)).unwrap();
+        t.enter(IntervalKind::Listener, Some(listener), ms(1)).unwrap();
+        t.leaf(IntervalKind::Native, Some(native), ms(5), ms(20)).unwrap();
+        t.leaf(IntervalKind::Gc, None, ms(30), ms(45)).unwrap();
+        t.exit(ms(100)).unwrap();
+        t.exit(ms(104)).unwrap();
+        let snap = SampleSnapshot::new(
+            ms(10),
+            vec![
+                ThreadSample::new(
+                    ThreadId::from_raw(0),
+                    ThreadState::Runnable,
+                    vec![StackFrame::native(native), StackFrame::java(listener)],
+                ),
+                ThreadSample::new(ThreadId::from_raw(1), ThreadState::Waiting, vec![]),
+            ],
+        );
+        let e = EpisodeBuilder::new(EpisodeId::from_raw(0), ThreadId::from_raw(0))
+            .tree(t.finish().unwrap())
+            .sample(snap)
+            .build()
+            .unwrap();
+        b.push_episode(e).unwrap();
+        b.add_short_episodes(117_615, DurationNs::from_secs(30));
+        b.push_gc(GcEvent {
+            start: ms(30),
+            end: ms(45),
+            major: true,
+        });
+        b.finish()
+    }
+
+    fn encode(trace: &SessionTrace) -> Vec<u8> {
+        let mut buf = Vec::new();
+        write(trace, &mut buf).unwrap();
+        buf
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let trace = fixture();
+        let buf = encode(&trace);
+        let back = read(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.meta(), trace.meta());
+        assert_eq!(back.episodes(), trace.episodes());
+        assert_eq!(back.short_episode_count(), trace.short_episode_count());
+        assert_eq!(back.short_episode_time(), trace.short_episode_time());
+        assert_eq!(back.gc_events(), trace.gc_events());
+    }
+
+    #[test]
+    fn binary_and_text_agree() {
+        let trace = fixture();
+        let bin = read(&mut encode(&trace).as_slice()).unwrap();
+        let mut txt_buf = Vec::new();
+        text::write(&trace, &mut txt_buf).unwrap();
+        let txt = text::read(&mut txt_buf.as_slice()).unwrap();
+        assert_eq!(bin.episodes(), txt.episodes());
+        assert_eq!(bin.meta(), txt.meta());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut buf = encode(&fixture());
+        buf[0] = b'X';
+        assert!(matches!(
+            read(&mut buf.as_slice()),
+            Err(TraceError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let mut buf = encode(&fixture());
+        buf[7] = 99;
+        assert!(matches!(
+            read(&mut buf.as_slice()),
+            Err(TraceError::UnsupportedVersion { found: 99 })
+        ));
+    }
+
+    #[test]
+    fn flipped_payload_bit_caught_by_checksum_or_decoder() {
+        let trace = fixture();
+        let buf = encode(&trace);
+        // Flip every byte (one at a time) in the payload region and require
+        // the reader to notice.
+        let payload_end = buf.len() - 8;
+        for i in 8..payload_end {
+            let mut corrupted = buf.clone();
+            corrupted[i] ^= 0x01;
+            assert!(
+                read(&mut corrupted.as_slice()).is_err(),
+                "flip at offset {i} went unnoticed"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let buf = encode(&fixture());
+        for cut in [buf.len() - 1, buf.len() / 2, 9] {
+            assert!(read(&mut buf[..cut].as_ref()).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn trailer_corruption_detected() {
+        let mut buf = encode(&fixture());
+        let n = buf.len();
+        buf[n - 1] ^= 0xff;
+        assert!(matches!(
+            read(&mut buf.as_slice()),
+            Err(TraceError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let meta = SessionMeta {
+            application: String::new(),
+            session: SessionId::from_raw(0),
+            gui_thread: ThreadId::from_raw(0),
+            end_to_end: DurationNs::ZERO,
+            filter_threshold: DurationNs::ZERO,
+        };
+        let trace = SessionTraceBuilder::new(meta, SymbolTable::new()).finish();
+        let back = read(&mut encode(&trace).as_slice()).unwrap();
+        assert!(back.episodes().is_empty());
+    }
+
+    #[test]
+    fn fnv_vector() {
+        // Known FNV-1a test vector: "a" hashes to 0xaf63dc4c8601ec8c.
+        let mut h = Fnv1a::new();
+        h.update(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+    }
+}
+
+#[cfg(test)]
+mod reader_tests {
+    use super::*;
+
+    fn fixture_bytes() -> Vec<u8> {
+        let meta = SessionMeta {
+            application: "Stream".into(),
+            session: SessionId::from_raw(0),
+            gui_thread: ThreadId::from_raw(0),
+            end_to_end: DurationNs::from_secs(5),
+            filter_threshold: DurationNs::TRACE_FILTER_DEFAULT,
+        };
+        let mut b = SessionTraceBuilder::new(meta, SymbolTable::new());
+        let m = b.symbols_mut().method("a.B", "c");
+        for i in 0..3u32 {
+            let start = TimeNs::from_millis(u64::from(i) * 100);
+            let mut t = IntervalTreeBuilder::new();
+            t.enter(IntervalKind::Dispatch, None, start).unwrap();
+            t.leaf(
+                IntervalKind::Listener,
+                Some(m),
+                start + DurationNs::from_millis(1),
+                start + DurationNs::from_millis(9),
+            )
+            .unwrap();
+            t.exit(start + DurationNs::from_millis(10)).unwrap();
+            b.push_episode(
+                EpisodeBuilder::new(EpisodeId::from_raw(i), ThreadId::from_raw(0))
+                    .tree(t.finish().unwrap())
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap();
+        }
+        let trace = b.finish();
+        let mut buf = Vec::new();
+        write(&trace, &mut buf).unwrap();
+        buf
+    }
+
+    #[test]
+    fn streaming_reader_yields_all_records() {
+        let bytes = fixture_bytes();
+        let mut reader = Reader::new(bytes.as_slice()).unwrap();
+        assert_eq!(reader.meta().application, "Stream");
+        let declared = reader.remaining();
+        let mut n = 0;
+        let mut begins = 0;
+        while let Some(record) = reader.next_record().unwrap() {
+            n += 1;
+            if matches!(record, TraceRecord::EpisodeBegin { .. }) {
+                begins += 1;
+            }
+        }
+        assert_eq!(n, declared);
+        assert_eq!(begins, 3);
+        assert_eq!(reader.remaining(), 0);
+        // Further calls stay at end without error.
+        assert!(reader.next_record().unwrap().is_none());
+    }
+
+    #[test]
+    fn streaming_reader_detects_trailer_corruption() {
+        let mut bytes = fixture_bytes();
+        let n = bytes.len();
+        bytes[n - 1] ^= 0xff;
+        let mut reader = Reader::new(bytes.as_slice()).unwrap();
+        let result = loop {
+            match reader.next_record() {
+                Ok(Some(_)) => continue,
+                other => break other,
+            }
+        };
+        assert!(matches!(result, Err(TraceError::ChecksumMismatch { .. })));
+    }
+
+    #[test]
+    fn streaming_and_whole_trace_agree() {
+        let bytes = fixture_bytes();
+        let whole = read(&mut bytes.as_slice()).unwrap();
+        let mut reader = Reader::new(bytes.as_slice()).unwrap();
+        let mut records = Vec::new();
+        while let Some(r) = reader.next_record().unwrap() {
+            records.push(r);
+        }
+        let rebuilt = trace_from_records(reader.meta().clone(), records).unwrap();
+        assert_eq!(rebuilt.episodes(), whole.episodes());
+    }
+}

@@ -1,0 +1,133 @@
+//! The tracer-side episode filter.
+//!
+//! To reduce measurement overhead and perturbation, LiLa automatically
+//! filters out episodes shorter than 3 ms; LagAlyzer never sees those
+//! episodes, only how many occurred (paper §IV-A, Table III column
+//! "< 3ms"). [`TraceFilter`] reproduces that behaviour at the boundary
+//! between the simulator (standing in for the instrumented JVM) and the
+//! trace writer.
+
+use lagalyzer_model::prelude::*;
+
+/// Admits episodes at or above a duration threshold, counting the rest.
+///
+/// ```
+/// use lagalyzer_model::prelude::*;
+/// use lagalyzer_trace::TraceFilter;
+///
+/// # fn main() -> Result<(), ModelError> {
+/// let mut filter = TraceFilter::new(DurationNs::TRACE_FILTER_DEFAULT);
+/// let mut b = IntervalTreeBuilder::new();
+/// b.enter(IntervalKind::Dispatch, None, TimeNs::ZERO)?;
+/// b.exit(TimeNs::from_millis(1))?;
+/// let short = EpisodeBuilder::new(EpisodeId::from_raw(0), ThreadId::from_raw(0))
+///     .tree(b.finish()?)
+///     .build()?;
+/// assert!(filter.admit(short).is_none());
+/// assert_eq!(filter.dropped(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct TraceFilter {
+    threshold: DurationNs,
+    dropped: u64,
+    dropped_time: DurationNs,
+}
+
+impl TraceFilter {
+    /// Creates a filter with the given threshold (paper default: 3 ms).
+    pub fn new(threshold: DurationNs) -> Self {
+        TraceFilter {
+            threshold,
+            dropped: 0,
+            dropped_time: DurationNs::ZERO,
+        }
+    }
+
+    /// The configured threshold.
+    pub fn threshold(&self) -> DurationNs {
+        self.threshold
+    }
+
+    /// Passes `episode` through if it is long enough, otherwise counts and
+    /// drops it. The tracer measures the episode either way, so dropped
+    /// time is accumulated exactly.
+    pub fn admit(&mut self, episode: Episode) -> Option<Episode> {
+        if episode.duration() >= self.threshold {
+            Some(episode)
+        } else {
+            self.dropped += 1;
+            self.dropped_time += episode.duration();
+            None
+        }
+    }
+
+    /// How many episodes were dropped so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total measured duration of the dropped episodes.
+    pub fn dropped_time(&self) -> DurationNs {
+        self.dropped_time
+    }
+
+    /// Resets the dropped counters, returning `(count, total time)`. Used
+    /// when one filter instance is reused across sessions.
+    pub fn take_dropped(&mut self) -> (u64, DurationNs) {
+        (
+            std::mem::take(&mut self.dropped),
+            std::mem::take(&mut self.dropped_time),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn episode(id: u32, dur_ms: u64) -> Episode {
+        let mut b = IntervalTreeBuilder::new();
+        b.enter(IntervalKind::Dispatch, None, TimeNs::ZERO).unwrap();
+        b.exit(TimeNs::from_millis(dur_ms)).unwrap();
+        EpisodeBuilder::new(EpisodeId::from_raw(id), ThreadId::from_raw(0))
+            .tree(b.finish().unwrap())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn threshold_is_inclusive() {
+        let mut f = TraceFilter::new(DurationNs::from_millis(3));
+        assert!(f.admit(episode(0, 3)).is_some());
+        assert!(f.admit(episode(1, 2)).is_none());
+        assert_eq!(f.dropped(), 1);
+    }
+
+    #[test]
+    fn dropped_accumulates_and_takes() {
+        let mut f = TraceFilter::new(DurationNs::from_millis(3));
+        for i in 0..5 {
+            let _ = f.admit(episode(i, 1));
+        }
+        assert_eq!(f.dropped(), 5);
+        assert_eq!(f.dropped_time(), DurationNs::from_millis(5));
+        assert_eq!(f.take_dropped(), (5, DurationNs::from_millis(5)));
+        assert_eq!(f.dropped(), 0);
+        assert_eq!(f.dropped_time(), DurationNs::ZERO);
+    }
+
+    #[test]
+    fn zero_threshold_admits_everything() {
+        let mut f = TraceFilter::new(DurationNs::ZERO);
+        assert!(f.admit(episode(0, 0)).is_some());
+        assert_eq!(f.dropped(), 0);
+    }
+
+    #[test]
+    fn threshold_accessor() {
+        let f = TraceFilter::new(DurationNs::from_millis(7));
+        assert_eq!(f.threshold(), DurationNs::from_millis(7));
+    }
+}

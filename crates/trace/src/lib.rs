@@ -1,0 +1,63 @@
+//! LiLa-like latency trace format.
+//!
+//! LagAlyzer is not a profiler: it operates offline on traces produced by a
+//! latency profiler such as LiLa (paper §II-A). This crate defines that
+//! contract as a concrete serialization format with two interchangeable
+//! codecs:
+//!
+//! * a compact **binary** codec ([`binary`]) with varint-encoded integers
+//!   and an FNV-1a trailer checksum, and
+//! * a human-readable, line-based **text** codec ([`text`]).
+//!
+//! Both codecs round-trip a [`lagalyzer_model::SessionTrace`] exactly. A
+//! trace is lowered to a flat stream of [`record::TraceRecord`]s (the same
+//! events LiLa's instrumentation emits: interval enters/exits, stack
+//! samples, GC brackets, short-episode counts) and reassembled through the
+//! model builders, so decoding re-validates every structural invariant.
+//!
+//! The [`filter`] module implements the *tracer-side* episode filter: LiLa
+//! drops episodes shorter than 3 ms to limit overhead, so LagAlyzer only
+//! ever sees how many such episodes occurred (paper §IV-A).
+//!
+//! # Example
+//!
+//! ```
+//! use lagalyzer_model::prelude::*;
+//! use lagalyzer_trace::{binary, text};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let meta = SessionMeta {
+//!     application: "Demo".into(),
+//!     session: SessionId::from_raw(0),
+//!     gui_thread: ThreadId::from_raw(0),
+//!     end_to_end: DurationNs::from_secs(1),
+//!     filter_threshold: DurationNs::TRACE_FILTER_DEFAULT,
+//! };
+//! let trace = SessionTraceBuilder::new(meta, SymbolTable::new()).finish();
+//!
+//! let mut bytes = Vec::new();
+//! binary::write(&trace, &mut bytes)?;
+//! let back = binary::read(&mut bytes.as_slice())?;
+//! assert_eq!(back.meta().application, "Demo");
+//!
+//! let mut textual = Vec::new();
+//! text::write(&trace, &mut textual)?;
+//! assert!(String::from_utf8(textual)?.starts_with("lagalyzer-trace v1"));
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod auto;
+pub mod binary;
+pub mod error;
+pub mod filter;
+pub mod record;
+pub mod text;
+mod varint;
+
+pub use auto::{read_bytes, read_path};
+pub use error::TraceError;
+pub use filter::TraceFilter;
+pub use record::{records_from_trace, trace_from_records, TraceRecord};

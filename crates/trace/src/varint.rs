@@ -1,0 +1,183 @@
+//! LEB128 variable-length integer encoding for the binary codec.
+
+use std::io::{Read, Write};
+
+use crate::error::TraceError;
+
+/// Writes `value` as unsigned LEB128.
+pub fn write_u64<W: Write>(w: &mut W, mut value: u64) -> Result<(), TraceError> {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            w.write_all(&[byte])?;
+            return Ok(());
+        }
+        w.write_all(&[byte | 0x80])?;
+    }
+}
+
+/// Reads an unsigned LEB128 value.
+pub fn read_u64<R: Read>(r: &mut R) -> Result<u64, TraceError> {
+    let mut value: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let mut buf = [0u8; 1];
+        r.read_exact(&mut buf)?;
+        let byte = buf[0];
+        if shift >= 64 {
+            return Err(TraceError::corrupt("varint", "more than 10 bytes"));
+        }
+        let payload = u64::from(byte & 0x7f);
+        if shift == 63 && payload > 1 {
+            return Err(TraceError::corrupt("varint", "overflows u64"));
+        }
+        value |= payload << shift;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+    }
+}
+
+/// Writes a `u32` via the `u64` encoding.
+pub fn write_u32<W: Write>(w: &mut W, value: u32) -> Result<(), TraceError> {
+    write_u64(w, u64::from(value))
+}
+
+/// Reads a `u32`, rejecting values out of range.
+pub fn read_u32<R: Read>(r: &mut R) -> Result<u32, TraceError> {
+    let v = read_u64(r)?;
+    u32::try_from(v).map_err(|_| TraceError::corrupt("varint", format!("{v} overflows u32")))
+}
+
+/// Writes a length-prefixed UTF-8 string.
+pub fn write_str<W: Write>(w: &mut W, s: &str) -> Result<(), TraceError> {
+    write_u64(w, s.len() as u64)?;
+    w.write_all(s.as_bytes())?;
+    Ok(())
+}
+
+/// Reads a length-prefixed UTF-8 string, with a sanity cap on its length.
+pub fn read_str<R: Read>(r: &mut R) -> Result<String, TraceError> {
+    const MAX_LEN: u64 = 1 << 20;
+    let len = read_u64(r)?;
+    if len > MAX_LEN {
+        return Err(TraceError::corrupt(
+            "string",
+            format!("length {len} exceeds cap"),
+        ));
+    }
+    let mut buf = vec![0u8; len as usize];
+    r.read_exact(&mut buf)?;
+    String::from_utf8(buf).map_err(|e| TraceError::corrupt("string", e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(v: u64) -> u64 {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, v).unwrap();
+        read_u64(&mut buf.as_slice()).unwrap()
+    }
+
+    #[test]
+    fn u64_round_trips() {
+        for v in [
+            0,
+            1,
+            127,
+            128,
+            300,
+            16_383,
+            16_384,
+            u64::from(u32::MAX),
+            u64::MAX,
+        ] {
+            assert_eq!(round_trip(v), v);
+        }
+    }
+
+    #[test]
+    fn encoding_is_minimal_length() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, 127).unwrap();
+        assert_eq!(buf.len(), 1);
+        buf.clear();
+        write_u64(&mut buf, 128).unwrap();
+        assert_eq!(buf.len(), 2);
+        buf.clear();
+        write_u64(&mut buf, u64::MAX).unwrap();
+        assert_eq!(buf.len(), 10);
+    }
+
+    #[test]
+    fn truncated_input_is_io_error() {
+        let buf = [0x80u8];
+        assert!(matches!(
+            read_u64(&mut buf.as_slice()),
+            Err(TraceError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn overlong_encoding_rejected() {
+        let buf = [0x80u8; 11];
+        assert!(matches!(
+            read_u64(&mut buf.as_slice()),
+            Err(TraceError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn u64_overflow_rejected() {
+        // 10 bytes whose final byte carries more than 1 bit of payload.
+        let buf = [0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f];
+        assert!(matches!(
+            read_u64(&mut buf.as_slice()),
+            Err(TraceError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn u32_range_check() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, u64::from(u32::MAX) + 1).unwrap();
+        assert!(matches!(
+            read_u32(&mut buf.as_slice()),
+            Err(TraceError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn strings_round_trip() {
+        for s in ["", "a", "javax.swing.JComboBox", "üñïçødé"] {
+            let mut buf = Vec::new();
+            write_str(&mut buf, s).unwrap();
+            assert_eq!(read_str(&mut buf.as_slice()).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn oversized_string_rejected() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, 1 << 21).unwrap();
+        assert!(matches!(
+            read_str(&mut buf.as_slice()),
+            Err(TraceError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, 2).unwrap();
+        buf.extend_from_slice(&[0xff, 0xfe]);
+        assert!(matches!(
+            read_str(&mut buf.as_slice()),
+            Err(TraceError::Corrupt { .. })
+        ));
+    }
+}

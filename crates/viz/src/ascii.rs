@@ -1,0 +1,195 @@
+//! ASCII episode sketches for terminals.
+//!
+//! The same three-part layout as the SVG sketch, drawn with characters:
+//! one line of sample-state markers, one line per tree depth with interval
+//! extents, and a time ruler.
+
+use lagalyzer_model::{Episode, IntervalKind, SymbolTable, ThreadState};
+
+/// Renders an episode as fixed-width ASCII art, `width` columns wide.
+pub fn ascii_sketch(episode: &Episode, symbols: &SymbolTable, width: usize) -> String {
+    let width = width.max(20);
+    let tree = episode.tree();
+    let start = episode.start().as_nanos();
+    let end = episode.end().as_nanos().max(start + 1);
+    let span = (end - start) as f64;
+    let col = |t: u64| -> usize {
+        (((t.saturating_sub(start)) as f64 / span) * (width - 1) as f64).round() as usize
+    };
+
+    let mut out = String::new();
+
+    // Sample band.
+    let mut band = vec![' '; width];
+    let gui = episode.thread();
+    for snap in episode.samples() {
+        if let Some(ts) = snap.thread(gui) {
+            let c = match ts.state {
+                ThreadState::Runnable => 'r',
+                ThreadState::Blocked => 'B',
+                ThreadState::Waiting => 'W',
+                ThreadState::Sleeping => 'S',
+            };
+            band[col(snap.time.as_nanos()).min(width - 1)] = c;
+        }
+    }
+    out.push_str("samples ");
+    out.extend(band);
+    out.push('\n');
+
+    // One line per depth, deepest first (as in the SVG layout).
+    let max_depth = tree.max_depth();
+    for depth in (0..=max_depth).rev() {
+        let mut row = vec![' '; width];
+        for (_, node) in tree.iter() {
+            if node.depth != depth {
+                continue;
+            }
+            let c0 = col(node.interval.start.as_nanos());
+            let c1 = col(node.interval.end.as_nanos()).max(c0);
+            let ch = glyph(node.interval.kind);
+            for cell in row.iter_mut().take((c1 + 1).min(width)).skip(c0) {
+                *cell = ch;
+            }
+        }
+        out.push_str(&format!("depth {depth} "));
+        out.extend(row);
+        out.push('\n');
+    }
+
+    // Ruler.
+    out.push_str("time    ");
+    let mut ruler = vec!['-'; width];
+    ruler[0] = '|';
+    ruler[width - 1] = '|';
+    ruler[width / 2] = '|';
+    out.extend(ruler);
+    out.push('\n');
+    out.push_str(&format!(
+        "        {} .. {} ({})\n",
+        episode.start(),
+        episode.end(),
+        episode.duration()
+    ));
+
+    // Legend for the interval rows actually present.
+    out.push_str("legend  ");
+    let mut kinds: Vec<IntervalKind> = tree
+        .iter()
+        .map(|(_, n)| n.interval.kind)
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    kinds.sort();
+    let parts: Vec<String> = kinds
+        .iter()
+        .map(|k| format!("{}={}", glyph(*k), k.name()))
+        .collect();
+    out.push_str(&parts.join(" "));
+    out.push('\n');
+
+    // Root symbol line (what this episode did).
+    if let Some(first_child) = tree.children(tree.root()).first() {
+        if let Some(sym) = tree.interval(*first_child).symbol {
+            out.push_str(&format!("root    {}\n", symbols.render(sym)));
+        }
+    }
+    out
+}
+
+/// The fill character of an interval type.
+fn glyph(kind: IntervalKind) -> char {
+    match kind {
+        IntervalKind::Dispatch => '=',
+        IntervalKind::Listener => 'L',
+        IntervalKind::Paint => 'P',
+        IntervalKind::Native => 'N',
+        IntervalKind::Async => 'A',
+        IntervalKind::Gc => 'G',
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lagalyzer_model::prelude::*;
+
+    fn ms(v: u64) -> TimeNs {
+        TimeNs::from_millis(v)
+    }
+
+    fn fixture() -> (Episode, SymbolTable) {
+        let mut symbols = SymbolTable::new();
+        let paint = symbols.method("javax.swing.JFrame", "paint");
+        let mut b = IntervalTreeBuilder::new();
+        b.enter(IntervalKind::Dispatch, None, ms(0)).unwrap();
+        b.enter(IntervalKind::Paint, Some(paint), ms(100)).unwrap();
+        b.leaf(IntervalKind::Gc, None, ms(400), ms(600)).unwrap();
+        b.exit(ms(900)).unwrap();
+        b.exit(ms(1000)).unwrap();
+        let e = EpisodeBuilder::new(EpisodeId::from_raw(0), ThreadId::from_raw(0))
+            .tree(b.finish().unwrap())
+            .sample(SampleSnapshot::new(
+                ms(200),
+                vec![ThreadSample::new(
+                    ThreadId::from_raw(0),
+                    ThreadState::Runnable,
+                    vec![],
+                )],
+            ))
+            .build()
+            .unwrap();
+        (e, symbols)
+    }
+
+    #[test]
+    fn sketch_has_rows_for_all_depths() {
+        let (e, s) = fixture();
+        let art = ascii_sketch(&e, &s, 80);
+        assert!(art.contains("depth 0"));
+        assert!(art.contains("depth 1"));
+        assert!(art.contains("depth 2"));
+        assert!(art.contains("samples"));
+        assert!(art.contains("legend"));
+    }
+
+    #[test]
+    fn glyphs_appear_in_rows() {
+        let (e, s) = fixture();
+        let art = ascii_sketch(&e, &s, 80);
+        let lines: Vec<&str> = art.lines().collect();
+        let depth0 = lines.iter().find(|l| l.starts_with("depth 0")).unwrap();
+        assert!(depth0.contains('='));
+        let depth2 = lines.iter().find(|l| l.starts_with("depth 2")).unwrap();
+        assert!(depth2.contains('G'));
+    }
+
+    #[test]
+    fn sample_marker_present() {
+        let (e, s) = fixture();
+        let art = ascii_sketch(&e, &s, 80);
+        let sample_line = art.lines().next().unwrap();
+        assert!(sample_line.contains('r'));
+    }
+
+    #[test]
+    fn duration_footer() {
+        let (e, s) = fixture();
+        let art = ascii_sketch(&e, &s, 80);
+        assert!(art.contains("1.00s"));
+    }
+
+    #[test]
+    fn narrow_width_clamped() {
+        let (e, s) = fixture();
+        let art = ascii_sketch(&e, &s, 1);
+        assert!(art.lines().count() >= 4, "still renders at minimum width");
+    }
+
+    #[test]
+    fn root_symbol_line() {
+        let (e, s) = fixture();
+        let art = ascii_sketch(&e, &s, 60);
+        assert!(art.contains("javax.swing.JFrame.paint"));
+    }
+}

@@ -1,0 +1,335 @@
+//! Study charts: the figure styles used in the paper's evaluation.
+//!
+//! * [`StackedBarChart`] — horizontal 100% stacked bars, one per
+//!   application (Figs 4, 5, 6, 8);
+//! * [`MultiLineChart`] — multi-series line chart on unit axes (Fig 3's
+//!   cumulative distribution of episodes into patterns);
+//! * [`DotChart`] — one dot per application on a numeric axis (Fig 7's
+//!   average runnable threads).
+
+use crate::color::series_color;
+use crate::scale::UnitScale;
+use crate::svg::SvgDoc;
+
+const LABEL_W: f64 = 120.0;
+const LEGEND_H: f64 = 22.0;
+
+/// A horizontal 100% stacked bar chart.
+#[derive(Clone, Debug)]
+pub struct StackedBarChart {
+    title: String,
+    segment_labels: Vec<String>,
+    segment_colors: Vec<&'static str>,
+    rows: Vec<(String, Vec<f64>)>,
+    x_max: f64,
+}
+
+impl StackedBarChart {
+    /// Creates a chart with the given title and segment (stack component)
+    /// labels; a color is assigned per segment.
+    pub fn new<S: Into<String>>(title: S, segment_labels: &[&str]) -> Self {
+        StackedBarChart {
+            title: title.into(),
+            segment_labels: segment_labels.iter().map(|s| (*s).to_owned()).collect(),
+            segment_colors: (0..segment_labels.len()).map(series_color).collect(),
+            rows: Vec::new(),
+            x_max: 1.0,
+        }
+    }
+
+    /// Zooms the x-axis to `[0, max]` (the paper zooms Fig 8 to 60%).
+    pub fn x_max(&mut self, max: f64) -> &mut Self {
+        self.x_max = max.max(1e-9);
+        self
+    }
+
+    /// Adds one bar. `values` must have one entry per segment; they are
+    /// fractions in `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` has the wrong arity.
+    pub fn row<S: Into<String>>(&mut self, label: S, values: &[f64]) -> &mut Self {
+        assert_eq!(
+            values.len(),
+            self.segment_labels.len(),
+            "row arity must match segment count"
+        );
+        self.rows.push((label.into(), values.to_vec()));
+        self
+    }
+
+    /// Renders the chart to SVG.
+    pub fn render(&self) -> String {
+        let bar_h = 18.0;
+        let width = 760.0;
+        let height = 40.0 + LEGEND_H + self.rows.len() as f64 * (bar_h + 4.0) + 30.0;
+        let mut doc = SvgDoc::new(width, height);
+        doc.text(10.0, 18.0, 13.0, &self.title);
+
+        // Legend.
+        let mut lx = 10.0;
+        for (label, color) in self.segment_labels.iter().zip(&self.segment_colors) {
+            doc.rect(lx, 26.0, 10.0, 10.0, color, None);
+            doc.text(lx + 14.0, 35.0, 10.0, label);
+            lx += 14.0 + 7.0 * label.len() as f64 + 20.0;
+        }
+
+        let scale = UnitScale::new(LABEL_W, width - 20.0);
+        let top = 30.0 + LEGEND_H;
+        for (i, (label, values)) in self.rows.iter().enumerate() {
+            let y = top + i as f64 * (bar_h + 4.0);
+            doc.text_anchored(LABEL_W - 6.0, y + bar_h - 5.0, 10.0, "end", label);
+            let mut cum = 0.0;
+            for (v, color) in values.iter().zip(&self.segment_colors) {
+                let x0 = scale.x(cum / self.x_max);
+                cum += v;
+                let x1 = scale.x(cum / self.x_max);
+                if x1 > x0 {
+                    doc.rect(
+                        x0,
+                        y,
+                        x1 - x0,
+                        bar_h,
+                        color,
+                        Some(&format!("{label}: {:.1}%", v * 100.0)),
+                    );
+                }
+            }
+        }
+
+        // Percent axis.
+        let axis_y = top + self.rows.len() as f64 * (bar_h + 4.0) + 8.0;
+        doc.line(LABEL_W, axis_y, width - 20.0, axis_y, "#333333");
+        for i in 0..=4 {
+            let f = i as f64 / 4.0;
+            let x = scale.x(f);
+            doc.line(x, axis_y, x, axis_y + 4.0, "#333333");
+            doc.text_anchored(
+                x,
+                axis_y + 15.0,
+                9.0,
+                "middle",
+                &format!("{:.0}", f * self.x_max * 100.0),
+            );
+        }
+        doc.finish()
+    }
+}
+
+/// A multi-series line chart over unit axes (percent vs percent).
+#[derive(Clone, Debug)]
+pub struct MultiLineChart {
+    title: String,
+    x_label: String,
+    y_label: String,
+    series: Vec<(String, Vec<(f64, f64)>)>,
+}
+
+impl MultiLineChart {
+    /// Creates an empty chart.
+    pub fn new<S: Into<String>>(title: S, x_label: S, y_label: S) -> Self {
+        MultiLineChart {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Adds a named series of `(x, y)` points in `[0, 1]²`.
+    pub fn series<S: Into<String>>(&mut self, name: S, points: Vec<(f64, f64)>) -> &mut Self {
+        self.series.push((name.into(), points));
+        self
+    }
+
+    /// Renders the chart to SVG.
+    pub fn render(&self) -> String {
+        let (width, height) = (640.0, 420.0);
+        let (left, right, top, bottom) = (60.0, 170.0, 40.0, 50.0);
+        let xs = UnitScale::new(left, width - right);
+        let ys = UnitScale::new(height - bottom, top); // y grows upward
+        let mut doc = SvgDoc::new(width, height);
+        doc.text(10.0, 20.0, 13.0, &self.title);
+
+        // Axes with percent ticks.
+        doc.line(left, height - bottom, width - right, height - bottom, "#333");
+        doc.line(left, top, left, height - bottom, "#333");
+        for i in 0..=5 {
+            let f = i as f64 / 5.0;
+            doc.text_anchored(
+                xs.x(f),
+                height - bottom + 16.0,
+                9.0,
+                "middle",
+                &format!("{:.0}", f * 100.0),
+            );
+            doc.text_anchored(left - 6.0, ys.x(f) + 3.0, 9.0, "end", &format!("{:.0}", f * 100.0));
+            doc.line(xs.x(f), height - bottom, xs.x(f), height - bottom + 4.0, "#333");
+            doc.line(left - 4.0, ys.x(f), left, ys.x(f), "#333");
+        }
+        doc.text_anchored(
+            (left + width - right) / 2.0,
+            height - 12.0,
+            11.0,
+            "middle",
+            &self.x_label,
+        );
+        doc.text(8.0, top - 8.0, 11.0, &self.y_label);
+
+        // Series lines + legend.
+        for (i, (name, points)) in self.series.iter().enumerate() {
+            let color = series_color(i);
+            let pixel_points: Vec<(f64, f64)> =
+                points.iter().map(|&(x, y)| (xs.x(x), ys.x(y))).collect();
+            doc.polyline(&pixel_points, color);
+            let ly = top + i as f64 * 16.0;
+            doc.line(width - right + 10.0, ly, width - right + 30.0, ly, color);
+            doc.text(width - right + 35.0, ly + 3.0, 9.0, name);
+        }
+        doc.finish()
+    }
+}
+
+/// A dot chart: one labeled row per item, a dot at a numeric value.
+#[derive(Clone, Debug)]
+pub struct DotChart {
+    title: String,
+    x_label: String,
+    max: f64,
+    rows: Vec<(String, f64)>,
+    /// A reference line (Fig 7 cares about the value 1.0).
+    reference: Option<f64>,
+}
+
+impl DotChart {
+    /// Creates a chart with a given x-axis maximum.
+    pub fn new<S: Into<String>>(title: S, x_label: S, max: f64) -> Self {
+        DotChart {
+            title: title.into(),
+            x_label: x_label.into(),
+            max: max.max(1e-9),
+            rows: Vec::new(),
+            reference: None,
+        }
+    }
+
+    /// Draws a vertical reference line at `value`.
+    pub fn reference(&mut self, value: f64) -> &mut Self {
+        self.reference = Some(value);
+        self
+    }
+
+    /// Adds one row.
+    pub fn row<S: Into<String>>(&mut self, label: S, value: f64) -> &mut Self {
+        self.rows.push((label.into(), value));
+        self
+    }
+
+    /// Renders the chart to SVG.
+    pub fn render(&self) -> String {
+        let row_h = 20.0;
+        let width = 640.0;
+        let height = 60.0 + self.rows.len() as f64 * row_h + 30.0;
+        let mut doc = SvgDoc::new(width, height);
+        doc.text(10.0, 18.0, 13.0, &self.title);
+        let scale = UnitScale::new(LABEL_W, width - 30.0);
+        let top = 36.0;
+        if let Some(r) = self.reference {
+            let x = scale.x(r / self.max);
+            doc.line(x, top - 6.0, x, top + self.rows.len() as f64 * row_h, "#999999");
+        }
+        for (i, (label, value)) in self.rows.iter().enumerate() {
+            let y = top + i as f64 * row_h + row_h / 2.0;
+            doc.text_anchored(LABEL_W - 6.0, y + 3.0, 10.0, "end", label);
+            doc.line(LABEL_W, y, width - 30.0, y, "#eeeeee");
+            doc.circle(
+                scale.x(value / self.max),
+                y,
+                4.0,
+                series_color(0),
+                Some(&format!("{label}: {value:.2}")),
+            );
+        }
+        let axis_y = top + self.rows.len() as f64 * row_h + 10.0;
+        doc.line(LABEL_W, axis_y, width - 30.0, axis_y, "#333333");
+        for i in 0..=4 {
+            let f = i as f64 / 4.0;
+            let x = scale.x(f);
+            doc.line(x, axis_y, x, axis_y + 4.0, "#333333");
+            doc.text_anchored(x, axis_y + 15.0, 9.0, "middle", &format!("{:.2}", f * self.max));
+        }
+        doc.text_anchored(
+            (LABEL_W + width - 30.0) / 2.0,
+            height - 4.0,
+            10.0,
+            "middle",
+            &self.x_label,
+        );
+        doc.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stacked_bar_renders_rows_and_legend() {
+        let mut chart = StackedBarChart::new("Triggers", &["input", "output", "async", "unspec"]);
+        chart.row("JMol", &[0.01, 0.98, 0.005, 0.005]);
+        chart.row("ArgoUML", &[0.78, 0.16, 0.03, 0.03]);
+        let svg = chart.render();
+        assert!(svg.contains("Triggers"));
+        assert!(svg.contains("JMol"));
+        assert!(svg.contains("ArgoUML"));
+        assert!(svg.contains("input"));
+        assert!(svg.contains("98.0%"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn stacked_bar_rejects_wrong_arity() {
+        let mut chart = StackedBarChart::new("X", &["a", "b"]);
+        chart.row("bad", &[0.5]);
+    }
+
+    #[test]
+    fn stacked_bar_zoom_changes_axis_labels() {
+        let mut chart = StackedBarChart::new("Zoomed", &["a"]);
+        chart.x_max(0.6);
+        chart.row("app", &[0.3]);
+        let svg = chart.render();
+        assert!(svg.contains(">60<"), "zoomed axis should end at 60%");
+    }
+
+    #[test]
+    fn multi_line_renders_series() {
+        let mut chart = MultiLineChart::new("CDF", "patterns [%]", "episodes [%]");
+        chart.series("app1", vec![(0.2, 0.8), (1.0, 1.0)]);
+        chart.series("app2", vec![(0.5, 0.5), (1.0, 1.0)]);
+        let svg = chart.render();
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.contains("app1"));
+        assert!(svg.contains("patterns"));
+    }
+
+    #[test]
+    fn dot_chart_renders_reference_line() {
+        let mut chart = DotChart::new("Concurrency", "runnable threads", 2.0);
+        chart.reference(1.0);
+        chart.row("FindBugs", 1.4);
+        chart.row("Euclide", 0.4);
+        let svg = chart.render();
+        assert!(svg.contains("FindBugs"));
+        assert!(svg.contains("FindBugs: 1.40"));
+        assert_eq!(svg.matches("<circle").count(), 2);
+    }
+
+    #[test]
+    fn empty_charts_render_without_panic() {
+        assert!(StackedBarChart::new("E", &["a"]).render().contains("<svg"));
+        assert!(MultiLineChart::new("E", "x", "y").render().contains("<svg"));
+        assert!(DotChart::new("E", "x", 1.0).render().contains("<svg"));
+    }
+}

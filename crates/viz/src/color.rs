@@ -1,0 +1,71 @@
+//! Color assignments: one color per interval type (as in the paper's
+//! episode sketches) and per thread state (sample dots).
+
+use lagalyzer_model::{IntervalKind, ThreadState};
+
+/// The fill color of an interval bar.
+pub fn interval_color(kind: IntervalKind) -> &'static str {
+    match kind {
+        IntervalKind::Dispatch => "#b0b0b0",
+        IntervalKind::Listener => "#4c78a8",
+        IntervalKind::Paint => "#59a14f",
+        IntervalKind::Native => "#e9912d",
+        IntervalKind::Async => "#b07aa1",
+        IntervalKind::Gc => "#e15759",
+    }
+}
+
+/// The fill color of a sample dot.
+pub fn state_color(state: ThreadState) -> &'static str {
+    match state {
+        ThreadState::Runnable => "#2ca02c",
+        ThreadState::Blocked => "#d62728",
+        ThreadState::Waiting => "#ff7f0e",
+        ThreadState::Sleeping => "#9467bd",
+    }
+}
+
+/// A categorical series palette for multi-line charts (Fig 3 has 14
+/// series); wraps around when more series are requested.
+pub fn series_color(index: usize) -> &'static str {
+    const PALETTE: [&str; 14] = [
+        "#4c78a8", "#f58518", "#e45756", "#72b7b2", "#54a24b", "#eeca3b", "#b279a2",
+        "#ff9da6", "#9d755d", "#bab0ac", "#2f4b7c", "#665191", "#a05195", "#d45087",
+    ];
+    PALETTE[index % PALETTE.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_colors_are_distinct() {
+        let colors: std::collections::HashSet<&str> =
+            IntervalKind::ALL.iter().map(|k| interval_color(*k)).collect();
+        assert_eq!(colors.len(), IntervalKind::ALL.len());
+    }
+
+    #[test]
+    fn state_colors_are_distinct() {
+        let colors: std::collections::HashSet<&str> =
+            ThreadState::ALL.iter().map(|s| state_color(*s)).collect();
+        assert_eq!(colors.len(), ThreadState::ALL.len());
+    }
+
+    #[test]
+    fn series_palette_wraps() {
+        assert_eq!(series_color(0), series_color(14));
+        assert_ne!(series_color(0), series_color(1));
+    }
+
+    #[test]
+    fn colors_are_hex() {
+        for k in IntervalKind::ALL {
+            assert!(interval_color(k).starts_with('#'));
+        }
+        for s in ThreadState::ALL {
+            assert!(state_color(s).starts_with('#'));
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Linear coordinate scales.
+
+use lagalyzer_model::TimeNs;
+
+/// Maps a time domain onto a pixel range.
+#[derive(Clone, Copy, Debug)]
+pub struct TimeScale {
+    t0: u64,
+    t1: u64,
+    x0: f64,
+    x1: f64,
+}
+
+impl TimeScale {
+    /// Creates a scale mapping `[start, end]` onto `[x0, x1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end < start`.
+    pub fn new(start: TimeNs, end: TimeNs, x0: f64, x1: f64) -> Self {
+        assert!(end >= start, "inverted time domain");
+        TimeScale {
+            t0: start.as_nanos(),
+            t1: end.as_nanos().max(start.as_nanos() + 1),
+            x0,
+            x1,
+        }
+    }
+
+    /// The pixel position of instant `t` (clamped to the domain).
+    pub fn x(&self, t: TimeNs) -> f64 {
+        let t = t.as_nanos().clamp(self.t0, self.t1);
+        let f = (t - self.t0) as f64 / (self.t1 - self.t0) as f64;
+        self.x0 + f * (self.x1 - self.x0)
+    }
+
+    /// Evenly spaced tick instants across the domain.
+    pub fn ticks(&self, n: usize) -> Vec<TimeNs> {
+        (0..=n)
+            .map(|i| TimeNs::from_nanos(self.t0 + (self.t1 - self.t0) * i as u64 / n as u64))
+            .collect()
+    }
+}
+
+/// Maps a unit domain `[0, 1]` onto a pixel range.
+#[derive(Clone, Copy, Debug)]
+pub struct UnitScale {
+    x0: f64,
+    x1: f64,
+}
+
+impl UnitScale {
+    /// Creates a scale onto `[x0, x1]`.
+    pub fn new(x0: f64, x1: f64) -> Self {
+        UnitScale { x0, x1 }
+    }
+
+    /// The pixel position of fraction `f` (clamped to `[0, 1]`).
+    pub fn x(&self, f: f64) -> f64 {
+        self.x0 + f.clamp(0.0, 1.0) * (self.x1 - self.x0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_scale_maps_endpoints() {
+        let s = TimeScale::new(TimeNs::from_millis(100), TimeNs::from_millis(200), 10.0, 110.0);
+        assert!((s.x(TimeNs::from_millis(100)) - 10.0).abs() < 1e-9);
+        assert!((s.x(TimeNs::from_millis(200)) - 110.0).abs() < 1e-9);
+        assert!((s.x(TimeNs::from_millis(150)) - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_scale_clamps() {
+        let s = TimeScale::new(TimeNs::from_millis(100), TimeNs::from_millis(200), 0.0, 100.0);
+        assert_eq!(s.x(TimeNs::from_millis(50)), 0.0);
+        assert_eq!(s.x(TimeNs::from_millis(900)), 100.0);
+    }
+
+    #[test]
+    fn degenerate_domain_does_not_divide_by_zero() {
+        let s = TimeScale::new(TimeNs::from_millis(5), TimeNs::from_millis(5), 0.0, 10.0);
+        let x = s.x(TimeNs::from_millis(5));
+        assert!(x.is_finite());
+    }
+
+    #[test]
+    fn ticks_cover_domain() {
+        let s = TimeScale::new(TimeNs::ZERO, TimeNs::from_millis(100), 0.0, 1.0);
+        let ticks = s.ticks(4);
+        assert_eq!(ticks.len(), 5);
+        assert_eq!(ticks[0], TimeNs::ZERO);
+        assert_eq!(ticks[4], TimeNs::from_millis(100));
+    }
+
+    #[test]
+    fn unit_scale() {
+        let s = UnitScale::new(100.0, 200.0);
+        assert!((s.x(0.0) - 100.0).abs() < 1e-9);
+        assert!((s.x(0.5) - 150.0).abs() < 1e-9);
+        assert!((s.x(2.0) - 200.0).abs() < 1e-9, "clamped");
+    }
+}

@@ -1,0 +1,200 @@
+//! A minimal SVG document builder.
+//!
+//! Kept dependency-free on purpose: the experiments must regenerate every
+//! figure offline. Only the handful of primitives the sketches and charts
+//! need are provided; all text is XML-escaped.
+
+use std::fmt::Write as _;
+
+/// An SVG document under construction.
+#[derive(Clone, Debug)]
+pub struct SvgDoc {
+    width: f64,
+    height: f64,
+    body: String,
+}
+
+impl SvgDoc {
+    /// Creates a document with the given pixel dimensions.
+    pub fn new(width: f64, height: f64) -> Self {
+        SvgDoc {
+            width,
+            height,
+            body: String::new(),
+        }
+    }
+
+    /// Document width in pixels.
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Document height in pixels.
+    pub fn height(&self) -> f64 {
+        self.height
+    }
+
+    /// Adds a filled rectangle; `title` becomes a hover tooltip.
+    pub fn rect(
+        &mut self,
+        x: f64,
+        y: f64,
+        w: f64,
+        h: f64,
+        fill: &str,
+        title: Option<&str>,
+    ) -> &mut Self {
+        let _ = write!(
+            self.body,
+            r##"<rect x="{x:.2}" y="{y:.2}" width="{w:.2}" height="{h:.2}" fill="{fill}" stroke="#00000033" stroke-width="0.5">"##,
+        );
+        self.title(title);
+        self.body.push_str("</rect>");
+        self
+    }
+
+    /// Adds a line.
+    pub fn line(&mut self, x1: f64, y1: f64, x2: f64, y2: f64, stroke: &str) -> &mut Self {
+        let _ = write!(
+            self.body,
+            r#"<line x1="{x1:.2}" y1="{y1:.2}" x2="{x2:.2}" y2="{y2:.2}" stroke="{stroke}" stroke-width="1"/>"#,
+        );
+        self
+    }
+
+    /// Adds a circle; `title` becomes a hover tooltip.
+    pub fn circle(
+        &mut self,
+        cx: f64,
+        cy: f64,
+        r: f64,
+        fill: &str,
+        title: Option<&str>,
+    ) -> &mut Self {
+        let _ = write!(
+            self.body,
+            r#"<circle cx="{cx:.2}" cy="{cy:.2}" r="{r:.2}" fill="{fill}">"#,
+        );
+        self.title(title);
+        self.body.push_str("</circle>");
+        self
+    }
+
+    /// Adds left-anchored text.
+    pub fn text(&mut self, x: f64, y: f64, size: f64, content: &str) -> &mut Self {
+        let _ = write!(
+            self.body,
+            r#"<text x="{x:.2}" y="{y:.2}" font-size="{size:.1}" font-family="sans-serif">{}</text>"#,
+            escape(content),
+        );
+        self
+    }
+
+    /// Adds text with an explicit anchor (`start`, `middle`, `end`).
+    pub fn text_anchored(
+        &mut self,
+        x: f64,
+        y: f64,
+        size: f64,
+        anchor: &str,
+        content: &str,
+    ) -> &mut Self {
+        let _ = write!(
+            self.body,
+            r#"<text x="{x:.2}" y="{y:.2}" font-size="{size:.1}" font-family="sans-serif" text-anchor="{anchor}">{}</text>"#,
+            escape(content),
+        );
+        self
+    }
+
+    /// Adds a polyline through `points`.
+    pub fn polyline(&mut self, points: &[(f64, f64)], stroke: &str) -> &mut Self {
+        let pts: Vec<String> = points
+            .iter()
+            .map(|(x, y)| format!("{x:.2},{y:.2}"))
+            .collect();
+        let _ = write!(
+            self.body,
+            r#"<polyline points="{}" fill="none" stroke="{stroke}" stroke-width="1.5"/>"#,
+            pts.join(" "),
+        );
+        self
+    }
+
+    fn title(&mut self, title: Option<&str>) {
+        if let Some(t) = title {
+            let _ = write!(self.body, "<title>{}</title>", escape(t));
+        }
+    }
+
+    /// Finishes the document.
+    pub fn finish(self) -> String {
+        format!(
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{:.0}" height="{:.0}" viewBox="0 0 {:.0} {:.0}"><rect width="100%" height="100%" fill="white"/>{}</svg>"#,
+            self.width, self.height, self.width, self.height, self.body,
+        )
+    }
+}
+
+/// Escapes XML special characters.
+pub fn escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_document_is_valid() {
+        let svg = SvgDoc::new(100.0, 50.0).finish();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert!(svg.contains(r#"width="100""#));
+        assert!(svg.contains(r#"height="50""#));
+    }
+
+    #[test]
+    fn primitives_render() {
+        let mut doc = SvgDoc::new(10.0, 10.0);
+        doc.rect(0.0, 1.0, 2.0, 3.0, "#ff0000", Some("tip"))
+            .line(0.0, 0.0, 5.0, 5.0, "black")
+            .circle(1.0, 1.0, 0.5, "blue", None)
+            .text(2.0, 2.0, 9.0, "hello")
+            .text_anchored(3.0, 3.0, 9.0, "middle", "mid")
+            .polyline(&[(0.0, 0.0), (1.0, 2.0)], "green");
+        let svg = doc.finish();
+        for needle in [
+            "<rect", "<line", "<circle", "<text", "<polyline", "<title>tip</title>", "hello",
+            r#"text-anchor="middle""#,
+        ] {
+            assert!(svg.contains(needle), "missing {needle}");
+        }
+    }
+
+    #[test]
+    fn text_is_escaped() {
+        let mut doc = SvgDoc::new(10.0, 10.0);
+        doc.text(0.0, 0.0, 8.0, "a<b & \"c\"");
+        let svg = doc.finish();
+        assert!(svg.contains("a&lt;b &amp; &quot;c&quot;"));
+        assert!(!svg.contains("a<b"));
+    }
+
+    #[test]
+    fn tooltip_is_escaped() {
+        let mut doc = SvgDoc::new(10.0, 10.0);
+        doc.rect(0.0, 0.0, 1.0, 1.0, "red", Some("<stack>"));
+        assert!(doc.finish().contains("&lt;stack&gt;"));
+    }
+
+    #[test]
+    fn dimensions_accessible() {
+        let doc = SvgDoc::new(640.0, 480.0);
+        assert_eq!(doc.width(), 640.0);
+        assert_eq!(doc.height(), 480.0);
+    }
+}

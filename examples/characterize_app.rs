@@ -1,0 +1,65 @@
+//! Characterize one application the way the paper's §IV does: triggers,
+//! location, concurrency, and causes, averaged over four sessions.
+//!
+//! Run with: `cargo run --release --example characterize_app [AppName]`
+
+use lagalyzer::model::OriginClassifier;
+use lagalyzer::report::study::aggregate_sessions;
+use lagalyzer::core::prelude::*;
+use lagalyzer::sim::{apps, runner};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "FindBugs".into());
+    let Some(profile) = apps::by_name(&name) else {
+        eprintln!("unknown application {name:?}; available:");
+        for p in apps::standard_suite() {
+            eprintln!("  {}", p.name);
+        }
+        std::process::exit(1);
+    };
+
+    let sessions: Vec<AnalysisSession> = (0..4)
+        .map(|i| {
+            AnalysisSession::new(
+                runner::simulate_session(&profile, i, 42),
+                AnalysisConfig::default(),
+            )
+        })
+        .collect();
+    let agg = aggregate_sessions(&profile.name, &sessions, &OriginClassifier::java_default());
+
+    println!("=== {} ({} sessions) ===", agg.name, agg.sessions);
+    println!(
+        "episodes/session: {:.0} traced, {:.0} perceptible",
+        agg.stats.traced_count, agg.stats.perceptible_count
+    );
+
+    let t = agg.trigger_perceptible.fractions();
+    println!(
+        "triggers (perceptible): {:.0}% input, {:.0}% output, {:.0}% async, {:.0}% unspecified",
+        t[0] * 100.0, t[1] * 100.0, t[2] * 100.0, t[3] * 100.0
+    );
+
+    let loc = &agg.location_perceptible;
+    println!(
+        "location (perceptible): {:.0}% library / {:.0}% application; {:.0}% GC, {:.0}% native",
+        loc.library * 100.0, loc.application * 100.0, loc.gc * 100.0, loc.native * 100.0
+    );
+
+    let c = &agg.causes_perceptible;
+    println!(
+        "GUI thread (perceptible): {:.0}% blocked, {:.0}% waiting, {:.0}% sleeping, {:.0}% runnable",
+        c.blocked * 100.0, c.waiting * 100.0, c.sleeping * 100.0, c.runnable * 100.0
+    );
+
+    println!(
+        "concurrency: {:.2} runnable threads (all), {:.2} (perceptible)",
+        agg.concurrency.all, agg.concurrency.perceptible
+    );
+
+    let occ = agg.occurrence.fractions();
+    println!(
+        "patterns: {:.0}% always / {:.0}% sometimes / {:.0}% once / {:.0}% never perceptible",
+        occ[0] * 100.0, occ[1] * 100.0, occ[2] * 100.0, occ[3] * 100.0
+    );
+}

@@ -1,0 +1,42 @@
+//! Render episode sketches: the paper's Fig 1 scenario, plus the slowest
+//! episode of a freshly simulated GanttProject session.
+//!
+//! Run with: `cargo run --release --example episode_sketch`
+
+use lagalyzer::core::prelude::*;
+use lagalyzer::sim::{apps, runner, scenarios};
+use lagalyzer::viz::ascii::ascii_sketch;
+use lagalyzer::viz::sketch::{render_sketch, SketchOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out_dir = std::path::Path::new("target/examples");
+    std::fs::create_dir_all(out_dir)?;
+
+    // The scripted Fig 1 episode (1705 ms paint with native call + GC).
+    let fig1 = scenarios::figure1();
+    let svg = render_sketch(&fig1.episode, &fig1.symbols, &SketchOptions::default());
+    let path = out_dir.join("fig1.svg");
+    std::fs::write(&path, svg)?;
+    println!("{}", ascii_sketch(&fig1.episode, &fig1.symbols, 100));
+    println!("wrote {}\n", path.display());
+
+    // The slowest episode of a simulated GanttProject session.
+    let trace = runner::simulate_session(&apps::gantt_project(), 0, 42);
+    let session = AnalysisSession::new(trace, AnalysisConfig::default());
+    let slowest = session
+        .episodes()
+        .iter()
+        .max_by_key(|e| e.duration())
+        .expect("session has episodes");
+    println!(
+        "slowest GanttProject episode: {} ({} intervals, depth {})",
+        slowest.duration(),
+        slowest.tree().len(),
+        slowest.tree().max_depth()
+    );
+    let svg = render_sketch(slowest, session.trace().symbols(), &SketchOptions::default());
+    let path = out_dir.join("gantt_slowest.svg");
+    std::fs::write(&path, svg)?;
+    println!("wrote {}", path.display());
+    Ok(())
+}

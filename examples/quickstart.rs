@@ -1,0 +1,51 @@
+//! Quickstart: simulate a session, analyze it, browse the worst patterns.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use lagalyzer::core::browser::{PatternBrowser, SortBy};
+use lagalyzer::core::prelude::*;
+use lagalyzer::sim::{apps, runner};
+
+fn main() {
+    // 1. Obtain a trace. In a real deployment this comes from a latency
+    //    profiler (see `lagalyzer::trace` for the format); here we
+    //    synthesize a session of the JMol molecule viewer.
+    let profile = apps::jmol();
+    let trace = runner::simulate_session(&profile, 0, 42);
+    println!(
+        "{}: {} traced episodes, {} filtered (<3ms)",
+        trace.meta().application,
+        trace.episodes().len(),
+        trace.short_episode_count()
+    );
+
+    // 2. Load it into an analysis session (100 ms perceptibility).
+    let session = AnalysisSession::new(trace, AnalysisConfig::default());
+    let stats = SessionStats::compute(&session);
+    println!(
+        "{} perceptible episodes ({:.0} per in-episode minute)",
+        stats.perceptible_count, stats.long_per_minute
+    );
+
+    // 3. Mine patterns and show the five with the most perceptible lag.
+    let patterns = session.mine_patterns();
+    println!(
+        "{} patterns cover {} episodes ({:.0}% singletons)",
+        patterns.len(),
+        patterns.covered_episodes(),
+        patterns.singleton_fraction() * 100.0
+    );
+    let mut browser = PatternBrowser::new(&session, &patterns);
+    browser.perceptible_only(true).sort_by(SortBy::TotalLag);
+    for row in browser.rows().into_iter().take(5) {
+        let s = row.pattern.stats();
+        println!(
+            "  #{} {} episodes, {} perceptible, total lag {}, {}",
+            row.rank,
+            s.count,
+            row.pattern.perceptible_count(),
+            s.total,
+            row.occurrence,
+        );
+    }
+}

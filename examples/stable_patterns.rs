@@ -1,0 +1,53 @@
+//! Cross-session analysis: find the *stable* performance problems — the
+//! patterns that are perceptibly slow in every session they appear in —
+//! and render a session timeline to see where they strike.
+//!
+//! Run with: `cargo run --release --example stable_patterns`
+
+use lagalyzer::core::prelude::*;
+use lagalyzer::sim::{apps, runner};
+use lagalyzer::viz::timeline::{render_timeline, TimelineOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Four sessions of GanttProject, like the paper's methodology.
+    let profile = apps::gantt_project();
+    let sessions: Vec<AnalysisSession> = (0..4)
+        .map(|i| {
+            AnalysisSession::new(
+                runner::simulate_session(&profile, i, 42),
+                AnalysisConfig::default(),
+            )
+        })
+        .collect();
+
+    // Merge patterns across the sessions by structural signature.
+    let multi = MultiPatternSet::mine(&sessions);
+    println!(
+        "{}: {} merged patterns over {} sessions; {} recur in every session",
+        profile.name,
+        multi.len(),
+        multi.sessions(),
+        multi.recurring().count()
+    );
+
+    println!("\ntop stable problems (perceptible wherever they occur):");
+    for (i, p) in multi.stable_problems().iter().take(8).enumerate() {
+        let sig: String = p.signature().as_str().chars().take(56).collect();
+        println!(
+            "  {i}. {} episodes ({} perceptible) across {} sessions, total {} — {sig}",
+            p.total_episodes(),
+            p.total_perceptible(),
+            p.session_coverage(),
+            p.total_lag(),
+        );
+    }
+
+    // Timeline of the first session for orientation.
+    let out_dir = std::path::Path::new("target/examples");
+    std::fs::create_dir_all(out_dir)?;
+    let svg = render_timeline(&sessions[0], &TimelineOptions::default());
+    let path = out_dir.join("gantt_timeline.svg");
+    std::fs::write(&path, svg)?;
+    println!("\nwrote session timeline to {}", path.display());
+    Ok(())
+}

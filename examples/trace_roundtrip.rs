@@ -1,0 +1,45 @@
+//! Work with trace files directly: write a session in both codecs, read
+//! them back, and verify they agree — what an integration with a real
+//! profiler would do.
+//!
+//! Run with: `cargo run --release --example trace_roundtrip`
+
+use lagalyzer::sim::{apps, runner};
+use lagalyzer::trace::{binary, text};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out_dir = std::path::Path::new("target/examples");
+    std::fs::create_dir_all(out_dir)?;
+    let trace = runner::simulate_session(&apps::free_mind(), 0, 42);
+
+    let bin_path = out_dir.join("freemind.lgz");
+    let mut bin = Vec::new();
+    binary::write(&trace, &mut bin)?;
+    std::fs::write(&bin_path, &bin)?;
+
+    let txt_path = out_dir.join("freemind.lgzt");
+    let mut txt = Vec::new();
+    text::write(&trace, &mut txt)?;
+    std::fs::write(&txt_path, &txt)?;
+
+    println!(
+        "binary: {} ({} KiB)\ntext:   {} ({} KiB)",
+        bin_path.display(),
+        bin.len() / 1024,
+        txt_path.display(),
+        txt.len() / 1024
+    );
+
+    let from_bin = binary::read(&mut bin.as_slice())?;
+    let from_txt = text::read(&mut txt.as_slice())?;
+    assert_eq!(from_bin.episodes(), trace.episodes());
+    assert_eq!(from_txt.episodes(), trace.episodes());
+    assert_eq!(from_bin.short_episode_count(), from_txt.short_episode_count());
+    println!(
+        "round trip ok: {} episodes, {} GC events, {} symbols",
+        from_bin.episodes().len(),
+        from_bin.gc_events().len(),
+        from_bin.symbols().len()
+    );
+    Ok(())
+}

@@ -1,0 +1,41 @@
+//! LagAlyzer — a latency profile analysis and visualization toolkit.
+//!
+//! This umbrella crate re-exports the whole workspace, reproducing
+//! *"LagAlyzer: A latency profile analysis and visualization tool"*
+//! (Adamoli, Jovic, Hauswirth — ISPASS 2010):
+//!
+//! * [`model`] — the trace data model (episodes, interval trees, samples);
+//! * [`trace`] — the LiLa-like trace format (binary + text codecs, tracer
+//!   filter);
+//! * [`sim`] — the interactive-session simulator standing in for the 14
+//!   real Swing applications and the LiLa profiler;
+//! * [`core`] — the paper's contribution: pattern mining and the
+//!   trigger / location / concurrency / cause characterization analyses;
+//! * [`viz`] — episode sketches and study charts (SVG + ASCII);
+//! * [`report`] — experiment drivers regenerating every table and figure.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use lagalyzer::core::prelude::*;
+//! use lagalyzer::sim::{apps, runner};
+//!
+//! // Simulate one session of the crossword editor and characterize it.
+//! let trace = runner::simulate_session(&apps::crossword_sage(), 0, 42);
+//! let session = AnalysisSession::new(trace, AnalysisConfig::default());
+//! let stats = SessionStats::compute(&session);
+//! assert!(stats.perceptible_count > 0);
+//!
+//! let patterns = session.mine_patterns();
+//! let browser = PatternBrowser::new(&session, &patterns);
+//! assert!(!browser.rows().is_empty());
+//! ```
+
+#![warn(missing_docs)]
+
+pub use lagalyzer_core as core;
+pub use lagalyzer_model as model;
+pub use lagalyzer_report as report;
+pub use lagalyzer_sim as sim;
+pub use lagalyzer_trace as trace;
+pub use lagalyzer_viz as viz;

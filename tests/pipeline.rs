@@ -1,0 +1,124 @@
+//! Whole-pipeline integration tests spanning every crate: simulate →
+//! serialize → deserialize → analyze → render → report.
+
+use lagalyzer::core::browser::PatternBrowser;
+use lagalyzer::core::prelude::*;
+use lagalyzer::model::{DurationNs, OriginClassifier};
+use lagalyzer::report::{compare, figures, table3, Study};
+use lagalyzer::sim::{apps, runner, scenarios};
+use lagalyzer::trace::{binary, text};
+use lagalyzer::viz::ascii::ascii_sketch;
+use lagalyzer::viz::sketch::{render_sketch, SketchOptions};
+
+#[test]
+fn simulate_serialize_analyze_render() {
+    let profile = apps::crossword_sage();
+    let trace = runner::simulate_session(&profile, 0, 7);
+
+    // Serialize and re-read through both codecs.
+    let mut bin = Vec::new();
+    binary::write(&trace, &mut bin).unwrap();
+    let trace = binary::read(&mut bin.as_slice()).unwrap();
+    let mut txt = Vec::new();
+    text::write(&trace, &mut txt).unwrap();
+    let trace = text::read(&mut txt.as_slice()).unwrap();
+
+    // Analyze the decoded trace.
+    let session = AnalysisSession::new(trace, AnalysisConfig::default());
+    let stats = SessionStats::compute(&session);
+    assert!(stats.traced_count > 1000);
+    assert!(stats.perceptible_count > 10);
+    let patterns = session.mine_patterns();
+    assert!(patterns.len() > 50);
+
+    // Render the slowest episode.
+    let slowest = session
+        .episodes()
+        .iter()
+        .max_by_key(|e| e.duration())
+        .unwrap();
+    let svg = render_sketch(slowest, session.trace().symbols(), &SketchOptions::default());
+    assert!(svg.starts_with("<svg"));
+    let art = ascii_sketch(slowest, session.trace().symbols(), 80);
+    assert!(art.contains("depth 0"));
+
+    // Browse patterns.
+    let browser = PatternBrowser::new(&session, &patterns);
+    assert!(!browser.rows().is_empty());
+}
+
+#[test]
+fn study_to_figures_and_comparison() {
+    let study = Study::run(&[apps::jfree_chart(), apps::jedit()], 1, 11);
+    let table = table3::render(&study);
+    assert!(table.contains("JFreeChart"));
+    assert!(table.contains("Mean"));
+
+    for fig in [
+        figures::fig3(&study),
+        figures::fig4(&study),
+        figures::fig5(&study, true),
+        figures::fig7(&study, true),
+        figures::fig8(&study, true),
+    ] {
+        assert!(fig.svg.contains("JEdit") || fig.svg.contains("JFreeChart"), "{}", fig.id);
+    }
+
+    let comparisons = compare::table3_comparisons(&study);
+    assert_eq!(comparisons.len(), 22, "11 columns x 2 apps");
+    // The exact-by-construction quantities must be spot on.
+    for c in &comparisons {
+        if c.label.contains("< 3ms") {
+            assert!((c.ratio() - 1.0).abs() < 1e-9, "{}", c.label);
+        }
+    }
+}
+
+#[test]
+fn scenario_episode_flows_through_analysis() {
+    // The scripted Fig 1 episode must classify as an output episode with
+    // a GC inside, and survive the full codec + analysis pipeline.
+    let trace = scenarios::figure1().into_trace();
+    let mut buf = Vec::new();
+    binary::write(&trace, &mut buf).unwrap();
+    let trace = binary::read(&mut buf.as_slice()).unwrap();
+    let session = AnalysisSession::new(trace, AnalysisConfig::default());
+    assert_eq!(session.episodes().len(), 1);
+    let episode = &session.episodes()[0];
+    assert_eq!(episode.duration(), DurationNs::from_millis(1705));
+    assert_eq!(
+        lagalyzer::core::Trigger::of_episode(episode),
+        lagalyzer::core::Trigger::Output
+    );
+    let patterns = session.mine_patterns();
+    assert_eq!(patterns.len(), 1);
+    assert_eq!(patterns.patterns()[0].gc_episode_count(), 1);
+    // GC excluded from the signature.
+    assert!(!patterns.patterns()[0].signature().as_str().contains('G'));
+}
+
+#[test]
+fn custom_threshold_changes_perceptibility_not_patterns() {
+    let trace = runner::simulate_session(&apps::jedit(), 0, 3);
+    let strict = AnalysisSession::new(
+        trace.clone(),
+        AnalysisConfig {
+            perceptible_threshold: DurationNs::from_millis(50),
+        },
+    );
+    let default = AnalysisSession::new(trace, AnalysisConfig::default());
+    assert!(strict.perceptible_episodes().count() > default.perceptible_episodes().count());
+    // Pattern structure is timing-independent.
+    assert_eq!(strict.mine_patterns().len(), default.mine_patterns().len());
+}
+
+#[test]
+fn location_analysis_spans_crates() {
+    let trace = runner::simulate_session(&apps::euclide(), 1, 5);
+    let session = AnalysisSession::new(trace, AnalysisConfig::default());
+    let classifier = OriginClassifier::java_default();
+    let loc = LocationStats::of_perceptible(&session, &classifier);
+    assert!((loc.library + loc.application - 1.0).abs() < 1e-9);
+    assert!(loc.gc >= 0.0 && loc.gc <= 1.0);
+    assert!(loc.native >= 0.0 && loc.native <= 1.0);
+}
