@@ -121,7 +121,9 @@ fn bench_ablations(c: &mut Criterion) {
             let mut groups: HashMap<(String, u32), u64> = HashMap::new();
             for e in &episodes {
                 let key = (
-                    ShapeSignature::of_tree(e.tree(), symbols).as_str().to_owned(),
+                    ShapeSignature::of_tree(e.tree(), symbols)
+                        .as_str()
+                        .to_owned(),
                     duration_bucket(e),
                 );
                 *groups.entry(key).or_default() += 1;
@@ -140,7 +142,9 @@ fn bench_ablations(c: &mut Criterion) {
             .entry(signature_with_gc(e.tree(), symbols))
             .or_default() += 1;
         let key = (
-            ShapeSignature::of_tree(e.tree(), symbols).as_str().to_owned(),
+            ShapeSignature::of_tree(e.tree(), symbols)
+                .as_str()
+                .to_owned(),
             duration_bucket(e),
         );
         *with_time.entry(key).or_default() += 1;

@@ -22,9 +22,7 @@ fn bench_analyses(c: &mut Criterion) {
     let mut group = c.benchmark_group("analysis");
     group.throughput(criterion::Throughput::Elements(n));
     group.sample_size(20);
-    group.bench_function("overall_stats", |b| {
-        b.iter(|| SessionStats::compute(&s))
-    });
+    group.bench_function("overall_stats", |b| b.iter(|| SessionStats::compute(&s)));
     group.bench_function("mine_patterns", |b| b.iter(|| s.mine_patterns()));
     group.bench_function("triggers", |b| {
         b.iter(|| {

@@ -1,0 +1,76 @@
+//! Serial vs sharded-parallel analysis throughput.
+//!
+//! Simulates one oversized session (>= 10k traced episodes, beyond any
+//! Table III application) and runs the full per-session analysis — Table
+//! III statistics plus pattern mining — at increasing `jobs` counts. The
+//! parallel pipeline guarantees byte-identical output, so the only thing
+//! measured here is wall-clock scaling of the shard/merge machinery.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lagalyzer_core::parallel::available_jobs;
+use lagalyzer_core::prelude::*;
+use lagalyzer_sim::{apps, runner};
+
+/// Euclide scaled up ~3x so a single session clears 10k traced episodes.
+fn oversized_profile() -> lagalyzer_sim::profile::AppProfile {
+    let mut profile = apps::euclide();
+    profile.name = "Euclide-3x".into();
+    profile.scale.traced_episodes = 29_000;
+    profile.scale.structured_episodes = 27_100;
+    profile.scale.perceptible_episodes = 290;
+    profile.scale.distinct_patterns = 600;
+    profile
+}
+
+fn job_counts() -> Vec<usize> {
+    let mut jobs = vec![1, 2, 4];
+    let max = available_jobs();
+    if !jobs.contains(&max) {
+        jobs.push(max);
+    }
+    jobs.retain(|&j| j <= max.max(4));
+    jobs
+}
+
+fn bench_stats_scaling(c: &mut Criterion) {
+    let session = AnalysisSession::new(
+        runner::simulate_session(&oversized_profile(), 0, 42),
+        AnalysisConfig::default(),
+    );
+    assert!(
+        session.episodes().len() >= 10_000,
+        "bench needs a 10k-episode session"
+    );
+    let mut group = c.benchmark_group("session_stats_by_jobs");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(session.episodes().len() as u64));
+    for jobs in job_counts() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("jobs{jobs}")),
+            &jobs,
+            |b, &jobs| b.iter(|| SessionStats::compute_with_jobs(&session, jobs)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_mining_scaling(c: &mut Criterion) {
+    let session = AnalysisSession::new(
+        runner::simulate_session(&oversized_profile(), 0, 42),
+        AnalysisConfig::default(),
+    );
+    let mut group = c.benchmark_group("mine_patterns_by_jobs");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(session.episodes().len() as u64));
+    for jobs in job_counts() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("jobs{jobs}")),
+            &jobs,
+            |b, &jobs| b.iter(|| session.mine_patterns_with_jobs(jobs)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_stats_scaling, bench_mining_scaling);
+criterion_main!(benches);

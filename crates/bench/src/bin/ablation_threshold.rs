@@ -14,7 +14,12 @@ fn main() {
     let profiles = [apps::jmol(), apps::gantt_project(), apps::jedit()];
     let traces: Vec<_> = profiles
         .iter()
-        .map(|p| (p.name.clone(), runner::simulate_session(p, 0, lagalyzer_bench::SEED)))
+        .map(|p| {
+            (
+                p.name.clone(),
+                runner::simulate_session(p, 0, lagalyzer_bench::SEED),
+            )
+        })
         .collect();
 
     println!(

@@ -8,10 +8,17 @@ use lagalyzer_viz::sketch::{render_sketch, SketchOptions};
 
 fn main() {
     let scenario = scenarios::figure2();
-    let svg = render_sketch(&scenario.episode, &scenario.symbols, &SketchOptions::default());
+    let svg = render_sketch(
+        &scenario.episode,
+        &scenario.symbols,
+        &SketchOptions::default(),
+    );
     let path = experiments_dir().join("fig2_sketch.svg");
     std::fs::write(&path, svg).expect("write fig2 svg");
-    println!("{}", ascii_sketch(&scenario.episode, &scenario.symbols, 100));
+    println!(
+        "{}",
+        ascii_sketch(&scenario.episode, &scenario.symbols, 100)
+    );
     println!(
         "tree size: {} intervals, depth {}",
         scenario.episode.tree().len(),

@@ -22,5 +22,8 @@ fn main() {
         worst = worst.min(coverage);
     }
     println!("\npaper: ~80% of episodes covered by 20% of patterns");
-    println!("measured: worst-app coverage of top 20% patterns = {:.0}%", worst * 100.0);
+    println!(
+        "measured: worst-app coverage of top 20% patterns = {:.0}%",
+        worst * 100.0
+    );
 }

@@ -13,7 +13,12 @@ fn main() {
         save_figure(&fig);
     }
     let n = study.apps.len() as f64;
-    let mean_all: f64 = study.apps.iter().map(|a| a.aggregate.concurrency.all).sum::<f64>() / n;
+    let mean_all: f64 = study
+        .apps
+        .iter()
+        .map(|a| a.aggregate.concurrency.all)
+        .sum::<f64>()
+        / n;
     let above_one: Vec<&str> = study
         .apps
         .iter()

@@ -3,7 +3,10 @@
 use lagalyzer_sim::apps;
 
 fn main() {
-    println!("{:<15} {:<10} {:>8}  Description", "Application", "Version", "Classes");
+    println!(
+        "{:<15} {:<10} {:>8}  Description",
+        "Application", "Version", "Classes"
+    );
     println!("{}", "-".repeat(70));
     for p in apps::standard_suite() {
         println!(

@@ -68,17 +68,20 @@ fn print_usage() {
            apps                               list built-in application profiles\n\
            simulate --app NAME [--session N] [--seed S] [--text] --out FILE\n\
                                               synthesize a session trace\n\
-           analyze FILE [--threshold-ms MS] [--histogram]\n\
+           analyze FILE [--threshold-ms MS] [--histogram] [--jobs N]\n\
                                               overall statistics of a trace\n\
-           patterns FILE [--perceptible-only] [--sort count|total|max|perceptible]\n\
+           patterns FILE [--perceptible-only] [--sort count|total|max|perceptible] [--jobs N]\n\
                                               browse mined patterns\n\
            sketch FILE [--episode N | --pattern N [--gallery]] [--ascii] [--out FILE.svg]\n\
                                               render an episode sketch\n\
            timeline FILE [--out FILE.svg]     render the whole-session timeline\n\
-           stable FILE [FILE...]              stable slow patterns across several traces\n\
+           stable FILE [FILE...] [--jobs N]   stable slow patterns across several traces\n\
            diff BASELINE CANDIDATE            pattern-level regression report\n\
-           experiments [--out-dir DIR] [--sessions N] [--seed S]\n\
-                                              regenerate the paper's tables and figures"
+           experiments [--out-dir DIR] [--sessions N] [--seed S] [--jobs N]\n\
+                                              regenerate the paper's tables and figures\n\
+         \n\
+         --jobs N shards analysis work across N worker threads (0 or omitted:\n\
+         all cores; 1: serial). Results are byte-identical for any N."
     );
 }
 
@@ -94,6 +97,23 @@ fn opt_flag(args: &[String], flag: &str) -> bool {
     args.iter().any(|a| a == flag)
 }
 
+/// Positional (non-flag) arguments, skipping the values of value-taking
+/// flags so `stable a.lgz b.lgz --jobs 4` does not try to load "4".
+fn positional_args<'a>(args: &'a [String], value_flags: &[&str]) -> Vec<&'a String> {
+    let mut out = Vec::new();
+    let mut skip_value = false;
+    for arg in args {
+        if skip_value {
+            skip_value = false;
+        } else if arg.starts_with("--") {
+            skip_value = value_flags.contains(&arg.as_str());
+        } else {
+            out.push(arg);
+        }
+    }
+    out
+}
+
 fn parse_u64(args: &[String], flag: &str, default: u64) -> Result<u64, String> {
     match opt_value(args, flag) {
         None => Ok(default),
@@ -103,8 +123,26 @@ fn parse_u64(args: &[String], flag: &str, default: u64) -> Result<u64, String> {
     }
 }
 
+/// Resolves `--jobs N` into a worker count. Absent or `0` means "use all
+/// available cores"; `--jobs 1` runs the original serial path. Parallel
+/// analysis output is byte-identical to serial, so this only affects speed.
+fn parse_jobs(args: &[String]) -> Result<usize, String> {
+    match opt_value(args, "--jobs") {
+        None => Ok(lagalyzer_core::parallel::resolve_jobs(None)),
+        Some(v) => {
+            let n: usize = v
+                .parse()
+                .map_err(|_| format!("--jobs expects a number, got {v:?}"))?;
+            Ok(lagalyzer_core::parallel::resolve_jobs(Some(n)))
+        }
+    }
+}
+
 fn cmd_apps() -> Result<(), String> {
-    println!("{:<15} {:<10} {:>8}  description", "name", "version", "classes");
+    println!(
+        "{:<15} {:<10} {:>8}  description",
+        "name", "version", "classes"
+    );
     for p in apps::standard_suite() {
         println!(
             "{:<15} {:<10} {:>8}  {}",
@@ -156,20 +194,27 @@ fn session_from(args: &[String], path: &str) -> Result<AnalysisSession, String> 
 
 fn cmd_analyze(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("analyze requires a trace file")?;
+    let jobs = parse_jobs(args)?;
     let session = session_from(args, path)?;
-    let stats = SessionStats::compute(&session);
+    let stats = SessionStats::compute_with_jobs(&session, jobs);
     let meta = session.trace().meta();
     println!("application       {}", meta.application);
     println!("session           {}", meta.session);
     println!("E2E               {:.0} s", stats.end_to_end.as_secs_f64());
-    println!("in-episode        {:.0} %", stats.in_episode_fraction * 100.0);
+    println!(
+        "in-episode        {:.0} %",
+        stats.in_episode_fraction * 100.0
+    );
     println!("episodes < 3ms    {}", stats.short_count);
     println!("episodes >= 3ms   {}", stats.traced_count);
     println!("episodes >= 100ms {}", stats.perceptible_count);
     println!("long per minute   {:.0}", stats.long_per_minute);
     println!("distinct patterns {}", stats.distinct_patterns);
     println!("episodes in pats  {}", stats.episodes_in_patterns);
-    println!("singleton pats    {:.0} %", stats.singleton_fraction * 100.0);
+    println!(
+        "singleton pats    {:.0} %",
+        stats.singleton_fraction * 100.0
+    );
     println!("mean tree size    {:.1}", stats.mean_tree_size);
     println!("mean tree depth   {:.1}", stats.mean_tree_depth);
     if opt_flag(args, "--histogram") {
@@ -186,8 +231,9 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
 
 fn cmd_patterns(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("patterns requires a trace file")?;
+    let jobs = parse_jobs(args)?;
     let session = session_from(args, path)?;
-    let patterns = session.mine_patterns();
+    let patterns = session.mine_patterns_with_jobs(jobs);
     let mut browser = PatternBrowser::new(&session, &patterns);
     if opt_flag(args, "--perceptible-only") {
         browser.perceptible_only(true);
@@ -249,15 +295,21 @@ fn cmd_sketch(args: &[String]) -> Result<(), String> {
     } else {
         parse_u64(args, "--episode", 0)? as usize
     };
-    let episode = session
-        .episodes()
-        .get(index)
-        .ok_or_else(|| format!("trace has {} episodes, no index {index}", session.episodes().len()))?;
+    let episode = session.episodes().get(index).ok_or_else(|| {
+        format!(
+            "trace has {} episodes, no index {index}",
+            session.episodes().len()
+        )
+    })?;
     if opt_flag(args, "--ascii") {
         print!("{}", ascii_sketch(episode, session.trace().symbols(), 100));
         return Ok(());
     }
-    let svg = render_sketch(episode, session.trace().symbols(), &SketchOptions::default());
+    let svg = render_sketch(
+        episode,
+        session.trace().symbols(),
+        &SketchOptions::default(),
+    );
     match opt_value(args, "--out") {
         Some(out) => {
             fs::write(out, svg).map_err(|e| format!("cannot write {out}: {e}"))?;
@@ -283,15 +335,16 @@ fn cmd_timeline(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_stable(args: &[String]) -> Result<(), String> {
-    let paths: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let paths = positional_args(args, &["--threshold-ms", "--jobs"]);
     if paths.is_empty() {
         return Err("stable requires at least one trace file".into());
     }
+    let jobs = parse_jobs(args)?;
     let sessions: Vec<AnalysisSession> = paths
         .iter()
         .map(|p| session_from(args, p))
         .collect::<Result<_, _>>()?;
-    let multi = lagalyzer_core::MultiPatternSet::mine(&sessions);
+    let multi = lagalyzer_core::MultiPatternSet::mine_with_jobs(&sessions, jobs);
     println!(
         "{} traces, {} merged patterns ({} recurring in every trace)",
         sessions.len(),
@@ -316,7 +369,7 @@ fn cmd_stable(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_diff(args: &[String]) -> Result<(), String> {
-    let paths: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let paths = positional_args(args, &["--threshold-ms"]);
     let [baseline_path, candidate_path] = paths.as_slice() else {
         return Err("diff requires exactly two trace files: BASELINE CANDIDATE".into());
     };
@@ -375,10 +428,14 @@ fn cmd_experiments(args: &[String]) -> Result<(), String> {
     let out_dir = PathBuf::from(opt_value(args, "--out-dir").unwrap_or("target/experiments"));
     let sessions = parse_u64(args, "--sessions", 4)? as u32;
     let seed = parse_u64(args, "--seed", 42)?;
+    let jobs = parse_jobs(args)?;
     fs::create_dir_all(&out_dir).map_err(|e| format!("cannot create {out_dir:?}: {e}"))?;
 
-    eprintln!("simulating {} apps x {sessions} sessions ...", apps::standard_suite().len());
-    let study = Study::run(&apps::standard_suite(), sessions, seed);
+    eprintln!(
+        "simulating {} apps x {sessions} sessions on {jobs} worker(s) ...",
+        apps::standard_suite().len()
+    );
+    let study = Study::run_with_jobs(&apps::standard_suite(), sessions, seed, jobs);
 
     let table = table3::render(&study);
     write_out(&out_dir, "table3.txt", &table)?;

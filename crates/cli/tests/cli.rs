@@ -19,7 +19,14 @@ fn run_ok(args: &[&str]) -> String {
 #[test]
 fn help_lists_commands() {
     let out = run_ok(&["help"]);
-    for cmd in ["apps", "simulate", "analyze", "patterns", "sketch", "experiments"] {
+    for cmd in [
+        "apps",
+        "simulate",
+        "analyze",
+        "patterns",
+        "sketch",
+        "experiments",
+    ] {
         assert!(out.contains(cmd), "help missing {cmd}");
     }
 }
@@ -54,7 +61,13 @@ fn simulate_analyze_patterns_sketch_roundtrip() {
     let trace_str = trace.to_str().unwrap();
 
     let out = run_ok(&[
-        "simulate", "--app", "CrosswordSage", "--seed", "9", "--out", trace_str,
+        "simulate",
+        "--app",
+        "CrosswordSage",
+        "--seed",
+        "9",
+        "--out",
+        trace_str,
     ]);
     assert!(out.contains("CrosswordSage"));
     assert!(trace.exists());
@@ -63,7 +76,13 @@ fn simulate_analyze_patterns_sketch_roundtrip() {
     assert!(out.contains("episodes >= 100ms"));
     assert!(out.contains("distinct patterns"));
 
-    let out = run_ok(&["patterns", trace_str, "--perceptible-only", "--sort", "total"]);
+    let out = run_ok(&[
+        "patterns",
+        trace_str,
+        "--perceptible-only",
+        "--sort",
+        "total",
+    ]);
     assert!(out.contains("rank"));
     assert!(out.lines().count() > 2);
 
@@ -71,7 +90,14 @@ fn simulate_analyze_patterns_sketch_roundtrip() {
     assert!(out.contains("depth 0"));
 
     let svg_path = dir.join("sketch.svg");
-    run_ok(&["sketch", trace_str, "--episode", "1", "--out", svg_path.to_str().unwrap()]);
+    run_ok(&[
+        "sketch",
+        trace_str,
+        "--episode",
+        "1",
+        "--out",
+        svg_path.to_str().unwrap(),
+    ]);
     let svg = std::fs::read_to_string(&svg_path).unwrap();
     assert!(svg.starts_with("<svg"));
 
@@ -111,7 +137,13 @@ fn custom_threshold_flag() {
     let dir = std::env::temp_dir().join(format!("lagalyzer-cli-thr-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
     let trace = dir.join("t.lgz");
-    run_ok(&["simulate", "--app", "JMol", "--out", trace.to_str().unwrap()]);
+    run_ok(&[
+        "simulate",
+        "--app",
+        "JMol",
+        "--out",
+        trace.to_str().unwrap(),
+    ]);
     let strict = run_ok(&["analyze", trace.to_str().unwrap(), "--threshold-ms", "50"]);
     let lax = run_ok(&["analyze", trace.to_str().unwrap(), "--threshold-ms", "500"]);
     let count = |s: &str| -> u64 {
@@ -130,9 +162,20 @@ fn timeline_renders_svg() {
     let dir = std::env::temp_dir().join(format!("lagalyzer-cli-tl-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
     let trace = dir.join("t.lgz");
-    run_ok(&["simulate", "--app", "CrosswordSage", "--out", trace.to_str().unwrap()]);
+    run_ok(&[
+        "simulate",
+        "--app",
+        "CrosswordSage",
+        "--out",
+        trace.to_str().unwrap(),
+    ]);
     let svg_path = dir.join("timeline.svg");
-    run_ok(&["timeline", trace.to_str().unwrap(), "--out", svg_path.to_str().unwrap()]);
+    run_ok(&[
+        "timeline",
+        trace.to_str().unwrap(),
+        "--out",
+        svg_path.to_str().unwrap(),
+    ]);
     let svg = std::fs::read_to_string(&svg_path).unwrap();
     assert!(svg.starts_with("<svg"));
     assert!(svg.contains("CrosswordSage"));
@@ -145,8 +188,24 @@ fn stable_merges_multiple_traces() {
     std::fs::create_dir_all(&dir).unwrap();
     let t0 = dir.join("s0.lgz");
     let t1 = dir.join("s1.lgz");
-    run_ok(&["simulate", "--app", "JEdit", "--session", "0", "--out", t0.to_str().unwrap()]);
-    run_ok(&["simulate", "--app", "JEdit", "--session", "1", "--out", t1.to_str().unwrap()]);
+    run_ok(&[
+        "simulate",
+        "--app",
+        "JEdit",
+        "--session",
+        "0",
+        "--out",
+        t0.to_str().unwrap(),
+    ]);
+    run_ok(&[
+        "simulate",
+        "--app",
+        "JEdit",
+        "--session",
+        "1",
+        "--out",
+        t1.to_str().unwrap(),
+    ]);
     let out = run_ok(&["stable", t0.to_str().unwrap(), t1.to_str().unwrap()]);
     assert!(out.contains("2 traces"));
     assert!(out.contains("merged patterns"));
@@ -159,8 +218,20 @@ fn sketch_by_pattern_rank() {
     let dir = std::env::temp_dir().join(format!("lagalyzer-cli-pr-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
     let trace = dir.join("t.lgz");
-    run_ok(&["simulate", "--app", "JFreeChart", "--out", trace.to_str().unwrap()]);
-    let out = run_ok(&["sketch", trace.to_str().unwrap(), "--pattern", "0", "--ascii"]);
+    run_ok(&[
+        "simulate",
+        "--app",
+        "JFreeChart",
+        "--out",
+        trace.to_str().unwrap(),
+    ]);
+    let out = run_ok(&[
+        "sketch",
+        trace.to_str().unwrap(),
+        "--pattern",
+        "0",
+        "--ascii",
+    ]);
     assert!(out.contains("depth 0"));
     // An out-of-range pattern rank fails cleanly.
     let output = lagalyzer()
@@ -207,14 +278,33 @@ fn diff_compares_two_traces() {
     std::fs::create_dir_all(&dir).unwrap();
     let a = dir.join("a.lgz");
     let b = dir.join("b.lgz");
-    run_ok(&["simulate", "--app", "FreeMind", "--session", "0", "--out", a.to_str().unwrap()]);
-    run_ok(&["simulate", "--app", "FreeMind", "--session", "1", "--out", b.to_str().unwrap()]);
+    run_ok(&[
+        "simulate",
+        "--app",
+        "FreeMind",
+        "--session",
+        "0",
+        "--out",
+        a.to_str().unwrap(),
+    ]);
+    run_ok(&[
+        "simulate",
+        "--app",
+        "FreeMind",
+        "--session",
+        "1",
+        "--out",
+        b.to_str().unwrap(),
+    ]);
     let out = run_ok(&["diff", a.to_str().unwrap(), b.to_str().unwrap()]);
     assert!(out.contains("common patterns"));
     // Same app, same library: nothing should appear or disappear.
     assert!(out.contains("0 appeared, 0 disappeared"));
     // One file is an error.
-    let output = lagalyzer().args(["diff", a.to_str().unwrap()]).output().unwrap();
+    let output = lagalyzer()
+        .args(["diff", a.to_str().unwrap()])
+        .output()
+        .unwrap();
     assert!(!output.status.success());
     std::fs::remove_dir_all(&dir).ok();
 }

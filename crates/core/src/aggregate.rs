@@ -4,12 +4,16 @@
 //! Figs 3–8 is the average over the four sessions recorded for that
 //! application; this module implements exactly that averaging.
 
+use lagalyzer_model::{CodeOrigin, DurationNs, IntervalKind, OriginClassifier, ThreadState};
+
 use crate::causes::CauseStats;
 use crate::concurrency::ConcurrencyStats;
 use crate::location::LocationStats;
 use crate::occurrence::OccurrenceBreakdown;
+use crate::parallel;
+use crate::session::AnalysisSession;
 use crate::stats::SessionStats;
-use crate::trigger::TriggerBreakdown;
+use crate::trigger::{Trigger, TriggerBreakdown};
 
 /// The averaged per-application analysis results.
 #[derive(Clone, Debug, Default)]
@@ -100,6 +104,265 @@ impl AveragedStats {
         out.mean_tree_depth /= n;
         out
     }
+}
+
+/// Raw sample/time tallies behind one [`LocationStats`] scope.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+struct LocationAccum {
+    lib_samples: u64,
+    app_samples: u64,
+    total_time: DurationNs,
+    gc_time: DurationNs,
+    native_time: DurationNs,
+}
+
+impl LocationAccum {
+    fn merge(&mut self, other: &LocationAccum) {
+        self.lib_samples += other.lib_samples;
+        self.app_samples += other.app_samples;
+        self.total_time += other.total_time;
+        self.gc_time += other.gc_time;
+        self.native_time += other.native_time;
+    }
+
+    /// Exactly [`LocationStats::of`]'s normalization.
+    fn finalize(&self) -> LocationStats {
+        let samples = (self.lib_samples + self.app_samples).max(1) as f64;
+        LocationStats {
+            library: self.lib_samples as f64 / samples,
+            application: self.app_samples as f64 / samples,
+            gc: self
+                .gc_time
+                .fraction_of(self.total_time.max(DurationNs::from_nanos(1))),
+            native: self
+                .native_time
+                .fraction_of(self.total_time.max(DurationNs::from_nanos(1))),
+        }
+    }
+}
+
+/// Raw sample tallies behind one [`ConcurrencyStats`] scope.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+struct ConcurrencyAccum {
+    samples: u64,
+    runnable: u64,
+}
+
+impl ConcurrencyAccum {
+    fn merge(&mut self, other: &ConcurrencyAccum) {
+        self.samples += other.samples;
+        self.runnable += other.runnable;
+    }
+
+    /// Exactly [`crate::concurrency::concurrency_over`]'s normalization.
+    fn finalize(&self) -> f64 {
+        if self.samples > 0 {
+            self.runnable as f64 / self.samples as f64
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The mergeable accumulator behind a session's Fig 5–8 characterization
+/// (triggers, locations, causes, concurrency — each over all episodes and
+/// over perceptible episodes).
+///
+/// Every field is an exact tally (episode counts, sample counts,
+/// nanosecond sums), normalized to floating point only in the finalizers.
+/// Two tables built from disjoint episode shards therefore
+/// [`merge`](CharacterizationTable::merge) without loss, and
+/// [`characterize_with_jobs`] produces results byte-identical to the
+/// serial single-pass analyses ([`TriggerBreakdown::of_all`],
+/// [`LocationStats::of_all`], [`CauseStats::of_all`],
+/// [`crate::concurrency::concurrency_stats`], and their perceptible
+/// variants) for any job count.
+#[derive(Clone, Debug, Default)]
+pub struct CharacterizationTable {
+    trigger_all: TriggerBreakdown,
+    trigger_perceptible: TriggerBreakdown,
+    location_all: LocationAccum,
+    location_perceptible: LocationAccum,
+    /// Blocked / waiting / sleeping / runnable sample counts.
+    causes_all: [u64; 4],
+    causes_perceptible: [u64; 4],
+    concurrency_all: ConcurrencyAccum,
+    concurrency_perceptible: ConcurrencyAccum,
+    perceptible_episodes: u64,
+    episodes: u64,
+}
+
+impl CharacterizationTable {
+    /// Tallies one shard of `session`'s episodes into a fresh table.
+    pub fn scan(
+        session: &AnalysisSession,
+        range: std::ops::Range<usize>,
+        classifier: &OriginClassifier,
+    ) -> CharacterizationTable {
+        let symbols = session.trace().symbols();
+        let threshold = session.perceptible_threshold();
+        let mut t = CharacterizationTable::default();
+        for episode in &session.episodes()[range] {
+            let perceptible = episode.is_perceptible(threshold);
+            t.episodes += 1;
+            t.perceptible_episodes += u64::from(perceptible);
+
+            let trigger_slot = |b: &mut TriggerBreakdown| match Trigger::of_episode(episode) {
+                Trigger::Input => b.input += 1,
+                Trigger::Output => b.output += 1,
+                Trigger::Asynchronous => b.asynchronous += 1,
+                Trigger::Unspecified => b.unspecified += 1,
+            };
+            trigger_slot(&mut t.trigger_all);
+
+            let mut location = LocationAccum {
+                total_time: episode.duration(),
+                gc_time: episode.tree().outermost_kind_time(IntervalKind::Gc),
+                native_time: episode.tree().outermost_kind_time(IntervalKind::Native),
+                ..LocationAccum::default()
+            };
+            let mut causes = [0u64; 4];
+            let mut concurrency = ConcurrencyAccum::default();
+            for snap in episode.samples() {
+                concurrency.samples += 1;
+                concurrency.runnable += snap.runnable_count() as u64;
+                if let Some(ts) = snap.thread(episode.thread()) {
+                    match ts.top_origin(symbols, classifier) {
+                        CodeOrigin::RuntimeLibrary => location.lib_samples += 1,
+                        CodeOrigin::Application => location.app_samples += 1,
+                    }
+                    causes[match ts.state {
+                        ThreadState::Blocked => 0,
+                        ThreadState::Waiting => 1,
+                        ThreadState::Sleeping => 2,
+                        ThreadState::Runnable => 3,
+                    }] += 1;
+                }
+            }
+            t.location_all.merge(&location);
+            for (slot, n) in t.causes_all.iter_mut().zip(causes) {
+                *slot += n;
+            }
+            t.concurrency_all.merge(&concurrency);
+            if perceptible {
+                trigger_slot(&mut t.trigger_perceptible);
+                t.location_perceptible.merge(&location);
+                for (slot, n) in t.causes_perceptible.iter_mut().zip(causes) {
+                    *slot += n;
+                }
+                t.concurrency_perceptible.merge(&concurrency);
+            }
+        }
+        t
+    }
+
+    /// Folds another shard's tallies into this table (exact and
+    /// order-independent).
+    pub fn merge(&mut self, other: &CharacterizationTable) {
+        for (a, b) in [
+            (&mut self.trigger_all, &other.trigger_all),
+            (&mut self.trigger_perceptible, &other.trigger_perceptible),
+        ] {
+            a.input += b.input;
+            a.output += b.output;
+            a.asynchronous += b.asynchronous;
+            a.unspecified += b.unspecified;
+        }
+        self.location_all.merge(&other.location_all);
+        self.location_perceptible.merge(&other.location_perceptible);
+        for (slot, n) in self.causes_all.iter_mut().zip(other.causes_all) {
+            *slot += n;
+        }
+        for (slot, n) in self
+            .causes_perceptible
+            .iter_mut()
+            .zip(other.causes_perceptible)
+        {
+            *slot += n;
+        }
+        self.concurrency_all.merge(&other.concurrency_all);
+        self.concurrency_perceptible
+            .merge(&other.concurrency_perceptible);
+        self.perceptible_episodes += other.perceptible_episodes;
+        self.episodes += other.episodes;
+    }
+
+    /// Trigger breakdown over all episodes (Fig 5, upper graph).
+    pub fn trigger_all(&self) -> TriggerBreakdown {
+        self.trigger_all
+    }
+
+    /// Trigger breakdown over perceptible episodes (Fig 5, lower graph).
+    pub fn trigger_perceptible(&self) -> TriggerBreakdown {
+        self.trigger_perceptible
+    }
+
+    /// Location shares over all episodes (Fig 6, upper graph).
+    pub fn location_all(&self) -> LocationStats {
+        self.location_all.finalize()
+    }
+
+    /// Location shares over perceptible episodes (Fig 6, lower graph).
+    pub fn location_perceptible(&self) -> LocationStats {
+        self.location_perceptible.finalize()
+    }
+
+    /// Cause partition over all episodes (Fig 8, upper graph).
+    pub fn causes_all(&self) -> CauseStats {
+        finalize_causes(&self.causes_all)
+    }
+
+    /// Cause partition over perceptible episodes (Fig 8, lower graph).
+    pub fn causes_perceptible(&self) -> CauseStats {
+        finalize_causes(&self.causes_perceptible)
+    }
+
+    /// The Fig 7 concurrency pair.
+    pub fn concurrency(&self) -> ConcurrencyStats {
+        ConcurrencyStats {
+            all: self.concurrency_all.finalize(),
+            perceptible: self.concurrency_perceptible.finalize(),
+        }
+    }
+
+    /// Episodes tallied so far.
+    pub fn episode_count(&self) -> u64 {
+        self.episodes
+    }
+
+    /// Perceptible episodes tallied so far.
+    pub fn perceptible_count(&self) -> u64 {
+        self.perceptible_episodes
+    }
+}
+
+/// Exactly [`CauseStats::of`]'s normalization.
+fn finalize_causes(counts: &[u64; 4]) -> CauseStats {
+    let total = counts.iter().sum::<u64>().max(1) as f64;
+    CauseStats {
+        blocked: counts[0] as f64 / total,
+        waiting: counts[1] as f64 / total,
+        sleeping: counts[2] as f64 / total,
+        runnable: counts[3] as f64 / total,
+    }
+}
+
+/// Characterizes one session (Figs 5–8) on up to `jobs` worker threads by
+/// sharding its episodes; byte-identical to the serial analyses for any
+/// job count (see [`CharacterizationTable`]).
+pub fn characterize_with_jobs(
+    session: &AnalysisSession,
+    classifier: &OriginClassifier,
+    jobs: usize,
+) -> CharacterizationTable {
+    let shards = parallel::map_shards(session.episodes().len(), jobs, |range| {
+        CharacterizationTable::scan(session, range, classifier)
+    });
+    let mut merged = CharacterizationTable::default();
+    for shard in &shards {
+        merged.merge(shard);
+    }
+    merged
 }
 
 /// Element-wise sum of trigger breakdowns.
@@ -327,6 +590,78 @@ mod tests {
         ]);
         assert!((k.all - 1.2).abs() < 1e-12);
         assert!((k.perceptible - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn characterization_table_matches_serial_analyses_exactly() {
+        use crate::session::AnalysisConfig;
+        use lagalyzer_sim::{apps, runner};
+        let session = AnalysisSession::new(
+            runner::simulate_session(&apps::crossword_sage(), 0, 42),
+            AnalysisConfig::default(),
+        );
+        let classifier = OriginClassifier::java_default();
+        for jobs in [1usize, 2, 7] {
+            let table = characterize_with_jobs(&session, &classifier, jobs);
+            // Exact (not approximate) equality: the parallel pipeline must
+            // be byte-identical to the serial analyses.
+            assert_eq!(table.trigger_all(), TriggerBreakdown::of_all(&session));
+            assert_eq!(
+                table.trigger_perceptible(),
+                TriggerBreakdown::of_perceptible(&session)
+            );
+            assert_eq!(
+                table.location_all(),
+                LocationStats::of_all(&session, &classifier)
+            );
+            assert_eq!(
+                table.location_perceptible(),
+                LocationStats::of_perceptible(&session, &classifier)
+            );
+            assert_eq!(table.causes_all(), CauseStats::of_all(&session));
+            assert_eq!(
+                table.causes_perceptible(),
+                CauseStats::of_perceptible(&session)
+            );
+            assert_eq!(
+                table.concurrency(),
+                crate::concurrency::concurrency_stats(&session)
+            );
+            assert_eq!(
+                table.perceptible_count(),
+                session.perceptible_episodes().count() as u64
+            );
+            assert_eq!(table.episode_count(), session.episodes().len() as u64);
+        }
+    }
+
+    #[test]
+    fn characterization_merge_is_exact() {
+        use crate::session::AnalysisConfig;
+        use lagalyzer_sim::{apps, runner};
+        let session = AnalysisSession::new(
+            runner::simulate_session(&apps::jedit(), 1, 7),
+            AnalysisConfig::default(),
+        );
+        let classifier = OriginClassifier::java_default();
+        let n = session.episodes().len();
+        let whole = CharacterizationTable::scan(&session, 0..n, &classifier);
+        let mut pieces = CharacterizationTable::scan(&session, 0..n / 3, &classifier);
+        pieces.merge(&CharacterizationTable::scan(
+            &session,
+            n / 3..2 * n / 3,
+            &classifier,
+        ));
+        pieces.merge(&CharacterizationTable::scan(
+            &session,
+            2 * n / 3..n,
+            &classifier,
+        ));
+        assert_eq!(pieces.trigger_all(), whole.trigger_all());
+        assert_eq!(pieces.location_all(), whole.location_all());
+        assert_eq!(pieces.causes_perceptible(), whole.causes_perceptible());
+        assert_eq!(pieces.concurrency(), whole.concurrency());
+        assert_eq!(pieces.episode_count(), whole.episode_count());
     }
 
     #[test]

@@ -171,8 +171,13 @@ mod tests {
                 let m = b.symbols_mut().method(name, "run");
                 let mut t = IntervalTreeBuilder::new();
                 t.enter(IntervalKind::Dispatch, None, ms(cursor)).unwrap();
-                t.leaf(IntervalKind::Listener, Some(m), ms(cursor + 1), ms(cursor + dur - 1))
-                    .unwrap();
+                t.leaf(
+                    IntervalKind::Listener,
+                    Some(m),
+                    ms(cursor + 1),
+                    ms(cursor + dur - 1),
+                )
+                .unwrap();
                 t.exit(ms(cursor + dur)).unwrap();
                 b.push_episode(
                     EpisodeBuilder::new(EpisodeId::from_raw(id), ThreadId::from_raw(0))
@@ -222,7 +227,10 @@ mod tests {
         // Pattern B's 520 ms total beats pattern A's 33 ms.
         assert_eq!(rows[0].pattern.count(), 2);
         browser.sort_by(SortBy::MaxLag);
-        assert_eq!(browser.rows()[0].pattern.stats().max, DurationNs::from_millis(500));
+        assert_eq!(
+            browser.rows()[0].pattern.stats().max,
+            DurationNs::from_millis(500)
+        );
         browser.sort_by(SortBy::PerceptibleCount);
         assert_eq!(browser.rows()[0].pattern.perceptible_count(), 1);
     }

@@ -119,7 +119,9 @@ mod tests {
             0,
             0,
             50,
-            &[Runnable, Runnable, Blocked, Waiting, Sleeping, Runnable, Waiting, Runnable],
+            &[
+                Runnable, Runnable, Blocked, Waiting, Sleeping, Runnable, Waiting, Runnable,
+            ],
         )]);
         let c = CauseStats::of_all(&s);
         assert!((c.blocked - 0.125).abs() < 1e-12);

@@ -71,12 +71,13 @@ mod tests {
                 } else {
                     ThreadState::Waiting
                 };
-                threads.push(ThreadSample::new(ThreadId::from_raw(j as u32), state, vec![]));
+                threads.push(ThreadSample::new(
+                    ThreadId::from_raw(j as u32),
+                    state,
+                    vec![],
+                ));
             }
-            eb = eb.sample(SampleSnapshot::new(
-                ms(start + 1 + i as u64),
-                threads,
-            ));
+            eb = eb.sample(SampleSnapshot::new(ms(start + 1 + i as u64), threads));
         }
         eb.build().unwrap()
     }
@@ -106,8 +107,8 @@ mod tests {
     #[test]
     fn perceptible_scope_separates() {
         let s = session(vec![
-            episode(0, 0, 50, &[2, 2]),     // fast: 2 runnable
-            episode(1, 100, 300, &[1, 0]),  // slow: 0.5 runnable
+            episode(0, 0, 50, &[2, 2]),    // fast: 2 runnable
+            episode(1, 100, 300, &[1, 0]), // slow: 0.5 runnable
         ]);
         let c = concurrency_stats(&s);
         assert!((c.all - 1.25).abs() < 1e-12, "all {}", c.all);

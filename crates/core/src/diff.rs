@@ -35,9 +35,8 @@ impl PatternDelta {
     /// Candidate mean over baseline mean; 1.0 means unchanged, above 1 a
     /// regression. Returns `None` when the baseline mean is zero.
     pub fn mean_ratio(&self) -> Option<f64> {
-        (self.baseline_mean.as_nanos() > 0).then(|| {
-            self.candidate_mean.as_nanos() as f64 / self.baseline_mean.as_nanos() as f64
-        })
+        (self.baseline_mean.as_nanos() > 0)
+            .then(|| self.candidate_mean.as_nanos() as f64 / self.baseline_mean.as_nanos() as f64)
     }
 
     /// True if the pattern got perceptibly worse: more perceptible
@@ -146,12 +145,18 @@ impl SessionDiff {
 
     /// The regressions among common patterns, worst first.
     pub fn regressions(&self, tolerance: f64) -> Vec<&PatternDelta> {
-        self.common.iter().filter(|d| d.regressed(tolerance)).collect()
+        self.common
+            .iter()
+            .filter(|d| d.regressed(tolerance))
+            .collect()
     }
 
     /// The improvements among common patterns.
     pub fn improvements(&self, tolerance: f64) -> Vec<&PatternDelta> {
-        self.common.iter().filter(|d| d.improved(tolerance)).collect()
+        self.common
+            .iter()
+            .filter(|d| d.improved(tolerance))
+            .collect()
     }
 
     /// A one-line summary for logs and CLIs.
@@ -194,8 +199,13 @@ mod tests {
                 let m = b.symbols_mut().method(name, "run");
                 let mut t = IntervalTreeBuilder::new();
                 t.enter(IntervalKind::Dispatch, None, ms(cursor)).unwrap();
-                t.leaf(IntervalKind::Listener, Some(m), ms(cursor + 1), ms(cursor + dur - 1))
-                    .unwrap();
+                t.leaf(
+                    IntervalKind::Listener,
+                    Some(m),
+                    ms(cursor + 1),
+                    ms(cursor + dur - 1),
+                )
+                .unwrap();
                 t.exit(ms(cursor + dur)).unwrap();
                 b.push_episode(
                     EpisodeBuilder::new(EpisodeId::from_raw(id), ThreadId::from_raw(0))
@@ -269,7 +279,9 @@ mod tests {
         assert!(diff.disappeared.is_empty());
         assert!(diff.regressions(0.05).is_empty());
         assert!(diff.improvements(0.05).is_empty());
-        assert!(diff.summary(0.05).starts_with("2 common patterns (0 regressed, 0 improved)"));
+        assert!(diff
+            .summary(0.05)
+            .starts_with("2 common patterns (0 regressed, 0 improved)"));
     }
 
     #[test]

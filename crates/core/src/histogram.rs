@@ -119,7 +119,13 @@ impl DurationHistogram {
 
     /// Renders an ASCII bar chart of the traced buckets.
     pub fn to_ascii(&self, width: usize) -> String {
-        let max = self.buckets.iter().map(|b| b.count).max().unwrap_or(0).max(1);
+        let max = self
+            .buckets
+            .iter()
+            .map(|b| b.count)
+            .max()
+            .unwrap_or(0)
+            .max(1);
         let mut out = String::new();
         out.push_str(&format!(
             "{} episodes below the tracer filter (not bucketed)\n",

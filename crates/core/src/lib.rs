@@ -25,6 +25,8 @@
 //! * [`aggregate`] — averaging across an application's sessions;
 //! * [`multi`] — merging patterns across several traces (paper §VI:
 //!   "integrates multiple traces in its analysis");
+//! * [`parallel`] — the sharded worker pool behind every `*_with_jobs`
+//!   entry point; parallel results are byte-identical to serial ones;
 //! * [`diff`] — pattern-level regression detection between two sessions
 //!   (the before/after loop the paper's workflow implies);
 //! * [`histogram`] — Endo-style response-time distributions over a
@@ -58,13 +60,14 @@ pub mod histogram;
 pub mod location;
 pub mod multi;
 pub mod occurrence;
+pub mod parallel;
 pub mod patterns;
 pub mod session;
 pub mod shape;
 pub mod stats;
 pub mod trigger;
 
-pub use aggregate::AppAggregate;
+pub use aggregate::{characterize_with_jobs, AppAggregate, CharacterizationTable};
 pub use analysis::Analysis;
 pub use browser::PatternBrowser;
 pub use causes::CauseStats;
@@ -74,7 +77,8 @@ pub use histogram::DurationHistogram;
 pub use location::LocationStats;
 pub use multi::{MultiPattern, MultiPatternSet};
 pub use occurrence::Occurrence;
-pub use patterns::{Pattern, PatternSet};
+pub use parallel::{available_jobs, map_shards, resolve_jobs};
+pub use patterns::{Pattern, PatternSet, PatternTable};
 pub use session::{AnalysisConfig, AnalysisSession};
 pub use shape::ShapeSignature;
 pub use stats::SessionStats;
@@ -82,7 +86,7 @@ pub use trigger::Trigger;
 
 /// Convenient glob import for downstream users.
 pub mod prelude {
-    pub use crate::aggregate::AppAggregate;
+    pub use crate::aggregate::{characterize_with_jobs, AppAggregate, CharacterizationTable};
     pub use crate::analysis::Analysis;
     pub use crate::browser::PatternBrowser;
     pub use crate::causes::CauseStats;
@@ -92,7 +96,8 @@ pub mod prelude {
     pub use crate::location::LocationStats;
     pub use crate::multi::{MultiPattern, MultiPatternSet};
     pub use crate::occurrence::Occurrence;
-    pub use crate::patterns::{Pattern, PatternSet};
+    pub use crate::parallel::{available_jobs, map_shards, resolve_jobs};
+    pub use crate::patterns::{Pattern, PatternSet, PatternTable};
     pub use crate::session::{AnalysisConfig, AnalysisSession};
     pub use crate::shape::ShapeSignature;
     pub use crate::stats::SessionStats;

@@ -8,7 +8,7 @@
 //! * **GC and native** — from the explicit GC and native intervals in the
 //!   trace, as fractions of total episode time.
 
-use lagalyzer_model::{DurationNs, Episode, IntervalKind, OriginClassifier, CodeOrigin};
+use lagalyzer_model::{CodeOrigin, DurationNs, Episode, IntervalKind, OriginClassifier};
 
 use crate::session::AnalysisSession;
 

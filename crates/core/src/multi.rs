@@ -124,8 +124,25 @@ impl MultiPatternSet {
     /// merge is only meaningful within one application (as in the paper's
     /// four-sessions-per-app methodology).
     pub fn mine(sessions: &[AnalysisSession]) -> MultiPatternSet {
+        MultiPatternSet::mine_with_jobs(sessions, 1)
+    }
+
+    /// Like [`MultiPatternSet::mine`], but shards the *sessions* over up
+    /// to `jobs` worker threads (each session is mined serially within its
+    /// shard). Per-session pattern sets are reassembled in session order
+    /// before the merge, so the result is byte-identical to the serial
+    /// path for any `jobs`.
+    pub fn mine_with_jobs(sessions: &[AnalysisSession], jobs: usize) -> MultiPatternSet {
         let per_session: Vec<PatternSet> =
-            sessions.iter().map(AnalysisSession::mine_patterns).collect();
+            crate::parallel::map_shards(sessions.len(), jobs, |range| {
+                sessions[range]
+                    .iter()
+                    .map(AnalysisSession::mine_patterns)
+                    .collect::<Vec<_>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect();
         MultiPatternSet::merge(&per_session)
     }
 
@@ -156,7 +173,10 @@ impl MultiPatternSet {
                 .cmp(&a.total_episodes())
                 .then_with(|| a.signature.cmp(&b.signature))
         });
-        MultiPatternSet { patterns, sessions: n }
+        MultiPatternSet {
+            patterns,
+            sessions: n,
+        }
     }
 
     /// Merged patterns, most episodes first.
@@ -183,7 +203,9 @@ impl MultiPatternSet {
     /// behaviours.
     pub fn recurring(&self) -> impl Iterator<Item = &MultiPattern> {
         let n = self.sessions;
-        self.patterns.iter().filter(move |p| p.session_coverage() == n)
+        self.patterns
+            .iter()
+            .filter(move |p| p.session_coverage() == n)
     }
 
     /// The stable performance problems: perceptible in every session they
@@ -226,8 +248,13 @@ mod tests {
                 let m = b.symbols_mut().method(name, "run");
                 let mut t = IntervalTreeBuilder::new();
                 t.enter(IntervalKind::Dispatch, None, ms(cursor)).unwrap();
-                t.leaf(IntervalKind::Listener, Some(m), ms(cursor + 1), ms(cursor + dur - 1))
-                    .unwrap();
+                t.leaf(
+                    IntervalKind::Listener,
+                    Some(m),
+                    ms(cursor + 1),
+                    ms(cursor + dur - 1),
+                )
+                .unwrap();
                 t.exit(ms(cursor + dur)).unwrap();
                 b.push_episode(
                     EpisodeBuilder::new(EpisodeId::from_raw(id), ThreadId::from_raw(0))
@@ -268,10 +295,7 @@ mod tests {
         let s1 = session(&[("a.A", &[50]), ("b.B", &[30])]);
         let s2 = session(&[("a.A", &[60])]);
         let multi = MultiPatternSet::mine(&[s1, s2]);
-        let recurring: Vec<&str> = multi
-            .recurring()
-            .map(|p| p.signature().as_str())
-            .collect();
+        let recurring: Vec<&str> = multi.recurring().map(|p| p.signature().as_str()).collect();
         assert_eq!(recurring.len(), 1);
         assert!(recurring[0].contains("a.A"));
     }
@@ -289,7 +313,11 @@ mod tests {
 
     #[test]
     fn merged_occurrence_classes() {
-        let s1 = session(&[("always.A", &[200]), ("never.N", &[10]), ("mix.M", &[150, 10, 160])]);
+        let s1 = session(&[
+            ("always.A", &[200]),
+            ("never.N", &[10]),
+            ("mix.M", &[150, 10, 160]),
+        ]);
         let s2 = session(&[("always.A", &[220]), ("once.O", &[120, 10])]);
         let multi = MultiPatternSet::mine(&[s1, s2]);
         let by_name = |n: &str| {

@@ -156,8 +156,13 @@ mod tests {
                 let m = b.symbols_mut().method(name, "run");
                 let mut t = IntervalTreeBuilder::new();
                 t.enter(IntervalKind::Dispatch, None, ms(cursor)).unwrap();
-                t.leaf(IntervalKind::Listener, Some(m), ms(cursor + 1), ms(cursor + dur - 1))
-                    .unwrap();
+                t.leaf(
+                    IntervalKind::Listener,
+                    Some(m),
+                    ms(cursor + 1),
+                    ms(cursor + dur - 1),
+                )
+                .unwrap();
                 t.exit(ms(cursor + dur)).unwrap();
                 b.push_episode(
                     EpisodeBuilder::new(EpisodeId::from_raw(id), ThreadId::from_raw(0))

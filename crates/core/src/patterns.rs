@@ -6,10 +6,12 @@
 //! (min / average / max / total, paper §II-E) and the set of member
 //! episodes; [`PatternSet::cumulative_coverage`] reproduces Fig 3.
 
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 
-use lagalyzer_model::DurationNs;
+use lagalyzer_model::{DurationNs, Episode, SymbolTable};
 
+use crate::parallel;
 use crate::session::AnalysisSession;
 use crate::shape::ShapeSignature;
 
@@ -123,71 +125,25 @@ impl PatternSet {
     /// Mines the patterns of `session` (also available as
     /// [`AnalysisSession::mine_patterns`]).
     pub fn mine(session: &AnalysisSession) -> PatternSet {
-        let symbols = session.trace().symbols();
-        let threshold = session.perceptible_threshold();
-        let mut groups: HashMap<ShapeSignature, Vec<usize>> = HashMap::new();
-        let mut structureless = 0u64;
-        for (idx, episode) in session.episodes().iter().enumerate() {
-            if episode.is_structureless() {
-                structureless += 1;
-                continue;
-            }
-            let sig = ShapeSignature::of_tree(episode.tree(), symbols);
-            groups.entry(sig).or_default().push(idx);
-        }
-        let mut total_structured = 0u64;
-        let mut patterns: Vec<Pattern> = groups
-            .into_iter()
-            .map(|(signature, episodes)| {
-                let mut stats = LagStats {
-                    count: 0,
-                    min: DurationNs::from_nanos(u64::MAX),
-                    max: DurationNs::ZERO,
-                    total: DurationNs::ZERO,
-                };
-                let mut perceptible = 0u64;
-                let mut gc_count = 0u64;
-                for &idx in &episodes {
-                    let episode = &session.episodes()[idx];
-                    let d = episode.duration();
-                    stats.count += 1;
-                    stats.min = stats.min.min(d);
-                    stats.max = stats.max.max(d);
-                    stats.total += d;
-                    if d >= threshold {
-                        perceptible += 1;
-                    }
-                    if episode
-                        .tree()
-                        .contains_kind(lagalyzer_model::IntervalKind::Gc)
-                    {
-                        gc_count += 1;
-                    }
-                }
-                total_structured += stats.count;
-                let first = &session.episodes()[episodes[0]];
-                Pattern {
-                    signature,
-                    first_is_perceptible: first.duration() >= threshold,
-                    tree_size: first.tree().descendant_count(first.tree().root()),
-                    tree_depth: first.tree().max_depth(),
-                    episodes,
-                    stats,
-                    perceptible,
-                    gc_episode_count: gc_count,
-                }
-            })
-            .collect();
-        patterns.sort_by(|a, b| {
-            b.count()
-                .cmp(&a.count())
-                .then_with(|| a.signature.cmp(&b.signature))
+        PatternSet::mine_with_jobs(session, 1)
+    }
+
+    /// Mines the patterns of `session` on up to `jobs` worker threads.
+    ///
+    /// Episodes are sharded into contiguous index ranges, each shard is
+    /// scanned into its own [`PatternTable`], and the tables are merged in
+    /// shard order. Every accumulator is exact (counts, nanosecond sums,
+    /// minima/maxima), so the result is byte-identical to [`PatternSet::mine`]
+    /// for any `jobs`; `jobs <= 1` runs serially without spawning threads.
+    pub fn mine_with_jobs(session: &AnalysisSession, jobs: usize) -> PatternSet {
+        let tables = parallel::map_shards(session.episodes().len(), jobs, |range| {
+            PatternTable::scan(session, range)
         });
-        PatternSet {
-            patterns,
-            structureless,
-            total_structured,
+        let mut merged = PatternTable::new();
+        for table in tables {
+            merged.merge(table);
         }
+        merged.into_pattern_set()
     }
 
     /// Patterns in descending episode-count order.
@@ -234,7 +190,11 @@ impl PatternSet {
         if self.patterns.is_empty() {
             return 0.0;
         }
-        self.patterns.iter().map(|p| p.tree_size as f64).sum::<f64>() / self.patterns.len() as f64
+        self.patterns
+            .iter()
+            .map(|p| p.tree_size as f64)
+            .sum::<f64>()
+            / self.patterns.len() as f64
     }
 
     /// Mean interval-tree depth over patterns (Table III "Depth").
@@ -273,6 +233,216 @@ impl PatternSet {
     }
 }
 
+/// Per-signature accumulator inside a [`PatternTable`]. All fields are
+/// exact, so two accumulators for the same signature merge without loss.
+#[derive(Clone, Debug)]
+struct PatternAccum {
+    /// Member episode indices, ascending.
+    episodes: Vec<usize>,
+    stats: LagStats,
+    perceptible: u64,
+    gc_episode_count: u64,
+    /// Metrics of the earliest-dispatched member episode seen so far.
+    first_is_perceptible: bool,
+    tree_size: usize,
+    tree_depth: u32,
+}
+
+impl PatternAccum {
+    /// Folds `other` into `self`; both must accumulate the same signature.
+    fn absorb(&mut self, other: PatternAccum) {
+        // The representative ("first") episode is the one with the lowest
+        // index across both sides, which makes the merge order-independent.
+        if other.episodes[0] < self.episodes[0] {
+            self.first_is_perceptible = other.first_is_perceptible;
+            self.tree_size = other.tree_size;
+            self.tree_depth = other.tree_depth;
+        }
+        self.episodes = merge_sorted(std::mem::take(&mut self.episodes), other.episodes);
+        self.stats.count += other.stats.count;
+        self.stats.min = self.stats.min.min(other.stats.min);
+        self.stats.max = self.stats.max.max(other.stats.max);
+        self.stats.total += other.stats.total;
+        self.perceptible += other.perceptible;
+        self.gc_episode_count += other.gc_episode_count;
+    }
+}
+
+/// Merges two ascending index lists into one. Shard ranges are contiguous,
+/// so in-order merges hit the O(1)-dispatch append path; the general merge
+/// keeps the table correct even when tables are merged out of order.
+fn merge_sorted(mut a: Vec<usize>, mut b: Vec<usize>) -> Vec<usize> {
+    if a.last() < b.first() {
+        a.append(&mut b);
+        return a;
+    }
+    if b.last() < a.first() {
+        b.append(&mut a);
+        return b;
+    }
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut ai, mut bi) = (a.into_iter().peekable(), b.into_iter().peekable());
+    loop {
+        match (ai.peek(), bi.peek()) {
+            (Some(&x), Some(&y)) if x <= y => out.push(ai.next().unwrap()),
+            (Some(_), Some(_)) => out.push(bi.next().unwrap()),
+            (Some(_), None) => {
+                out.extend(ai);
+                return out;
+            }
+            (None, _) => {
+                out.extend(bi);
+                return out;
+            }
+        }
+    }
+}
+
+/// A mergeable, shard-local pattern table — the accumulation half of
+/// pattern mining.
+///
+/// One table holds the per-signature lag statistics, membership lists and
+/// representative-episode metrics for a contiguous slice of a session's
+/// episodes. Tables from different shards merge exactly (integer sums,
+/// minima, maxima; see [`PatternTable::merge`]), and
+/// [`PatternTable::into_pattern_set`] finalizes the merged table into the
+/// same [`PatternSet`] a serial scan produces. This is the primitive the
+/// parallel pipeline (see [`crate::parallel`]) is built on, and it also
+/// supports incremental use: chunks of episodes can be fed to
+/// [`PatternTable::scan_episodes`] while a codec is still streaming the
+/// rest of the trace.
+#[derive(Clone, Debug, Default)]
+pub struct PatternTable {
+    groups: HashMap<ShapeSignature, PatternAccum>,
+    structureless: u64,
+}
+
+impl PatternTable {
+    /// An empty table (the merge identity).
+    pub fn new() -> PatternTable {
+        PatternTable::default()
+    }
+
+    /// Scans one shard of `session`'s episodes into a fresh table.
+    pub fn scan(session: &AnalysisSession, range: std::ops::Range<usize>) -> PatternTable {
+        let mut table = PatternTable::new();
+        table.scan_episodes(
+            &session.episodes()[range.clone()],
+            range.start,
+            session.trace().symbols(),
+            session.perceptible_threshold(),
+        );
+        table
+    }
+
+    /// Accumulates `episodes` (whose session-wide indices start at
+    /// `base_index`) into the table. Chunks must not overlap; feeding them
+    /// in ascending index order keeps the per-signature membership lists on
+    /// the cheap append path, but any order produces the same table.
+    pub fn scan_episodes(
+        &mut self,
+        episodes: &[Episode],
+        base_index: usize,
+        symbols: &SymbolTable,
+        threshold: DurationNs,
+    ) {
+        for (offset, episode) in episodes.iter().enumerate() {
+            let idx = base_index + offset;
+            if episode.is_structureless() {
+                self.structureless += 1;
+                continue;
+            }
+            let sig = ShapeSignature::of_tree(episode.tree(), symbols);
+            let d = episode.duration();
+            let perceptible = u64::from(d >= threshold);
+            let gc = u64::from(
+                episode
+                    .tree()
+                    .contains_kind(lagalyzer_model::IntervalKind::Gc),
+            );
+            let single = PatternAccum {
+                episodes: vec![idx],
+                stats: LagStats {
+                    count: 1,
+                    min: d,
+                    max: d,
+                    total: d,
+                },
+                perceptible,
+                gc_episode_count: gc,
+                first_is_perceptible: d >= threshold,
+                tree_size: episode.tree().descendant_count(episode.tree().root()),
+                tree_depth: episode.tree().max_depth(),
+            };
+            match self.groups.entry(sig) {
+                Entry::Vacant(v) => {
+                    v.insert(single);
+                }
+                Entry::Occupied(mut o) => o.get_mut().absorb(single),
+            }
+        }
+    }
+
+    /// Folds another shard's table into this one. The merge is exact and
+    /// order-independent, which is what makes the parallel pipeline
+    /// byte-identical to the serial scan.
+    pub fn merge(&mut self, other: PatternTable) {
+        self.structureless += other.structureless;
+        for (sig, accum) in other.groups {
+            match self.groups.entry(sig) {
+                Entry::Vacant(v) => {
+                    v.insert(accum);
+                }
+                Entry::Occupied(mut o) => o.get_mut().absorb(accum),
+            }
+        }
+    }
+
+    /// Number of structureless episodes seen so far.
+    pub fn structureless_episodes(&self) -> u64 {
+        self.structureless
+    }
+
+    /// Number of distinct signatures accumulated so far.
+    pub fn distinct_signatures(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Finalizes the table into a [`PatternSet`]: materializes one
+    /// [`Pattern`] per signature and applies the canonical sort (descending
+    /// episode count, ties by signature).
+    pub fn into_pattern_set(self) -> PatternSet {
+        let mut total_structured = 0u64;
+        let mut patterns: Vec<Pattern> = self
+            .groups
+            .into_iter()
+            .map(|(signature, accum)| {
+                total_structured += accum.stats.count;
+                Pattern {
+                    signature,
+                    episodes: accum.episodes,
+                    stats: accum.stats,
+                    perceptible: accum.perceptible,
+                    first_is_perceptible: accum.first_is_perceptible,
+                    tree_size: accum.tree_size,
+                    tree_depth: accum.tree_depth,
+                    gc_episode_count: accum.gc_episode_count,
+                }
+            })
+            .collect();
+        patterns.sort_by(|a, b| {
+            b.count()
+                .cmp(&a.count())
+                .then_with(|| a.signature.cmp(&b.signature))
+        });
+        PatternSet {
+            patterns,
+            structureless: self.structureless,
+            total_structured,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -300,7 +470,8 @@ mod tests {
             t.enter(IntervalKind::Dispatch, None, ms(cursor)).unwrap();
             if !name.is_empty() {
                 let m = b.symbols_mut().method(name, "run");
-                t.enter(IntervalKind::Listener, Some(m), ms(cursor + 1)).unwrap();
+                t.enter(IntervalKind::Listener, Some(m), ms(cursor + 1))
+                    .unwrap();
                 if *gc {
                     t.leaf(IntervalKind::Gc, None, ms(cursor + 2), ms(cursor + 3))
                         .unwrap();
@@ -453,6 +624,86 @@ mod tests {
         assert!((set.mean_tree_depth() - 1.0).abs() < 1e-12);
     }
 
+    /// Field-by-field equality of two pattern sets (no `PartialEq` on
+    /// `PatternSet`: episode indices make derive-equality too strict for
+    /// public API, but tests want exactly that).
+    fn assert_sets_identical(a: &PatternSet, b: &PatternSet) {
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.structureless_episodes(), b.structureless_episodes());
+        assert_eq!(a.covered_episodes(), b.covered_episodes());
+        for (pa, pb) in a.patterns().iter().zip(b.patterns()) {
+            assert_eq!(pa.signature(), pb.signature());
+            assert_eq!(pa.episode_indices(), pb.episode_indices());
+            assert_eq!(pa.stats(), pb.stats());
+            assert_eq!(pa.perceptible_count(), pb.perceptible_count());
+            assert_eq!(pa.gc_episode_count(), pb.gc_episode_count());
+            assert_eq!(pa.first_is_perceptible(), pb.first_is_perceptible());
+            assert_eq!(pa.tree_size(), pb.tree_size());
+            assert_eq!(pa.tree_depth(), pb.tree_depth());
+        }
+    }
+
+    #[test]
+    fn parallel_mining_matches_serial() {
+        let s = trace_with(&[
+            ("a.A", 50, false),
+            ("b.B", 160, false),
+            ("a.A", 70, true),
+            ("", 90, false),
+            ("c.C", 80, false),
+            ("b.B", 20, false),
+            ("a.A", 110, false),
+        ]);
+        let serial = s.mine_patterns();
+        for jobs in [1usize, 2, 3, 8] {
+            let parallel = PatternSet::mine_with_jobs(&s, jobs);
+            assert_sets_identical(&serial, &parallel);
+        }
+    }
+
+    #[test]
+    fn table_merge_is_order_independent() {
+        let s = trace_with(&[
+            ("a.A", 50, false),
+            ("b.B", 160, false),
+            ("a.A", 70, false),
+            ("b.B", 20, false),
+            ("a.A", 110, false),
+        ]);
+        let shard = |r: std::ops::Range<usize>| PatternTable::scan(&s, r);
+        let mut forward = shard(0..2);
+        forward.merge(shard(2..4));
+        forward.merge(shard(4..5));
+        let mut backward = shard(4..5);
+        backward.merge(shard(2..4));
+        backward.merge(shard(0..2));
+        assert_eq!(
+            forward.distinct_signatures(),
+            backward.distinct_signatures()
+        );
+        assert_sets_identical(&forward.into_pattern_set(), &backward.into_pattern_set());
+    }
+
+    #[test]
+    fn incremental_chunks_match_whole_scan() {
+        let s = trace_with(&[
+            ("a.A", 50, false),
+            ("b.B", 160, false),
+            ("a.A", 70, false),
+            ("c.C", 80, false),
+        ]);
+        let symbols = s.trace().symbols();
+        let threshold = s.perceptible_threshold();
+        let mut chunked = PatternTable::new();
+        for (start, end) in [(0usize, 1usize), (1, 3), (3, 4)] {
+            chunked.scan_episodes(&s.episodes()[start..end], start, symbols, threshold);
+        }
+        assert_sets_identical(
+            &chunked.into_pattern_set(),
+            &PatternTable::scan(&s, 0..4).into_pattern_set(),
+        );
+    }
+
     #[test]
     fn mining_is_deterministic() {
         let s = trace_with(&[
@@ -463,8 +714,16 @@ mod tests {
         ]);
         let a = s.mine_patterns();
         let b = s.mine_patterns();
-        let sig_a: Vec<&str> = a.patterns().iter().map(|p| p.signature().as_str()).collect();
-        let sig_b: Vec<&str> = b.patterns().iter().map(|p| p.signature().as_str()).collect();
+        let sig_a: Vec<&str> = a
+            .patterns()
+            .iter()
+            .map(|p| p.signature().as_str())
+            .collect();
+        let sig_b: Vec<&str> = b
+            .patterns()
+            .iter()
+            .map(|p| p.signature().as_str())
+            .collect();
         assert_eq!(sig_a, sig_b);
     }
 }

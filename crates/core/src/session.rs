@@ -71,6 +71,13 @@ impl AnalysisSession {
     pub fn mine_patterns(&self) -> PatternSet {
         PatternSet::mine(self)
     }
+
+    /// Mines the episode patterns on up to `jobs` worker threads; the
+    /// result is byte-identical to [`AnalysisSession::mine_patterns`]
+    /// (see [`crate::parallel`]).
+    pub fn mine_patterns_with_jobs(&self, jobs: usize) -> PatternSet {
+        PatternSet::mine_with_jobs(self, jobs)
+    }
 }
 
 #[cfg(test)]

@@ -131,7 +131,8 @@ mod tests {
     fn timing_is_ignored() {
         let (fast, s1) = tree(|b, sym| {
             let m = sym.method("a.B", "c");
-            b.leaf(IntervalKind::Listener, Some(m), ms(1), ms(2)).unwrap();
+            b.leaf(IntervalKind::Listener, Some(m), ms(1), ms(2))
+                .unwrap();
         });
         let (slow, s2) = tree(|b, sym| {
             let m = sym.method("a.B", "c");
@@ -168,11 +169,13 @@ mod tests {
     fn symbols_distinguish_patterns() {
         let (a, s1) = tree(|b, sym| {
             let m = sym.method("a.B", "c");
-            b.leaf(IntervalKind::Listener, Some(m), ms(1), ms(2)).unwrap();
+            b.leaf(IntervalKind::Listener, Some(m), ms(1), ms(2))
+                .unwrap();
         });
         let (b2, s2) = tree(|b, sym| {
             let m = sym.method("a.B", "other");
-            b.leaf(IntervalKind::Listener, Some(m), ms(1), ms(2)).unwrap();
+            b.leaf(IntervalKind::Listener, Some(m), ms(1), ms(2))
+                .unwrap();
         });
         assert_ne!(
             ShapeSignature::of_tree(&a, &s1),
@@ -233,11 +236,13 @@ mod tests {
         let (a, s1) = tree(|b, sym| {
             let _noise = sym.intern("unrelated.Class");
             let m = sym.method("x.Y", "z");
-            b.leaf(IntervalKind::Listener, Some(m), ms(1), ms(2)).unwrap();
+            b.leaf(IntervalKind::Listener, Some(m), ms(1), ms(2))
+                .unwrap();
         });
         let (b2, s2) = tree(|b, sym| {
             let m = sym.method("x.Y", "z");
-            b.leaf(IntervalKind::Listener, Some(m), ms(1), ms(2)).unwrap();
+            b.leaf(IntervalKind::Listener, Some(m), ms(1), ms(2))
+                .unwrap();
         });
         assert_eq!(
             ShapeSignature::of_tree(&a, &s1),

@@ -34,9 +34,25 @@ pub struct SessionStats {
 impl SessionStats {
     /// Computes the full row for one session.
     pub fn compute(session: &AnalysisSession) -> SessionStats {
+        SessionStats::compute_with_jobs(session, 1)
+    }
+
+    /// Computes the full row on up to `jobs` worker threads. Pattern
+    /// mining and the perceptible-episode count are sharded over episodes;
+    /// both merges are exact, so the row is byte-identical to
+    /// [`SessionStats::compute`] for any `jobs`.
+    pub fn compute_with_jobs(session: &AnalysisSession, jobs: usize) -> SessionStats {
         let trace = session.trace();
-        let patterns = session.mine_patterns();
-        let perceptible_count = session.perceptible_episodes().count() as u64;
+        let patterns = session.mine_patterns_with_jobs(jobs);
+        let perceptible_count: u64 =
+            crate::parallel::map_shards(session.episodes().len(), jobs, |range| {
+                session.episodes()[range]
+                    .iter()
+                    .filter(|e| session.is_perceptible(e))
+                    .count() as u64
+            })
+            .into_iter()
+            .sum();
         let in_episode = trace.in_episode_time();
         let in_minutes = in_episode.as_secs_f64() / 60.0;
         SessionStats {
@@ -85,8 +101,13 @@ mod tests {
         for (i, dur) in [50u64, 120, 60].iter().enumerate() {
             let mut t = IntervalTreeBuilder::new();
             t.enter(IntervalKind::Dispatch, None, ms(cursor)).unwrap();
-            t.leaf(IntervalKind::Listener, Some(m), ms(cursor + 1), ms(cursor + dur - 1))
-                .unwrap();
+            t.leaf(
+                IntervalKind::Listener,
+                Some(m),
+                ms(cursor + 1),
+                ms(cursor + dur - 1),
+            )
+            .unwrap();
             t.exit(ms(cursor + dur)).unwrap();
             b.push_episode(
                 EpisodeBuilder::new(EpisodeId::from_raw(i as u32), ThreadId::from_raw(0))
@@ -144,10 +165,7 @@ mod tests {
             filter_threshold: DurationNs::TRACE_FILTER_DEFAULT,
         };
         let trace = SessionTraceBuilder::new(meta, SymbolTable::new()).finish();
-        let stats = SessionStats::compute(&AnalysisSession::new(
-            trace,
-            AnalysisConfig::default(),
-        ));
+        let stats = SessionStats::compute(&AnalysisSession::new(trace, AnalysisConfig::default()));
         assert_eq!(stats.traced_count, 0);
         assert_eq!(stats.perceptible_count, 0);
         assert_eq!(stats.long_per_minute, 0.0);

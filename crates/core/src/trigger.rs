@@ -257,7 +257,8 @@ mod tests {
 
     #[test]
     fn breakdown_counts_and_fractions() {
-        let episodes = [episode_from(|b| {
+        let episodes = [
+            episode_from(|b| {
                 b.leaf(IntervalKind::Listener, None, ms(1), ms(2)).unwrap();
             }),
             episode_from(|b| {
@@ -266,7 +267,8 @@ mod tests {
             episode_from(|b| {
                 b.leaf(IntervalKind::Paint, None, ms(1), ms(2)).unwrap();
             }),
-            episode_from(|_| {})];
+            episode_from(|_| {}),
+        ];
         let breakdown = TriggerBreakdown::of(episodes.iter());
         assert_eq!(breakdown.input, 1);
         assert_eq!(breakdown.output, 2);

@@ -61,12 +61,22 @@ fn build_session(specs: &[EpSpec]) -> AnalysisSession {
                     // bare dispatch
                 }
                 1 => {
-                    t.leaf(IntervalKind::Listener, Some(app), ms(inner_start), ms(inner_end))
-                        .unwrap();
+                    t.leaf(
+                        IntervalKind::Listener,
+                        Some(app),
+                        ms(inner_start),
+                        ms(inner_end),
+                    )
+                    .unwrap();
                 }
                 2 => {
-                    t.leaf(IntervalKind::Paint, Some(lib), ms(inner_start), ms(inner_end))
-                        .unwrap();
+                    t.leaf(
+                        IntervalKind::Paint,
+                        Some(lib),
+                        ms(inner_start),
+                        ms(inner_end),
+                    )
+                    .unwrap();
                 }
                 3 => {
                     // async with non-paint work
@@ -97,21 +107,28 @@ fn build_session(specs: &[EpSpec]) -> AnalysisSession {
                     t.exit(ms(inner_end)).unwrap();
                 }
                 _ => {
-                    t.leaf(IntervalKind::Native, Some(lib), ms(inner_start), ms(inner_end))
-                        .unwrap();
+                    t.leaf(
+                        IntervalKind::Native,
+                        Some(lib),
+                        ms(inner_start),
+                        ms(inner_end),
+                    )
+                    .unwrap();
                 }
             }
             if spec.gc && spec.dur_ms > 4 {
                 // A trailing sibling GC inside the dispatch window; keep it
                 // after the inner child by using the last millisecond.
-                t.leaf(IntervalKind::Gc, None, ms(end - 1), ms(end)).unwrap();
+                t.leaf(IntervalKind::Gc, None, ms(end - 1), ms(end))
+                    .unwrap();
             }
         }
         t.exit(ms(end)).unwrap();
         let mut eb = EpisodeBuilder::new(EpisodeId::from_raw(i as u32), ThreadId::from_raw(0))
             .tree(t.finish().unwrap());
         for (k, &state_sel) in spec.states.iter().enumerate() {
-            let at = start + 1 + (k as u64 * spec.dur_ms.saturating_sub(2)) / (spec.states.len() as u64);
+            let at =
+                start + 1 + (k as u64 * spec.dur_ms.saturating_sub(2)) / (spec.states.len() as u64);
             let state = ThreadState::ALL[state_sel as usize];
             let frame = if state_sel % 2 == 0 { lib } else { app };
             eb = eb.sample(SampleSnapshot::new(

@@ -138,7 +138,11 @@ fn fig5_trigger_shape_holds() {
             .map(TriggerBreakdown::of_perceptible)
             .collect::<Vec<_>>(),
     );
-    assert!(ab.fractions()[0] > 0.6, "ArgoUML input {:?}", ab.fractions());
+    assert!(
+        ab.fractions()[0] > 0.6,
+        "ArgoUML input {:?}",
+        ab.fractions()
+    );
 
     let findbugs = analyze(&apps::find_bugs(), 9);
     let fb = aggregate::sum_triggers(
@@ -220,19 +224,21 @@ fn fig7_concurrency_shape_holds() {
     // FindBugs exceeds one runnable thread during perceptible episodes;
     // Euclide stays below one (the GUI thread sleeps).
     let findbugs = analyze(&apps::find_bugs(), 17);
-    let c = aggregate::mean_concurrency(
-        &findbugs
-            .iter()
-            .map(concurrency_stats)
-            .collect::<Vec<_>>(),
+    let c =
+        aggregate::mean_concurrency(&findbugs.iter().map(concurrency_stats).collect::<Vec<_>>());
+    assert!(
+        c.perceptible > 1.0,
+        "FindBugs perceptible {:.2}",
+        c.perceptible
     );
-    assert!(c.perceptible > 1.0, "FindBugs perceptible {:.2}", c.perceptible);
 
     let euclide = analyze(&apps::euclide(), 17);
-    let c = aggregate::mean_concurrency(
-        &euclide.iter().map(concurrency_stats).collect::<Vec<_>>(),
+    let c = aggregate::mean_concurrency(&euclide.iter().map(concurrency_stats).collect::<Vec<_>>());
+    assert!(
+        c.perceptible < 1.0,
+        "Euclide perceptible {:.2}",
+        c.perceptible
     );
-    assert!(c.perceptible < 1.0, "Euclide perceptible {:.2}", c.perceptible);
     // All-episode concurrency is around 1.2 in the paper.
     assert!(
         (0.9..1.6).contains(&c.all),
@@ -273,10 +279,12 @@ fn fig8_cause_shape_holds() {
 
     // Aggregated over ALL episodes there is almost no blocking (the
     // paper's contrast between the two Fig 8 graphs).
-    let all = aggregate::mean_causes(
-        &freemind.iter().map(CauseStats::of_all).collect::<Vec<_>>(),
+    let all = aggregate::mean_causes(&freemind.iter().map(CauseStats::of_all).collect::<Vec<_>>());
+    assert!(
+        all.blocked < 0.05,
+        "FreeMind all-blocked {:.2}",
+        all.blocked
     );
-    assert!(all.blocked < 0.05, "FreeMind all-blocked {:.2}", all.blocked);
 }
 
 #[test]
@@ -294,13 +302,13 @@ fn sleep_samples_point_at_apple_toolkit() {
                     sleeping += 1;
                     let top = ts.top_frame().expect("sleeping samples have frames");
                     let class = symbols.resolve(top.method.class).unwrap();
-                    assert!(
-                        class.starts_with("com.apple."),
-                        "sleep frame in {class}"
-                    );
+                    assert!(class.starts_with("com.apple."), "sleep frame in {class}");
                 }
             }
         }
     }
-    assert!(sleeping > 10, "expected many sleeping samples, got {sleeping}");
+    assert!(
+        sleeping > 10,
+        "expected many sleeping samples, got {sleeping}"
+    );
 }

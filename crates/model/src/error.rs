@@ -77,10 +77,9 @@ impl fmt::Display for ModelError {
             ModelError::RootNotDispatch { found } => {
                 write!(f, "episode root must be a dispatch interval, found {found}")
             }
-            ModelError::SampleOutOfRange { at, start, end } => write!(
-                f,
-                "sample at {at} outside episode window [{start}, {end}]"
-            ),
+            ModelError::SampleOutOfRange { at, start, end } => {
+                write!(f, "sample at {at} outside episode window [{start}, {end}]")
+            }
             ModelError::EpisodeOrder { previous, at } => write!(
                 f,
                 "episode dispatched at {at} precedes previous episode at {previous}"

@@ -127,7 +127,10 @@ impl Interval {
     ///
     /// Panics if `end < start`.
     pub fn new(kind: IntervalKind, symbol: Option<MethodRef>, start: TimeNs, end: TimeNs) -> Self {
-        assert!(end >= start, "interval ends ({end}) before it starts ({start})");
+        assert!(
+            end >= start,
+            "interval ends ({end}) before it starts ({start})"
+        );
         Interval {
             kind,
             symbol,
@@ -219,7 +222,10 @@ mod tests {
         assert!(outer.overlaps(&inner));
         assert!(!outer.overlaps(&disjoint));
         assert!(outer.contains(TimeNs::from_millis(0)));
-        assert!(!outer.contains(TimeNs::from_millis(100)), "end is exclusive");
+        assert!(
+            !outer.contains(TimeNs::from_millis(100)),
+            "end is exclusive"
+        );
     }
 
     #[test]

@@ -134,11 +134,7 @@ impl ThreadSample {
     /// Classifies the executing frame as application or runtime-library
     /// code. Samples with empty stacks classify as library code — an empty
     /// stack means the thread was inside the VM itself.
-    pub fn top_origin(
-        &self,
-        symbols: &SymbolTable,
-        classifier: &OriginClassifier,
-    ) -> CodeOrigin {
+    pub fn top_origin(&self, symbols: &SymbolTable, classifier: &OriginClassifier) -> CodeOrigin {
         match self.top_frame() {
             Some(frame) => classifier.classify(symbols, frame.method.class),
             None => CodeOrigin::RuntimeLibrary,

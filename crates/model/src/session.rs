@@ -108,10 +108,7 @@ impl SessionTrace {
     }
 
     /// Episodes at or above the given perceptibility threshold.
-    pub fn perceptible_episodes(
-        &self,
-        threshold: DurationNs,
-    ) -> impl Iterator<Item = &Episode> {
+    pub fn perceptible_episodes(&self, threshold: DurationNs) -> impl Iterator<Item = &Episode> {
         self.episodes
             .iter()
             .filter(move |e| e.is_perceptible(threshold))

@@ -172,7 +172,13 @@ impl OriginClassifier {
     /// blink `Thread.sleep` the paper tracks down in §IV-E.
     pub fn java_default() -> Self {
         OriginClassifier::new([
-            "java.", "javax.", "sun.", "com.sun.", "jdk.", "com.apple.", "apple.",
+            "java.",
+            "javax.",
+            "sun.",
+            "com.sun.",
+            "jdk.",
+            "com.apple.",
+            "apple.",
         ])
     }
 

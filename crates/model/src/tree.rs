@@ -377,10 +377,7 @@ impl IntervalTreeBuilder {
     /// Fails if no interval is open or `at` precedes the previous event.
     pub fn exit(&mut self, at: TimeNs) -> Result<NodeId, ModelError> {
         self.check_monotone(at)?;
-        let id = self
-            .open
-            .pop()
-            .ok_or(ModelError::ExitWithoutEnter { at })?;
+        let id = self.open.pop().ok_or(ModelError::ExitWithoutEnter { at })?;
         self.nodes[id.index()].interval.end = at;
         if self.open.is_empty() {
             self.root_closed = true;
@@ -479,10 +476,7 @@ mod tests {
     #[test]
     fn pre_order_is_enter_order() {
         let t = figure1_tree();
-        let kinds: Vec<IntervalKind> = t
-            .pre_order()
-            .map(|id| t.interval(id).kind)
-            .collect();
+        let kinds: Vec<IntervalKind> = t.pre_order().map(|id| t.interval(id).kind).collect();
         assert_eq!(
             kinds,
             vec![
@@ -570,10 +564,7 @@ mod tests {
     fn unclosed_intervals_fail_finish() {
         let mut b = IntervalTreeBuilder::new();
         b.enter(IntervalKind::Dispatch, None, ms(0)).unwrap();
-        assert_eq!(
-            b.finish(),
-            Err(ModelError::UnclosedIntervals { open: 1 })
-        );
+        assert_eq!(b.finish(), Err(ModelError::UnclosedIntervals { open: 1 }));
     }
 
     #[test]
@@ -617,7 +608,8 @@ mod tests {
         let paint = symbols.method("javax.swing.JFrame", "paint");
         let mut b = IntervalTreeBuilder::new();
         b.enter(IntervalKind::Dispatch, None, ms(0)).unwrap();
-        b.leaf(IntervalKind::Paint, Some(paint), ms(1), ms(141)).unwrap();
+        b.leaf(IntervalKind::Paint, Some(paint), ms(1), ms(141))
+            .unwrap();
         b.exit(ms(142)).unwrap();
         let t = b.finish().unwrap();
         let outline = t.outline(&symbols);

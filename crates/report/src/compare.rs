@@ -36,17 +36,83 @@ pub fn table3_comparisons(study: &Study) -> Vec<Comparison> {
             continue;
         };
         let s = &app.aggregate.stats;
-        push(&mut out, &app.aggregate.name, "E2E [s]", row.e2e_secs as f64, s.e2e_secs);
-        push(&mut out, &app.aggregate.name, "In-Eps [%]", row.in_eps_pct as f64, s.in_episode_fraction * 100.0);
-        push(&mut out, &app.aggregate.name, "< 3ms", row.short as f64, s.short_count);
-        push(&mut out, &app.aggregate.name, ">= 3ms", row.traced as f64, s.traced_count);
-        push(&mut out, &app.aggregate.name, ">= 100ms", row.perceptible as f64, s.perceptible_count);
-        push(&mut out, &app.aggregate.name, "Long/min", row.long_per_min as f64, s.long_per_minute);
-        push(&mut out, &app.aggregate.name, "Dist", row.dist as f64, s.distinct_patterns);
-        push(&mut out, &app.aggregate.name, "#Eps", row.eps as f64, s.episodes_in_patterns);
-        push(&mut out, &app.aggregate.name, "One-Ep [%]", row.one_ep_pct as f64, s.singleton_fraction * 100.0);
-        push(&mut out, &app.aggregate.name, "Descs", row.descs as f64, s.mean_tree_size);
-        push(&mut out, &app.aggregate.name, "Depth", row.depth as f64, s.mean_tree_depth);
+        push(
+            &mut out,
+            &app.aggregate.name,
+            "E2E [s]",
+            row.e2e_secs as f64,
+            s.e2e_secs,
+        );
+        push(
+            &mut out,
+            &app.aggregate.name,
+            "In-Eps [%]",
+            row.in_eps_pct as f64,
+            s.in_episode_fraction * 100.0,
+        );
+        push(
+            &mut out,
+            &app.aggregate.name,
+            "< 3ms",
+            row.short as f64,
+            s.short_count,
+        );
+        push(
+            &mut out,
+            &app.aggregate.name,
+            ">= 3ms",
+            row.traced as f64,
+            s.traced_count,
+        );
+        push(
+            &mut out,
+            &app.aggregate.name,
+            ">= 100ms",
+            row.perceptible as f64,
+            s.perceptible_count,
+        );
+        push(
+            &mut out,
+            &app.aggregate.name,
+            "Long/min",
+            row.long_per_min as f64,
+            s.long_per_minute,
+        );
+        push(
+            &mut out,
+            &app.aggregate.name,
+            "Dist",
+            row.dist as f64,
+            s.distinct_patterns,
+        );
+        push(
+            &mut out,
+            &app.aggregate.name,
+            "#Eps",
+            row.eps as f64,
+            s.episodes_in_patterns,
+        );
+        push(
+            &mut out,
+            &app.aggregate.name,
+            "One-Ep [%]",
+            row.one_ep_pct as f64,
+            s.singleton_fraction * 100.0,
+        );
+        push(
+            &mut out,
+            &app.aggregate.name,
+            "Descs",
+            row.descs as f64,
+            s.mean_tree_size,
+        );
+        push(
+            &mut out,
+            &app.aggregate.name,
+            "Depth",
+            row.depth as f64,
+            s.mean_tree_depth,
+        );
     }
     out
 }
@@ -126,7 +192,10 @@ mod tests {
             .find(|c| c.label.contains("< 3ms"))
             .unwrap();
         assert!((short.ratio() - 1.0).abs() < 1e-9, "short-count is exact");
-        let e2e = comparisons.iter().find(|c| c.label.contains("E2E")).unwrap();
+        let e2e = comparisons
+            .iter()
+            .find(|c| c.label.contains("E2E"))
+            .unwrap();
         assert!((e2e.ratio() - 1.0).abs() < 0.05);
     }
 
@@ -147,7 +216,10 @@ mod tests {
         let table = render(&comparisons);
         assert!(table.contains("1.05"));
         assert!(table.contains("3.00"));
-        assert_eq!(summary(&comparisons, 0.10), "1/2 quantities within 10% of the paper");
+        assert_eq!(
+            summary(&comparisons, 0.10),
+            "1/2 quantities within 10% of the paper"
+        );
     }
 
     #[test]

@@ -28,7 +28,10 @@ pub fn fig3(study: &Study) -> Figure {
     );
     let mut text = String::from("app, pct_patterns -> pct_episodes (quartiles)\n");
     for app in &study.apps {
-        chart.series(app.aggregate.name.clone(), app.aggregate.coverage_curve.clone());
+        chart.series(
+            app.aggregate.name.clone(),
+            app.aggregate.coverage_curve.clone(),
+        );
         let curve = &app.aggregate.coverage_curve;
         let at = |f: f64| -> f64 {
             curve
@@ -85,7 +88,10 @@ pub fn fig4(study: &Study) -> Figure {
 /// Fig 5 — triggers of episodes; `perceptible` selects the lower graph.
 pub fn fig5(study: &Study, perceptible: bool) -> Figure {
     let (title, id) = if perceptible {
-        ("Fig 5 (lower): Triggers of perceptible episodes", "fig5_perceptible")
+        (
+            "Fig 5 (lower): Triggers of perceptible episodes",
+            "fig5_perceptible",
+        )
     } else {
         ("Fig 5 (upper): Triggers of all episodes", "fig5_all")
     };
@@ -213,7 +219,10 @@ pub fn fig8(study: &Study, perceptible: bool) -> Figure {
         } else {
             &app.aggregate.causes_all
         };
-        chart.row(app.aggregate.name.clone(), &[c.blocked, c.waiting, c.sleeping]);
+        chart.row(
+            app.aggregate.name.clone(),
+            &[c.blocked, c.waiting, c.sleeping],
+        );
         let _ = writeln!(
             text,
             "{:<14} {:>5.1} {:>5.1} {:>5.1}",

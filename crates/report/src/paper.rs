@@ -35,21 +35,216 @@ pub struct PaperRow {
 
 /// Table III, including the paper's mean row (last entry).
 pub const TABLE3: [PaperRow; 15] = [
-    PaperRow { name: "Arabeske", e2e_secs: 461, in_eps_pct: 25, short: 323_605, traced: 6_278, perceptible: 177, long_per_min: 95, dist: 427, eps: 5_456, one_ep_pct: 62, descs: 7, depth: 5 },
-    PaperRow { name: "ArgoUML", e2e_secs: 630, in_eps_pct: 35, short: 196_247, traced: 9_066, perceptible: 265, long_per_min: 75, dist: 1_292, eps: 8_011, one_ep_pct: 66, descs: 10, depth: 5 },
-    PaperRow { name: "CrosswordSage", e2e_secs: 367, in_eps_pct: 8, short: 109_547, traced: 1_173, perceptible: 36, long_per_min: 80, dist: 119, eps: 1_068, one_ep_pct: 46, descs: 5, depth: 4 },
-    PaperRow { name: "Euclide", e2e_secs: 614, in_eps_pct: 35, short: 109_572, traced: 9_676, perceptible: 96, long_per_min: 26, dist: 202, eps: 9_053, one_ep_pct: 35, descs: 5, depth: 4 },
-    PaperRow { name: "FindBugs", e2e_secs: 599, in_eps_pct: 21, short: 39_254, traced: 6_336, perceptible: 120, long_per_min: 56, dist: 245, eps: 6_128, one_ep_pct: 44, descs: 6, depth: 4 },
-    PaperRow { name: "FreeMind", e2e_secs: 524, in_eps_pct: 11, short: 325_135, traced: 3_462, perceptible: 26, long_per_min: 30, dist: 246, eps: 3_326, one_ep_pct: 55, descs: 7, depth: 5 },
-    PaperRow { name: "GanttProject", e2e_secs: 523, in_eps_pct: 47, short: 126_940, traced: 2_564, perceptible: 706, long_per_min: 168, dist: 803, eps: 2_373, one_ep_pct: 70, descs: 18, depth: 12 },
-    PaperRow { name: "JEdit", e2e_secs: 502, in_eps_pct: 9, short: 117_615, traced: 2_271, perceptible: 24, long_per_min: 33, dist: 150, eps: 1_610, one_ep_pct: 50, descs: 5, depth: 4 },
-    PaperRow { name: "JFreeChart", e2e_secs: 250, in_eps_pct: 26, short: 77_720, traced: 1_658, perceptible: 175, long_per_min: 164, dist: 114, eps: 1_581, one_ep_pct: 44, descs: 6, depth: 5 },
-    PaperRow { name: "JHotDraw", e2e_secs: 421, in_eps_pct: 41, short: 246_836, traced: 5_980, perceptible: 338, long_per_min: 114, dist: 454, eps: 5_675, one_ep_pct: 70, descs: 8, depth: 5 },
-    PaperRow { name: "JMol", e2e_secs: 449, in_eps_pct: 46, short: 110_929, traced: 3_197, perceptible: 604, long_per_min: 180, dist: 187, eps: 3_062, one_ep_pct: 52, descs: 7, depth: 5 },
-    PaperRow { name: "Laoe", e2e_secs: 460, in_eps_pct: 47, short: 1_241_198, traced: 3_174, perceptible: 61, long_per_min: 18, dist: 226, eps: 3_007, one_ep_pct: 58, descs: 8, depth: 5 },
-    PaperRow { name: "NetBeans", e2e_secs: 398, in_eps_pct: 27, short: 305_177, traced: 3_120, perceptible: 149, long_per_min: 82, dist: 642, eps: 2_911, one_ep_pct: 66, descs: 10, depth: 5 },
-    PaperRow { name: "SwingSet", e2e_secs: 384, in_eps_pct: 20, short: 219_569, traced: 4_310, perceptible: 70, long_per_min: 57, dist: 444, eps: 4_152, one_ep_pct: 59, descs: 9, depth: 6 },
-    PaperRow { name: "Mean", e2e_secs: 470, in_eps_pct: 28, short: 253_525, traced: 4_447, perceptible: 203, long_per_min: 84, dist: 396, eps: 4_101, one_ep_pct: 56, descs: 8, depth: 5 },
+    PaperRow {
+        name: "Arabeske",
+        e2e_secs: 461,
+        in_eps_pct: 25,
+        short: 323_605,
+        traced: 6_278,
+        perceptible: 177,
+        long_per_min: 95,
+        dist: 427,
+        eps: 5_456,
+        one_ep_pct: 62,
+        descs: 7,
+        depth: 5,
+    },
+    PaperRow {
+        name: "ArgoUML",
+        e2e_secs: 630,
+        in_eps_pct: 35,
+        short: 196_247,
+        traced: 9_066,
+        perceptible: 265,
+        long_per_min: 75,
+        dist: 1_292,
+        eps: 8_011,
+        one_ep_pct: 66,
+        descs: 10,
+        depth: 5,
+    },
+    PaperRow {
+        name: "CrosswordSage",
+        e2e_secs: 367,
+        in_eps_pct: 8,
+        short: 109_547,
+        traced: 1_173,
+        perceptible: 36,
+        long_per_min: 80,
+        dist: 119,
+        eps: 1_068,
+        one_ep_pct: 46,
+        descs: 5,
+        depth: 4,
+    },
+    PaperRow {
+        name: "Euclide",
+        e2e_secs: 614,
+        in_eps_pct: 35,
+        short: 109_572,
+        traced: 9_676,
+        perceptible: 96,
+        long_per_min: 26,
+        dist: 202,
+        eps: 9_053,
+        one_ep_pct: 35,
+        descs: 5,
+        depth: 4,
+    },
+    PaperRow {
+        name: "FindBugs",
+        e2e_secs: 599,
+        in_eps_pct: 21,
+        short: 39_254,
+        traced: 6_336,
+        perceptible: 120,
+        long_per_min: 56,
+        dist: 245,
+        eps: 6_128,
+        one_ep_pct: 44,
+        descs: 6,
+        depth: 4,
+    },
+    PaperRow {
+        name: "FreeMind",
+        e2e_secs: 524,
+        in_eps_pct: 11,
+        short: 325_135,
+        traced: 3_462,
+        perceptible: 26,
+        long_per_min: 30,
+        dist: 246,
+        eps: 3_326,
+        one_ep_pct: 55,
+        descs: 7,
+        depth: 5,
+    },
+    PaperRow {
+        name: "GanttProject",
+        e2e_secs: 523,
+        in_eps_pct: 47,
+        short: 126_940,
+        traced: 2_564,
+        perceptible: 706,
+        long_per_min: 168,
+        dist: 803,
+        eps: 2_373,
+        one_ep_pct: 70,
+        descs: 18,
+        depth: 12,
+    },
+    PaperRow {
+        name: "JEdit",
+        e2e_secs: 502,
+        in_eps_pct: 9,
+        short: 117_615,
+        traced: 2_271,
+        perceptible: 24,
+        long_per_min: 33,
+        dist: 150,
+        eps: 1_610,
+        one_ep_pct: 50,
+        descs: 5,
+        depth: 4,
+    },
+    PaperRow {
+        name: "JFreeChart",
+        e2e_secs: 250,
+        in_eps_pct: 26,
+        short: 77_720,
+        traced: 1_658,
+        perceptible: 175,
+        long_per_min: 164,
+        dist: 114,
+        eps: 1_581,
+        one_ep_pct: 44,
+        descs: 6,
+        depth: 5,
+    },
+    PaperRow {
+        name: "JHotDraw",
+        e2e_secs: 421,
+        in_eps_pct: 41,
+        short: 246_836,
+        traced: 5_980,
+        perceptible: 338,
+        long_per_min: 114,
+        dist: 454,
+        eps: 5_675,
+        one_ep_pct: 70,
+        descs: 8,
+        depth: 5,
+    },
+    PaperRow {
+        name: "JMol",
+        e2e_secs: 449,
+        in_eps_pct: 46,
+        short: 110_929,
+        traced: 3_197,
+        perceptible: 604,
+        long_per_min: 180,
+        dist: 187,
+        eps: 3_062,
+        one_ep_pct: 52,
+        descs: 7,
+        depth: 5,
+    },
+    PaperRow {
+        name: "Laoe",
+        e2e_secs: 460,
+        in_eps_pct: 47,
+        short: 1_241_198,
+        traced: 3_174,
+        perceptible: 61,
+        long_per_min: 18,
+        dist: 226,
+        eps: 3_007,
+        one_ep_pct: 58,
+        descs: 8,
+        depth: 5,
+    },
+    PaperRow {
+        name: "NetBeans",
+        e2e_secs: 398,
+        in_eps_pct: 27,
+        short: 305_177,
+        traced: 3_120,
+        perceptible: 149,
+        long_per_min: 82,
+        dist: 642,
+        eps: 2_911,
+        one_ep_pct: 66,
+        descs: 10,
+        depth: 5,
+    },
+    PaperRow {
+        name: "SwingSet",
+        e2e_secs: 384,
+        in_eps_pct: 20,
+        short: 219_569,
+        traced: 4_310,
+        perceptible: 70,
+        long_per_min: 57,
+        dist: 444,
+        eps: 4_152,
+        one_ep_pct: 59,
+        descs: 9,
+        depth: 6,
+    },
+    PaperRow {
+        name: "Mean",
+        e2e_secs: 470,
+        in_eps_pct: 28,
+        short: 253_525,
+        traced: 4_447,
+        perceptible: 203,
+        long_per_min: 84,
+        dist: 396,
+        eps: 4_101,
+        one_ep_pct: 56,
+        descs: 8,
+        depth: 5,
+    },
 ];
 
 /// A figure claim the paper makes in its prose.
@@ -65,32 +260,136 @@ pub struct PaperClaim {
 
 /// The prose claims of §IV the experiments check.
 pub const CLAIMS: &[PaperClaim] = &[
-    PaperClaim { source: "Fig 3", description: "~80% of episodes covered by 20% of patterns (Pareto)", value: 0.80 },
-    PaperClaim { source: "Fig 4", description: "GanttProject patterns always slow", value: 0.57 },
-    PaperClaim { source: "Fig 4", description: "FreeMind patterns never slow", value: 0.92 },
-    PaperClaim { source: "Fig 4", description: "mean consistently slow-or-fast patterns", value: 0.96 },
-    PaperClaim { source: "Fig 4", description: "mean ever-perceptible patterns", value: 0.22 },
-    PaperClaim { source: "Fig 5", description: "mean perceptible lag due to input", value: 0.40 },
-    PaperClaim { source: "Fig 5", description: "mean perceptible lag due to output", value: 0.47 },
-    PaperClaim { source: "Fig 5", description: "mean perceptible lag due to async", value: 0.07 },
-    PaperClaim { source: "Fig 5", description: "Arabeske perceptible episodes unspecified", value: 0.57 },
-    PaperClaim { source: "Fig 5", description: "JMol perceptible episodes output", value: 0.98 },
-    PaperClaim { source: "Fig 5", description: "ArgoUML perceptible episodes input", value: 0.78 },
-    PaperClaim { source: "Fig 5", description: "FindBugs perceptible episodes async", value: 0.42 },
-    PaperClaim { source: "Fig 6", description: "mean perceptible lag in runtime libraries", value: 0.52 },
-    PaperClaim { source: "Fig 6", description: "mean perceptible lag in application", value: 0.48 },
-    PaperClaim { source: "Fig 6", description: "mean perceptible lag in GC", value: 0.11 },
-    PaperClaim { source: "Fig 6", description: "mean perceptible lag in native calls", value: 0.05 },
-    PaperClaim { source: "Fig 6", description: "Arabeske perceptible lag in GC", value: 0.60 },
-    PaperClaim { source: "Fig 6", description: "ArgoUML perceptible lag in GC", value: 0.26 },
-    PaperClaim { source: "Fig 6", description: "ArgoUML all-episode time in GC", value: 0.16 },
-    PaperClaim { source: "Fig 6", description: "JFreeChart perceptible lag in native code", value: 0.24 },
-    PaperClaim { source: "Fig 6", description: "Euclide perceptible lag in runtime library", value: 0.73 },
-    PaperClaim { source: "Fig 6", description: "JHotDraw perceptible lag in application code", value: 0.96 },
-    PaperClaim { source: "Fig 7", description: "mean runnable threads over all episodes", value: 1.2 },
-    PaperClaim { source: "Fig 8", description: "jEdit perceptible lag waiting", value: 0.25 },
-    PaperClaim { source: "Fig 8", description: "FreeMind perceptible lag blocked", value: 0.12 },
-    PaperClaim { source: "Fig 8", description: "Euclide perceptible lag sleeping", value: 0.60 },
+    PaperClaim {
+        source: "Fig 3",
+        description: "~80% of episodes covered by 20% of patterns (Pareto)",
+        value: 0.80,
+    },
+    PaperClaim {
+        source: "Fig 4",
+        description: "GanttProject patterns always slow",
+        value: 0.57,
+    },
+    PaperClaim {
+        source: "Fig 4",
+        description: "FreeMind patterns never slow",
+        value: 0.92,
+    },
+    PaperClaim {
+        source: "Fig 4",
+        description: "mean consistently slow-or-fast patterns",
+        value: 0.96,
+    },
+    PaperClaim {
+        source: "Fig 4",
+        description: "mean ever-perceptible patterns",
+        value: 0.22,
+    },
+    PaperClaim {
+        source: "Fig 5",
+        description: "mean perceptible lag due to input",
+        value: 0.40,
+    },
+    PaperClaim {
+        source: "Fig 5",
+        description: "mean perceptible lag due to output",
+        value: 0.47,
+    },
+    PaperClaim {
+        source: "Fig 5",
+        description: "mean perceptible lag due to async",
+        value: 0.07,
+    },
+    PaperClaim {
+        source: "Fig 5",
+        description: "Arabeske perceptible episodes unspecified",
+        value: 0.57,
+    },
+    PaperClaim {
+        source: "Fig 5",
+        description: "JMol perceptible episodes output",
+        value: 0.98,
+    },
+    PaperClaim {
+        source: "Fig 5",
+        description: "ArgoUML perceptible episodes input",
+        value: 0.78,
+    },
+    PaperClaim {
+        source: "Fig 5",
+        description: "FindBugs perceptible episodes async",
+        value: 0.42,
+    },
+    PaperClaim {
+        source: "Fig 6",
+        description: "mean perceptible lag in runtime libraries",
+        value: 0.52,
+    },
+    PaperClaim {
+        source: "Fig 6",
+        description: "mean perceptible lag in application",
+        value: 0.48,
+    },
+    PaperClaim {
+        source: "Fig 6",
+        description: "mean perceptible lag in GC",
+        value: 0.11,
+    },
+    PaperClaim {
+        source: "Fig 6",
+        description: "mean perceptible lag in native calls",
+        value: 0.05,
+    },
+    PaperClaim {
+        source: "Fig 6",
+        description: "Arabeske perceptible lag in GC",
+        value: 0.60,
+    },
+    PaperClaim {
+        source: "Fig 6",
+        description: "ArgoUML perceptible lag in GC",
+        value: 0.26,
+    },
+    PaperClaim {
+        source: "Fig 6",
+        description: "ArgoUML all-episode time in GC",
+        value: 0.16,
+    },
+    PaperClaim {
+        source: "Fig 6",
+        description: "JFreeChart perceptible lag in native code",
+        value: 0.24,
+    },
+    PaperClaim {
+        source: "Fig 6",
+        description: "Euclide perceptible lag in runtime library",
+        value: 0.73,
+    },
+    PaperClaim {
+        source: "Fig 6",
+        description: "JHotDraw perceptible lag in application code",
+        value: 0.96,
+    },
+    PaperClaim {
+        source: "Fig 7",
+        description: "mean runnable threads over all episodes",
+        value: 1.2,
+    },
+    PaperClaim {
+        source: "Fig 8",
+        description: "jEdit perceptible lag waiting",
+        value: 0.25,
+    },
+    PaperClaim {
+        source: "Fig 8",
+        description: "FreeMind perceptible lag blocked",
+        value: 0.12,
+    },
+    PaperClaim {
+        source: "Fig 8",
+        description: "Euclide perceptible lag sleeping",
+        value: 0.60,
+    },
 ];
 
 /// Looks up a Table III row by application name.
@@ -122,8 +421,7 @@ mod tests {
         let mean_traced: f64 =
             apps.iter().map(|r| r.traced as f64).sum::<f64>() / apps.len() as f64;
         assert!((mean_traced - TABLE3[14].traced as f64).abs() < 1.0);
-        let mean_short: f64 =
-            apps.iter().map(|r| r.short as f64).sum::<f64>() / apps.len() as f64;
+        let mean_short: f64 = apps.iter().map(|r| r.short as f64).sum::<f64>() / apps.len() as f64;
         assert!((mean_short - TABLE3[14].short as f64).abs() < 1.0);
     }
 

@@ -2,15 +2,13 @@
 
 use lagalyzer_core::aggregate::{
     mean_causes, mean_concurrency, mean_coverage_curves, mean_locations, sum_occurrences,
-    sum_triggers, AppAggregate, AveragedStats,
+    sum_triggers, AppAggregate, AveragedStats, CharacterizationTable,
 };
-use lagalyzer_core::causes::CauseStats;
-use lagalyzer_core::concurrency::concurrency_stats;
-use lagalyzer_core::location::LocationStats;
 use lagalyzer_core::occurrence::OccurrenceBreakdown;
+use lagalyzer_core::parallel::map_shards;
+use lagalyzer_core::patterns::PatternSet;
 use lagalyzer_core::session::{AnalysisConfig, AnalysisSession};
 use lagalyzer_core::stats::SessionStats;
-use lagalyzer_core::trigger::TriggerBreakdown;
 use lagalyzer_model::OriginClassifier;
 use lagalyzer_sim::profile::AppProfile;
 use lagalyzer_sim::runner::simulate_session;
@@ -38,21 +36,46 @@ impl Study {
     /// analyses, and aggregates per application (the paper uses four
     /// sessions per application).
     pub fn run(profiles: &[AppProfile], sessions_per_app: u32, seed: u64) -> Study {
+        Study::run_with_jobs(profiles, sessions_per_app, seed, 1)
+    }
+
+    /// Like [`Study::run`], but simulates and analyzes each application's
+    /// sessions on up to `jobs` worker threads. Simulation is seeded per
+    /// `(profile, session index, seed)` and per-session results are
+    /// reassembled in session order before aggregation, so the study is
+    /// byte-identical to the serial one for any `jobs`.
+    pub fn run_with_jobs(
+        profiles: &[AppProfile],
+        sessions_per_app: u32,
+        seed: u64,
+        jobs: usize,
+    ) -> Study {
         let classifier = OriginClassifier::java_default();
         let apps = profiles
             .iter()
             .map(|profile| {
-                let sessions: Vec<AnalysisSession> = (0..sessions_per_app)
-                    .map(|i| {
-                        AnalysisSession::new(
-                            simulate_session(profile, i, seed),
-                            AnalysisConfig::default(),
-                        )
+                let sessions: Vec<AnalysisSession> =
+                    map_shards(sessions_per_app as usize, jobs, |range| {
+                        range
+                            .map(|i| {
+                                AnalysisSession::new(
+                                    simulate_session(profile, i as u32, seed),
+                                    AnalysisConfig::default(),
+                                )
+                            })
+                            .collect::<Vec<_>>()
                     })
+                    .into_iter()
+                    .flatten()
                     .collect();
                 AppResult {
                     profile: profile.clone(),
-                    aggregate: aggregate_sessions(&profile.name, &sessions, &classifier),
+                    aggregate: aggregate_sessions_with_jobs(
+                        &profile.name,
+                        &sessions,
+                        &classifier,
+                        jobs,
+                    ),
                 }
             })
             .collect();
@@ -70,67 +93,85 @@ impl Study {
     }
 }
 
+/// Everything the aggregation needs from one session, computed in a
+/// single sharded pass over the sessions.
+struct SessionBundle {
+    row: SessionStats,
+    patterns: PatternSet,
+    characterization: CharacterizationTable,
+}
+
 /// Aggregates per-session analysis outputs for one application.
 pub fn aggregate_sessions(
     name: &str,
     sessions: &[AnalysisSession],
     classifier: &OriginClassifier,
 ) -> AppAggregate {
-    let rows: Vec<SessionStats> = sessions.iter().map(SessionStats::compute).collect();
-    let pattern_sets: Vec<_> = sessions.iter().map(|s| s.mine_patterns()).collect();
+    aggregate_sessions_with_jobs(name, sessions, classifier, 1)
+}
+
+/// Like [`aggregate_sessions`], but analyzes the sessions on up to `jobs`
+/// worker threads (sharding over sessions; each session's analyses run
+/// serially within its shard). All per-session results are exact or
+/// normalized identically to the serial analyses, so the aggregate is
+/// byte-identical for any `jobs`.
+pub fn aggregate_sessions_with_jobs(
+    name: &str,
+    sessions: &[AnalysisSession],
+    classifier: &OriginClassifier,
+    jobs: usize,
+) -> AppAggregate {
+    let bundles: Vec<SessionBundle> = map_shards(sessions.len(), jobs, |range| {
+        sessions[range]
+            .iter()
+            .map(|s| SessionBundle {
+                row: SessionStats::compute(s),
+                patterns: s.mine_patterns(),
+                characterization: CharacterizationTable::scan(s, 0..s.episodes().len(), classifier),
+            })
+            .collect::<Vec<_>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+    let rows: Vec<SessionStats> = bundles.iter().map(|b| b.row).collect();
+    let tables: Vec<&CharacterizationTable> = bundles.iter().map(|b| &b.characterization).collect();
     AppAggregate {
         name: name.to_owned(),
         sessions: sessions.len(),
         stats: AveragedStats::over(&rows),
-        trigger_all: sum_triggers(
-            &sessions
-                .iter()
-                .map(TriggerBreakdown::of_all)
-                .collect::<Vec<_>>(),
-        ),
+        trigger_all: sum_triggers(&tables.iter().map(|t| t.trigger_all()).collect::<Vec<_>>()),
         trigger_perceptible: sum_triggers(
-            &sessions
+            &tables
                 .iter()
-                .map(TriggerBreakdown::of_perceptible)
+                .map(|t| t.trigger_perceptible())
                 .collect::<Vec<_>>(),
         ),
         occurrence: sum_occurrences(
-            &pattern_sets
+            &bundles
                 .iter()
-                .map(OccurrenceBreakdown::of)
+                .map(|b| OccurrenceBreakdown::of(&b.patterns))
                 .collect::<Vec<_>>(),
         ),
-        location_all: mean_locations(
-            &sessions
-                .iter()
-                .map(|s| LocationStats::of_all(s, classifier))
-                .collect::<Vec<_>>(),
-        ),
+        location_all: mean_locations(&tables.iter().map(|t| t.location_all()).collect::<Vec<_>>()),
         location_perceptible: mean_locations(
-            &sessions
+            &tables
                 .iter()
-                .map(|s| LocationStats::of_perceptible(s, classifier))
+                .map(|t| t.location_perceptible())
                 .collect::<Vec<_>>(),
         ),
-        causes_all: mean_causes(
-            &sessions
-                .iter()
-                .map(CauseStats::of_all)
-                .collect::<Vec<_>>(),
-        ),
+        causes_all: mean_causes(&tables.iter().map(|t| t.causes_all()).collect::<Vec<_>>()),
         causes_perceptible: mean_causes(
-            &sessions
+            &tables
                 .iter()
-                .map(CauseStats::of_perceptible)
+                .map(|t| t.causes_perceptible())
                 .collect::<Vec<_>>(),
         ),
-        concurrency: mean_concurrency(
-            &sessions.iter().map(concurrency_stats).collect::<Vec<_>>(),
-        ),
+        concurrency: mean_concurrency(&tables.iter().map(|t| t.concurrency()).collect::<Vec<_>>()),
         coverage_curve: mean_coverage_curves(
-            &pattern_sets
+            &bundles
                 .iter()
-                .map(|p| p.cumulative_coverage())
+                .map(|b| b.patterns.cumulative_coverage())
                 .collect::<Vec<_>>(),
         ),
     }
@@ -194,6 +235,39 @@ mod tests {
     }
 
     #[test]
+    fn parallel_study_matches_serial_exactly() {
+        let serial = Study::run(&[apps::crossword_sage(), apps::jedit()], 3, 11);
+        for jobs in [2, 5] {
+            let parallel =
+                Study::run_with_jobs(&[apps::crossword_sage(), apps::jedit()], 3, 11, jobs);
+            assert_eq!(parallel.apps.len(), serial.apps.len());
+            for (p, s) in parallel.apps.iter().zip(serial.apps.iter()) {
+                assert_eq!(p.aggregate.name, s.aggregate.name);
+                assert_eq!(p.aggregate.sessions, s.aggregate.sessions);
+                assert_eq!(p.aggregate.stats, s.aggregate.stats);
+                assert_eq!(p.aggregate.trigger_all, s.aggregate.trigger_all);
+                assert_eq!(
+                    p.aggregate.trigger_perceptible,
+                    s.aggregate.trigger_perceptible
+                );
+                assert_eq!(p.aggregate.occurrence, s.aggregate.occurrence);
+                assert_eq!(p.aggregate.location_all, s.aggregate.location_all);
+                assert_eq!(
+                    p.aggregate.location_perceptible,
+                    s.aggregate.location_perceptible
+                );
+                assert_eq!(p.aggregate.causes_all, s.aggregate.causes_all);
+                assert_eq!(
+                    p.aggregate.causes_perceptible,
+                    s.aggregate.causes_perceptible
+                );
+                assert_eq!(p.aggregate.concurrency, s.aggregate.concurrency);
+                assert_eq!(p.aggregate.coverage_curve, s.aggregate.coverage_curve);
+            }
+        }
+    }
+
+    #[test]
     fn study_is_deterministic() {
         let a = Study::run(&[apps::jfree_chart()], 1, 9);
         let b = Study::run(&[apps::jfree_chart()], 1, 9);
@@ -201,6 +275,9 @@ mod tests {
             a.apps[0].aggregate.stats.perceptible_count,
             b.apps[0].aggregate.stats.perceptible_count
         );
-        assert_eq!(a.apps[0].aggregate.trigger_perceptible, b.apps[0].aggregate.trigger_perceptible);
+        assert_eq!(
+            a.apps[0].aggregate.trigger_perceptible,
+            b.apps[0].aggregate.trigger_perceptible
+        );
     }
 }

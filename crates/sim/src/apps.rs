@@ -867,8 +867,16 @@ mod tests {
         // Paper §IV-C: on average 40% input, 47% output, 7% async.
         let suite = standard_suite();
         let n = suite.len() as f64;
-        let mean_in: f64 = suite.iter().map(|p| p.trigger_perceptible.input).sum::<f64>() / n;
-        let mean_out: f64 = suite.iter().map(|p| p.trigger_perceptible.output).sum::<f64>() / n;
+        let mean_in: f64 = suite
+            .iter()
+            .map(|p| p.trigger_perceptible.input)
+            .sum::<f64>()
+            / n;
+        let mean_out: f64 = suite
+            .iter()
+            .map(|p| p.trigger_perceptible.output)
+            .sum::<f64>()
+            / n;
         let mean_async: f64 = suite
             .iter()
             .map(|p| p.trigger_perceptible.asynchronous)
@@ -884,7 +892,11 @@ mod tests {
         // Paper §IV-D: 52% library, 11% GC, 5% native.
         let suite = standard_suite();
         let n = suite.len() as f64;
-        let lib: f64 = suite.iter().map(|p| p.time_perceptible.library).sum::<f64>() / n;
+        let lib: f64 = suite
+            .iter()
+            .map(|p| p.time_perceptible.library)
+            .sum::<f64>()
+            / n;
         let gc: f64 = suite.iter().map(|p| p.time_perceptible.gc).sum::<f64>() / n;
         let native: f64 = suite.iter().map(|p| p.time_perceptible.native).sum::<f64>() / n;
         assert!((lib - 0.52).abs() < 0.05, "library {lib}");
@@ -917,8 +929,7 @@ mod tests {
                 - p.time_perceptible.blocked
                 - p.time_perceptible.waiting
                 - p.time_perceptible.sleeping;
-            let avg =
-                gui + f64::from(p.background.count) * p.background.runnable_perceptible;
+            let avg = gui + f64::from(p.background.count) * p.background.runnable_perceptible;
             let concurrent = matches!(p.name.as_str(), "Arabeske" | "FindBugs" | "NetBeans");
             assert_eq!(avg > 1.0, concurrent, "{}: {avg}", p.name);
         }

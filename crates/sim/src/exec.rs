@@ -120,7 +120,15 @@ fn build_children(
             continue;
         }
         self_time(builder, cursor, child_start, template, ctx, gc_windows);
-        build_node(builder, child, child_start, child_end, template, ctx, gc_windows);
+        build_node(
+            builder,
+            child,
+            child_start,
+            child_end,
+            template,
+            ctx,
+            gc_windows,
+        );
         cursor = child_end;
     }
     self_time(builder, cursor, e, template, ctx, gc_windows);
@@ -140,7 +148,9 @@ fn build_node(
         // Explicit GC in the script (System.gc()): a major collection.
         let event = ctx.gc.record_explicit_major(s, e);
         gc_windows.push(event);
-        builder.enter(IntervalKind::Gc, None, s).expect("nested enter");
+        builder
+            .enter(IntervalKind::Gc, None, s)
+            .expect("nested enter");
         builder.exit(e).expect("nested exit");
         return;
     }
@@ -295,11 +305,10 @@ fn gui_sample(
         } else if ctx.rng.chance(behavior.library) {
             StackFrame::java(ctx.pool.library_frame(ctx.symbols, ctx.rng))
         } else {
-            StackFrame::java(ctx.pool.app_method(
-                ctx.symbols,
-                ctx.rng,
-                template.index * 3,
-            ))
+            StackFrame::java(
+                ctx.pool
+                    .app_method(ctx.symbols, ctx.rng, template.index * 3),
+            )
         };
         (ThreadState::Runnable, top)
     };
@@ -321,11 +330,7 @@ fn gui_sample(
 }
 
 /// Draws a background thread's sample.
-fn background_sample(
-    thread: ThreadId,
-    runnable_p: f64,
-    ctx: &mut ExecContext<'_>,
-) -> ThreadSample {
+fn background_sample(thread: ThreadId, runnable_p: f64, ctx: &mut ExecContext<'_>) -> ThreadSample {
     if ctx.rng.chance(runnable_p) {
         let stack = vec![
             StackFrame::java(ctx.pool.app_method(ctx.symbols, ctx.rng, thread.index())),
@@ -381,7 +386,11 @@ mod tests {
     fn slow_executions_are_perceptible() {
         for seed in 0..20 {
             let (e, _) = run_one(apps::jmol(), true, seed);
-            assert!(e.duration() >= DurationNs::from_millis(100), "{}", e.duration());
+            assert!(
+                e.duration() >= DurationNs::from_millis(100),
+                "{}",
+                e.duration()
+            );
             assert!(e.tree().validate().is_ok());
         }
     }
@@ -479,7 +488,13 @@ mod tests {
             sample_period: app.sample_period,
             tracer_overhead_per_event: DurationNs::ZERO,
         };
-        let e = execute_template(template, EpisodeId::from_raw(0), TimeNs::ZERO, true, &mut ctx);
+        let e = execute_template(
+            template,
+            EpisodeId::from_raw(0),
+            TimeNs::ZERO,
+            true,
+            &mut ctx,
+        );
         let tree = e.tree();
         assert!(tree.contains_kind(IntervalKind::Gc));
         let gc_time = tree.outermost_kind_time(IntervalKind::Gc);
@@ -527,7 +542,13 @@ mod tests {
             sample_period: app.sample_period,
             tracer_overhead_per_event: DurationNs::ZERO,
         };
-        let e = execute_template(template, EpisodeId::from_raw(0), TimeNs::ZERO, true, &mut ctx);
+        let e = execute_template(
+            template,
+            EpisodeId::from_raw(0),
+            TimeNs::ZERO,
+            true,
+            &mut ctx,
+        );
         // Without allocation, the tree is exactly the template structure
         // (plus the dispatch root).
         if template.alloc_rate == 0 {

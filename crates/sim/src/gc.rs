@@ -292,9 +292,7 @@ mod tests {
         let mut m = model();
         let mut rng = SimRng::new(2);
         let minor = m.run_minor(TimeNs::ZERO, &mut rng).duration();
-        let major = m
-            .run_major(TimeNs::from_secs(1), &mut rng)
-            .duration();
+        let major = m.run_major(TimeNs::from_secs(1), &mut rng).duration();
         assert!(major > minor, "major {major} vs minor {minor}");
     }
 
@@ -366,8 +364,7 @@ mod clamp_tests {
     fn explicit_major_uses_exact_window() {
         let mut m = GcModel::new(GcConfig::macbook_2009());
         m.allocate(12345);
-        let event =
-            m.record_explicit_major(TimeNs::from_millis(5), TimeNs::from_millis(605));
+        let event = m.record_explicit_major(TimeNs::from_millis(5), TimeNs::from_millis(605));
         assert!(event.major);
         assert_eq!(event.duration(), DurationNs::from_millis(600));
         assert_eq!(m.young_used(), 0);

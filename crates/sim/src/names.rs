@@ -104,8 +104,21 @@ impl NamePool {
         NamePool {
             package: package.to_owned(),
             class_stems: vec![
-                "Editor", "Canvas", "Model", "Document", "Controller", "View", "Renderer",
-                "Manager", "Panel", "Action", "Tool", "Graph", "Node", "Layer", "Shape",
+                "Editor",
+                "Canvas",
+                "Model",
+                "Document",
+                "Controller",
+                "View",
+                "Renderer",
+                "Manager",
+                "Panel",
+                "Action",
+                "Tool",
+                "Graph",
+                "Node",
+                "Layer",
+                "Shape",
             ],
         }
     }

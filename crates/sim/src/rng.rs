@@ -99,7 +99,9 @@ impl SimRng {
 /// 20% of ranks carry roughly 80% of the mass for realistic `n`, matching
 /// the Pareto shape of the paper's Fig 3.
 pub fn zipf_weights(n: usize, s: f64) -> Vec<f64> {
-    (0..n).map(|rank| 1.0 / ((rank + 1) as f64).powf(s)).collect()
+    (0..n)
+        .map(|rank| 1.0 / ((rank + 1) as f64).powf(s))
+        .collect()
 }
 
 /// Distributes `total` items over `weights.len()` buckets proportionally to

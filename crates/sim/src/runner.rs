@@ -200,9 +200,10 @@ fn plan_schedule(
         .traced_episodes
         .saturating_sub(plan.len() as u64);
     plan.extend(std::iter::repeat_n(PlanItem::Filler, filler as usize));
-    plan.extend(
-        std::iter::repeat_n(PlanItem::Short, REAL_SHORT_EPISODES.min(profile.scale.short_episodes) as usize),
-    );
+    plan.extend(std::iter::repeat_n(
+        PlanItem::Short,
+        REAL_SHORT_EPISODES.min(profile.scale.short_episodes) as usize,
+    ));
 
     // Fisher–Yates shuffle.
     for i in (1..plan.len()).rev() {
@@ -307,8 +308,16 @@ mod tests {
         let a = simulate_session(&p, 0, 7);
         let b = simulate_session(&p, 1, 7);
         assert_ne!(a.episodes().len(), 0);
-        let da: Vec<u64> = a.episodes().iter().map(|e| e.duration().as_nanos()).collect();
-        let db: Vec<u64> = b.episodes().iter().map(|e| e.duration().as_nanos()).collect();
+        let da: Vec<u64> = a
+            .episodes()
+            .iter()
+            .map(|e| e.duration().as_nanos())
+            .collect();
+        let db: Vec<u64> = b
+            .episodes()
+            .iter()
+            .map(|e| e.duration().as_nanos())
+            .collect();
         assert_ne!(da, db);
     }
 

@@ -59,11 +59,16 @@ pub fn figure1() -> Scenario {
     // JToolBar 1347, native DrawLine 843 with a 466 ms GC inside.
     let mut b = IntervalTreeBuilder::new();
     b.enter(IntervalKind::Dispatch, None, ms(0)).unwrap();
-    b.enter(IntervalKind::Paint, Some(frame_paint), ms(5)).unwrap();
-    b.enter(IntervalKind::Paint, Some(root_paint), ms(60)).unwrap();
-    b.enter(IntervalKind::Paint, Some(layered_paint), ms(120)).unwrap();
-    b.enter(IntervalKind::Paint, Some(toolbar_paint), ms(250)).unwrap();
-    b.enter(IntervalKind::Native, Some(draw_line), ms(560)).unwrap();
+    b.enter(IntervalKind::Paint, Some(frame_paint), ms(5))
+        .unwrap();
+    b.enter(IntervalKind::Paint, Some(root_paint), ms(60))
+        .unwrap();
+    b.enter(IntervalKind::Paint, Some(layered_paint), ms(120))
+        .unwrap();
+    b.enter(IntervalKind::Paint, Some(toolbar_paint), ms(250))
+        .unwrap();
+    b.enter(IntervalKind::Native, Some(draw_line), ms(560))
+        .unwrap();
     b.leaf(IntervalKind::Gc, None, ms(760), ms(1226)).unwrap();
     b.exit(ms(1403)).unwrap(); // DrawLine: 843 ms
     b.exit(ms(1597)).unwrap(); // JToolBar: 1347 ms
@@ -145,7 +150,8 @@ pub fn figure2() -> Scenario {
     let label = symbols.method("net.sourceforge.ganttproject.TaskLabel", "paintComponent");
     let mut t = deepest_start + 10;
     for _ in 0..4 {
-        b.leaf(IntervalKind::Paint, Some(label), ms(t), ms(t + 50)).unwrap();
+        b.leaf(IntervalKind::Paint, Some(label), ms(t), ms(t + 50))
+            .unwrap();
         t += 60;
     }
     for i in (0..paints.len()).rev() {
@@ -192,8 +198,7 @@ mod tests {
         let tree = s.episode.tree();
         assert_eq!(s.episode.duration(), DurationNs::from_millis(1705));
         // Walk down: dispatch -> JFrame -> ... -> native -> GC.
-        let kinds: Vec<IntervalKind> =
-            tree.pre_order().map(|id| tree.interval(id).kind).collect();
+        let kinds: Vec<IntervalKind> = tree.pre_order().map(|id| tree.interval(id).kind).collect();
         assert_eq!(
             kinds,
             vec![

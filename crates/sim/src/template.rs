@@ -85,7 +85,12 @@ impl ScriptNode {
 
     /// Depth of this subtree (a leaf has depth 1).
     pub fn depth(&self) -> u32 {
-        1 + self.children.iter().map(ScriptNode::depth).max().unwrap_or(0)
+        1 + self
+            .children
+            .iter()
+            .map(ScriptNode::depth)
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -146,7 +151,11 @@ impl EpisodeTemplate {
     /// Interval-tree depth of this template's episodes (root dispatch at
     /// depth 0).
     pub fn tree_depth(&self) -> u32 {
-        self.structure.iter().map(ScriptNode::depth).max().unwrap_or(0)
+        self.structure
+            .iter()
+            .map(ScriptNode::depth)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Expected number of perceptible episodes per session.
@@ -294,8 +303,7 @@ pub fn build_library(
             w[3] *= 0.05;
             TriggerClass::ALL[trng.weighted_index(&w)]
         };
-        let explicit_major_gc =
-            profile.explicit_major_gc && trigger == TriggerClass::Unspecified;
+        let explicit_major_gc = profile.explicit_major_gc && trigger == TriggerClass::Unspecified;
         let structure = grow_structure(
             profile,
             trigger,
@@ -721,7 +729,10 @@ mod tests {
                 }
             }
         }
-        assert!(saw_unspecified, "Arabeske should have unspecified templates");
+        assert!(
+            saw_unspecified,
+            "Arabeske should have unspecified templates"
+        );
     }
 
     #[test]

@@ -16,10 +16,7 @@ fn all_apps_produce_structurally_valid_traces() {
             episode.tree().validate().unwrap_or_else(|e| {
                 panic!("{}: invalid tree: {e}", profile.name);
             });
-            assert_eq!(
-                episode.tree().root_interval().kind,
-                IntervalKind::Dispatch
-            );
+            assert_eq!(episode.tree().root_interval().kind, IntervalKind::Dispatch);
             // Traced episodes are above the filter threshold.
             assert!(
                 episode.duration() >= trace.meta().filter_threshold,

@@ -442,13 +442,17 @@ mod tests {
             filter_threshold: DurationNs::TRACE_FILTER_DEFAULT,
         };
         let mut b = SessionTraceBuilder::new(meta, SymbolTable::new());
-        let listener = b.symbols_mut().method("org.gjt.sp.jedit.Buffer", "keyTyped");
+        let listener = b
+            .symbols_mut()
+            .method("org.gjt.sp.jedit.Buffer", "keyTyped");
         let native = b.symbols_mut().method("sun.java2d.loops.Blit", "Blit");
 
         let mut t = IntervalTreeBuilder::new();
         t.enter(IntervalKind::Dispatch, None, ms(0)).unwrap();
-        t.enter(IntervalKind::Listener, Some(listener), ms(1)).unwrap();
-        t.leaf(IntervalKind::Native, Some(native), ms(5), ms(20)).unwrap();
+        t.enter(IntervalKind::Listener, Some(listener), ms(1))
+            .unwrap();
+        t.leaf(IntervalKind::Native, Some(native), ms(5), ms(20))
+            .unwrap();
         t.leaf(IntervalKind::Gc, None, ms(30), ms(45)).unwrap();
         t.exit(ms(100)).unwrap();
         t.exit(ms(104)).unwrap();

@@ -54,6 +54,7 @@ pub mod binary;
 pub mod error;
 pub mod filter;
 pub mod record;
+pub mod stream;
 pub mod text;
 mod varint;
 
@@ -61,3 +62,4 @@ pub use auto::{read_bytes, read_path};
 pub use error::TraceError;
 pub use filter::TraceFilter;
 pub use record::{records_from_trace, trace_from_records, TraceRecord};
+pub use stream::EpisodeStream;

@@ -133,15 +133,17 @@ pub fn trace_from_records(
     let mut builder = SessionTraceBuilder::new(meta, symbols);
 
     // Second pass: replay episodes.
-    let mut current: Option<(EpisodeId, ThreadId, IntervalTreeBuilder, Vec<SampleSnapshot>)> =
-        None;
+    let mut current: Option<(
+        EpisodeId,
+        ThreadId,
+        IntervalTreeBuilder,
+        Vec<SampleSnapshot>,
+    )> = None;
     for rec in records {
         match rec {
             TraceRecord::Symbol { .. } => {}
             TraceRecord::Gc(gc) => builder.push_gc(gc),
-            TraceRecord::ShortEpisodes { count, total } => {
-                builder.add_short_episodes(count, total)
-            }
+            TraceRecord::ShortEpisodes { count, total } => builder.add_short_episodes(count, total),
             TraceRecord::EpisodeBegin { id, thread } => {
                 current = Some((id, thread, IntervalTreeBuilder::new(), Vec::new()));
             }
@@ -158,8 +160,7 @@ pub fn trace_from_records(
                 samples.push(snap);
             }
             TraceRecord::EpisodeEnd => {
-                let (id, thread, tree, samples) =
-                    current.take().ok_or(ModelError::MissingRoot)?;
+                let (id, thread, tree, samples) = current.take().ok_or(ModelError::MissingRoot)?;
                 let episode = EpisodeBuilder::new(id, thread)
                     .tree(tree.finish()?)
                     .samples(samples)
@@ -196,8 +197,10 @@ mod tests {
 
         let mut t = IntervalTreeBuilder::new();
         t.enter(IntervalKind::Dispatch, None, ms(0)).unwrap();
-        t.enter(IntervalKind::Listener, Some(listener), ms(1)).unwrap();
-        t.leaf(IntervalKind::Paint, Some(paint), ms(2), ms(90)).unwrap();
+        t.enter(IntervalKind::Listener, Some(listener), ms(1))
+            .unwrap();
+        t.leaf(IntervalKind::Paint, Some(paint), ms(2), ms(90))
+            .unwrap();
         t.exit(ms(110)).unwrap();
         t.exit(ms(120)).unwrap();
         let snap = SampleSnapshot::new(

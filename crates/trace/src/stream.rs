@@ -1,0 +1,362 @@
+//! Streaming episode-level decode.
+//!
+//! [`binary::Reader`](crate::binary::Reader) streams one [`TraceRecord`]
+//! at a time; this module assembles those records into whole
+//! [`Episode`]s on the fly, so analysis shards can be fed while the codec
+//! is still reading the rest of the trace (the parallel pipeline in
+//! `lagalyzer-core` consumes contiguous episode chunks, which is exactly
+//! what this stream produces). The writer emits all symbol definitions and
+//! session-level records before the first episode, so by the time an
+//! episode is yielded its symbols are already interned.
+//!
+//! The trailer checksum is verified when the underlying record stream is
+//! exhausted, i.e. by the time [`EpisodeStream::next_episode`] returns
+//! `Ok(None)`.
+
+use std::io::Read;
+
+use lagalyzer_model::{
+    DurationNs, Episode, EpisodeBuilder, GcEvent, IntervalTreeBuilder, ModelError, SampleSnapshot,
+    SessionMeta, SymbolTable, ThreadId,
+};
+
+use crate::binary::Reader;
+use crate::error::TraceError;
+use crate::record::TraceRecord;
+
+/// Session-level data gathered while streaming episodes: the interned
+/// symbols plus everything in the trace that is not an episode.
+#[derive(Debug)]
+pub struct StreamTail {
+    /// Symbols interned from the record stream.
+    pub symbols: SymbolTable,
+    /// Session-level GC events.
+    pub gc_events: Vec<GcEvent>,
+    /// Episodes dropped by the tracer-side filter.
+    pub short_episode_count: u64,
+    /// Their combined measured duration.
+    pub short_episode_time: DurationNs,
+}
+
+/// Streams assembled [`Episode`]s out of a binary trace.
+///
+/// ```
+/// # use lagalyzer_model::prelude::*;
+/// # use lagalyzer_trace::{binary, stream::EpisodeStream};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// # let meta = SessionMeta {
+/// #     application: "X".into(),
+/// #     session: SessionId::from_raw(0),
+/// #     gui_thread: ThreadId::from_raw(0),
+/// #     end_to_end: DurationNs::from_secs(1),
+/// #     filter_threshold: DurationNs::TRACE_FILTER_DEFAULT,
+/// # };
+/// # let trace = SessionTraceBuilder::new(meta, SymbolTable::new()).finish();
+/// # let mut bytes = Vec::new();
+/// # binary::write(&trace, &mut bytes)?;
+/// let mut stream = EpisodeStream::new(bytes.as_slice())?;
+/// assert_eq!(stream.meta().application, "X");
+/// while let Some(episode) = stream.next_episode()? {
+///     let _ = episode.duration();
+/// }
+/// let tail = stream.finish()?;
+/// assert_eq!(tail.short_episode_count, 0);
+/// # Ok(())
+/// # }
+/// ```
+pub struct EpisodeStream<R> {
+    reader: Reader<R>,
+    symbols: SymbolTable,
+    gc_events: Vec<GcEvent>,
+    short_count: u64,
+    short_time: DurationNs,
+    exhausted: bool,
+}
+
+impl<R: Read> EpisodeStream<R> {
+    /// Opens a binary trace for episode streaming (reads the header).
+    ///
+    /// # Errors
+    ///
+    /// Fails like [`Reader::new`]: I/O errors, bad magic, an unsupported
+    /// version, or an absurd record count.
+    pub fn new(r: R) -> Result<Self, TraceError> {
+        Ok(EpisodeStream {
+            reader: Reader::new(r)?,
+            symbols: SymbolTable::new(),
+            gc_events: Vec::new(),
+            short_count: 0,
+            short_time: DurationNs::ZERO,
+            exhausted: false,
+        })
+    }
+
+    /// The session metadata from the header.
+    pub fn meta(&self) -> &SessionMeta {
+        self.reader.meta()
+    }
+
+    /// The symbols interned so far. The writer emits every symbol before
+    /// the first episode, so once an episode has been yielded this table
+    /// is complete enough to resolve it.
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.symbols
+    }
+
+    /// Assembles and returns the next episode; `None` once the stream is
+    /// exhausted (at which point the trailer checksum has been verified).
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors, malformed records, model-invariant violations
+    /// inside an episode, or a checksum mismatch at the end.
+    pub fn next_episode(&mut self) -> Result<Option<Episode>, TraceError> {
+        let mut current: Option<(
+            lagalyzer_model::EpisodeId,
+            ThreadId,
+            IntervalTreeBuilder,
+            Vec<SampleSnapshot>,
+        )> = None;
+        while let Some(record) = self.reader.next_record()? {
+            match record {
+                TraceRecord::Symbol { id, name } => {
+                    let interned = self.symbols.intern(&name);
+                    debug_assert_eq!(interned, id, "non-dense symbol stream");
+                }
+                TraceRecord::Gc(gc) => self.gc_events.push(gc),
+                TraceRecord::ShortEpisodes { count, total } => {
+                    self.short_count += count;
+                    self.short_time += total;
+                }
+                TraceRecord::EpisodeBegin { id, thread } => {
+                    current = Some((id, thread, IntervalTreeBuilder::new(), Vec::new()));
+                }
+                TraceRecord::Enter { kind, symbol, at } => {
+                    let (_, _, tree, _) = current.as_mut().ok_or(ModelError::MissingRoot)?;
+                    tree.enter(kind, symbol, at)?;
+                }
+                TraceRecord::Exit { at } => {
+                    let (_, _, tree, _) = current.as_mut().ok_or(ModelError::MissingRoot)?;
+                    tree.exit(at)?;
+                }
+                TraceRecord::Sample(snap) => {
+                    let (_, _, _, samples) = current.as_mut().ok_or(ModelError::MissingRoot)?;
+                    samples.push(snap);
+                }
+                TraceRecord::EpisodeEnd => {
+                    let (id, thread, tree, samples) =
+                        current.take().ok_or(ModelError::MissingRoot)?;
+                    let episode = EpisodeBuilder::new(id, thread)
+                        .tree(tree.finish()?)
+                        .samples(samples)
+                        .build()?;
+                    return Ok(Some(episode));
+                }
+            }
+        }
+        if current.is_some() {
+            // An EpisodeBegin without its EpisodeEnd.
+            return Err(ModelError::MissingRoot.into());
+        }
+        self.exhausted = true;
+        Ok(None)
+    }
+
+    /// Consumes the stream after exhaustion, returning the session-level
+    /// data that accumulated alongside the episodes.
+    ///
+    /// # Errors
+    ///
+    /// Drains any unread episodes first (so their records are validated
+    /// and the checksum is checked), propagating their errors.
+    pub fn finish(mut self) -> Result<StreamTail, TraceError> {
+        while !self.exhausted {
+            if self.next_episode()?.is_none() {
+                break;
+            }
+        }
+        Ok(StreamTail {
+            symbols: self.symbols,
+            gc_events: self.gc_events,
+            short_episode_count: self.short_count,
+            short_episode_time: self.short_time,
+        })
+    }
+}
+
+impl<R: Read> Iterator for EpisodeStream<R> {
+    type Item = Result<Episode, TraceError>;
+
+    /// Iterator convenience over [`EpisodeStream::next_episode`]; fused
+    /// after the first error.
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.exhausted {
+            return None;
+        }
+        match self.next_episode() {
+            Ok(Some(episode)) => Some(Ok(episode)),
+            Ok(None) => None,
+            Err(e) => {
+                self.exhausted = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binary;
+    use lagalyzer_model::prelude::*;
+
+    fn ms(v: u64) -> TimeNs {
+        TimeNs::from_millis(v)
+    }
+
+    fn sample_trace(episodes: usize) -> SessionTrace {
+        let meta = SessionMeta {
+            application: "Stream".into(),
+            session: SessionId::from_raw(3),
+            gui_thread: ThreadId::from_raw(0),
+            end_to_end: DurationNs::from_secs(60),
+            filter_threshold: DurationNs::TRACE_FILTER_DEFAULT,
+        };
+        let mut b = SessionTraceBuilder::new(meta, SymbolTable::new());
+        let m = b.symbols_mut().method("app.Main", "handle");
+        let mut cursor = 0u64;
+        for i in 0..episodes {
+            let mut t = IntervalTreeBuilder::new();
+            t.enter(IntervalKind::Dispatch, None, ms(cursor)).unwrap();
+            t.leaf(
+                IntervalKind::Listener,
+                Some(m),
+                ms(cursor + 1),
+                ms(cursor + 40),
+            )
+            .unwrap();
+            t.exit(ms(cursor + 50)).unwrap();
+            let snap = SampleSnapshot::new(
+                ms(cursor + 20),
+                vec![ThreadSample::new(
+                    ThreadId::from_raw(0),
+                    ThreadState::Runnable,
+                    vec![StackFrame::java(m)],
+                )],
+            );
+            b.push_episode(
+                EpisodeBuilder::new(EpisodeId::from_raw(i as u32), ThreadId::from_raw(0))
+                    .tree(t.finish().unwrap())
+                    .sample(snap)
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap();
+            cursor += 100;
+        }
+        b.push_gc(GcEvent {
+            start: ms(5),
+            end: ms(7),
+            major: true,
+        });
+        b.add_short_episodes(12, DurationNs::from_millis(30));
+        b.finish()
+    }
+
+    fn encode(trace: &SessionTrace) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        binary::write(trace, &mut bytes).unwrap();
+        bytes
+    }
+
+    #[test]
+    fn streams_episodes_identical_to_bulk_read() {
+        let trace = sample_trace(5);
+        let bytes = encode(&trace);
+        let bulk = binary::read(bytes.as_slice()).unwrap();
+
+        let mut stream = EpisodeStream::new(bytes.as_slice()).unwrap();
+        assert_eq!(stream.meta(), bulk.meta());
+        let mut streamed = Vec::new();
+        while let Some(episode) = stream.next_episode().unwrap() {
+            streamed.push(episode);
+        }
+        assert_eq!(streamed, bulk.episodes());
+        let tail = stream.finish().unwrap();
+        assert_eq!(tail.gc_events, bulk.gc_events());
+        assert_eq!(tail.short_episode_count, bulk.short_episode_count());
+        assert_eq!(tail.short_episode_time, bulk.short_episode_time());
+        assert_eq!(tail.symbols.len(), bulk.symbols().len());
+    }
+
+    #[test]
+    fn symbols_available_before_first_episode() {
+        let trace = sample_trace(1);
+        let bytes = encode(&trace);
+        let mut stream = EpisodeStream::new(bytes.as_slice()).unwrap();
+        let episode = stream.next_episode().unwrap().unwrap();
+        // The episode's method symbol must already be resolvable.
+        assert_eq!(stream.symbols().len(), trace.symbols().len());
+        assert_eq!(episode.id(), EpisodeId::from_raw(0));
+    }
+
+    #[test]
+    fn iterator_yields_all_episodes() {
+        let trace = sample_trace(4);
+        let bytes = encode(&trace);
+        let stream = EpisodeStream::new(bytes.as_slice()).unwrap();
+        let episodes: Result<Vec<Episode>, TraceError> = stream.collect();
+        assert_eq!(episodes.unwrap().len(), 4);
+    }
+
+    #[test]
+    fn finish_drains_unread_episodes() {
+        let trace = sample_trace(3);
+        let bytes = encode(&trace);
+        let mut stream = EpisodeStream::new(bytes.as_slice()).unwrap();
+        let _first = stream.next_episode().unwrap().unwrap();
+        let tail = stream.finish().unwrap();
+        assert_eq!(tail.short_episode_count, 12);
+    }
+
+    #[test]
+    fn corrupted_trailer_detected_at_stream_end() {
+        let trace = sample_trace(2);
+        let mut bytes = encode(&trace);
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        let mut stream = EpisodeStream::new(bytes.as_slice()).unwrap();
+        let result = loop {
+            match stream.next_episode() {
+                Ok(Some(_)) => continue,
+                other => break other,
+            }
+        };
+        assert!(
+            matches!(result, Err(TraceError::ChecksumMismatch { .. })),
+            "expected checksum error, got {result:?}"
+        );
+    }
+
+    #[test]
+    fn truncated_stream_reports_io_error() {
+        let trace = sample_trace(2);
+        let bytes = encode(&trace);
+        // Cut the byte stream mid-episode: the reader must surface an
+        // error rather than yield a partial episode.
+        let cut = &bytes[..bytes.len() * 2 / 3];
+        let mut stream = EpisodeStream::new(cut).unwrap();
+        let mut saw_error = false;
+        loop {
+            match stream.next_episode() {
+                Ok(Some(_)) => continue,
+                Ok(None) => break,
+                Err(_) => {
+                    saw_error = true;
+                    break;
+                }
+            }
+        }
+        assert!(saw_error, "truncation must not decode cleanly");
+    }
+}

@@ -259,8 +259,7 @@ pub fn read<R: Read>(r: R) -> Result<SessionTrace, TraceError> {
             session.ok_or_else(|| TraceError::corrupt("text header", "missing session"))?,
         ),
         gui_thread: ThreadId::from_raw(
-            gui_thread
-                .ok_or_else(|| TraceError::corrupt("text header", "missing gui_thread"))?,
+            gui_thread.ok_or_else(|| TraceError::corrupt("text header", "missing gui_thread"))?,
         ),
         end_to_end: DurationNs::from_nanos(
             e2e.ok_or_else(|| TraceError::corrupt("text header", "missing e2e_ns"))?,
@@ -358,11 +357,14 @@ mod tests {
             filter_threshold: DurationNs::TRACE_FILTER_DEFAULT,
         };
         let mut b = SessionTraceBuilder::new(meta, SymbolTable::new());
-        let paint = b.symbols_mut().method("net.sourceforge.ganttproject.GanttTree", "paint");
+        let paint = b
+            .symbols_mut()
+            .method("net.sourceforge.ganttproject.GanttTree", "paint");
         let mut t = IntervalTreeBuilder::new();
         t.enter(IntervalKind::Dispatch, None, ms(0)).unwrap();
         t.enter(IntervalKind::Async, None, ms(1)).unwrap();
-        t.leaf(IntervalKind::Paint, Some(paint), ms(2), ms(130)).unwrap();
+        t.leaf(IntervalKind::Paint, Some(paint), ms(2), ms(130))
+            .unwrap();
         t.exit(ms(131)).unwrap();
         t.exit(ms(132)).unwrap();
         let snap = SampleSnapshot::new(
@@ -424,7 +426,10 @@ mod tests {
             read("not a trace\n".as_bytes()),
             Err(TraceError::Corrupt { .. })
         ));
-        assert!(matches!(read("".as_bytes()), Err(TraceError::Corrupt { .. })));
+        assert!(matches!(
+            read("".as_bytes()),
+            Err(TraceError::Corrupt { .. })
+        ));
     }
 
     #[test]

@@ -153,7 +153,13 @@ impl MultiLineChart {
         doc.text(10.0, 20.0, 13.0, &self.title);
 
         // Axes with percent ticks.
-        doc.line(left, height - bottom, width - right, height - bottom, "#333");
+        doc.line(
+            left,
+            height - bottom,
+            width - right,
+            height - bottom,
+            "#333",
+        );
         doc.line(left, top, left, height - bottom, "#333");
         for i in 0..=5 {
             let f = i as f64 / 5.0;
@@ -164,8 +170,20 @@ impl MultiLineChart {
                 "middle",
                 &format!("{:.0}", f * 100.0),
             );
-            doc.text_anchored(left - 6.0, ys.x(f) + 3.0, 9.0, "end", &format!("{:.0}", f * 100.0));
-            doc.line(xs.x(f), height - bottom, xs.x(f), height - bottom + 4.0, "#333");
+            doc.text_anchored(
+                left - 6.0,
+                ys.x(f) + 3.0,
+                9.0,
+                "end",
+                &format!("{:.0}", f * 100.0),
+            );
+            doc.line(
+                xs.x(f),
+                height - bottom,
+                xs.x(f),
+                height - bottom + 4.0,
+                "#333",
+            );
             doc.line(left - 4.0, ys.x(f), left, ys.x(f), "#333");
         }
         doc.text_anchored(
@@ -237,7 +255,13 @@ impl DotChart {
         let top = 36.0;
         if let Some(r) = self.reference {
             let x = scale.x(r / self.max);
-            doc.line(x, top - 6.0, x, top + self.rows.len() as f64 * row_h, "#999999");
+            doc.line(
+                x,
+                top - 6.0,
+                x,
+                top + self.rows.len() as f64 * row_h,
+                "#999999",
+            );
         }
         for (i, (label, value)) in self.rows.iter().enumerate() {
             let y = top + i as f64 * row_h + row_h / 2.0;
@@ -257,7 +281,13 @@ impl DotChart {
             let f = i as f64 / 4.0;
             let x = scale.x(f);
             doc.line(x, axis_y, x, axis_y + 4.0, "#333333");
-            doc.text_anchored(x, axis_y + 15.0, 9.0, "middle", &format!("{:.2}", f * self.max));
+            doc.text_anchored(
+                x,
+                axis_y + 15.0,
+                9.0,
+                "middle",
+                &format!("{:.2}", f * self.max),
+            );
         }
         doc.text_anchored(
             (LABEL_W + width - 30.0) / 2.0,

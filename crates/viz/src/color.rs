@@ -29,8 +29,8 @@ pub fn state_color(state: ThreadState) -> &'static str {
 /// series); wraps around when more series are requested.
 pub fn series_color(index: usize) -> &'static str {
     const PALETTE: [&str; 14] = [
-        "#4c78a8", "#f58518", "#e45756", "#72b7b2", "#54a24b", "#eeca3b", "#b279a2",
-        "#ff9da6", "#9d755d", "#bab0ac", "#2f4b7c", "#665191", "#a05195", "#d45087",
+        "#4c78a8", "#f58518", "#e45756", "#72b7b2", "#54a24b", "#eeca3b", "#b279a2", "#ff9da6",
+        "#9d755d", "#bab0ac", "#2f4b7c", "#665191", "#a05195", "#d45087",
     ];
     PALETTE[index % PALETTE.len()]
 }
@@ -41,8 +41,10 @@ mod tests {
 
     #[test]
     fn interval_colors_are_distinct() {
-        let colors: std::collections::HashSet<&str> =
-            IntervalKind::ALL.iter().map(|k| interval_color(*k)).collect();
+        let colors: std::collections::HashSet<&str> = IntervalKind::ALL
+            .iter()
+            .map(|k| interval_color(*k))
+            .collect();
         assert_eq!(colors.len(), IntervalKind::ALL.len());
     }
 

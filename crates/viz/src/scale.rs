@@ -67,7 +67,12 @@ mod tests {
 
     #[test]
     fn time_scale_maps_endpoints() {
-        let s = TimeScale::new(TimeNs::from_millis(100), TimeNs::from_millis(200), 10.0, 110.0);
+        let s = TimeScale::new(
+            TimeNs::from_millis(100),
+            TimeNs::from_millis(200),
+            10.0,
+            110.0,
+        );
         assert!((s.x(TimeNs::from_millis(100)) - 10.0).abs() < 1e-9);
         assert!((s.x(TimeNs::from_millis(200)) - 110.0).abs() < 1e-9);
         assert!((s.x(TimeNs::from_millis(150)) - 60.0).abs() < 1e-9);
@@ -75,7 +80,12 @@ mod tests {
 
     #[test]
     fn time_scale_clamps() {
-        let s = TimeScale::new(TimeNs::from_millis(100), TimeNs::from_millis(200), 0.0, 100.0);
+        let s = TimeScale::new(
+            TimeNs::from_millis(100),
+            TimeNs::from_millis(200),
+            0.0,
+            100.0,
+        );
         assert_eq!(s.x(TimeNs::from_millis(50)), 0.0);
         assert_eq!(s.x(TimeNs::from_millis(900)), 100.0);
     }

@@ -308,7 +308,11 @@ pub fn render_pattern_gallery(
                 (scale.x(interval.end) - scale.x(interval.start)).max(0.8),
                 mini_row - 1.0,
                 interval_color(interval.kind),
-                Some(&format!("{} ({})", interval.kind.name(), interval.duration())),
+                Some(&format!(
+                    "{} ({})",
+                    interval.kind.name(),
+                    interval.duration()
+                )),
             );
         }
         // Sample dots in a thin band above the bars.
@@ -343,8 +347,13 @@ mod gallery_tests {
     fn episode(id: u32, start: u64, dur: u64) -> Episode {
         let mut b = IntervalTreeBuilder::new();
         b.enter(IntervalKind::Dispatch, None, ms(start)).unwrap();
-        b.leaf(IntervalKind::Paint, None, ms(start + 1), ms(start + dur - 1))
-            .unwrap();
+        b.leaf(
+            IntervalKind::Paint,
+            None,
+            ms(start + 1),
+            ms(start + dur - 1),
+        )
+        .unwrap();
         b.exit(ms(start + dur)).unwrap();
         EpisodeBuilder::new(EpisodeId::from_raw(id), ThreadId::from_raw(0))
             .tree(b.finish().unwrap())

@@ -168,7 +168,13 @@ mod tests {
             .polyline(&[(0.0, 0.0), (1.0, 2.0)], "green");
         let svg = doc.finish();
         for needle in [
-            "<rect", "<line", "<circle", "<text", "<polyline", "<title>tip</title>", "hello",
+            "<rect",
+            "<line",
+            "<circle",
+            "<text",
+            "<polyline",
+            "<title>tip</title>",
+            "hello",
             r#"text-anchor="middle""#,
         ] {
             assert!(svg.contains(needle), "missing {needle}");

@@ -153,7 +153,8 @@ mod tests {
         // One fast input episode, one perceptible output episode.
         let mut t = IntervalTreeBuilder::new();
         t.enter(IntervalKind::Dispatch, None, ms(100)).unwrap();
-        t.leaf(IntervalKind::Listener, Some(paint), ms(101), ms(119)).unwrap();
+        t.leaf(IntervalKind::Listener, Some(paint), ms(101), ms(119))
+            .unwrap();
         t.exit(ms(120)).unwrap();
         b.push_episode(
             EpisodeBuilder::new(EpisodeId::from_raw(0), ThreadId::from_raw(0))
@@ -164,7 +165,8 @@ mod tests {
         .unwrap();
         let mut t = IntervalTreeBuilder::new();
         t.enter(IntervalKind::Dispatch, None, ms(500)).unwrap();
-        t.leaf(IntervalKind::Paint, Some(paint), ms(501), ms(799)).unwrap();
+        t.leaf(IntervalKind::Paint, Some(paint), ms(501), ms(799))
+            .unwrap();
         t.exit(ms(800)).unwrap();
         b.push_episode(
             EpisodeBuilder::new(EpisodeId::from_raw(1), ThreadId::from_raw(0))

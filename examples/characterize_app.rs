@@ -3,9 +3,9 @@
 //!
 //! Run with: `cargo run --release --example characterize_app [AppName]`
 
+use lagalyzer::core::prelude::*;
 use lagalyzer::model::OriginClassifier;
 use lagalyzer::report::study::aggregate_sessions;
-use lagalyzer::core::prelude::*;
 use lagalyzer::sim::{apps, runner};
 
 fn main() {
@@ -37,13 +37,19 @@ fn main() {
     let t = agg.trigger_perceptible.fractions();
     println!(
         "triggers (perceptible): {:.0}% input, {:.0}% output, {:.0}% async, {:.0}% unspecified",
-        t[0] * 100.0, t[1] * 100.0, t[2] * 100.0, t[3] * 100.0
+        t[0] * 100.0,
+        t[1] * 100.0,
+        t[2] * 100.0,
+        t[3] * 100.0
     );
 
     let loc = &agg.location_perceptible;
     println!(
         "location (perceptible): {:.0}% library / {:.0}% application; {:.0}% GC, {:.0}% native",
-        loc.library * 100.0, loc.application * 100.0, loc.gc * 100.0, loc.native * 100.0
+        loc.library * 100.0,
+        loc.application * 100.0,
+        loc.gc * 100.0,
+        loc.native * 100.0
     );
 
     let c = &agg.causes_perceptible;
@@ -60,6 +66,9 @@ fn main() {
     let occ = agg.occurrence.fractions();
     println!(
         "patterns: {:.0}% always / {:.0}% sometimes / {:.0}% once / {:.0}% never perceptible",
-        occ[0] * 100.0, occ[1] * 100.0, occ[2] * 100.0, occ[3] * 100.0
+        occ[0] * 100.0,
+        occ[1] * 100.0,
+        occ[2] * 100.0,
+        occ[3] * 100.0
     );
 }

@@ -34,7 +34,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         slowest.tree().len(),
         slowest.tree().max_depth()
     );
-    let svg = render_sketch(slowest, session.trace().symbols(), &SketchOptions::default());
+    let svg = render_sketch(
+        slowest,
+        session.trace().symbols(),
+        &SketchOptions::default(),
+    );
     let path = out_dir.join("gantt_slowest.svg");
     std::fs::write(&path, svg)?;
     println!("wrote {}", path.display());

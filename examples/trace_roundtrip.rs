@@ -34,7 +34,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let from_txt = text::read(&mut txt.as_slice())?;
     assert_eq!(from_bin.episodes(), trace.episodes());
     assert_eq!(from_txt.episodes(), trace.episodes());
-    assert_eq!(from_bin.short_episode_count(), from_txt.short_episode_count());
+    assert_eq!(
+        from_bin.short_episode_count(),
+        from_txt.short_episode_count()
+    );
     println!(
         "round trip ok: {} episodes, {} GC events, {} symbols",
         from_bin.episodes().len(),

@@ -37,7 +37,11 @@ fn simulate_serialize_analyze_render() {
         .iter()
         .max_by_key(|e| e.duration())
         .unwrap();
-    let svg = render_sketch(slowest, session.trace().symbols(), &SketchOptions::default());
+    let svg = render_sketch(
+        slowest,
+        session.trace().symbols(),
+        &SketchOptions::default(),
+    );
     assert!(svg.starts_with("<svg"));
     let art = ascii_sketch(slowest, session.trace().symbols(), 80);
     assert!(art.contains("depth 0"));
@@ -61,7 +65,11 @@ fn study_to_figures_and_comparison() {
         figures::fig7(&study, true),
         figures::fig8(&study, true),
     ] {
-        assert!(fig.svg.contains("JEdit") || fig.svg.contains("JFreeChart"), "{}", fig.id);
+        assert!(
+            fig.svg.contains("JEdit") || fig.svg.contains("JFreeChart"),
+            "{}",
+            fig.id
+        );
     }
 
     let comparisons = compare::table3_comparisons(&study);

@@ -1,0 +1,312 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! crates.io is unreachable in the build environment, so this crate
+//! provides the criterion API surface the workspace's benches use —
+//! [`Criterion`], benchmark groups, [`Bencher::iter`],
+//! [`Bencher::iter_batched`], [`Throughput`], [`BenchmarkId`],
+//! [`black_box`], [`criterion_group!`] and [`criterion_main!`] — backed by
+//! a simple wall-clock harness: a short warm-up, then timed batches until
+//! a per-benchmark time budget is spent, reporting the mean iteration
+//! time and derived throughput.
+//!
+//! The budget defaults to 500 ms per benchmark; set
+//! `CRITERION_BUDGET_MS` to trade precision for runtime.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How batched inputs are grouped (accepted for API compatibility; the
+/// harness always times routine invocations individually per batch).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Units processed per iteration, used to derive a rate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier (`group/function/parameter`).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id from a function name and a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// An id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The measurement driver handed to benchmark closures.
+pub struct Bencher {
+    budget: Duration,
+    /// Mean nanoseconds per iteration, filled by `iter`/`iter_batched`.
+    mean_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly and records the mean iteration time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: one untimed call.
+        black_box(routine());
+        let start = Instant::now();
+        let mut iters = 0u64;
+        let mut elapsed;
+        loop {
+            black_box(routine());
+            iters += 1;
+            elapsed = start.elapsed();
+            if elapsed >= self.budget {
+                break;
+            }
+        }
+        self.mean_ns = elapsed.as_nanos() as f64 / iters as f64;
+        self.iters = iters;
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        while total < self.budget {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+            iters += 1;
+        }
+        self.mean_ns = total.as_nanos() as f64 / iters as f64;
+        self.iters = iters;
+    }
+}
+
+fn budget_from_env() -> Duration {
+    let ms = std::env::var("CRITERION_BUDGET_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(500u64);
+    Duration::from_millis(ms)
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn report(name: &str, mean_ns: f64, iters: u64, throughput: Option<Throughput>) {
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => {
+            format!("  ({:.0} elem/s)", n as f64 / (mean_ns / 1e9))
+        }
+        Throughput::Bytes(n) => {
+            format!(
+                "  ({:.1} MiB/s)",
+                n as f64 / (mean_ns / 1e9) / (1024.0 * 1024.0)
+            )
+        }
+    });
+    println!(
+        "{name:<50} time: {:>12}   iters: {iters}{}",
+        format_ns(mean_ns),
+        rate.unwrap_or_default()
+    );
+}
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            budget: budget_from_env(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            budget: self.budget,
+            throughput: None,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        let mut bencher = Bencher {
+            budget: self.budget,
+            mean_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut bencher);
+        report(name, bencher.mean_ns, bencher.iters, None);
+    }
+}
+
+/// A group of related benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a Criterion,
+    name: String,
+    budget: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used to derive a rate.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Accepted for API compatibility; the harness is time-budgeted, not
+    /// sample-counted.
+    pub fn sample_size(&mut self, _n: usize) {}
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, time: Duration) {
+        self.budget = time;
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        let mut bencher = Bencher {
+            budget: self.budget,
+            mean_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut bencher);
+        report(
+            &format!("{}/{}", self.name, id),
+            bencher.mean_ns,
+            bencher.iters,
+            self.throughput,
+        );
+    }
+
+    /// Runs one parameterized benchmark in this group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            budget: self.budget,
+            mean_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut bencher, input);
+        report(
+            &format!("{}/{}", self.name, id),
+            bencher.mean_ns,
+            bencher.iters,
+            self.throughput,
+        );
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags like `--bench`; ignore them.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_measures_something() {
+        let mut b = Bencher {
+            budget: Duration::from_millis(5),
+            mean_ns: 0.0,
+            iters: 0,
+        };
+        b.iter(|| black_box(2u64 + 2));
+        assert!(b.iters > 0);
+        assert!(b.mean_ns > 0.0);
+    }
+
+    #[test]
+    fn iter_batched_measures_routine_only() {
+        let mut b = Bencher {
+            budget: Duration::from_millis(5),
+            mean_ns: 0.0,
+            iters: 0,
+        };
+        b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput);
+        assert!(b.iters > 0);
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+    }
+}

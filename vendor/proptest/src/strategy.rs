@@ -1,0 +1,327 @@
+//! The [`Strategy`] trait and the built-in combinators.
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of `Self::Value`.
+///
+/// Generation-only (no shrinking): `generate` must be deterministic given
+/// the RNG state.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Always generates a clone of the wrapped value.
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+#[derive(Clone, Copy, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Weighted choice among strategies of a common value type (the result of
+/// [`prop_oneof!`](crate::prop_oneof)).
+pub struct Union<V> {
+    options: Vec<(u32, BoxedStrategy<V>)>,
+}
+
+impl<V> Union<V> {
+    /// Builds a union from `(weight, strategy)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` is empty or all weights are zero.
+    pub fn new(options: Vec<(u32, BoxedStrategy<V>)>) -> Union<V> {
+        let total: u64 = options.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(total > 0, "prop_oneof! needs a positive total weight");
+        Union { options }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let total: u64 = self.options.iter().map(|(w, _)| u64::from(*w)).sum();
+        let mut needle = rng.below(total);
+        for (w, s) in &self.options {
+            let w = u64::from(*w);
+            if needle < w {
+                return s.generate(rng);
+            }
+            needle -= w;
+        }
+        unreachable!("weights covered above")
+    }
+}
+
+macro_rules! int_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as u64).wrapping_sub(lo as u64);
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(rng.below(span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+int_range_strategies!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                (self.start as i64).wrapping_add(rng.below(span) as i64) as $t
+            }
+        }
+    )*};
+}
+
+signed_range_strategies!(i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit() * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range strategy");
+        lo + rng.unit() * (hi - lo)
+    }
+}
+
+macro_rules! tuple_strategies {
+    ($(($($s:ident),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($s,)+) = self;
+                ($($s.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategies! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+    (A, B, C, D, E, F, G)
+    (A, B, C, D, E, F, G, H)
+}
+
+impl<S: Strategy, const N: usize> Strategy for [S; N] {
+    type Value = [S::Value; N];
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        std::array::from_fn(|i| self[i].generate(rng))
+    }
+}
+
+/// String literals act as regex-shaped string strategies, like upstream
+/// proptest. Only the subset the workspace uses is supported: literal
+/// characters, `.`, `\PC` (any non-control character), and an optional
+/// `{m,n}` repetition suffix per atom. Anything else panics loudly.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+#[derive(Clone, Copy)]
+enum PatternAtom {
+    NonControl,
+    AnyChar,
+    Literal(char),
+}
+
+fn random_char(atom: PatternAtom, rng: &mut TestRng) -> char {
+    match atom {
+        PatternAtom::Literal(c) => c,
+        PatternAtom::NonControl | PatternAtom::AnyChar => loop {
+            // Bias towards ASCII but exercise multi-byte UTF-8 too.
+            let c = if rng.below(4) > 0 {
+                char::from(0x20 + rng.below(0x5f) as u8)
+            } else {
+                match char::from_u32(rng.below(0x11_0000 - 0x20) as u32 + 0x20) {
+                    Some(c) => c,
+                    None => continue,
+                }
+            };
+            if !c.is_control() {
+                return c;
+            }
+        },
+    }
+}
+
+fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut chars = pattern.chars().peekable();
+    let mut out = String::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '\\' => match chars.next() {
+                Some('P') if chars.next_if_eq(&'C').is_some() => PatternAtom::NonControl,
+                Some(esc @ ('\\' | '.' | '{' | '}')) => PatternAtom::Literal(esc),
+                other => panic!("unsupported escape \\{other:?} in string strategy {pattern:?}"),
+            },
+            '.' => PatternAtom::AnyChar,
+            '{' | '}' | '*' | '+' | '?' | '[' | '(' | '|' => {
+                panic!("unsupported regex syntax {c:?} in string strategy {pattern:?}")
+            }
+            lit => PatternAtom::Literal(lit),
+        };
+        let (lo, hi) = if chars.next_if_eq(&'{').is_some() {
+            let mut spec = String::new();
+            for r in chars.by_ref() {
+                if r == '}' {
+                    break;
+                }
+                spec.push(r);
+            }
+            let (lo, hi) = spec
+                .split_once(',')
+                .unwrap_or((spec.as_str(), spec.as_str()));
+            (
+                lo.trim().parse::<u64>().unwrap_or(0),
+                hi.trim().parse::<u64>().unwrap_or(0),
+            )
+        } else {
+            (1, 1)
+        };
+        let count = lo + if hi > lo { rng.below(hi - lo + 1) } else { 0 };
+        for _ in 0..count {
+            out.push(random_char(atom, rng));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prop_oneof;
+
+    #[test]
+    fn ranges_and_tuples() {
+        let mut rng = TestRng::new(1);
+        let s = (0u8..4, 10u64..20, 0.0f64..1.0);
+        for _ in 0..200 {
+            let (a, b, c) = s.generate(&mut rng);
+            assert!(a < 4);
+            assert!((10..20).contains(&b));
+            assert!((0.0..1.0).contains(&c));
+        }
+    }
+
+    #[test]
+    fn map_and_just() {
+        let mut rng = TestRng::new(2);
+        let s = Just(21u64).prop_map(|v| v * 2);
+        assert_eq!(s.generate(&mut rng), 42);
+    }
+
+    #[test]
+    fn union_respects_weights() {
+        let mut rng = TestRng::new(3);
+        let s = prop_oneof![9 => Just(true), 1 => Just(false)];
+        let trues = (0..1000).filter(|_| s.generate(&mut rng)).count();
+        assert!(trues > 750, "trues {trues}");
+        let unweighted = prop_oneof![Just(1u8), Just(2u8)];
+        for _ in 0..10 {
+            assert!((1..=2).contains(&unweighted.generate(&mut rng)));
+        }
+    }
+
+    #[test]
+    fn array_of_strategies() {
+        let mut rng = TestRng::new(4);
+        let s = [0.0f64..1.0, 0.0f64..1.0, 0.0f64..1.0];
+        let v = s.generate(&mut rng);
+        assert_eq!(v.len(), 3);
+        assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+    }
+}
