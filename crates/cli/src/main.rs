@@ -7,7 +7,12 @@
 //! * `analyze` — print overall statistics for a trace (a Table III row);
 //! * `patterns` — print the pattern browser table for a trace;
 //! * `sketch` — render an episode sketch (SVG or ASCII);
+//! * `lint` — check a trace file for damage and print the salvage report;
 //! * `experiments` — regenerate every table and figure of the paper.
+//!
+//! Exit codes: `0` success on a clean trace, `1` usage or I/O error,
+//! `2` the trace was damaged but salvageable, `3` the trace is
+//! unrecoverable.
 
 use std::fs;
 use std::io::Write as _;
@@ -23,21 +28,57 @@ use lagalyzer_viz::ascii::ascii_sketch;
 use lagalyzer_viz::sketch::{render_pattern_gallery, render_sketch, SketchOptions};
 use lagalyzer_viz::timeline::{render_timeline, TimelineOptions};
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            ExitCode::FAILURE
+/// Exit code for a trace that was damaged but salvageable.
+const EXIT_SALVAGED: u8 = 2;
+/// Exit code for a trace that could not be decoded at all.
+const EXIT_UNRECOVERABLE: u8 = 3;
+
+/// A command failure: the message printed to stderr plus the process
+/// exit code it maps to (plain errors exit `1`).
+struct Failure {
+    msg: String,
+    code: u8,
+}
+
+impl Failure {
+    fn unrecoverable(msg: String) -> Failure {
+        Failure {
+            msg,
+            code: EXIT_UNRECOVERABLE,
         }
     }
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+impl From<String> for Failure {
+    fn from(msg: String) -> Failure {
+        Failure { msg, code: 1 }
+    }
+}
+
+impl From<&str> for Failure {
+    fn from(msg: &str) -> Failure {
+        Failure {
+            msg: msg.to_owned(),
+            code: 1,
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(failure) => {
+            eprintln!("error: {}", failure.msg);
+            ExitCode::from(failure.code)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, Failure> {
     let Some(command) = args.first() else {
         print_usage();
-        return Ok(());
+        return Ok(ExitCode::SUCCESS);
     };
     let rest = &args[1..];
     match command.as_str() {
@@ -49,12 +90,13 @@ fn run(args: &[String]) -> Result<(), String> {
         "timeline" => cmd_timeline(rest),
         "stable" => cmd_stable(rest),
         "diff" => cmd_diff(rest),
+        "lint" => cmd_lint(rest),
         "experiments" => cmd_experiments(rest),
         "help" | "--help" | "-h" => {
             print_usage();
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
-        other => Err(format!("unknown command {other:?}; try `lagalyzer help`")),
+        other => Err(format!("unknown command {other:?}; try `lagalyzer help`").into()),
     }
 }
 
@@ -68,10 +110,11 @@ fn print_usage() {
            apps                               list built-in application profiles\n\
            simulate --app NAME [--session N] [--seed S] [--text] --out FILE\n\
                                               synthesize a session trace\n\
-           analyze FILE [--threshold-ms MS] [--histogram] [--jobs N]\n\
+           analyze FILE [--threshold-ms MS] [--histogram] [--jobs N] [--salvage]\n\
                                               overall statistics of a trace\n\
-           patterns FILE [--perceptible-only] [--sort count|total|max|perceptible] [--jobs N]\n\
+           patterns FILE [--perceptible-only] [--sort count|total|max|perceptible] [--jobs N] [--salvage]\n\
                                               browse mined patterns\n\
+           lint FILE                          check a trace for damage and print the salvage report\n\
            sketch FILE [--episode N | --pattern N [--gallery]] [--ascii] [--out FILE.svg]\n\
                                               render an episode sketch\n\
            timeline FILE [--out FILE.svg]     render the whole-session timeline\n\
@@ -81,7 +124,11 @@ fn print_usage() {
                                               regenerate the paper's tables and figures\n\
          \n\
          --jobs N shards analysis work across N worker threads (0 or omitted:\n\
-         all cores; 1: serial). Results are byte-identical for any N."
+         all cores; 1: serial). Results are byte-identical for any N.\n\
+         \n\
+         --salvage decodes a damaged trace leniently, dropping corrupt\n\
+         records and reporting every skip. Exit codes: 0 clean, 1 usage or\n\
+         I/O error, 2 damaged but salvaged, 3 unrecoverable."
     );
 }
 
@@ -138,7 +185,7 @@ fn parse_jobs(args: &[String]) -> Result<usize, String> {
     }
 }
 
-fn cmd_apps() -> Result<(), String> {
+fn cmd_apps() -> Result<ExitCode, Failure> {
     println!(
         "{:<15} {:<10} {:>8}  description",
         "name", "version", "classes"
@@ -149,10 +196,10 @@ fn cmd_apps() -> Result<(), String> {
             p.name, p.version, p.classes, p.description
         );
     }
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
-fn cmd_simulate(args: &[String]) -> Result<(), String> {
+fn cmd_simulate(args: &[String]) -> Result<ExitCode, Failure> {
     let app_name = opt_value(args, "--app").ok_or("simulate requires --app NAME")?;
     let profile = apps::by_name(app_name)
         .ok_or_else(|| format!("unknown application {app_name:?}; see `lagalyzer apps`"))?;
@@ -174,7 +221,7 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         trace.episodes().len(),
         trace.short_episode_count()
     );
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
 /// Loads a trace, auto-detecting the codec from the file contents.
@@ -182,17 +229,50 @@ fn load_trace(path: &str) -> Result<SessionTrace, String> {
     lagalyzer_trace::read_path(path).map_err(|e| format!("cannot load {path}: {e}"))
 }
 
-fn session_from(args: &[String], path: &str) -> Result<AnalysisSession, String> {
+fn session_from(args: &[String], path: &str) -> Result<AnalysisSession, Failure> {
     let threshold = parse_u64(args, "--threshold-ms", 100)?;
-    Ok(AnalysisSession::new(
-        load_trace(path)?,
-        AnalysisConfig {
-            perceptible_threshold: DurationNs::from_millis(threshold),
-        },
+    let config = AnalysisConfig {
+        perceptible_threshold: DurationNs::from_millis(threshold),
+    };
+    if !opt_flag(args, "--salvage") {
+        return Ok(AnalysisSession::new(load_trace(path)?, config));
+    }
+    let salvaged = lagalyzer_trace::read_path_salvage(path)
+        .map_err(|e| Failure::unrecoverable(format!("cannot salvage {path}: {e}")))?;
+    let report = salvaged.report;
+    let provenance = if report.is_clean() {
+        Provenance::Clean
+    } else {
+        eprintln!(
+            "salvage: {path}: recovered {} episode(s), lost {}, {} skip(s)",
+            report.episodes_recovered,
+            report.episodes_lost,
+            report.skips.len(),
+        );
+        Provenance::Salvaged {
+            skips: report.skips.len() as u64,
+            episodes_lost: report.episodes_lost,
+        }
+    };
+    Ok(AnalysisSession::with_provenance(
+        salvaged.trace,
+        config,
+        provenance,
     ))
 }
 
-fn cmd_analyze(args: &[String]) -> Result<(), String> {
+/// The exit code for a command that analyzed `session` successfully:
+/// clean traces exit `0`; salvaged traces exit [`EXIT_SALVAGED`] so
+/// scripts can tell the results may rest on an incomplete trace.
+fn exit_for(session: &AnalysisSession) -> ExitCode {
+    if session.is_salvaged() {
+        ExitCode::from(EXIT_SALVAGED)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn cmd_analyze(args: &[String]) -> Result<ExitCode, Failure> {
     let path = args.first().ok_or("analyze requires a trace file")?;
     let jobs = parse_jobs(args)?;
     let session = session_from(args, path)?;
@@ -226,10 +306,10 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
             histogram.fraction_under(DurationNs::from_millis(128)) * 100.0
         );
     }
-    Ok(())
+    Ok(exit_for(&session))
 }
 
-fn cmd_patterns(args: &[String]) -> Result<(), String> {
+fn cmd_patterns(args: &[String]) -> Result<ExitCode, Failure> {
     let path = args.first().ok_or("patterns requires a trace file")?;
     let jobs = parse_jobs(args)?;
     let session = session_from(args, path)?;
@@ -244,14 +324,33 @@ fn cmd_patterns(args: &[String]) -> Result<(), String> {
             "total" => SortBy::TotalLag,
             "max" => SortBy::MaxLag,
             "perceptible" => SortBy::PerceptibleCount,
-            other => return Err(format!("unknown sort order {other:?}")),
+            other => return Err(format!("unknown sort order {other:?}").into()),
         });
     }
     print!("{}", browser.to_table());
-    Ok(())
+    Ok(exit_for(&session))
 }
 
-fn cmd_sketch(args: &[String]) -> Result<(), String> {
+fn cmd_lint(args: &[String]) -> Result<ExitCode, Failure> {
+    let path = args.first().ok_or("lint requires a trace file")?;
+    let bytes = fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    match lagalyzer_trace::read_bytes_salvage(&bytes) {
+        Err(e) => {
+            println!("unrecoverable: {e}");
+            Ok(ExitCode::from(EXIT_UNRECOVERABLE))
+        }
+        Ok(salvaged) => {
+            print!("{}", salvaged.report.render());
+            if salvaged.report.is_clean() {
+                Ok(ExitCode::SUCCESS)
+            } else {
+                Ok(ExitCode::from(EXIT_SALVAGED))
+            }
+        }
+    }
+}
+
+fn cmd_sketch(args: &[String]) -> Result<ExitCode, Failure> {
     let path = args.first().ok_or("sketch requires a trace file")?;
     let session = session_from(args, path)?;
     // --pattern N selects the first episode of the N-th pattern (what the
@@ -283,11 +382,11 @@ fn cmd_sketch(args: &[String]) -> Result<(), String> {
                 Some(out) => {
                     fs::write(out, svg).map_err(|e| format!("cannot write {out}: {e}"))?;
                     println!("wrote gallery of {} episodes to {out}", episodes.len());
-                    Ok(())
+                    Ok(ExitCode::SUCCESS)
                 }
                 None => {
                     println!("{svg}");
-                    Ok(())
+                    Ok(ExitCode::SUCCESS)
                 }
             };
         }
@@ -303,7 +402,7 @@ fn cmd_sketch(args: &[String]) -> Result<(), String> {
     })?;
     if opt_flag(args, "--ascii") {
         print!("{}", ascii_sketch(episode, session.trace().symbols(), 100));
-        return Ok(());
+        return Ok(ExitCode::SUCCESS);
     }
     let svg = render_sketch(
         episode,
@@ -317,10 +416,10 @@ fn cmd_sketch(args: &[String]) -> Result<(), String> {
         }
         None => println!("{svg}"),
     }
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
-fn cmd_timeline(args: &[String]) -> Result<(), String> {
+fn cmd_timeline(args: &[String]) -> Result<ExitCode, Failure> {
     let path = args.first().ok_or("timeline requires a trace file")?;
     let session = session_from(args, path)?;
     let svg = render_timeline(&session, &TimelineOptions::default());
@@ -331,10 +430,10 @@ fn cmd_timeline(args: &[String]) -> Result<(), String> {
         }
         None => println!("{svg}"),
     }
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
-fn cmd_stable(args: &[String]) -> Result<(), String> {
+fn cmd_stable(args: &[String]) -> Result<ExitCode, Failure> {
     let paths = positional_args(args, &["--threshold-ms", "--jobs"]);
     if paths.is_empty() {
         return Err("stable requires at least one trace file".into());
@@ -365,10 +464,10 @@ fn cmd_stable(args: &[String]) -> Result<(), String> {
     if problems.is_empty() {
         println!("  (none)");
     }
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
-fn cmd_diff(args: &[String]) -> Result<(), String> {
+fn cmd_diff(args: &[String]) -> Result<ExitCode, Failure> {
     let paths = positional_args(args, &["--threshold-ms"]);
     let [baseline_path, candidate_path] = paths.as_slice() else {
         return Err("diff requires exactly two trace files: BASELINE CANDIDATE".into());
@@ -421,10 +520,10 @@ fn cmd_diff(args: &[String]) -> Result<(), String> {
             println!("  {eps:>5} {perc:>4}  {}", trim(sig));
         }
     }
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
-fn cmd_experiments(args: &[String]) -> Result<(), String> {
+fn cmd_experiments(args: &[String]) -> Result<ExitCode, Failure> {
     let out_dir = PathBuf::from(opt_value(args, "--out-dir").unwrap_or("target/experiments"));
     let sessions = parse_u64(args, "--sessions", 4)? as u32;
     let seed = parse_u64(args, "--seed", 42)?;
@@ -467,7 +566,7 @@ fn cmd_experiments(args: &[String]) -> Result<(), String> {
         figs.len(),
         out_dir.display()
     );
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
 fn write_out(dir: &Path, name: &str, content: &str) -> Result<(), String> {

@@ -272,6 +272,124 @@ fn experiments_regenerate_all_figures() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Simulates a trace and returns `(clean path, truncated copy path)`.
+fn clean_and_damaged(dir: &std::path::Path) -> (std::path::PathBuf, std::path::PathBuf) {
+    std::fs::create_dir_all(dir).unwrap();
+    let clean = dir.join("clean.lgz");
+    run_ok(&[
+        "simulate",
+        "--app",
+        "CrosswordSage",
+        "--seed",
+        "17",
+        "--out",
+        clean.to_str().unwrap(),
+    ]);
+    let bytes = std::fs::read(&clean).unwrap();
+    let damaged = dir.join("damaged.lgz");
+    std::fs::write(&damaged, &bytes[..bytes.len() * 3 / 5]).unwrap();
+    (clean, damaged)
+}
+
+#[test]
+fn lint_exit_codes_separate_clean_salvaged_unrecoverable() {
+    let dir = std::env::temp_dir().join(format!("lagalyzer-cli-lint-{}", std::process::id()));
+    let (clean, damaged) = clean_and_damaged(&dir);
+
+    let output = lagalyzer()
+        .args(["lint", clean.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(output.status.code(), Some(0), "clean trace must lint clean");
+    assert!(String::from_utf8_lossy(&output.stdout).contains("clean"));
+
+    let output = lagalyzer()
+        .args(["lint", damaged.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(output.status.code(), Some(2), "damaged trace must exit 2");
+    let out = String::from_utf8_lossy(&output.stdout).to_string();
+    assert!(out.contains("damaged trace"), "report missing: {out}");
+    assert!(out.contains("episodes recovered"), "report missing: {out}");
+
+    let garbage = dir.join("garbage.bin");
+    std::fs::write(&garbage, b"definitely not a trace").unwrap();
+    let output = lagalyzer()
+        .args(["lint", garbage.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(output.status.code(), Some(3), "garbage must exit 3");
+    assert!(String::from_utf8_lossy(&output.stdout).contains("unrecoverable"));
+
+    // A missing file is a plain I/O error, exit 1.
+    let output = lagalyzer()
+        .args(["lint", dir.join("nope.lgz").to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(output.status.code(), Some(1));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn analyze_and_patterns_salvage_damaged_traces() {
+    let dir = std::env::temp_dir().join(format!("lagalyzer-cli-salv-{}", std::process::id()));
+    let (clean, damaged) = clean_and_damaged(&dir);
+
+    // Without --salvage the damaged trace is an error (exit 1).
+    let output = lagalyzer()
+        .args(["analyze", damaged.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(output.status.code(), Some(1));
+
+    // With --salvage it analyzes what survived and exits 2.
+    let output = lagalyzer()
+        .args(["analyze", damaged.to_str().unwrap(), "--salvage"])
+        .output()
+        .unwrap();
+    assert_eq!(output.status.code(), Some(2), "salvaged analyze exits 2");
+    let stdout = String::from_utf8_lossy(&output.stdout).to_string();
+    assert!(
+        stdout.contains("distinct patterns"),
+        "stats missing: {stdout}"
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr).to_string();
+    assert!(stderr.contains("salvage:"), "summary missing: {stderr}");
+
+    // The pattern table carries the provenance note and also exits 2.
+    let output = lagalyzer()
+        .args(["patterns", damaged.to_str().unwrap(), "--salvage"])
+        .output()
+        .unwrap();
+    assert_eq!(output.status.code(), Some(2));
+    let stdout = String::from_utf8_lossy(&output.stdout).to_string();
+    assert!(
+        stdout.contains("note: trace salvaged"),
+        "note missing: {stdout}"
+    );
+
+    // --salvage on a clean trace is byte-identical to strict: exit 0, no note.
+    let strict = run_ok(&["patterns", clean.to_str().unwrap()]);
+    let output = lagalyzer()
+        .args(["patterns", clean.to_str().unwrap(), "--salvage"])
+        .output()
+        .unwrap();
+    assert_eq!(output.status.code(), Some(0));
+    assert_eq!(String::from_utf8_lossy(&output.stdout), strict);
+
+    // Unrecoverable input under --salvage exits 3.
+    let garbage = dir.join("garbage.bin");
+    std::fs::write(&garbage, b"definitely not a trace").unwrap();
+    let output = lagalyzer()
+        .args(["analyze", garbage.to_str().unwrap(), "--salvage"])
+        .output()
+        .unwrap();
+    assert_eq!(output.status.code(), Some(3));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn diff_compares_two_traces() {
     let dir = std::env::temp_dir().join(format!("lagalyzer-cli-diff-{}", std::process::id()));

@@ -43,6 +43,9 @@ pub struct AppAggregate {
     /// Averaged Fig 3 curve, resampled on a common grid of pattern
     /// fractions (x) with mean episode coverage (y).
     pub coverage_curve: Vec<(f64, f64)>,
+    /// True when any aggregated session's trace was salvaged from a
+    /// damaged file.
+    pub salvaged: bool,
 }
 
 /// Table III columns averaged over sessions (floating point where the
@@ -190,6 +193,7 @@ pub struct CharacterizationTable {
     concurrency_perceptible: ConcurrencyAccum,
     perceptible_episodes: u64,
     episodes: u64,
+    salvaged: bool,
 }
 
 impl CharacterizationTable {
@@ -201,7 +205,10 @@ impl CharacterizationTable {
     ) -> CharacterizationTable {
         let symbols = session.trace().symbols();
         let threshold = session.perceptible_threshold();
-        let mut t = CharacterizationTable::default();
+        let mut t = CharacterizationTable {
+            salvaged: session.is_salvaged(),
+            ..CharacterizationTable::default()
+        };
         for episode in &session.episodes()[range] {
             let perceptible = episode.is_perceptible(threshold);
             t.episodes += 1;
@@ -285,6 +292,7 @@ impl CharacterizationTable {
             .merge(&other.concurrency_perceptible);
         self.perceptible_episodes += other.perceptible_episodes;
         self.episodes += other.episodes;
+        self.salvaged |= other.salvaged;
     }
 
     /// Trigger breakdown over all episodes (Fig 5, upper graph).
@@ -333,6 +341,12 @@ impl CharacterizationTable {
     /// Perceptible episodes tallied so far.
     pub fn perceptible_count(&self) -> u64 {
         self.perceptible_episodes
+    }
+
+    /// True when any tallied session's trace was salvaged from a damaged
+    /// file — the characterization may rest on an incomplete population.
+    pub fn salvaged(&self) -> bool {
+        self.salvaged
     }
 }
 

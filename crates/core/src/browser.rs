@@ -128,6 +128,11 @@ impl<'a> PatternBrowser<'a> {
                 truncate(row.pattern.signature().as_str(), 60),
             ));
         }
+        if self.session.is_salvaged() || self.patterns.salvaged() {
+            out.push_str(
+                "note: trace salvaged from a damaged file; pattern population may be incomplete\n",
+            );
+        }
         out
     }
 }

@@ -79,7 +79,7 @@ pub use multi::{MultiPattern, MultiPatternSet};
 pub use occurrence::Occurrence;
 pub use parallel::{available_jobs, map_shards, resolve_jobs};
 pub use patterns::{Pattern, PatternSet, PatternTable};
-pub use session::{AnalysisConfig, AnalysisSession};
+pub use session::{AnalysisConfig, AnalysisSession, Provenance};
 pub use shape::ShapeSignature;
 pub use stats::SessionStats;
 pub use trigger::Trigger;
@@ -98,7 +98,7 @@ pub mod prelude {
     pub use crate::occurrence::Occurrence;
     pub use crate::parallel::{available_jobs, map_shards, resolve_jobs};
     pub use crate::patterns::{Pattern, PatternSet, PatternTable};
-    pub use crate::session::{AnalysisConfig, AnalysisSession};
+    pub use crate::session::{AnalysisConfig, AnalysisSession, Provenance};
     pub use crate::shape::ShapeSignature;
     pub use crate::stats::SessionStats;
     pub use crate::trigger::Trigger;

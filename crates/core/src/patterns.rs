@@ -119,6 +119,7 @@ pub struct PatternSet {
     patterns: Vec<Pattern>,
     structureless: u64,
     total_structured: u64,
+    salvaged: bool,
 }
 
 impl PatternSet {
@@ -164,6 +165,12 @@ impl PatternSet {
     /// Number of episodes covered by patterns (Table III "#Eps").
     pub fn covered_episodes(&self) -> u64 {
         self.total_structured
+    }
+
+    /// True when any contributing session's trace was salvaged from a
+    /// damaged file — the mined population may be incomplete.
+    pub fn salvaged(&self) -> bool {
+        self.salvaged
     }
 
     /// Number of structureless episodes excluded from mining.
@@ -315,6 +322,7 @@ fn merge_sorted(mut a: Vec<usize>, mut b: Vec<usize>) -> Vec<usize> {
 pub struct PatternTable {
     groups: HashMap<ShapeSignature, PatternAccum>,
     structureless: u64,
+    salvaged: bool,
 }
 
 impl PatternTable {
@@ -326,6 +334,9 @@ impl PatternTable {
     /// Scans one shard of `session`'s episodes into a fresh table.
     pub fn scan(session: &AnalysisSession, range: std::ops::Range<usize>) -> PatternTable {
         let mut table = PatternTable::new();
+        if session.is_salvaged() {
+            table.mark_salvaged();
+        }
         table.scan_episodes(
             &session.episodes()[range.clone()],
             range.start,
@@ -383,10 +394,23 @@ impl PatternTable {
         }
     }
 
+    /// Flags the table as derived from a salvaged trace. The flag is
+    /// sticky: it survives [`PatternTable::merge`] (logical OR) and is
+    /// carried into the finished [`PatternSet`].
+    pub fn mark_salvaged(&mut self) {
+        self.salvaged = true;
+    }
+
+    /// True when any scanned session was salvaged.
+    pub fn salvaged(&self) -> bool {
+        self.salvaged
+    }
+
     /// Folds another shard's table into this one. The merge is exact and
     /// order-independent, which is what makes the parallel pipeline
     /// byte-identical to the serial scan.
     pub fn merge(&mut self, other: PatternTable) {
+        self.salvaged |= other.salvaged;
         self.structureless += other.structureless;
         for (sig, accum) in other.groups {
             match self.groups.entry(sig) {
@@ -439,6 +463,7 @@ impl PatternTable {
             patterns,
             structureless: self.structureless,
             total_structured,
+            salvaged: self.salvaged,
         }
     }
 }
@@ -702,6 +727,27 @@ mod tests {
             &chunked.into_pattern_set(),
             &PatternTable::scan(&s, 0..4).into_pattern_set(),
         );
+    }
+
+    #[test]
+    fn salvaged_flag_survives_scan_and_merge() {
+        let clean = trace_with(&[("a.A", 50, false), ("b.B", 60, false)]);
+        assert!(!clean.mine_patterns().salvaged());
+        let salvaged = crate::session::AnalysisSession::with_provenance(
+            clean.trace().clone(),
+            AnalysisConfig::default(),
+            crate::session::Provenance::Salvaged {
+                skips: 1,
+                episodes_lost: 0,
+            },
+        );
+        assert!(salvaged.mine_patterns().salvaged());
+        assert!(PatternSet::mine_with_jobs(&salvaged, 4).salvaged());
+        // Merging a salvaged table into a clean one taints the result.
+        let mut merged = PatternTable::scan(&clean, 0..2);
+        merged.merge(PatternTable::scan(&salvaged, 0..2));
+        assert!(merged.salvaged());
+        assert!(merged.into_pattern_set().salvaged());
     }
 
     #[test]

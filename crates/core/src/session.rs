@@ -19,6 +19,33 @@ impl Default for AnalysisConfig {
     }
 }
 
+/// How the session's trace was obtained.
+///
+/// A salvaged trace is one recovered from a damaged file by the
+/// lenient decoder (`lagalyzer_trace::read_bytes_salvage`); its episode
+/// population may be incomplete, so analyses derived from it carry this
+/// flag into their result tables and reports.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Provenance {
+    /// Decoded strictly; the trace is complete and verified.
+    #[default]
+    Clean,
+    /// Recovered by salvage decoding; parts of the trace were dropped.
+    Salvaged {
+        /// Number of skip events the salvager recorded.
+        skips: u64,
+        /// Number of episodes known to be lost to damage.
+        episodes_lost: u64,
+    },
+}
+
+impl Provenance {
+    /// True when the trace was recovered from a damaged file.
+    pub fn is_salvaged(&self) -> bool {
+        matches!(self, Provenance::Salvaged { .. })
+    }
+}
+
 /// One trace loaded for analysis.
 ///
 /// LagAlyzer is an offline tool: the complete trace must exist before
@@ -28,12 +55,40 @@ impl Default for AnalysisConfig {
 pub struct AnalysisSession {
     trace: SessionTrace,
     config: AnalysisConfig,
+    provenance: Provenance,
 }
 
 impl AnalysisSession {
     /// Ingests a trace with the given configuration.
     pub fn new(trace: SessionTrace, config: AnalysisConfig) -> Self {
-        AnalysisSession { trace, config }
+        AnalysisSession {
+            trace,
+            config,
+            provenance: Provenance::Clean,
+        }
+    }
+
+    /// Ingests a trace while recording how it was obtained.
+    pub fn with_provenance(
+        trace: SessionTrace,
+        config: AnalysisConfig,
+        provenance: Provenance,
+    ) -> Self {
+        AnalysisSession {
+            trace,
+            config,
+            provenance,
+        }
+    }
+
+    /// How this session's trace was obtained.
+    pub fn provenance(&self) -> Provenance {
+        self.provenance
+    }
+
+    /// True when the trace was recovered from a damaged file.
+    pub fn is_salvaged(&self) -> bool {
+        self.provenance.is_salvaged()
     }
 
     /// The underlying trace.
@@ -130,6 +185,29 @@ mod tests {
             },
         );
         assert_eq!(lax.perceptible_episodes().count(), 2);
+    }
+
+    #[test]
+    fn provenance_defaults_to_clean_and_is_carried() {
+        let clean = AnalysisSession::new(tiny_trace(), AnalysisConfig::default());
+        assert_eq!(clean.provenance(), Provenance::Clean);
+        assert!(!clean.is_salvaged());
+        let salvaged = AnalysisSession::with_provenance(
+            tiny_trace(),
+            AnalysisConfig::default(),
+            Provenance::Salvaged {
+                skips: 3,
+                episodes_lost: 1,
+            },
+        );
+        assert!(salvaged.is_salvaged());
+        assert_eq!(
+            salvaged.provenance(),
+            Provenance::Salvaged {
+                skips: 3,
+                episodes_lost: 1,
+            }
+        );
     }
 
     #[test]

@@ -174,6 +174,7 @@ pub fn aggregate_sessions_with_jobs(
                 .map(|b| b.patterns.cumulative_coverage())
                 .collect::<Vec<_>>(),
         ),
+        salvaged: bundles.iter().any(|b| b.characterization.salvaged()),
     }
 }
 

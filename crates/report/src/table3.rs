@@ -21,12 +21,25 @@ pub fn render(study: &Study) -> String {
         ("Descs", Align::Right),
         ("Depth", Align::Right),
     ]);
+    let mut any_salvaged = false;
     for app in &study.apps {
-        t.row(&row_cells(&app.aggregate.name, &app.aggregate.stats));
+        // A trailing `*` marks applications whose traces were recovered
+        // by salvage decoding (episode populations may be incomplete).
+        let name = if app.aggregate.salvaged {
+            any_salvaged = true;
+            format!("{} *", app.aggregate.name)
+        } else {
+            app.aggregate.name.clone()
+        };
+        t.row(&row_cells(&name, &app.aggregate.stats));
     }
     t.separator();
     t.row(&row_cells("Mean", &study.mean_stats()));
-    t.render()
+    let mut out = t.render();
+    if any_salvaged {
+        out.push_str("* trace salvaged from a damaged file; counts may be incomplete\n");
+    }
+    out
 }
 
 fn row_cells(name: &str, s: &AveragedStats) -> Vec<String> {

@@ -23,6 +23,13 @@ use crate::varint;
 
 const MAGIC: &[u8; 8] = b"LGLZTRC\x01";
 
+/// The version-independent format signature (byte 8 of [`MAGIC`] is the
+/// version); used by format sniffing and salvage decoding.
+pub(crate) const MAGIC_PREFIX: &[u8] = b"LGLZTRC";
+
+/// Cap on the declared record count; anything larger is corrupt.
+const MAX_RECORDS: u64 = 1 << 32;
+
 /// Record tag bytes.
 mod tag {
     pub const SYMBOL: u8 = 1;
@@ -127,7 +134,10 @@ pub fn write<W: Write>(trace: &SessionTrace, w: W) -> Result<(), TraceError> {
 /// model-invariant violations.
 pub fn read<R: Read>(r: R) -> Result<SessionTrace, TraceError> {
     let mut reader = Reader::new(r)?;
-    let mut records = Vec::with_capacity(reader.remaining().min(1 << 20) as usize);
+    // The declared count is attacker-controlled until the checksum clears:
+    // seed the capacity modestly and let growth follow actual decoded
+    // records, so a corrupt count cannot force a huge allocation.
+    let mut records = Vec::with_capacity(reader.remaining().min(4096) as usize);
     while let Some(record) = reader.next_record()? {
         records.push(record);
     }
@@ -196,7 +206,6 @@ impl<R: Read> Reader<R> {
         }
         let meta = read_header(&mut hr)?;
         let count = varint::read_u64(&mut hr)?;
-        const MAX_RECORDS: u64 = 1 << 32;
         if count > MAX_RECORDS {
             return Err(TraceError::corrupt(
                 "record count",
@@ -248,6 +257,218 @@ impl<R: Read> Reader<R> {
     }
 }
 
+/// Hashes a byte slice with the trailer's FNV-1a function.
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.update(bytes);
+    h.finish()
+}
+
+/// What the salvage cursor found next in the byte stream.
+pub(crate) enum SalvageEvent {
+    /// A structurally valid record at byte offset `at`.
+    Record { at: u64, record: TraceRecord },
+    /// A region that had to be skipped.
+    Skip {
+        at: u64,
+        context: &'static str,
+        detail: String,
+        bytes_skipped: u64,
+    },
+}
+
+/// Walks the record region of a (possibly damaged) binary trace,
+/// resynchronizing after corrupt records instead of aborting.
+///
+/// Construction fails only when the input is unrecoverable: missing the
+/// format signature or a header too damaged to establish the session
+/// metadata. Everything after the header is best-effort: corrupt records
+/// yield [`SalvageEvent::Skip`] and scanning resumes at the next byte
+/// that starts a decodable record.
+pub(crate) struct SalvageCursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    payload_end: usize,
+    meta: SessionMeta,
+    declared: Option<u64>,
+    decoded: u64,
+    pending: std::collections::VecDeque<SalvageEvent>,
+    checksum_ok: Option<bool>,
+    finished: bool,
+}
+
+impl<'a> SalvageCursor<'a> {
+    pub(crate) fn new(bytes: &'a [u8]) -> Result<SalvageCursor<'a>, TraceError> {
+        let mut pending = std::collections::VecDeque::new();
+        if bytes.len() < 8 {
+            return Err(TraceError::corrupt("magic", "input shorter than magic"));
+        }
+        if bytes[..7] != MAGIC[..7] {
+            return Err(TraceError::corrupt("magic", format!("{:?}", &bytes[..8])));
+        }
+        if bytes[7] != MAGIC[7] {
+            pending.push_back(SalvageEvent::Skip {
+                at: 7,
+                context: "version",
+                detail: format!("unsupported version {}, decoding as v1", bytes[7]),
+                bytes_skipped: 0,
+            });
+        }
+        let mut r = &bytes[8..];
+        // A header too damaged to yield the session metadata makes the
+        // whole file unattributable: give up rather than invent a session.
+        let meta = read_header(&mut r)?;
+        let mut pos = bytes.len() - r.len();
+        let declared = match varint::read_u64(&mut r) {
+            Ok(n) if n <= MAX_RECORDS => Some(n),
+            Ok(n) => {
+                pending.push_back(SalvageEvent::Skip {
+                    at: pos as u64,
+                    context: "record count",
+                    detail: format!("{n} exceeds cap"),
+                    bytes_skipped: 0,
+                });
+                None
+            }
+            Err(e) => {
+                pending.push_back(SalvageEvent::Skip {
+                    at: pos as u64,
+                    context: "record count",
+                    detail: e.to_string(),
+                    bytes_skipped: 0,
+                });
+                None
+            }
+        };
+        pos = bytes.len() - r.len();
+        // The trailer is the last 8 bytes — when they exist. A file cut
+        // before that point has no checksum to verify.
+        let (payload_end, checksum_ok) = if bytes.len() >= pos + 8 {
+            let payload_end = bytes.len() - 8;
+            let mut trailer = [0u8; 8];
+            trailer.copy_from_slice(&bytes[payload_end..]);
+            let stored = u64::from_le_bytes(trailer);
+            // The hash covers header + records but not the magic (the
+            // writer hashes only what flows through its HashingWriter).
+            (payload_end, Some(stored == fnv1a(&bytes[8..payload_end])))
+        } else {
+            pending.push_back(SalvageEvent::Skip {
+                at: bytes.len() as u64,
+                context: "trailer",
+                detail: "input ends before checksum trailer".into(),
+                bytes_skipped: 0,
+            });
+            (bytes.len(), None)
+        };
+        Ok(SalvageCursor {
+            bytes,
+            pos,
+            payload_end,
+            meta,
+            declared,
+            decoded: 0,
+            pending,
+            checksum_ok,
+            finished: false,
+        })
+    }
+
+    pub(crate) fn meta(&self) -> &SessionMeta {
+        &self.meta
+    }
+
+    pub(crate) fn checksum_ok(&self) -> Option<bool> {
+        self.checksum_ok
+    }
+
+    pub(crate) fn position(&self) -> u64 {
+        self.pos as u64
+    }
+
+    /// The next record or skip; `None` once the record region (and the
+    /// final declared-count verdict) is exhausted.
+    pub(crate) fn next_event(&mut self) -> Option<SalvageEvent> {
+        if let Some(ev) = self.pending.pop_front() {
+            return Some(ev);
+        }
+        if self.finished {
+            return None;
+        }
+        if self.pos < self.payload_end {
+            let at = self.pos as u64;
+            let mut r = &self.bytes[self.pos..self.payload_end];
+            match read_record(&mut r) {
+                Ok(record) => {
+                    self.pos = self.payload_end - r.len();
+                    self.decoded += 1;
+                    return Some(SalvageEvent::Record { at, record });
+                }
+                Err(e) => {
+                    // Resynchronize: the next record boundary is the next
+                    // byte that is a known tag and decodes cleanly. (The
+                    // probe re-decodes one record per skip — fine, skips
+                    // are rare and the region is slice-bounded.)
+                    let mut resync = self.payload_end;
+                    for p in self.pos + 1..self.payload_end {
+                        if (tag::SYMBOL..=tag::EP_END).contains(&self.bytes[p]) {
+                            let mut probe = &self.bytes[p..self.payload_end];
+                            if read_record(&mut probe).is_ok() {
+                                resync = p;
+                                break;
+                            }
+                        }
+                    }
+                    let skipped = (resync - self.pos) as u64;
+                    self.pos = resync;
+                    return Some(SalvageEvent::Skip {
+                        at,
+                        context: "record",
+                        detail: e.to_string(),
+                        bytes_skipped: skipped,
+                    });
+                }
+            }
+        }
+        self.finished = true;
+        if let Some(declared) = self.declared {
+            if declared != self.decoded {
+                return Some(SalvageEvent::Skip {
+                    at: self.payload_end as u64,
+                    context: "record count",
+                    detail: format!("declared {declared}, decoded {}", self.decoded),
+                    bytes_skipped: 0,
+                });
+            }
+        }
+        None
+    }
+}
+
+/// Salvage-decodes a binary trace: recovers every intact episode, skipping
+/// damaged regions, and reports what was lost.
+///
+/// On a clean input this returns exactly what [`read`] returns, plus a
+/// report whose [`SalvageReport::is_clean`](crate::SalvageReport::is_clean)
+/// holds.
+///
+/// # Errors
+///
+/// Fails only when the input is unrecoverable (bad magic, or a header too
+/// damaged to establish the session metadata).
+pub fn read_salvage(bytes: &[u8]) -> Result<crate::salvage::Salvaged, TraceError> {
+    let mut stream = crate::stream::SalvageEpisodeStream::new(bytes)?;
+    let meta = stream.meta().clone();
+    let mut episodes = Vec::new();
+    while let Some(episode) = stream.next_episode() {
+        episodes.push(episode);
+    }
+    let (tail, report) = stream.finish();
+    Ok(crate::salvage::Salvaged {
+        trace: crate::salvage::build_session(meta, episodes, tail),
+        report,
+    })
+}
+
 fn write_header<W: Write>(meta: &SessionMeta, w: &mut W) -> Result<(), TraceError> {
     varint::write_str(w, &meta.application)?;
     varint::write_u32(w, meta.session.as_raw())?;
@@ -257,7 +478,7 @@ fn write_header<W: Write>(meta: &SessionMeta, w: &mut W) -> Result<(), TraceErro
     Ok(())
 }
 
-fn read_header<R: Read>(r: &mut R) -> Result<SessionMeta, TraceError> {
+pub(crate) fn read_header<R: Read>(r: &mut R) -> Result<SessionMeta, TraceError> {
     Ok(SessionMeta {
         application: varint::read_str(r)?,
         session: SessionId::from_raw(varint::read_u32(r)?),
@@ -340,7 +561,7 @@ fn read_bool<R: Read>(r: &mut R, context: &'static str) -> Result<bool, TraceErr
     }
 }
 
-fn read_record<R: Read>(r: &mut R) -> Result<TraceRecord, TraceError> {
+pub(crate) fn read_record<R: Read>(r: &mut R) -> Result<TraceRecord, TraceError> {
     const MAX_VEC: u64 = 1 << 24;
     match read_byte(r)? {
         tag::SYMBOL => Ok(TraceRecord::Symbol {
@@ -392,7 +613,10 @@ fn read_record<R: Read>(r: &mut R) -> Result<TraceRecord, TraceError> {
             if n_threads > MAX_VEC {
                 return Err(TraceError::corrupt("sample record", "thread count cap"));
             }
-            let mut threads = Vec::with_capacity(n_threads as usize);
+            // Bound the upfront allocation: each element still has to be
+            // decoded from real input bytes, so growth is paced by the
+            // input rather than by a (possibly corrupt) declared count.
+            let mut threads = Vec::with_capacity(n_threads.min(1024) as usize);
             for _ in 0..n_threads {
                 let thread = ThreadId::from_raw(varint::read_u32(r)?);
                 let state_tag = read_byte(r)?;
@@ -403,7 +627,7 @@ fn read_record<R: Read>(r: &mut R) -> Result<TraceRecord, TraceError> {
                 if n_frames > MAX_VEC {
                     return Err(TraceError::corrupt("sample record", "frame count cap"));
                 }
-                let mut stack = Vec::with_capacity(n_frames as usize);
+                let mut stack = Vec::with_capacity(n_frames.min(1024) as usize);
                 for _ in 0..n_frames {
                     let method = MethodRef {
                         class: SymbolId::from_raw(varint::read_u32(r)?),

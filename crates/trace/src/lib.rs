@@ -52,8 +52,10 @@
 pub mod auto;
 pub mod binary;
 pub mod error;
+pub mod faults;
 pub mod filter;
 pub mod record;
+pub mod salvage;
 pub mod stream;
 pub mod text;
 mod varint;
@@ -62,4 +64,7 @@ pub use auto::{read_bytes, read_path};
 pub use error::TraceError;
 pub use filter::TraceFilter;
 pub use record::{records_from_trace, trace_from_records, TraceRecord};
-pub use stream::EpisodeStream;
+pub use salvage::{
+    read_bytes_salvage, read_path_salvage, SalvageReport, SalvageSkip, Salvaged, SkipAt,
+};
+pub use stream::{EpisodeStream, SalvageEpisodeStream};

@@ -23,6 +23,7 @@ use lagalyzer_model::{
 use crate::binary::Reader;
 use crate::error::TraceError;
 use crate::record::TraceRecord;
+use crate::salvage::{SalvageReport, SkipAt};
 
 /// Session-level data gathered while streaming episodes: the interned
 /// symbols plus everything in the trace that is not an episode.
@@ -201,6 +202,124 @@ impl<R: Read> Iterator for EpisodeStream<R> {
                 Some(Err(e))
             }
         }
+    }
+}
+
+/// Streams episodes out of a possibly damaged binary trace, salvaging
+/// what it can.
+///
+/// Unlike [`EpisodeStream`], episode delivery is infallible: damage drops
+/// the affected episode and is recorded in the [`SalvageReport`] returned
+/// by [`finish`](SalvageEpisodeStream::finish). Construction fails only
+/// on an unrecoverable input (bad magic or an undecodable header).
+///
+/// ```
+/// # use lagalyzer_model::prelude::*;
+/// # use lagalyzer_trace::{binary, stream::SalvageEpisodeStream};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// # let meta = SessionMeta {
+/// #     application: "X".into(),
+/// #     session: SessionId::from_raw(0),
+/// #     gui_thread: ThreadId::from_raw(0),
+/// #     end_to_end: DurationNs::from_secs(1),
+/// #     filter_threshold: DurationNs::TRACE_FILTER_DEFAULT,
+/// # };
+/// # let trace = SessionTraceBuilder::new(meta, SymbolTable::new()).finish();
+/// # let mut bytes = Vec::new();
+/// # binary::write(&trace, &mut bytes)?;
+/// let mut stream = SalvageEpisodeStream::new(&bytes)?;
+/// while let Some(episode) = stream.next_episode() {
+///     let _ = episode.duration();
+/// }
+/// let (_tail, report) = stream.finish();
+/// assert!(report.is_clean());
+/// # Ok(())
+/// # }
+/// ```
+pub struct SalvageEpisodeStream<'a> {
+    cursor: crate::binary::SalvageCursor<'a>,
+    assembler: crate::salvage::Assembler,
+    done: bool,
+}
+
+impl<'a> SalvageEpisodeStream<'a> {
+    /// Opens a binary trace for salvage streaming.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on an unrecoverable input: missing magic, or a header
+    /// too damaged to establish the session metadata.
+    pub fn new(bytes: &'a [u8]) -> Result<Self, TraceError> {
+        Ok(SalvageEpisodeStream {
+            cursor: crate::binary::SalvageCursor::new(bytes)?,
+            assembler: crate::salvage::Assembler::new(),
+            done: false,
+        })
+    }
+
+    /// The session metadata from the header.
+    pub fn meta(&self) -> &SessionMeta {
+        self.cursor.meta()
+    }
+
+    /// The symbols recovered so far (placeholders fill lost definitions).
+    pub fn symbols(&self) -> &SymbolTable {
+        self.assembler.symbols()
+    }
+
+    /// The damage found so far. Complete once `next_episode` has
+    /// returned `None` (or after [`finish`](Self::finish)).
+    pub fn report(&self) -> &SalvageReport {
+        self.assembler.report()
+    }
+
+    /// The next recoverable episode; `None` once the input is exhausted.
+    /// Damage never surfaces as an error here — it is skipped and
+    /// recorded in the report.
+    pub fn next_episode(&mut self) -> Option<Episode> {
+        if self.done {
+            return None;
+        }
+        loop {
+            match self.cursor.next_event() {
+                Some(crate::binary::SalvageEvent::Record { at, record }) => {
+                    if let Some(episode) = self.assembler.push(SkipAt::Byte(at), record) {
+                        return Some(episode);
+                    }
+                }
+                Some(crate::binary::SalvageEvent::Skip {
+                    at,
+                    context,
+                    detail,
+                    bytes_skipped,
+                }) => {
+                    self.assembler.note_bytes_skipped(bytes_skipped);
+                    self.assembler.note_skip(SkipAt::Byte(at), context, detail);
+                }
+                None => {
+                    self.done = true;
+                    self.assembler
+                        .end_of_input(SkipAt::Byte(self.cursor.position()));
+                    self.assembler.set_checksum(self.cursor.checksum_ok());
+                    return None;
+                }
+            }
+        }
+    }
+
+    /// Consumes the stream (draining unread episodes), returning the
+    /// session-level tail and the finished damage report.
+    pub fn finish(mut self) -> (StreamTail, SalvageReport) {
+        while self.next_episode().is_some() {}
+        self.assembler.finish()
+    }
+}
+
+impl Iterator for SalvageEpisodeStream<'_> {
+    type Item = Episode;
+
+    fn next(&mut self) -> Option<Episode> {
+        self.next_episode()
     }
 }
 

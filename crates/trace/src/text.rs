@@ -32,6 +32,10 @@ use crate::record::{records_from_trace, trace_from_records, TraceRecord};
 
 const HEADER_LINE: &str = "lagalyzer-trace v1";
 
+/// The version-independent text signature; used by format sniffing and
+/// salvage decoding.
+pub(crate) const SIGNATURE_PREFIX: &str = "lagalyzer-trace";
+
 /// Serializes a trace to the text format.
 ///
 /// A `&mut` reference may be passed for `w` (it also implements `Write`).
@@ -133,123 +137,14 @@ pub fn read<R: Read>(r: R) -> Result<SessionTrace, TraceError> {
 
     for (lineno, line) in lines {
         let line = line?;
-        let line = line.trim_end();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        let lineno = lineno + 1; // 1-based for messages
-        let (directive, rest) = line.split_once(' ').unwrap_or((line, ""));
-        match directive {
-            "app" => app = Some(rest.to_owned()),
-            "session" => session = Some(parse_u32(rest, lineno, "session")?),
-            "gui_thread" => gui_thread = Some(parse_u32(rest, lineno, "gui_thread")?),
-            "e2e_ns" => e2e = Some(parse_u64(rest, lineno, "e2e_ns")?),
-            "filter_ns" => filter = Some(parse_u64(rest, lineno, "filter_ns")?),
-            "symbol" => {
-                let (id, name) = rest.split_once(' ').ok_or_else(|| {
-                    TraceError::corrupt("symbol line", format!("line {lineno}: {rest}"))
-                })?;
-                records.push(TraceRecord::Symbol {
-                    id: SymbolId::from_raw(parse_u32(id, lineno, "symbol id")?),
-                    name: name.to_owned(),
-                });
-            }
-            "gc" => {
-                let fields: Vec<&str> = rest.split_whitespace().collect();
-                if fields.len() != 3 {
-                    return Err(TraceError::corrupt(
-                        "gc line",
-                        format!("line {lineno}: expected 3 fields"),
-                    ));
-                }
-                let major = match fields[2] {
-                    "major" => true,
-                    "minor" => false,
-                    other => {
-                        return Err(TraceError::corrupt(
-                            "gc line",
-                            format!("line {lineno}: bad kind {other}"),
-                        ))
-                    }
-                };
-                records.push(TraceRecord::Gc(GcEvent {
-                    start: TimeNs::from_nanos(parse_u64(fields[0], lineno, "gc start")?),
-                    end: TimeNs::from_nanos(parse_u64(fields[1], lineno, "gc end")?),
-                    major,
-                }));
-            }
-            "short_episodes" => {
-                let (count, total) = rest.split_once(' ').ok_or_else(|| {
-                    TraceError::corrupt(
-                        "short_episodes line",
-                        format!("line {lineno}: expected 2 fields"),
-                    )
-                })?;
-                records.push(TraceRecord::ShortEpisodes {
-                    count: parse_u64(count, lineno, "short_episodes count")?,
-                    total: DurationNs::from_nanos(parse_u64(
-                        total,
-                        lineno,
-                        "short_episodes total",
-                    )?),
-                });
-            }
-            "episode" => {
-                let fields: Vec<&str> = rest.split_whitespace().collect();
-                if fields.len() != 2 {
-                    return Err(TraceError::corrupt(
-                        "episode line",
-                        format!("line {lineno}: expected 2 fields"),
-                    ));
-                }
-                records.push(TraceRecord::EpisodeBegin {
-                    id: EpisodeId::from_raw(parse_u32(fields[0], lineno, "episode id")?),
-                    thread: ThreadId::from_raw(parse_u32(fields[1], lineno, "episode thread")?),
-                });
-            }
-            "enter" => {
-                let fields: Vec<&str> = rest.split_whitespace().collect();
-                if fields.len() != 2 && fields.len() != 4 {
-                    return Err(TraceError::corrupt(
-                        "enter line",
-                        format!("line {lineno}: expected 2 or 4 fields"),
-                    ));
-                }
-                let kind_str = fields[0].as_bytes();
-                let kind = (kind_str.len() == 1)
-                    .then(|| IntervalKind::from_tag(kind_str[0]))
-                    .flatten()
-                    .ok_or_else(|| {
-                        TraceError::corrupt(
-                            "enter line",
-                            format!("line {lineno}: bad kind {}", fields[0]),
-                        )
-                    })?;
-                let symbol = if fields.len() == 4 {
-                    Some(MethodRef {
-                        class: SymbolId::from_raw(parse_u32(fields[2], lineno, "enter class")?),
-                        method: SymbolId::from_raw(parse_u32(fields[3], lineno, "enter method")?),
-                    })
-                } else {
-                    None
-                };
-                records.push(TraceRecord::Enter {
-                    kind,
-                    symbol,
-                    at: TimeNs::from_nanos(parse_u64(fields[1], lineno, "enter time")?),
-                });
-            }
-            "exit" => records.push(TraceRecord::Exit {
-                at: TimeNs::from_nanos(parse_u64(rest, lineno, "exit time")?),
-            }),
-            "sample" => records.push(parse_sample(rest, lineno)?),
-            "end" => records.push(TraceRecord::EpisodeEnd),
-            other => {
-                return Err(TraceError::corrupt(
-                    "directive",
-                    format!("line {lineno}: unknown directive {other}"),
-                ))
-            }
+        match parse_line(line.trim_end(), lineno + 1)? {
+            None => {}
+            Some(Directive::App(v)) => app = Some(v),
+            Some(Directive::Session(v)) => session = Some(v),
+            Some(Directive::GuiThread(v)) => gui_thread = Some(v),
+            Some(Directive::E2e(v)) => e2e = Some(v),
+            Some(Directive::Filter(v)) => filter = Some(v),
+            Some(Directive::Record(rec)) => records.push(rec),
         }
     }
 
@@ -269,6 +164,246 @@ pub fn read<R: Read>(r: R) -> Result<SessionTrace, TraceError> {
         ),
     };
     Ok(trace_from_records(meta, records)?)
+}
+
+/// One parsed line of the text format: a metadata assignment or a record.
+enum Directive {
+    App(String),
+    Session(u32),
+    GuiThread(u32),
+    E2e(u64),
+    Filter(u64),
+    Record(TraceRecord),
+}
+
+/// Parses one (already right-trimmed) line into a [`Directive`]; `None`
+/// for blank lines and `#` comments. `lineno` is 1-based, for messages.
+///
+/// Shared between the strict reader (which propagates the first error)
+/// and the salvage reader (which turns each error into a skipped line).
+fn parse_line(line: &str, lineno: usize) -> Result<Option<Directive>, TraceError> {
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(None);
+    }
+    let (directive, rest) = line.split_once(' ').unwrap_or((line, ""));
+    let parsed = match directive {
+        "app" => Directive::App(rest.to_owned()),
+        "session" => Directive::Session(parse_u32(rest, lineno, "session")?),
+        "gui_thread" => Directive::GuiThread(parse_u32(rest, lineno, "gui_thread")?),
+        "e2e_ns" => Directive::E2e(parse_u64(rest, lineno, "e2e_ns")?),
+        "filter_ns" => Directive::Filter(parse_u64(rest, lineno, "filter_ns")?),
+        _ => Directive::Record(parse_record_line(directive, rest, lineno)?),
+    };
+    Ok(Some(parsed))
+}
+
+/// Parses a record-bearing line (everything that is not metadata).
+fn parse_record_line(
+    directive: &str,
+    rest: &str,
+    lineno: usize,
+) -> Result<TraceRecord, TraceError> {
+    match directive {
+        "symbol" => {
+            let (id, name) = rest.split_once(' ').ok_or_else(|| {
+                TraceError::corrupt("symbol line", format!("line {lineno}: {rest}"))
+            })?;
+            Ok(TraceRecord::Symbol {
+                id: SymbolId::from_raw(parse_u32(id, lineno, "symbol id")?),
+                name: name.to_owned(),
+            })
+        }
+        "gc" => {
+            let fields: Vec<&str> = rest.split_whitespace().collect();
+            if fields.len() != 3 {
+                return Err(TraceError::corrupt(
+                    "gc line",
+                    format!("line {lineno}: expected 3 fields"),
+                ));
+            }
+            let major = match fields[2] {
+                "major" => true,
+                "minor" => false,
+                other => {
+                    return Err(TraceError::corrupt(
+                        "gc line",
+                        format!("line {lineno}: bad kind {other}"),
+                    ))
+                }
+            };
+            Ok(TraceRecord::Gc(GcEvent {
+                start: TimeNs::from_nanos(parse_u64(fields[0], lineno, "gc start")?),
+                end: TimeNs::from_nanos(parse_u64(fields[1], lineno, "gc end")?),
+                major,
+            }))
+        }
+        "short_episodes" => {
+            let (count, total) = rest.split_once(' ').ok_or_else(|| {
+                TraceError::corrupt(
+                    "short_episodes line",
+                    format!("line {lineno}: expected 2 fields"),
+                )
+            })?;
+            Ok(TraceRecord::ShortEpisodes {
+                count: parse_u64(count, lineno, "short_episodes count")?,
+                total: DurationNs::from_nanos(parse_u64(total, lineno, "short_episodes total")?),
+            })
+        }
+        "episode" => {
+            let fields: Vec<&str> = rest.split_whitespace().collect();
+            if fields.len() != 2 {
+                return Err(TraceError::corrupt(
+                    "episode line",
+                    format!("line {lineno}: expected 2 fields"),
+                ));
+            }
+            Ok(TraceRecord::EpisodeBegin {
+                id: EpisodeId::from_raw(parse_u32(fields[0], lineno, "episode id")?),
+                thread: ThreadId::from_raw(parse_u32(fields[1], lineno, "episode thread")?),
+            })
+        }
+        "enter" => {
+            let fields: Vec<&str> = rest.split_whitespace().collect();
+            if fields.len() != 2 && fields.len() != 4 {
+                return Err(TraceError::corrupt(
+                    "enter line",
+                    format!("line {lineno}: expected 2 or 4 fields"),
+                ));
+            }
+            let kind_str = fields[0].as_bytes();
+            let kind = (kind_str.len() == 1)
+                .then(|| IntervalKind::from_tag(kind_str[0]))
+                .flatten()
+                .ok_or_else(|| {
+                    TraceError::corrupt(
+                        "enter line",
+                        format!("line {lineno}: bad kind {}", fields[0]),
+                    )
+                })?;
+            let symbol = if fields.len() == 4 {
+                Some(MethodRef {
+                    class: SymbolId::from_raw(parse_u32(fields[2], lineno, "enter class")?),
+                    method: SymbolId::from_raw(parse_u32(fields[3], lineno, "enter method")?),
+                })
+            } else {
+                None
+            };
+            Ok(TraceRecord::Enter {
+                kind,
+                symbol,
+                at: TimeNs::from_nanos(parse_u64(fields[1], lineno, "enter time")?),
+            })
+        }
+        "exit" => Ok(TraceRecord::Exit {
+            at: TimeNs::from_nanos(parse_u64(rest, lineno, "exit time")?),
+        }),
+        "sample" => parse_sample(rest, lineno),
+        "end" => Ok(TraceRecord::EpisodeEnd),
+        other => Err(TraceError::corrupt(
+            "directive",
+            format!("line {lineno}: unknown directive {other}"),
+        )),
+    }
+}
+
+/// Salvage-decodes a text trace: recovers every intact episode, skipping
+/// malformed or non-UTF-8 lines, and reports what was lost.
+///
+/// On a clean input this returns exactly what [`read`] returns, plus a
+/// report whose [`SalvageReport::is_clean`](crate::SalvageReport::is_clean)
+/// holds (`checksum_ok` stays `None`: the text format has no checksum).
+///
+/// # Errors
+///
+/// Fails only when the input is unrecoverable: the first line does not
+/// carry the `lagalyzer-trace` signature at all.
+pub fn read_salvage(bytes: &[u8]) -> Result<crate::salvage::Salvaged, TraceError> {
+    use crate::salvage::{build_session, Assembler, Salvaged, SkipAt};
+
+    // Split lines by hand so invalid UTF-8 damages one line, not the file.
+    let mut lines = bytes.split(|&b| b == b'\n');
+    let first = String::from_utf8_lossy(lines.next().unwrap_or(&[]));
+    let first = first.trim_end();
+    let mut assembler = Assembler::new();
+    if first != HEADER_LINE {
+        if first.starts_with(SIGNATURE_PREFIX) {
+            assembler.note_skip(
+                SkipAt::Line(1),
+                "text header",
+                format!("unsupported header {first:?}, decoding as v1"),
+            );
+        } else {
+            return Err(TraceError::corrupt("text header", first.to_string()));
+        }
+    }
+
+    let mut app = None;
+    let mut session = None;
+    let mut gui_thread = None;
+    let mut e2e = None;
+    let mut filter = None;
+    let mut episodes = Vec::new();
+    let mut lineno: u64 = 1;
+    for raw in lines {
+        lineno += 1;
+        let Ok(line) = std::str::from_utf8(raw) else {
+            assembler.note_lines_skipped(1);
+            assembler.note_skip(SkipAt::Line(lineno), "text line", "invalid UTF-8".into());
+            continue;
+        };
+        match parse_line(line.trim_end(), lineno as usize) {
+            Ok(None) => {}
+            Ok(Some(Directive::App(v))) => app = Some(v),
+            Ok(Some(Directive::Session(v))) => session = Some(v),
+            Ok(Some(Directive::GuiThread(v))) => gui_thread = Some(v),
+            Ok(Some(Directive::E2e(v))) => e2e = Some(v),
+            Ok(Some(Directive::Filter(v))) => filter = Some(v),
+            Ok(Some(Directive::Record(rec))) => {
+                if let Some(episode) = assembler.push(SkipAt::Line(lineno), rec) {
+                    episodes.push(episode);
+                }
+            }
+            Err(e) => {
+                assembler.note_lines_skipped(1);
+                let (context, detail) = match e {
+                    TraceError::Corrupt { context, detail } => (context, detail),
+                    other => ("text line", other.to_string()),
+                };
+                assembler.note_skip(SkipAt::Line(lineno), context, detail);
+            }
+        }
+    }
+    assembler.end_of_input(SkipAt::Line(lineno));
+
+    // Missing metadata is damage, not a fatal error: report it and fall
+    // back to neutral defaults so the recovered episodes survive.
+    macro_rules! field {
+        ($opt:expr, $what:literal, $default:expr) => {
+            match $opt {
+                Some(v) => v,
+                None => {
+                    assembler.note_skip(
+                        SkipAt::Line(1),
+                        "text header",
+                        concat!("missing ", $what).into(),
+                    );
+                    $default
+                }
+            }
+        };
+    }
+    let meta = SessionMeta {
+        application: field!(app, "app", String::new()),
+        session: SessionId::from_raw(field!(session, "session", 0)),
+        gui_thread: ThreadId::from_raw(field!(gui_thread, "gui_thread", 0)),
+        end_to_end: DurationNs::from_nanos(field!(e2e, "e2e_ns", 0)),
+        filter_threshold: DurationNs::from_nanos(field!(filter, "filter_ns", 0)),
+    };
+    let (tail, report) = assembler.finish();
+    Ok(Salvaged {
+        trace: build_session(meta, episodes, tail),
+        report,
+    })
 }
 
 fn parse_sample(rest: &str, lineno: usize) -> Result<TraceRecord, TraceError> {

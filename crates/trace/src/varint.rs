@@ -18,6 +18,12 @@ pub fn write_u64<W: Write>(w: &mut W, mut value: u64) -> Result<(), TraceError> 
 }
 
 /// Reads an unsigned LEB128 value.
+///
+/// Rejects over-long encodings: more than 10 bytes, payload bits that
+/// overflow `u64`, and non-minimal forms (a continuation chain whose final
+/// byte contributes no payload, e.g. `[0x80, 0x00]` for zero). The writer
+/// only ever produces minimal encodings, so every accepted byte string has
+/// exactly one decoding — a property the salvage resynchronizer relies on.
 pub fn read_u64<R: Read>(r: &mut R) -> Result<u64, TraceError> {
     let mut value: u64 = 0;
     let mut shift = 0u32;
@@ -31,6 +37,9 @@ pub fn read_u64<R: Read>(r: &mut R) -> Result<u64, TraceError> {
         let payload = u64::from(byte & 0x7f);
         if shift == 63 && payload > 1 {
             return Err(TraceError::corrupt("varint", "overflows u64"));
+        }
+        if shift > 0 && payload == 0 && byte & 0x80 == 0 {
+            return Err(TraceError::corrupt("varint", "over-long encoding"));
         }
         value |= payload << shift;
         if byte & 0x80 == 0 {
@@ -59,6 +68,11 @@ pub fn write_str<W: Write>(w: &mut W, s: &str) -> Result<(), TraceError> {
 }
 
 /// Reads a length-prefixed UTF-8 string, with a sanity cap on its length.
+///
+/// The buffer is filled through [`Read::take`], so a corrupt length prefix
+/// never allocates more than the bytes actually present in the input: a
+/// prefix larger than the remaining input fails with an I/O error after
+/// reading (and allocating for) only what exists.
 pub fn read_str<R: Read>(r: &mut R) -> Result<String, TraceError> {
     const MAX_LEN: u64 = 1 << 20;
     let len = read_u64(r)?;
@@ -68,8 +82,14 @@ pub fn read_str<R: Read>(r: &mut R) -> Result<String, TraceError> {
             format!("length {len} exceeds cap"),
         ));
     }
-    let mut buf = vec![0u8; len as usize];
-    r.read_exact(&mut buf)?;
+    let mut buf = Vec::new();
+    let got = r.take(len).read_to_end(&mut buf)?;
+    if (got as u64) < len {
+        return Err(TraceError::Io(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            format!("string length {len} exceeds remaining input ({got} bytes)"),
+        )));
+    }
     String::from_utf8(buf).map_err(|e| TraceError::corrupt("string", e.to_string()))
 }
 
@@ -139,6 +159,62 @@ mod tests {
             read_u64(&mut buf.as_slice()),
             Err(TraceError::Corrupt { .. })
         ));
+    }
+
+    #[test]
+    fn non_minimal_encodings_rejected() {
+        // Each of these decodes to a small value through a longer-than-
+        // minimal chain; the canonical writer never produces them.
+        for adversarial in [
+            &[0x80, 0x00][..],             // 0 in two bytes
+            &[0xff, 0x00][..],             // 127 in two bytes
+            &[0x80, 0x80, 0x00][..],       // 0 in three bytes
+            &[0x81, 0x80, 0x80, 0x00][..], // 1 with trailing zero groups
+        ] {
+            assert!(
+                matches!(
+                    read_u64(&mut &adversarial[..]),
+                    Err(TraceError::Corrupt { .. })
+                ),
+                "accepted over-long encoding {adversarial:?}"
+            );
+        }
+        // The canonical single-byte zero still decodes.
+        assert_eq!(read_u64(&mut &[0x00u8][..]).unwrap(), 0);
+    }
+
+    #[test]
+    fn string_length_beyond_remaining_input_is_bounded() {
+        // Length prefix claims 1 MiB but only 3 bytes follow: the reader
+        // must fail with EOF after touching just those 3 bytes instead of
+        // allocating the full claimed length up front.
+        let mut buf = Vec::new();
+        write_u64(&mut buf, 1 << 20).unwrap();
+        buf.extend_from_slice(b"abc");
+        assert!(matches!(
+            read_str(&mut buf.as_slice()),
+            Err(TraceError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn adversarial_byte_strings_never_panic() {
+        // A grab bag of short hostile inputs: decoding must return, never
+        // panic or hang.
+        let cases: &[&[u8]] = &[
+            &[],
+            &[0x80],
+            &[0xff; 16],
+            &[
+                0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01,
+            ],
+            &[0xfe, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f],
+        ];
+        for bytes in cases {
+            let _ = read_u64(&mut &bytes[..]);
+            let _ = read_u32(&mut &bytes[..]);
+            let _ = read_str(&mut &bytes[..]);
+        }
     }
 
     #[test]

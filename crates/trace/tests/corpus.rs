@@ -1,0 +1,251 @@
+//! Golden-corpus snapshot test: every fixture under `tests/corpus/` has
+//! its strict-decode and salvage-decode outcome locked in
+//! `tests/corpus/EXPECTED.txt`.
+//!
+//! To regenerate the fixtures and the snapshot after an intentional
+//! format change:
+//!
+//! ```text
+//! LAGALYZER_REGEN_CORPUS=1 cargo test -p lagalyzer-trace --test corpus
+//! ```
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use lagalyzer_model::prelude::*;
+use lagalyzer_trace::faults::Fault;
+use lagalyzer_trace::{binary, read_bytes, read_bytes_salvage, text, TraceError};
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("corpus")
+}
+
+/// The deterministic session every binary fixture derives from.
+fn base_trace() -> SessionTrace {
+    let meta = SessionMeta {
+        application: "CorpusApp".into(),
+        session: SessionId::from_raw(7),
+        gui_thread: ThreadId::from_raw(0),
+        end_to_end: DurationNs::from_secs(300),
+        filter_threshold: DurationNs::TRACE_FILTER_DEFAULT,
+    };
+    let mut b = SessionTraceBuilder::new(meta, SymbolTable::new());
+    let paint = b.symbols_mut().method("javax.swing.JFrame", "paint");
+    let handle = b.symbols_mut().method("org.app.Main", "handle");
+    let mut cursor = 0u64;
+    for i in 0..3u32 {
+        let start = TimeNs::from_millis(cursor);
+        let mut t = IntervalTreeBuilder::new();
+        t.enter(IntervalKind::Dispatch, None, start).unwrap();
+        t.leaf(
+            IntervalKind::Listener,
+            Some(handle),
+            TimeNs::from_millis(cursor + 2),
+            TimeNs::from_millis(cursor + 30),
+        )
+        .unwrap();
+        t.leaf(
+            IntervalKind::Paint,
+            Some(paint),
+            TimeNs::from_millis(cursor + 35),
+            TimeNs::from_millis(cursor + 70),
+        )
+        .unwrap();
+        t.exit(TimeNs::from_millis(cursor + 80)).unwrap();
+        let snap = SampleSnapshot::new(
+            TimeNs::from_millis(cursor + 40),
+            vec![ThreadSample::new(
+                ThreadId::from_raw(0),
+                ThreadState::Runnable,
+                vec![StackFrame::java(paint)],
+            )],
+        );
+        b.push_episode(
+            EpisodeBuilder::new(EpisodeId::from_raw(i), ThreadId::from_raw(0))
+                .tree(t.finish().unwrap())
+                .sample(snap)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        cursor += 100;
+    }
+    b.push_gc(GcEvent {
+        start: TimeNs::from_millis(10),
+        end: TimeNs::from_millis(14),
+        major: false,
+    });
+    b.add_short_episodes(42, DurationNs::from_millis(90));
+    b.finish()
+}
+
+/// The corpus: `(file name, fixture bytes)`, derived deterministically.
+fn fixtures() -> Vec<(&'static str, Vec<u8>)> {
+    let trace = base_trace();
+    let mut bin = Vec::new();
+    binary::write(&trace, &mut bin).unwrap();
+    let mut txt = Vec::new();
+    text::write(&trace, &mut txt).unwrap();
+
+    let mut version_skew = bin.clone();
+    version_skew[7] = 2;
+    let mut checksum_mismatch = bin.clone();
+    let last = checksum_mismatch.len() - 1;
+    checksum_mismatch[last] ^= 0xff;
+    let mut bitflip = bin.clone();
+    bitflip[bin.len() / 2] ^= 0x10;
+
+    let mut truncated_txt = txt[..txt.len() * 2 / 3].to_vec();
+    truncated_txt.truncate(truncated_txt.len());
+    let garbled_txt = {
+        let s = String::from_utf8(txt.clone()).unwrap();
+        let mut lines: Vec<String> = s.lines().map(str::to_owned).collect();
+        let mid = lines.len() / 2;
+        lines[mid] = "en\u{fffd}ter ?? garbled".into();
+        lines.join("\n") + "\n"
+    };
+    let skew_txt = {
+        let s = String::from_utf8(txt.clone()).unwrap();
+        s.replacen("lagalyzer-trace v1", "lagalyzer-trace v9", 1)
+    };
+
+    vec![
+        ("clean.lgz", bin.clone()),
+        ("clean.txt", txt.clone()),
+        ("truncated.lgz", bin[..bin.len() * 2 / 3].to_vec()),
+        ("bitflip.lgz", bitflip),
+        ("version-skew.lgz", version_skew),
+        ("checksum-mismatch.lgz", checksum_mismatch),
+        (
+            "deleted-record.lgz",
+            Fault::DeleteRecord { index: 5 }.apply(&bin),
+        ),
+        (
+            "duplicated-record.lgz",
+            Fault::DuplicateRecord { index: 3 }.apply(&bin),
+        ),
+        (
+            "inflated-length.lgz",
+            Fault::InflateLength { index: 0 }.apply(&bin),
+        ),
+        ("inflated-count.lgz", Fault::InflateCount.apply(&bin)),
+        ("truncated.txt", truncated_txt),
+        ("garbled-line.txt", garbled_txt.into_bytes()),
+        ("version-skew.txt", skew_txt.into_bytes()),
+        (
+            "garbage.bin",
+            b"\x7fELF not a trace at all\x00\x01\x02".to_vec(),
+        ),
+    ]
+}
+
+fn strict_outcome(bytes: &[u8]) -> String {
+    match read_bytes(bytes) {
+        Ok(trace) => format!("ok(episodes={})", trace.episodes().len()),
+        Err(TraceError::Io(_)) => "err(io)".into(),
+        Err(TraceError::Corrupt { context, .. }) => format!("err(corrupt:{context})"),
+        Err(TraceError::Model(_)) => "err(model)".into(),
+        Err(TraceError::UnsupportedVersion { found }) => format!("err(version:{found})"),
+        Err(TraceError::ChecksumMismatch { .. }) => "err(checksum)".into(),
+        Err(_) => "err(other)".into(),
+    }
+}
+
+fn salvage_outcome(bytes: &[u8]) -> String {
+    match read_bytes_salvage(bytes) {
+        Err(_) => "unrecoverable".into(),
+        Ok(salvaged) => {
+            let r = &salvaged.report;
+            let checksum = match r.checksum_ok {
+                Some(true) => "ok",
+                Some(false) => "bad",
+                None => "none",
+            };
+            format!(
+                "{} recovered={} lost={} skips={} bytes_skipped={} lines_skipped={} checksum={}",
+                if r.is_clean() { "clean" } else { "damaged" },
+                r.episodes_recovered,
+                r.episodes_lost,
+                r.skips.len(),
+                r.bytes_skipped,
+                r.lines_skipped,
+                checksum,
+            )
+        }
+    }
+}
+
+fn snapshot_line(name: &str, bytes: &[u8]) -> String {
+    format!(
+        "{name}: strict={} salvage={}",
+        strict_outcome(bytes),
+        salvage_outcome(bytes)
+    )
+}
+
+#[test]
+fn corpus_outcomes_match_snapshot() {
+    let dir = corpus_dir();
+    let regen = std::env::var_os("LAGALYZER_REGEN_CORPUS").is_some();
+    if regen {
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut expected = String::new();
+        for (name, bytes) in fixtures() {
+            std::fs::write(dir.join(name), &bytes).unwrap();
+            writeln!(expected, "{}", snapshot_line(name, &bytes)).unwrap();
+        }
+        std::fs::write(dir.join("EXPECTED.txt"), expected).unwrap();
+        return;
+    }
+
+    let expected = std::fs::read_to_string(dir.join("EXPECTED.txt"))
+        .expect("tests/corpus/EXPECTED.txt missing — run with LAGALYZER_REGEN_CORPUS=1");
+    let mut actual = String::new();
+    for (name, _) in fixtures() {
+        let bytes = std::fs::read(dir.join(name))
+            .unwrap_or_else(|e| panic!("corpus fixture {name} unreadable: {e}"));
+        writeln!(actual, "{}", snapshot_line(name, &bytes)).unwrap();
+    }
+    assert_eq!(
+        actual, expected,
+        "corpus outcomes changed; if intentional, regenerate with \
+         LAGALYZER_REGEN_CORPUS=1 and commit the diff"
+    );
+}
+
+/// The committed fixture bytes themselves are locked too: a format change
+/// that alters the encoder must be deliberate.
+#[test]
+fn corpus_fixtures_match_generator() {
+    let dir = corpus_dir();
+    if std::env::var_os("LAGALYZER_REGEN_CORPUS").is_some() {
+        return; // the snapshot test just rewrote them
+    }
+    for (name, bytes) in fixtures() {
+        let on_disk = std::fs::read(dir.join(name))
+            .unwrap_or_else(|e| panic!("corpus fixture {name} unreadable: {e}"));
+        assert_eq!(
+            on_disk, bytes,
+            "fixture {name} no longer matches its generator; if the format \
+             change is intentional, regenerate with LAGALYZER_REGEN_CORPUS=1"
+        );
+    }
+}
+
+/// Salvage on the whole corpus never panics and bounds its work — even
+/// for the deliberately absurd length/count fields.
+#[test]
+fn corpus_salvage_never_panics() {
+    for (name, bytes) in fixtures() {
+        let _ = read_bytes_salvage(&bytes);
+        // Also drive the strict path for parity.
+        let _ = read_bytes(&bytes);
+        // And every prefix of every fixture (cheap: corpus files are small).
+        for cut in 0..bytes.len() {
+            let _ = read_bytes_salvage(&bytes[..cut]);
+        }
+        eprintln!("corpus file {name}: ok");
+    }
+}

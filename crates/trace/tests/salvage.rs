@@ -1,0 +1,380 @@
+//! Salvage-decoder invariants under fault injection.
+//!
+//! The contract (see `lagalyzer_trace::salvage`):
+//!
+//! 1. Salvage decoding never panics, on any input.
+//! 2. Allocations are bounded by the input (adversarial length fields
+//!    cannot force huge buffers).
+//! 3. On a clean trace, salvage equals strict decode exactly — including
+//!    every field of the report.
+//! 4. A clean report implies an unmodified payload: whenever salvage
+//!    reports no damage, the recovered trace equals the original.
+//! 5. For faults that leave surviving record bytes untouched
+//!    (truncation, count inflation, symbol-length inflation), every
+//!    recovered episode is byte-identical to the uncorrupted original.
+
+use lagalyzer_model::prelude::*;
+use lagalyzer_trace::faults::{Fault, FaultInjector};
+use lagalyzer_trace::salvage::SalvageReport;
+use lagalyzer_trace::{binary, read_bytes_salvage, records_from_trace, text};
+use proptest::prelude::*;
+
+/// Strategy for a small pool of method symbols.
+fn symbol_pool() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("javax.swing.JFrame", "paint"),
+        ("javax.swing.JComboBox", "actionPerformed"),
+        ("sun.java2d.loops.DrawLine", "DrawLine"),
+        ("org.app.Main", "handle"),
+        ("org.app.Model", "recompute"),
+    ]
+}
+
+#[derive(Clone, Debug)]
+struct EpisodeSpec {
+    children: Vec<(u8, u8)>, // (kind selector, symbol selector)
+    dur_ms: u64,
+    samples: Vec<(u64, u8)>, // (offset pct 0..100, state selector)
+}
+
+fn episode_spec() -> impl Strategy<Value = EpisodeSpec> {
+    (
+        proptest::collection::vec((0u8..5, 0u8..6), 0..6),
+        4u64..2000,
+        proptest::collection::vec((0u64..100, 0u8..4), 0..5),
+    )
+        .prop_map(|(children, dur_ms, samples)| EpisodeSpec {
+            children,
+            dur_ms,
+            samples,
+        })
+}
+
+fn kind_for(sel: u8) -> IntervalKind {
+    match sel {
+        0 => IntervalKind::Listener,
+        1 => IntervalKind::Paint,
+        2 => IntervalKind::Native,
+        3 => IntervalKind::Async,
+        _ => IntervalKind::Gc,
+    }
+}
+
+fn build_trace(specs: &[EpisodeSpec], short: u64) -> SessionTrace {
+    let meta = SessionMeta {
+        application: "SalvageApp".into(),
+        session: SessionId::from_raw(0),
+        gui_thread: ThreadId::from_raw(0),
+        end_to_end: DurationNs::from_secs(3600),
+        filter_threshold: DurationNs::TRACE_FILTER_DEFAULT,
+    };
+    let mut b = SessionTraceBuilder::new(meta, SymbolTable::new());
+    let pool: Vec<MethodRef> = symbol_pool()
+        .into_iter()
+        .map(|(c, m)| b.symbols_mut().method(c, m))
+        .collect();
+
+    let mut cursor = 0u64;
+    for (i, spec) in specs.iter().enumerate() {
+        let start = cursor;
+        let end = start + spec.dur_ms;
+        let mut t = IntervalTreeBuilder::new();
+        t.enter(IntervalKind::Dispatch, None, TimeNs::from_millis(start))
+            .unwrap();
+        let n = spec.children.len() as u64;
+        if n > 0 {
+            let slot = spec.dur_ms / (n + 1);
+            for (j, (ksel, ssel)) in spec.children.iter().enumerate() {
+                let s = start + slot * (j as u64) + 1;
+                let e = (s + slot.saturating_sub(2)).min(end);
+                if e <= s {
+                    continue;
+                }
+                let kind = kind_for(*ksel);
+                let symbol = if kind == IntervalKind::Gc || *ssel as usize >= pool.len() {
+                    None
+                } else {
+                    Some(pool[*ssel as usize])
+                };
+                t.leaf(kind, symbol, TimeNs::from_millis(s), TimeNs::from_millis(e))
+                    .unwrap();
+            }
+        }
+        t.exit(TimeNs::from_millis(end)).unwrap();
+        let mut eb = EpisodeBuilder::new(EpisodeId::from_raw(i as u32), ThreadId::from_raw(0))
+            .tree(t.finish().unwrap());
+        for (pct, ssel) in &spec.samples {
+            let at = start + spec.dur_ms * pct / 100;
+            eb = eb.sample(SampleSnapshot::new(
+                TimeNs::from_millis(at),
+                vec![ThreadSample::new(
+                    ThreadId::from_raw(0),
+                    ThreadState::ALL[*ssel as usize % 4],
+                    vec![StackFrame::java(pool[*ssel as usize % pool.len()])],
+                )],
+            ));
+        }
+        b.push_episode(eb.build().unwrap()).unwrap();
+        cursor = end + 10;
+    }
+    b.add_short_episodes(short, DurationNs::from_micros(short * 300));
+    b.push_gc(GcEvent {
+        start: TimeNs::from_millis(1),
+        end: TimeNs::from_millis(2),
+        major: false,
+    });
+    b.finish()
+}
+
+fn encode_binary(trace: &SessionTrace) -> Vec<u8> {
+    let mut buf = Vec::new();
+    binary::write(trace, &mut buf).unwrap();
+    buf
+}
+
+fn assert_traces_equal(a: &SessionTrace, b: &SessionTrace) {
+    assert_eq!(a.meta(), b.meta());
+    assert_eq!(a.episodes(), b.episodes());
+    assert_eq!(a.gc_events(), b.gc_events());
+    assert_eq!(a.short_episode_count(), b.short_episode_count());
+    assert_eq!(a.short_episode_time(), b.short_episode_time());
+    assert_eq!(a.symbols().len(), b.symbols().len());
+    for (id, name) in a.symbols().iter() {
+        assert_eq!(b.symbols().resolve(id), Some(name));
+    }
+}
+
+/// The report a clean decode must produce, field by field.
+fn clean_report(trace: &SessionTrace, checksum_ok: Option<bool>) -> SalvageReport {
+    SalvageReport {
+        skips: Vec::new(),
+        episodes_recovered: trace.episodes().len() as u64,
+        episodes_lost: 0,
+        records_recovered: records_from_trace(trace).len() as u64,
+        bytes_skipped: 0,
+        lines_skipped: 0,
+        checksum_ok,
+    }
+}
+
+/// Invariants that must hold for ANY input: no panic, and a clean report
+/// implies the recovered trace equals the strict decode of the original.
+fn check_fault_invariants(original: &SessionTrace, damaged: &[u8]) {
+    match read_bytes_salvage(damaged) {
+        Err(_) => {} // unrecoverable is a legal outcome, panicking is not
+        Ok(salvaged) => {
+            assert!(
+                salvaged.report.episodes_recovered as usize <= original.episodes().len() + 1,
+                "recovered more episodes than the original held"
+            );
+            if salvaged.report.is_clean() {
+                assert_traces_equal(&salvaged.trace, original);
+            }
+        }
+    }
+}
+
+/// Faults that leave every surviving record's bytes untouched, so every
+/// recovered episode must be byte-identical to its original.
+fn is_byte_preserving(fault: &Fault) -> bool {
+    matches!(
+        fault,
+        Fault::Truncate { .. } | Fault::InflateCount | Fault::InflateLength { .. }
+    )
+}
+
+proptest! {
+    /// Clean binary salvage equals strict decode exactly, report included.
+    #[test]
+    fn clean_binary_salvage_equals_strict(
+        specs in proptest::collection::vec(episode_spec(), 0..10),
+        short in 0u64..1_000_000,
+    ) {
+        let trace = build_trace(&specs, short);
+        let bytes = encode_binary(&trace);
+        let strict = binary::read(bytes.as_slice()).unwrap();
+        let salvaged = binary::read_salvage(&bytes).unwrap();
+        assert_traces_equal(&salvaged.trace, &strict);
+        prop_assert_eq!(salvaged.report, clean_report(&trace, Some(true)));
+    }
+
+    /// Clean text salvage equals strict decode exactly, report included.
+    #[test]
+    fn clean_text_salvage_equals_strict(
+        specs in proptest::collection::vec(episode_spec(), 0..8),
+        short in 0u64..1_000_000,
+    ) {
+        let trace = build_trace(&specs, short);
+        let mut buf = Vec::new();
+        text::write(&trace, &mut buf).unwrap();
+        let strict = text::read(buf.as_slice()).unwrap();
+        let salvaged = text::read_salvage(&buf).unwrap();
+        assert_traces_equal(&salvaged.trace, &strict);
+        prop_assert_eq!(salvaged.report, clean_report(&trace, None));
+    }
+
+    /// Arbitrary garbage never panics the salvage path.
+    #[test]
+    fn garbage_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..400)) {
+        let _ = read_bytes_salvage(&bytes);
+    }
+
+    /// Garbage behind a valid magic exercises the binary salvage path
+    /// proper (header decode, resync scanning) without panicking.
+    #[test]
+    fn garbage_after_magic_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..400)) {
+        let mut input = b"LGLZTRC\x01".to_vec();
+        input.extend_from_slice(&bytes);
+        let _ = read_bytes_salvage(&input);
+    }
+
+    /// Garbage lines behind a valid text header never panic.
+    #[test]
+    fn garbage_text_never_panics(s in "\\PC{0,400}") {
+        let input = format!("lagalyzer-trace v1\n{s}");
+        let _ = read_bytes_salvage(input.as_bytes());
+    }
+
+    /// Seeded fault injection on random traces: never panics; clean
+    /// reports imply exact recovery; byte-preserving faults recover only
+    /// byte-identical episodes.
+    #[test]
+    fn injected_faults_uphold_invariants(
+        specs in proptest::collection::vec(episode_spec(), 1..8),
+        seed in any::<u64>(),
+    ) {
+        let trace = build_trace(&specs, 9);
+        let bytes = encode_binary(&trace);
+        let mut injector = FaultInjector::new(seed);
+        for _ in 0..4 {
+            let (damaged, fault) = injector.inject(&bytes);
+            check_fault_invariants(&trace, &damaged);
+            if is_byte_preserving(&fault) {
+                if let Ok(salvaged) = read_bytes_salvage(&damaged) {
+                    for episode in salvaged.trace.episodes() {
+                        let original = trace
+                            .episodes()
+                            .iter()
+                            .find(|e| e.id() == episode.id())
+                            .expect("recovered an episode the original never had");
+                        prop_assert_eq!(episode, original);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The acceptance floor: 1k+ seeded fault cases, deterministic, in one
+/// plain test (independent of the proptest case count).
+#[test]
+fn thousand_seeded_fault_cases() {
+    let variants = [
+        build_trace(&[], 0),
+        build_trace(
+            &[EpisodeSpec {
+                children: vec![(0, 0), (1, 1)],
+                dur_ms: 120,
+                samples: vec![(50, 1)],
+            }],
+            7,
+        ),
+        build_trace(
+            &(0..6)
+                .map(|i| EpisodeSpec {
+                    children: vec![(i % 5, i % 6), ((i + 1) % 5, (i + 2) % 6)],
+                    dur_ms: 40 + u64::from(i) * 13,
+                    samples: vec![(20, i % 4), (80, (i + 1) % 4)],
+                })
+                .collect::<Vec<_>>(),
+            123,
+        ),
+        build_trace(
+            &[EpisodeSpec {
+                children: vec![],
+                dur_ms: 5,
+                samples: vec![],
+            }],
+            0,
+        ),
+    ];
+    let mut cases = 0u32;
+    for (v, trace) in variants.iter().enumerate() {
+        let bytes = encode_binary(trace);
+        let mut injector = FaultInjector::new(0xC0FFEE ^ v as u64);
+        for _ in 0..256 {
+            let (damaged, _fault) = injector.inject(&bytes);
+            check_fault_invariants(trace, &damaged);
+            cases += 1;
+        }
+    }
+    assert!(cases >= 1024, "ran only {cases} fault cases");
+}
+
+/// Truncation at every byte boundary: salvage must never panic, and all
+/// recovered episodes must be byte-identical originals (truncation can
+/// never invent or alter records).
+#[test]
+fn truncation_at_every_offset_recovers_only_intact_episodes() {
+    let trace = build_trace(
+        &(0..4)
+            .map(|i| EpisodeSpec {
+                children: vec![(i % 5, i % 6)],
+                dur_ms: 50,
+                samples: vec![(40, i % 4)],
+            })
+            .collect::<Vec<_>>(),
+        11,
+    );
+    let bytes = encode_binary(&trace);
+    for cut in 0..bytes.len() {
+        let damaged = Fault::Truncate { at: cut }.apply(&bytes);
+        let Ok(salvaged) = read_bytes_salvage(&damaged) else {
+            continue; // cut inside magic/header: unrecoverable, fine
+        };
+        for episode in salvaged.trace.episodes() {
+            let original = trace
+                .episodes()
+                .iter()
+                .find(|e| e.id() == episode.id())
+                .expect("truncation invented an episode");
+            assert_eq!(episode, original, "cut at {cut} altered an episode");
+        }
+        if cut < bytes.len() {
+            assert!(
+                !salvaged.report.is_clean(),
+                "cut at {cut} of {} went unreported",
+                bytes.len()
+            );
+        }
+    }
+}
+
+/// Every single-bit flip either fails decode entirely or is flagged in
+/// the report — damage is never silent.
+#[test]
+fn single_bit_flips_are_never_silent() {
+    let trace = build_trace(
+        &[EpisodeSpec {
+            children: vec![(0, 0)],
+            dur_ms: 80,
+            samples: vec![(50, 0)],
+        }],
+        3,
+    );
+    let bytes = encode_binary(&trace);
+    for offset in 0..bytes.len() {
+        let damaged = Fault::BitFlip {
+            offset,
+            bit: (offset % 8) as u8,
+        }
+        .apply(&bytes);
+        match read_bytes_salvage(&damaged) {
+            Err(_) => {}
+            Ok(salvaged) => assert!(
+                !salvaged.report.is_clean(),
+                "bit flip at byte {offset} went unreported"
+            ),
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Error-path coverage for the episode streams: how the strict
+//! [`EpisodeStream`] fails on damage, and how [`SalvageEpisodeStream`]
+//! recovers from the same damage.
+
+use lagalyzer_model::prelude::*;
+use lagalyzer_trace::faults::Fault;
+use lagalyzer_trace::{binary, EpisodeStream, SalvageEpisodeStream, TraceError};
+
+fn ms(v: u64) -> TimeNs {
+    TimeNs::from_millis(v)
+}
+
+/// A trace with `episodes` episodes, one interned method, one sample per
+/// episode.
+fn sample_trace(episodes: usize) -> SessionTrace {
+    let meta = SessionMeta {
+        application: "StreamErr".into(),
+        session: SessionId::from_raw(1),
+        gui_thread: ThreadId::from_raw(0),
+        end_to_end: DurationNs::from_secs(60),
+        filter_threshold: DurationNs::TRACE_FILTER_DEFAULT,
+    };
+    let mut b = SessionTraceBuilder::new(meta, SymbolTable::new());
+    let m = b.symbols_mut().method("app.Main", "handle");
+    let mut cursor = 0u64;
+    for i in 0..episodes {
+        let mut t = IntervalTreeBuilder::new();
+        t.enter(IntervalKind::Dispatch, None, ms(cursor)).unwrap();
+        t.leaf(
+            IntervalKind::Listener,
+            Some(m),
+            ms(cursor + 1),
+            ms(cursor + 40),
+        )
+        .unwrap();
+        t.exit(ms(cursor + 50)).unwrap();
+        let snap = SampleSnapshot::new(
+            ms(cursor + 20),
+            vec![ThreadSample::new(
+                ThreadId::from_raw(0),
+                ThreadState::Runnable,
+                vec![StackFrame::java(m)],
+            )],
+        );
+        b.push_episode(
+            EpisodeBuilder::new(EpisodeId::from_raw(i as u32), ThreadId::from_raw(0))
+                .tree(t.finish().unwrap())
+                .sample(snap)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        cursor += 100;
+    }
+    b.finish()
+}
+
+fn encode(trace: &SessionTrace) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    binary::write(trace, &mut bytes).unwrap();
+    bytes
+}
+
+/// Byte length of the encoding prefix that covers episodes `0..n` (found
+/// by encoding a trace with only those episodes and discounting the
+/// trailer), so tests can cut precisely mid-episode.
+fn cut_inside_episode(trace: &SessionTrace, full: &[u8], episode: usize) -> usize {
+    let mut b = SessionTraceBuilder::new(trace.meta().clone(), trace.symbols().clone());
+    for e in &trace.episodes()[..episode] {
+        b.push_episode(e.clone()).unwrap();
+    }
+    let prefix = encode(&b.finish());
+    // Strip the trailer, then step into the next episode far enough that
+    // the salvager's 8-byte trailer heuristic (the last 8 bytes of a
+    // truncated file are presumed to be the trailer) stays inside the
+    // episode being cut.
+    (prefix.len() - 8 + 12).min(full.len() - 1)
+}
+
+#[test]
+fn strict_stream_errors_on_mid_episode_truncation() {
+    let trace = sample_trace(3);
+    let bytes = encode(&trace);
+    let cut = cut_inside_episode(&trace, &bytes, 2);
+    let mut stream = EpisodeStream::new(&bytes[..cut]).unwrap();
+    let mut yielded = 0;
+    let err = loop {
+        match stream.next_episode() {
+            Ok(Some(_)) => yielded += 1,
+            Ok(None) => panic!("truncated stream decoded cleanly"),
+            Err(e) => break e,
+        }
+    };
+    assert!(yielded < 3, "yielded all episodes despite truncation");
+    assert!(
+        matches!(err, TraceError::Io(_) | TraceError::Corrupt { .. }),
+        "unexpected error: {err:?}"
+    );
+}
+
+#[test]
+fn salvage_stream_recovers_prefix_on_mid_episode_truncation() {
+    let trace = sample_trace(3);
+    let bytes = encode(&trace);
+    let cut = cut_inside_episode(&trace, &bytes, 2);
+    let mut stream = SalvageEpisodeStream::new(&bytes[..cut]).unwrap();
+    let mut recovered = Vec::new();
+    while let Some(episode) = stream.next_episode() {
+        recovered.push(episode);
+    }
+    // Exactly the episodes fully before the cut, byte-identical.
+    assert_eq!(recovered.as_slice(), &trace.episodes()[..2]);
+    let (_tail, report) = stream.finish();
+    assert!(!report.is_clean());
+    assert_eq!(report.episodes_recovered, 2);
+    assert!(report.episodes_lost >= 1, "the cut episode must be counted");
+    // The cut file still ends with 8 bytes the cursor must presume to be
+    // the trailer; they are record bytes, so the checksum cannot match.
+    assert_eq!(report.checksum_ok, Some(false));
+}
+
+#[test]
+fn strict_stream_errors_on_corrupt_symbol_table_before_first_episode() {
+    let trace = sample_trace(2);
+    let bytes = encode(&trace);
+    // Record 0 is a symbol record; inflating its length prefix corrupts
+    // the symbol table before any episode is reachable.
+    let damaged = Fault::InflateLength { index: 0 }.apply(&bytes);
+    assert_ne!(damaged, bytes);
+    let mut stream = EpisodeStream::new(damaged.as_slice()).unwrap();
+    let first = stream.next_episode();
+    assert!(
+        first.is_err(),
+        "strict stream must fail before the first episode, got {first:?}"
+    );
+}
+
+#[test]
+fn salvage_stream_survives_corrupt_symbol_table() {
+    let trace = sample_trace(2);
+    let bytes = encode(&trace);
+    let damaged = Fault::InflateLength { index: 0 }.apply(&bytes);
+    let mut stream = SalvageEpisodeStream::new(&damaged).unwrap();
+    let mut recovered = Vec::new();
+    while let Some(episode) = stream.next_episode() {
+        recovered.push(episode);
+    }
+    // Episode structure survives (symbol ids are raw in the episodes);
+    // the lost names become placeholders.
+    assert_eq!(recovered.as_slice(), trace.episodes());
+    let symbols = stream.symbols();
+    assert_eq!(symbols.len(), trace.symbols().len());
+    assert!(
+        symbols
+            .iter()
+            .any(|(_, name)| name.contains("<lost-symbol-")),
+        "lost definitions must appear as placeholders"
+    );
+    let (_tail, report) = stream.finish();
+    assert!(!report.is_clean());
+    assert!(report.bytes_skipped > 0);
+}
+
+#[test]
+fn salvage_stream_iterator_matches_next_episode() {
+    let trace = sample_trace(4);
+    let bytes = encode(&trace);
+    let stream = SalvageEpisodeStream::new(&bytes).unwrap();
+    let collected: Vec<Episode> = stream.collect();
+    assert_eq!(collected.as_slice(), trace.episodes());
+}

@@ -14,7 +14,9 @@
 //! Unlike upstream there is **no shrinking**: a failing case panics with
 //! the generated input printed via `Debug`, which is enough to reproduce
 //! since generation is fully deterministic (seeded per test name, override
-//! with the `PROPTEST_SEED` environment variable).
+//! with the `PROPTEST_SEED` environment variable). The default case count
+//! (64) can be raised without recompiling via `PROPTEST_CASES`, mirroring
+//! upstream — CI uses this for its scheduled deep fuzz pass.
 
 pub mod arbitrary;
 pub mod collection;

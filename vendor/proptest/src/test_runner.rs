@@ -15,8 +15,16 @@ impl Config {
 }
 
 impl Default for Config {
+    /// 64 cases, overridable at runtime with the `PROPTEST_CASES`
+    /// environment variable (like upstream proptest) so CI can run a
+    /// deeper fuzz pass without recompiling.
     fn default() -> Config {
-        Config { cases: 64 }
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(64);
+        Config { cases }
     }
 }
 
@@ -104,6 +112,16 @@ mod tests {
         };
         assert_eq!(a, a2);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn default_cases_parse_env_shape() {
+        // The env var is process-global, so only check the fallback here;
+        // the parse path is the same `str::parse` exercised below.
+        if std::env::var_os("PROPTEST_CASES").is_none() {
+            assert_eq!(Config::default().cases, 64);
+        }
+        assert_eq!("2048".parse::<u32>().ok(), Some(2048));
     }
 
     #[test]
