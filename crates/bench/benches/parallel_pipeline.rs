@@ -6,7 +6,8 @@
 //! parallel pipeline guarantees byte-identical output, so the only thing
 //! measured here is wall-clock scaling of the shard/merge machinery.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
+use lagalyzer_bench::benchjson;
 use lagalyzer_core::parallel::available_jobs;
 use lagalyzer_core::prelude::*;
 use lagalyzer_sim::{apps, runner};
@@ -72,5 +73,45 @@ fn bench_mining_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+/// Mining throughput at each job count on the oversized session, plus
+/// the string-keyed serial baseline, written to `BENCH_mining.json`.
+fn emit_pipeline_json() {
+    let budget = benchjson::budget();
+    let session = AnalysisSession::new(
+        runner::simulate_session(&oversized_profile(), 0, 42),
+        AnalysisConfig::default(),
+    );
+    let episodes = session.episodes().len() as u64;
+    let reference_ns = benchjson::time_mean_ns(budget, || PatternSet::mine_reference(&session));
+    let mut rows = String::new();
+    for jobs in job_counts() {
+        let ns = benchjson::time_mean_ns(budget, || session.mine_patterns_with_jobs(jobs));
+        eprintln!(
+            "mine jobs={jobs:<2} {ns:>12.0} ns/iter  speedup vs string-keyed serial {:>5.2}x",
+            reference_ns / ns
+        );
+        if !rows.is_empty() {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "    {{\"jobs\": {jobs}, \"ns_per_iter\": {ns:.1}, \
+             \"speedup_vs_reference\": {:.3}}}",
+            reference_ns / ns
+        ));
+    }
+    let json = format!(
+        "{{\n  \"corpus\": \"Euclide-3x\",\n  \"episodes\": {episodes},\n  \
+         \"budget_ms\": {budget_ms},\n  \
+         \"reference_serial_ns_per_iter\": {reference_ns:.1},\n  \
+         \"mining_by_jobs\": [\n{rows}\n  ]\n}}",
+        budget_ms = budget.as_millis(),
+    );
+    benchjson::record_section("parallel_pipeline", &json);
+}
+
 criterion_group!(benches, bench_stats_scaling, bench_mining_scaling);
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    emit_pipeline_json();
+}

@@ -1,0 +1,150 @@
+//! Machine-readable bench output: `BENCH_mining.json`.
+//!
+//! The vendored criterion stand-in prints human-readable timings only, so
+//! the mining benches record their before/after measurements here as
+//! hand-rolled JSON (no serde in the tree). Each bench binary contributes
+//! one top-level *section*; sections are staged as fragment files under
+//! `target/experiments/bench-sections/` and the combined
+//! `BENCH_mining.json` is regenerated from all staged fragments on every
+//! [`record_section`] call, so `pattern_mining` and `parallel_pipeline`
+//! can run in either order (or alone) and the combined file stays
+//! consistent. Set `BENCH_MINING_JSON` to move the combined file.
+
+use std::fs;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// `target/experiments` under the *workspace* root.
+///
+/// Cargo runs benches with the package directory as the working
+/// directory (unlike `cargo run`), so a relative `target/experiments`
+/// would land in `crates/bench/target/`. Anchor on this crate's manifest
+/// dir instead so the artifact always sits next to the experiment
+/// binaries' output, wherever the bench is invoked from.
+fn workspace_experiments_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/bench sits two levels below the workspace root")
+        .join("target/experiments");
+    fs::create_dir_all(&dir).expect("can create target/experiments");
+    dir
+}
+
+/// Where the combined JSON lands (`BENCH_MINING_JSON` overrides).
+pub fn output_path() -> PathBuf {
+    std::env::var_os("BENCH_MINING_JSON")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| workspace_experiments_dir().join("BENCH_mining.json"))
+}
+
+fn sections_dir() -> PathBuf {
+    let dir = workspace_experiments_dir().join("bench-sections");
+    fs::create_dir_all(&dir).expect("can create bench-sections dir");
+    dir
+}
+
+/// Stages `json` (a complete JSON value) as section `key` and rewrites
+/// the combined `BENCH_mining.json` from every staged section.
+pub fn record_section(key: &str, json: &str) {
+    assert!(
+        key.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'_'),
+        "section keys are identifiers"
+    );
+    fs::write(sections_dir().join(format!("{key}.json")), json).expect("write bench section");
+
+    let mut sections: Vec<(String, String)> = fs::read_dir(sections_dir())
+        .expect("read bench-sections dir")
+        .filter_map(|entry| {
+            let path = entry.ok()?.path();
+            let name = path.file_stem()?.to_str()?.to_owned();
+            (path.extension()? == "json").then(|| (name, fs::read_to_string(&path).ok()))
+        })
+        .filter_map(|(name, body)| Some((name, body?)))
+        .collect();
+    sections.sort();
+
+    let mut combined = String::from("{\n");
+    for (i, (name, body)) in sections.iter().enumerate() {
+        if i > 0 {
+            combined.push_str(",\n");
+        }
+        combined.push_str(&format!("  \"{name}\": {}", body.trim()));
+    }
+    combined.push_str("\n}\n");
+    let path = output_path();
+    fs::write(&path, combined).expect("write BENCH_mining.json");
+    eprintln!("wrote {}", path.display());
+}
+
+/// Escapes a string for inclusion in JSON.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The per-bench time budget (`CRITERION_BUDGET_MS`, default 500 ms) —
+/// the same knob the vendored criterion uses, so the JSON emission scales
+/// down with it in CI smoke runs.
+pub fn budget() -> Duration {
+    let ms = std::env::var("CRITERION_BUDGET_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(500u64);
+    Duration::from_millis(ms)
+}
+
+/// Times `routine` repeatedly (one warm-up call, then at least one
+/// measured iteration) until `budget` is spent; returns mean ns/iter.
+pub fn time_mean_ns<O, R: FnMut() -> O>(budget: Duration, mut routine: R) -> f64 {
+    std::hint::black_box(routine());
+    let start = Instant::now();
+    let mut iters = 0u64;
+    let elapsed = loop {
+        std::hint::black_box(routine());
+        iters += 1;
+        let elapsed = start.elapsed();
+        if elapsed >= budget {
+            break elapsed;
+        }
+    };
+    elapsed.as_nanos() as f64 / iters as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape(r#"a"b\c"#), r#"a\"b\\c"#);
+        assert_eq!(escape("tab\there"), "tab\\u0009here");
+        assert_eq!(escape("plain"), "plain");
+    }
+
+    #[test]
+    fn time_mean_ns_measures() {
+        let mean = time_mean_ns(Duration::from_millis(2), || std::hint::black_box(1u64 + 1));
+        assert!(mean > 0.0);
+    }
+
+    #[test]
+    fn sections_combine_into_one_object() {
+        // Serialize access: other tests may also write sections.
+        record_section("zz_test_section", r#"{"a": 1}"#);
+        let combined = fs::read_to_string(output_path()).unwrap();
+        assert!(combined.trim_start().starts_with('{'));
+        assert!(combined.contains("\"zz_test_section\": {\"a\": 1}"));
+        assert!(combined.trim_end().ends_with('}'));
+        // Clean up so repeated local runs stay deterministic.
+        let _ = fs::remove_file(sections_dir().join("zz_test_section.json"));
+    }
+}

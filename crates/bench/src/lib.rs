@@ -1,5 +1,7 @@
 //! Shared plumbing for the experiment binaries and benches.
 
+pub mod benchjson;
+
 use std::fs;
 use std::path::PathBuf;
 

@@ -9,6 +9,8 @@
 //!   the perceptibility threshold (paper default 100 ms);
 //! * [`shape`] — structural tree signatures: interval type + symbolic
 //!   information, *excluding* GC nodes and all timing (paper §II-D);
+//! * [`intern`] — hash-consing of shape token streams into dense
+//!   per-session [`ShapeId`](intern::ShapeId)s (the mining hot path);
 //! * [`patterns`] — episode equivalence classes with per-pattern lag
 //!   statistics and the Fig 3 cumulative coverage curve;
 //! * [`occurrence`] — always / sometimes / once / never classification of
@@ -57,6 +59,7 @@ pub mod causes;
 pub mod concurrency;
 pub mod diff;
 pub mod histogram;
+pub mod intern;
 pub mod location;
 pub mod multi;
 pub mod occurrence;
@@ -74,6 +77,7 @@ pub use causes::CauseStats;
 pub use concurrency::concurrency_stats;
 pub use diff::{PatternDelta, SessionDiff};
 pub use histogram::DurationHistogram;
+pub use intern::{ShapeId, ShapeInterner};
 pub use location::LocationStats;
 pub use multi::{MultiPattern, MultiPatternSet};
 pub use occurrence::Occurrence;
@@ -93,6 +97,7 @@ pub mod prelude {
     pub use crate::concurrency::concurrency_stats;
     pub use crate::diff::{PatternDelta, SessionDiff};
     pub use crate::histogram::DurationHistogram;
+    pub use crate::intern::{ShapeId, ShapeInterner};
     pub use crate::location::LocationStats;
     pub use crate::multi::{MultiPattern, MultiPatternSet};
     pub use crate::occurrence::Occurrence;

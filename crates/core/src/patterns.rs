@@ -2,18 +2,33 @@
 //!
 //! Following the paper's §II-C: episodes whose dispatch interval has no
 //! children carry no structure and are excluded; the remaining episodes are
-//! grouped by [`ShapeSignature`]. Each pattern records lag statistics
+//! grouped by tree shape. Each pattern records lag statistics
 //! (min / average / max / total, paper §II-E) and the set of member
 //! episodes; [`PatternSet::cumulative_coverage`] reproduces Fig 3.
+//!
+//! # The hot path
+//!
+//! Grouping uses the two-level signature scheme documented in
+//! [`crate::shape`]: inside a session each episode's tree is serialized
+//! into a compact token stream over raw symbol ids (one zero-allocation
+//! traversal into a reused scratch buffer) and hash-consed by a
+//! [`ShapeInterner`] into a dense [`ShapeId`], so bucketing is an array
+//! index — no name resolution, no string formatting, no per-episode heap
+//! allocation. The canonical signature *string* is rendered once per
+//! pattern when the table is finalized. The previous implementation,
+//! which rendered and hashed a string per episode, is retained as
+//! [`PatternSet::mine_reference`] so tests (and benches) can prove the
+//! two produce byte-identical results.
 
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 
-use lagalyzer_model::{DurationNs, Episode, SymbolTable};
+use lagalyzer_model::{DurationNs, Episode, IntervalTree, SymbolTable};
 
+use crate::intern::{ShapeId, ShapeInterner};
 use crate::parallel;
 use crate::session::AnalysisSession;
-use crate::shape::ShapeSignature;
+use crate::shape::{write_shape_tokens, ShapeSignature};
 
 /// Lag statistics over one pattern's episodes (paper §II-E).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -132,10 +147,13 @@ impl PatternSet {
     /// Mines the patterns of `session` on up to `jobs` worker threads.
     ///
     /// Episodes are sharded into contiguous index ranges, each shard is
-    /// scanned into its own [`PatternTable`], and the tables are merged in
-    /// shard order. Every accumulator is exact (counts, nanosecond sums,
-    /// minima/maxima), so the result is byte-identical to [`PatternSet::mine`]
-    /// for any `jobs`; `jobs <= 1` runs serially without spawning threads.
+    /// scanned into its own [`PatternTable`] (with its own shard-local
+    /// [`ShapeInterner`]), and the tables are merged in shard order by
+    /// remapping each shard's dense [`ShapeId`]s into the accumulating
+    /// table's interner. Every accumulator is exact (counts, nanosecond
+    /// sums, minima/maxima), so the result is byte-identical to
+    /// [`PatternSet::mine`] for any `jobs`; `jobs <= 1` runs serially
+    /// without spawning threads.
     pub fn mine_with_jobs(session: &AnalysisSession, jobs: usize) -> PatternSet {
         let tables = parallel::map_shards(session.episodes().len(), jobs, |range| {
             PatternTable::scan(session, range)
@@ -144,7 +162,73 @@ impl PatternSet {
         for table in tables {
             merged.merge(table);
         }
-        merged.into_pattern_set()
+        merged.into_pattern_set(session.trace().symbols())
+    }
+
+    /// The string-keyed baseline miner: renders and hashes a canonical
+    /// signature string per episode, exactly as the pre-interning
+    /// implementation did. Serial only.
+    ///
+    /// Retained deliberately — equivalence tests assert the hash-consed
+    /// pipeline ([`PatternSet::mine`] / [`PatternSet::mine_with_jobs`])
+    /// produces byte-identical output to this baseline, and the benches
+    /// measure the speedup against it.
+    pub fn mine_reference(session: &AnalysisSession) -> PatternSet {
+        let symbols = session.trace().symbols();
+        let threshold = session.perceptible_threshold();
+        let mut groups: HashMap<ShapeSignature, PatternAccum> = HashMap::new();
+        let mut structureless = 0u64;
+        for (idx, episode) in session.episodes().iter().enumerate() {
+            if episode.is_structureless() {
+                structureless += 1;
+                continue;
+            }
+            let sig = ShapeSignature::of_tree(episode.tree(), symbols);
+            let d = episode.duration();
+            let single = PatternAccum {
+                episodes: vec![idx],
+                stats: LagStats {
+                    count: 1,
+                    min: d,
+                    max: d,
+                    total: d,
+                },
+                perceptible: u64::from(d >= threshold),
+                gc_episode_count: u64::from(
+                    episode
+                        .tree()
+                        .contains_kind(lagalyzer_model::IntervalKind::Gc),
+                ),
+                first_is_perceptible: d >= threshold,
+                // The pre-interning code sized trees with a stack-based
+                // pre-order walk per episode; keep that exact cost model
+                // here (same value as `descendant_count`) so before/after
+                // bench comparisons measure the real former hot path.
+                tree_size: episode.tree().pre_order_from(episode.tree().root()).count() - 1,
+                tree_depth: episode.tree().max_depth(),
+            };
+            match groups.entry(sig) {
+                Entry::Vacant(v) => {
+                    v.insert(single);
+                }
+                Entry::Occupied(mut o) => o.get_mut().absorb(single),
+            }
+        }
+        let mut total_structured = 0u64;
+        let mut patterns: Vec<Pattern> = groups
+            .into_iter()
+            .map(|(signature, accum)| {
+                total_structured += accum.stats.count;
+                accum.into_pattern(signature)
+            })
+            .collect();
+        sort_patterns(&mut patterns);
+        PatternSet {
+            patterns,
+            structureless,
+            total_structured,
+            salvaged: session.is_salvaged(),
+        }
     }
 
     /// Patterns in descending episode-count order.
@@ -240,8 +324,18 @@ impl PatternSet {
     }
 }
 
-/// Per-signature accumulator inside a [`PatternTable`]. All fields are
-/// exact, so two accumulators for the same signature merge without loss.
+/// The canonical pattern order: descending episode count, ties by
+/// signature string.
+fn sort_patterns(patterns: &mut [Pattern]) {
+    patterns.sort_by(|a, b| {
+        b.count()
+            .cmp(&a.count())
+            .then_with(|| a.signature.cmp(&b.signature))
+    });
+}
+
+/// Per-shape accumulator inside a [`PatternTable`]. All fields are exact,
+/// so two accumulators for the same shape merge without loss.
 #[derive(Clone, Debug)]
 struct PatternAccum {
     /// Member episode indices, ascending.
@@ -256,7 +350,63 @@ struct PatternAccum {
 }
 
 impl PatternAccum {
-    /// Folds `other` into `self`; both must accumulate the same signature.
+    /// An accumulator holding one episode.
+    fn single(
+        idx: usize,
+        tree: &IntervalTree,
+        d: DurationNs,
+        threshold: DurationNs,
+        has_gc: bool,
+    ) -> PatternAccum {
+        PatternAccum {
+            episodes: vec![idx],
+            stats: LagStats {
+                count: 1,
+                min: d,
+                max: d,
+                total: d,
+            },
+            perceptible: u64::from(d >= threshold),
+            gc_episode_count: u64::from(has_gc),
+            first_is_perceptible: d >= threshold,
+            tree_size: tree.descendant_count(tree.root()),
+            tree_depth: tree.max_depth(),
+        }
+    }
+
+    /// Adds one more member episode in place — the hot path. Representative
+    /// tree metrics are only (re)computed in the rare case that `idx`
+    /// precedes every member seen so far (chunks fed out of order).
+    fn add_member(
+        &mut self,
+        idx: usize,
+        tree: &IntervalTree,
+        d: DurationNs,
+        threshold: DurationNs,
+        has_gc: bool,
+    ) {
+        let perceptible = d >= threshold;
+        if idx < self.episodes[0] {
+            self.first_is_perceptible = perceptible;
+            self.tree_size = tree.descendant_count(tree.root());
+            self.tree_depth = tree.max_depth();
+        }
+        match self.episodes.last() {
+            Some(&last) if last > idx => {
+                let pos = self.episodes.partition_point(|&e| e < idx);
+                self.episodes.insert(pos, idx);
+            }
+            _ => self.episodes.push(idx),
+        }
+        self.stats.count += 1;
+        self.stats.min = self.stats.min.min(d);
+        self.stats.max = self.stats.max.max(d);
+        self.stats.total += d;
+        self.perceptible += u64::from(perceptible);
+        self.gc_episode_count += u64::from(has_gc);
+    }
+
+    /// Folds `other` into `self`; both must accumulate the same shape.
     fn absorb(&mut self, other: PatternAccum) {
         // The representative ("first") episode is the one with the lowest
         // index across both sides, which makes the merge order-independent.
@@ -272,6 +422,20 @@ impl PatternAccum {
         self.stats.total += other.stats.total;
         self.perceptible += other.perceptible;
         self.gc_episode_count += other.gc_episode_count;
+    }
+
+    /// Finalizes the accumulator under its rendered signature.
+    fn into_pattern(self, signature: ShapeSignature) -> Pattern {
+        Pattern {
+            signature,
+            episodes: self.episodes,
+            stats: self.stats,
+            perceptible: self.perceptible,
+            first_is_perceptible: self.first_is_perceptible,
+            tree_size: self.tree_size,
+            tree_depth: self.tree_depth,
+            gc_episode_count: self.gc_episode_count,
+        }
     }
 }
 
@@ -308,21 +472,31 @@ fn merge_sorted(mut a: Vec<usize>, mut b: Vec<usize>) -> Vec<usize> {
 /// A mergeable, shard-local pattern table — the accumulation half of
 /// pattern mining.
 ///
-/// One table holds the per-signature lag statistics, membership lists and
-/// representative-episode metrics for a contiguous slice of a session's
-/// episodes. Tables from different shards merge exactly (integer sums,
-/// minima, maxima; see [`PatternTable::merge`]), and
-/// [`PatternTable::into_pattern_set`] finalizes the merged table into the
-/// same [`PatternSet`] a serial scan produces. This is the primitive the
-/// parallel pipeline (see [`crate::parallel`]) is built on, and it also
-/// supports incremental use: chunks of episodes can be fed to
+/// One table holds a [`ShapeInterner`] plus per-shape lag statistics,
+/// membership lists and representative-episode metrics for a contiguous
+/// slice of a session's episodes; accumulators are indexed directly by
+/// the interner's dense [`ShapeId`]s. Tables from different shards merge
+/// exactly (integer sums, minima, maxima; see [`PatternTable::merge`]),
+/// and [`PatternTable::into_pattern_set`] finalizes the merged table into
+/// the same [`PatternSet`] a serial scan produces. This is the primitive
+/// the parallel pipeline (see [`crate::parallel`]) is built on, and it
+/// also supports incremental use: chunks of episodes can be fed to
 /// [`PatternTable::scan_episodes`] while a codec is still streaming the
 /// rest of the trace.
+///
+/// Shape ids are table-local: tables may only be merged when their
+/// episodes share one symbol-id assignment (shards of the same session).
+/// Cross-session aggregation goes through the canonical signature
+/// strings instead (see [`crate::multi`]).
 #[derive(Clone, Debug, Default)]
 pub struct PatternTable {
-    groups: HashMap<ShapeSignature, PatternAccum>,
+    interner: ShapeInterner,
+    /// Accumulators indexed by [`ShapeId`].
+    groups: Vec<PatternAccum>,
     structureless: u64,
     salvaged: bool,
+    /// Reused token buffer: the scan loop allocates nothing per episode.
+    scratch: Vec<u8>,
 }
 
 impl PatternTable {
@@ -340,21 +514,21 @@ impl PatternTable {
         table.scan_episodes(
             &session.episodes()[range.clone()],
             range.start,
-            session.trace().symbols(),
             session.perceptible_threshold(),
         );
         table
     }
 
     /// Accumulates `episodes` (whose session-wide indices start at
-    /// `base_index`) into the table. Chunks must not overlap; feeding them
-    /// in ascending index order keeps the per-signature membership lists on
-    /// the cheap append path, but any order produces the same table.
+    /// `base_index`) into the table. Chunks must not overlap and must come
+    /// from the same session (shape ids are only comparable under one
+    /// symbol assignment); feeding them in ascending index order keeps the
+    /// per-shape membership lists on the cheap append path, but any order
+    /// produces the same table.
     pub fn scan_episodes(
         &mut self,
         episodes: &[Episode],
         base_index: usize,
-        symbols: &SymbolTable,
         threshold: DurationNs,
     ) {
         for (offset, episode) in episodes.iter().enumerate() {
@@ -363,33 +537,17 @@ impl PatternTable {
                 self.structureless += 1;
                 continue;
             }
-            let sig = ShapeSignature::of_tree(episode.tree(), symbols);
+            let tree = episode.tree();
+            self.scratch.clear();
+            let has_gc = write_shape_tokens(tree, &mut self.scratch);
+            let (id, fresh) = self.interner.intern(&self.scratch);
             let d = episode.duration();
-            let perceptible = u64::from(d >= threshold);
-            let gc = u64::from(
-                episode
-                    .tree()
-                    .contains_kind(lagalyzer_model::IntervalKind::Gc),
-            );
-            let single = PatternAccum {
-                episodes: vec![idx],
-                stats: LagStats {
-                    count: 1,
-                    min: d,
-                    max: d,
-                    total: d,
-                },
-                perceptible,
-                gc_episode_count: gc,
-                first_is_perceptible: d >= threshold,
-                tree_size: episode.tree().descendant_count(episode.tree().root()),
-                tree_depth: episode.tree().max_depth(),
-            };
-            match self.groups.entry(sig) {
-                Entry::Vacant(v) => {
-                    v.insert(single);
-                }
-                Entry::Occupied(mut o) => o.get_mut().absorb(single),
+            if fresh {
+                debug_assert_eq!(id.index(), self.groups.len(), "interner ids must be dense");
+                self.groups
+                    .push(PatternAccum::single(idx, tree, d, threshold, has_gc));
+            } else {
+                self.groups[id.index()].add_member(idx, tree, d, threshold, has_gc);
             }
         }
     }
@@ -406,18 +564,35 @@ impl PatternTable {
         self.salvaged
     }
 
-    /// Folds another shard's table into this one. The merge is exact and
-    /// order-independent, which is what makes the parallel pipeline
-    /// byte-identical to the serial scan.
+    /// The table's shape interner (one entry per distinct signature).
+    pub fn shape_interner(&self) -> &ShapeInterner {
+        &self.interner
+    }
+
+    /// Folds another shard's table into this one by remapping each of
+    /// `other`'s dense [`ShapeId`]s into this table's interner (a token
+    /// lookup, never a string). The merge is exact and order-independent,
+    /// which is what makes the parallel pipeline byte-identical to the
+    /// serial scan. Both tables must have scanned episodes of the same
+    /// session (see the type-level note on symbol assignments).
     pub fn merge(&mut self, other: PatternTable) {
-        self.salvaged |= other.salvaged;
-        self.structureless += other.structureless;
-        for (sig, accum) in other.groups {
-            match self.groups.entry(sig) {
-                Entry::Vacant(v) => {
-                    v.insert(accum);
-                }
-                Entry::Occupied(mut o) => o.get_mut().absorb(accum),
+        let PatternTable {
+            interner,
+            groups,
+            structureless,
+            salvaged,
+            scratch: _,
+        } = other;
+        self.salvaged |= salvaged;
+        self.structureless += structureless;
+        for (index, accum) in groups.into_iter().enumerate() {
+            let tokens = interner.tokens(ShapeId::from_index(index));
+            let (id, fresh) = self.interner.intern(tokens);
+            if fresh {
+                debug_assert_eq!(id.index(), self.groups.len(), "interner ids must be dense");
+                self.groups.push(accum);
+            } else {
+                self.groups[id.index()].absorb(accum);
             }
         }
     }
@@ -432,33 +607,26 @@ impl PatternTable {
         self.groups.len()
     }
 
-    /// Finalizes the table into a [`PatternSet`]: materializes one
-    /// [`Pattern`] per signature and applies the canonical sort (descending
-    /// episode count, ties by signature).
-    pub fn into_pattern_set(self) -> PatternSet {
+    /// Finalizes the table into a [`PatternSet`]: renders each shape's
+    /// canonical signature string *once* (this is the only place mining
+    /// resolves symbol names — `symbols` must be the table the scanned
+    /// episodes were recorded against), materializes one [`Pattern`] per
+    /// shape and applies the canonical sort (descending episode count,
+    /// ties by signature).
+    pub fn into_pattern_set(self, symbols: &SymbolTable) -> PatternSet {
         let mut total_structured = 0u64;
+        let interner = self.interner;
         let mut patterns: Vec<Pattern> = self
             .groups
             .into_iter()
-            .map(|(signature, accum)| {
+            .enumerate()
+            .map(|(index, accum)| {
                 total_structured += accum.stats.count;
-                Pattern {
-                    signature,
-                    episodes: accum.episodes,
-                    stats: accum.stats,
-                    perceptible: accum.perceptible,
-                    first_is_perceptible: accum.first_is_perceptible,
-                    tree_size: accum.tree_size,
-                    tree_depth: accum.tree_depth,
-                    gc_episode_count: accum.gc_episode_count,
-                }
+                let signature = interner.render(ShapeId::from_index(index), symbols);
+                accum.into_pattern(signature)
             })
             .collect();
-        patterns.sort_by(|a, b| {
-            b.count()
-                .cmp(&a.count())
-                .then_with(|| a.signature.cmp(&b.signature))
-        });
+        sort_patterns(&mut patterns);
         PatternSet {
             patterns,
             structureless: self.structureless,
@@ -687,6 +855,24 @@ mod tests {
     }
 
     #[test]
+    fn interned_mining_matches_string_keyed_reference() {
+        let s = trace_with(&[
+            ("a.A", 50, false),
+            ("b.B", 160, false),
+            ("a.A", 70, true),
+            ("", 90, false),
+            ("c.C", 80, false),
+            ("b.B", 20, true),
+            ("a.A", 110, false),
+        ]);
+        let reference = PatternSet::mine_reference(&s);
+        assert_sets_identical(&reference, &s.mine_patterns());
+        for jobs in [2usize, 5] {
+            assert_sets_identical(&reference, &PatternSet::mine_with_jobs(&s, jobs));
+        }
+    }
+
+    #[test]
     fn table_merge_is_order_independent() {
         let s = trace_with(&[
             ("a.A", 50, false),
@@ -695,6 +881,7 @@ mod tests {
             ("b.B", 20, false),
             ("a.A", 110, false),
         ]);
+        let symbols = s.trace().symbols();
         let shard = |r: std::ops::Range<usize>| PatternTable::scan(&s, r);
         let mut forward = shard(0..2);
         forward.merge(shard(2..4));
@@ -706,7 +893,10 @@ mod tests {
             forward.distinct_signatures(),
             backward.distinct_signatures()
         );
-        assert_sets_identical(&forward.into_pattern_set(), &backward.into_pattern_set());
+        assert_sets_identical(
+            &forward.into_pattern_set(symbols),
+            &backward.into_pattern_set(symbols),
+        );
     }
 
     #[test]
@@ -721,11 +911,33 @@ mod tests {
         let threshold = s.perceptible_threshold();
         let mut chunked = PatternTable::new();
         for (start, end) in [(0usize, 1usize), (1, 3), (3, 4)] {
-            chunked.scan_episodes(&s.episodes()[start..end], start, symbols, threshold);
+            chunked.scan_episodes(&s.episodes()[start..end], start, threshold);
         }
         assert_sets_identical(
-            &chunked.into_pattern_set(),
-            &PatternTable::scan(&s, 0..4).into_pattern_set(),
+            &chunked.into_pattern_set(symbols),
+            &PatternTable::scan(&s, 0..4).into_pattern_set(symbols),
+        );
+    }
+
+    #[test]
+    fn out_of_order_chunks_match_whole_scan() {
+        // Feeding later episodes first exercises the representative
+        // take-over path in `PatternAccum::add_member`.
+        let s = trace_with(&[
+            ("a.A", 150, false),
+            ("b.B", 60, false),
+            ("a.A", 70, true),
+            ("b.B", 200, false),
+        ]);
+        let symbols = s.trace().symbols();
+        let threshold = s.perceptible_threshold();
+        let mut reversed = PatternTable::new();
+        for (start, end) in [(2usize, 4usize), (0, 2)] {
+            reversed.scan_episodes(&s.episodes()[start..end], start, threshold);
+        }
+        assert_sets_identical(
+            &reversed.into_pattern_set(symbols),
+            &PatternTable::scan(&s, 0..4).into_pattern_set(symbols),
         );
     }
 
@@ -747,7 +959,7 @@ mod tests {
         let mut merged = PatternTable::scan(&clean, 0..2);
         merged.merge(PatternTable::scan(&salvaged, 0..2));
         assert!(merged.salvaged());
-        assert!(merged.into_pattern_set().salvaged());
+        assert!(merged.into_pattern_set(clean.trace().symbols()).salvaged());
     }
 
     #[test]

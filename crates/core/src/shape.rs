@@ -12,9 +12,32 @@
 //!   regardless of how long they took, which is what makes the
 //!   always/sometimes/once/never occurrence analysis possible.
 //!
-//! The signature is rendered as a canonical string over resolved symbol
-//! names, so signatures are stable across sessions (each session has its
-//! own symbol-id assignment) and hash/compare without false positives.
+//! # The two-level scheme
+//!
+//! The signature exists at two levels:
+//!
+//! 1. **Per-session shape ids** (the mining hot path). Inside one session
+//!    every episode's tree is serialized by [`write_shape_tokens`] into a
+//!    compact byte stream over raw [`SymbolId`]s — no name resolution, no
+//!    string formatting — and hash-consed by a
+//!    [`ShapeInterner`](crate::intern::ShapeInterner) into a dense
+//!    [`ShapeId`](crate::intern::ShapeId). Equal token streams mean equal
+//!    structure (the encoding is injective: symbol ids are fixed-width, so
+//!    the stream parses unambiguously), and within one session equal
+//!    symbol *ids* mean equal symbol *names*, because a [`SymbolTable`]
+//!    interns injectively. Bucketing by `ShapeId` is an array index.
+//! 2. **Canonical strings** (the session boundary). Each session assigns
+//!    symbol ids independently, so shape ids and tokens are meaningless
+//!    across sessions. Everything cross-session — the pattern browser,
+//!    [`diff`](crate::diff), [`multi`](crate::multi)-trace merging,
+//!    stable-pattern matching — uses this [`ShapeSignature`]: the token
+//!    stream rendered once per *pattern* (not per episode) against the
+//!    session's own `SymbolTable`, via
+//!    [`ShapeSignature::from_tokens`]. The rendering is stable across
+//!    sessions and identical to what [`ShapeSignature::of_tree`] produces
+//!    directly from the tree.
+//!
+//! [`SymbolId`]: lagalyzer_model::SymbolId
 
 use std::fmt;
 
@@ -47,8 +70,42 @@ pub struct ShapeSignature {
 impl ShapeSignature {
     /// Computes the signature of a tree, excluding GC nodes and timing.
     pub fn of_tree(tree: &IntervalTree, symbols: &SymbolTable) -> Self {
-        let mut key = String::with_capacity(tree.len() * 8);
+        let mut key = String::with_capacity(rendered_len_bound(tree, symbols));
         write_node(tree, tree.root(), symbols, &mut key);
+        ShapeSignature { key }
+    }
+
+    /// Renders a [`write_shape_tokens`] stream into the canonical string,
+    /// resolving symbol ids through `symbols` (which must be the table the
+    /// tokens were built against). Produces exactly what
+    /// [`ShapeSignature::of_tree`] produces on the originating tree.
+    pub fn from_tokens(tokens: &[u8], symbols: &SymbolTable) -> Self {
+        let expected = tokens_rendered_len(tokens, symbols);
+        let mut key = String::with_capacity(expected);
+        // Structural bytes (kind tags, `[`, `,`, `]`) are ASCII and render
+        // as themselves, and none of them is `(` — so from any structural
+        // position the next `(` starts a symbol group, and whole
+        // structural runs copy over verbatim.
+        let mut i = 0;
+        while i < tokens.len() {
+            let run = tokens[i..]
+                .iter()
+                .position(|&b| b == b'(')
+                .map_or(tokens.len(), |p| i + p);
+            // SAFETY-free: the run is all ASCII by the grammar above.
+            key.push_str(std::str::from_utf8(&tokens[i..run]).expect("structural bytes are ASCII"));
+            if run == tokens.len() {
+                break;
+            }
+            let (class, method) = read_symbol_pair(tokens, run);
+            key.push('(');
+            key.push_str(symbols.resolve(class).unwrap_or("?"));
+            key.push('.');
+            key.push_str(symbols.resolve(method).unwrap_or("?"));
+            key.push(')');
+            i = run + SYMBOL_GROUP_LEN;
+        }
+        debug_assert_eq!(key.len(), expected, "length pre-pass must be exact");
         ShapeSignature { key }
     }
 
@@ -70,6 +127,160 @@ impl fmt::Display for ShapeSignature {
     }
 }
 
+/// Byte length of one `(` class-id method-id `)` token group.
+const SYMBOL_GROUP_LEN: usize = 1 + 4 + 4 + 1;
+
+/// Serializes the shape of `tree` into `out` as a compact token stream
+/// over raw symbol ids, excluding GC subtrees and all timing. Returns
+/// `true` if the tree contains at least one GC interval (which the
+/// stream, by construction, does not mention).
+///
+/// Token grammar, byte for byte:
+///
+/// * one [`IntervalKind::tag`] byte per non-GC node (`D`, `L`, `P`, `N`,
+///   `A`);
+/// * if the node carries a symbol: `(`, the class [`SymbolId`] and the
+///   method [`SymbolId`] as 4-byte little-endian words, `)` — fixed
+///   width, so the stream is self-delimiting and the encoding injective;
+/// * if the node has non-GC children: `[`, the children's streams
+///   separated by `,`, `]`.
+///
+/// Structural bytes mirror the canonical string rendering, so
+/// [`ShapeSignature::from_tokens`] only has to resolve the symbol groups.
+///
+/// The caller owns `out` so the hot path can reuse one scratch buffer
+/// across episodes (`out` is appended to, not cleared).
+///
+/// [`SymbolId`]: lagalyzer_model::SymbolId
+/// [`IntervalKind::tag`]: lagalyzer_model::IntervalKind::tag
+pub fn write_shape_tokens(tree: &IntervalTree, out: &mut Vec<u8>) -> bool {
+    // The node array is in preorder with siblings in start-time order
+    // (builder invariant, see `IntervalTree::nodes`), so one linear scan
+    // visits nodes in exactly the order the signature grammar needs — no
+    // recursion, no per-node child-list chasing. The stored depths drive
+    // the structural bytes: between consecutive *emitted* nodes, a +1
+    // depth step opens the parent's child list (`[`), and a drop of `k`
+    // closes `k` lists (`]` × k) before the sibling separator (`,`). A
+    // step can never exceed +1: an emitted node's parent has no GC
+    // ancestor either, and in preorder it sits between any shallower
+    // predecessor and its child.
+    let nodes = tree.nodes();
+    debug_assert_ne!(
+        nodes[0].interval.kind,
+        IntervalKind::Gc,
+        "the root is never GC"
+    );
+    let mut contains_gc = false;
+    let mut prev_depth = 0u32;
+    let mut i = 0usize;
+    while i < nodes.len() {
+        let node = &nodes[i];
+        if node.interval.kind == IntervalKind::Gc {
+            // Skipping the GC node skips its whole (contiguous) subtree,
+            // so any GC interval in the tree is either seen here or sits
+            // below one that is: the flag equals `contains_kind(Gc)`.
+            contains_gc = true;
+            let gc_depth = node.depth;
+            i += 1;
+            while i < nodes.len() && nodes[i].depth > gc_depth {
+                i += 1;
+            }
+            continue;
+        }
+        if i > 0 {
+            if node.depth > prev_depth {
+                debug_assert_eq!(node.depth, prev_depth + 1);
+                out.push(b'[');
+            } else {
+                for _ in node.depth..prev_depth {
+                    out.push(b']');
+                }
+                out.push(b',');
+            }
+        }
+        out.push(node.interval.kind.tag());
+        if let Some(sym) = node.interval.symbol {
+            out.push(b'(');
+            out.extend_from_slice(&sym.class.as_raw().to_le_bytes());
+            out.extend_from_slice(&sym.method.as_raw().to_le_bytes());
+            out.push(b')');
+        }
+        prev_depth = node.depth;
+        i += 1;
+    }
+    for _ in 0..prev_depth {
+        out.push(b']');
+    }
+    contains_gc
+}
+
+fn read_symbol_pair(
+    tokens: &[u8],
+    at: usize,
+) -> (lagalyzer_model::SymbolId, lagalyzer_model::SymbolId) {
+    let word = |o: usize| {
+        u32::from_le_bytes(
+            tokens[o..o + 4]
+                .try_into()
+                .expect("truncated symbol group in shape tokens"),
+        )
+    };
+    debug_assert_eq!(tokens[at + SYMBOL_GROUP_LEN - 1], b')');
+    (
+        lagalyzer_model::SymbolId::from_raw(word(at + 1)),
+        lagalyzer_model::SymbolId::from_raw(word(at + 5)),
+    )
+}
+
+/// Exact rendered length of a token stream (pre-pass for a single
+/// allocation in [`ShapeSignature::from_tokens`]).
+fn tokens_rendered_len(tokens: &[u8], symbols: &SymbolTable) -> usize {
+    // Same group-jumping walk as `from_tokens`: structural runs count as
+    // their own length, each 10-byte symbol group renders as
+    // `(class.method)`.
+    let mut len = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        let run = tokens[i..]
+            .iter()
+            .position(|&b| b == b'(')
+            .map_or(tokens.len(), |p| i + p);
+        len += run - i;
+        if run == tokens.len() {
+            break;
+        }
+        let (class, method) = read_symbol_pair(tokens, run);
+        len += 3 // '(', '.', ')'
+            + symbols.resolve(class).unwrap_or("?").len()
+            + symbols.resolve(method).unwrap_or("?").len();
+        i = run + SYMBOL_GROUP_LEN;
+    }
+    len
+}
+
+/// An upper bound on the rendered signature length, from summed symbol
+/// name lengths.
+///
+/// The old heuristic (`tree.len() * 8`) undersized any tree with real
+/// fully-qualified class names (e.g. `javax.swing.JFrame.paint` alone is
+/// 24 bytes), forcing reallocation while rendering. Per node the string
+/// holds one kind tag plus at most one comma and (amortizing a parent's
+/// brackets over itself) two brackets — 4 structural bytes — plus, for
+/// symbol-bearing nodes, `(`, `.`, `)` and the two resolved names. GC
+/// nodes are counted even though they never render, which keeps this a
+/// cheap flat loop; the result is a tight upper bound, so rendering never
+/// reallocates.
+fn rendered_len_bound(tree: &IntervalTree, symbols: &SymbolTable) -> usize {
+    tree.iter()
+        .map(|(_, node)| {
+            4 + node.interval.symbol.map_or(0, |sym| {
+                3 + symbols.resolve(sym.class).unwrap_or("?").len()
+                    + symbols.resolve(sym.method).unwrap_or("?").len()
+            })
+        })
+        .sum()
+}
+
 /// Serializes one node (and its non-GC descendants) into `out`.
 fn write_node(tree: &IntervalTree, id: NodeId, symbols: &SymbolTable, out: &mut String) {
     let interval = tree.interval(id);
@@ -82,20 +293,16 @@ fn write_node(tree: &IntervalTree, id: NodeId, symbols: &SymbolTable, out: &mut 
         out.push_str(symbols.resolve(sym.method).unwrap_or("?"));
         out.push(')');
     }
-    let children: Vec<NodeId> = tree
-        .children(id)
-        .iter()
-        .copied()
-        .filter(|&c| tree.interval(c).kind != IntervalKind::Gc)
-        .collect();
-    if !children.is_empty() {
-        out.push('[');
-        for (i, child) in children.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            write_node(tree, *child, symbols, out);
+    let mut wrote_child = false;
+    for &child in tree.children(id) {
+        if tree.interval(child).kind == IntervalKind::Gc {
+            continue;
         }
+        out.push(if wrote_child { ',' } else { '[' });
+        wrote_child = true;
+        write_node(tree, child, symbols, out);
+    }
+    if wrote_child {
         out.push(']');
     }
 }
@@ -121,10 +328,18 @@ mod tests {
         (b.finish().unwrap(), symbols)
     }
 
+    /// `from_tokens` over `write_shape_tokens` output.
+    fn via_tokens(t: &IntervalTree, s: &SymbolTable) -> ShapeSignature {
+        let mut tokens = Vec::new();
+        write_shape_tokens(t, &mut tokens);
+        ShapeSignature::from_tokens(&tokens, s)
+    }
+
     #[test]
     fn bare_dispatch_signature() {
         let (t, s) = tree(|_, _| {});
         assert_eq!(ShapeSignature::of_tree(&t, &s).as_str(), "D");
+        assert_eq!(via_tokens(&t, &s).as_str(), "D");
     }
 
     #[test]
@@ -248,6 +463,17 @@ mod tests {
             ShapeSignature::of_tree(&a, &s1),
             ShapeSignature::of_tree(&b2, &s2)
         );
+        // The token streams differ (different symbol ids), but their
+        // canonical renderings agree — the two-level scheme's invariant.
+        let mut ta = Vec::new();
+        let mut tb = Vec::new();
+        write_shape_tokens(&a, &mut ta);
+        write_shape_tokens(&b2, &mut tb);
+        assert_ne!(ta, tb);
+        assert_eq!(
+            ShapeSignature::from_tokens(&ta, &s1),
+            ShapeSignature::from_tokens(&tb, &s2)
+        );
     }
 
     #[test]
@@ -258,5 +484,81 @@ mod tests {
         let sig = ShapeSignature::of_tree(&t, &s);
         assert_eq!(sig.to_string(), "D[A]");
         assert_eq!(format!("{sig:?}"), "ShapeSignature(D[A])");
+    }
+
+    #[test]
+    fn token_rendering_matches_of_tree_on_complex_trees() {
+        let (t, s) = tree(|b, sym| {
+            let paint = sym.method("javax.swing.JComponent", "paintComponent");
+            let listener = sym.method("org.example.app.ActionDispatcher", "actionPerformed");
+            b.enter(IntervalKind::Listener, Some(listener), ms(1))
+                .unwrap();
+            b.leaf(IntervalKind::Gc, None, ms(2), ms(3)).unwrap();
+            b.enter(IntervalKind::Paint, Some(paint), ms(4)).unwrap();
+            b.leaf(IntervalKind::Native, None, ms(5), ms(6)).unwrap();
+            b.exit(ms(7)).unwrap();
+            b.exit(ms(8)).unwrap();
+            b.leaf(IntervalKind::Async, None, ms(9), ms(10)).unwrap();
+        });
+        let direct = ShapeSignature::of_tree(&t, &s);
+        let rendered = via_tokens(&t, &s);
+        assert_eq!(direct, rendered);
+        assert_eq!(
+            direct.as_str(),
+            "D[L(org.example.app.ActionDispatcher.actionPerformed)\
+             [P(javax.swing.JComponent.paintComponent)[N]],A]"
+        );
+    }
+
+    #[test]
+    fn token_writer_reports_gc_like_contains_kind() {
+        let (with_gc, _) = tree(|b, _| {
+            b.enter(IntervalKind::Native, None, ms(1)).unwrap();
+            b.leaf(IntervalKind::Gc, None, ms(2), ms(3)).unwrap();
+            b.exit(ms(4)).unwrap();
+        });
+        let (without_gc, _) = tree(|b, _| {
+            b.leaf(IntervalKind::Native, None, ms(1), ms(2)).unwrap();
+        });
+        let mut scratch = Vec::new();
+        assert_eq!(
+            write_shape_tokens(&with_gc, &mut scratch),
+            with_gc.contains_kind(IntervalKind::Gc)
+        );
+        scratch.clear();
+        assert_eq!(
+            write_shape_tokens(&without_gc, &mut scratch),
+            without_gc.contains_kind(IntervalKind::Gc)
+        );
+    }
+
+    #[test]
+    fn presize_bound_prevents_reallocation() {
+        // NetBeans-scale names: long fully-qualified classes that broke
+        // the old `tree.len() * 8` guess.
+        let (t, s) = tree(|b, sym| {
+            for i in 0..16 {
+                let m = sym.method(
+                    &format!("org.netbeans.modules.editor.completion.CompletionImpl{i}"),
+                    "processKeyEventNotification",
+                );
+                b.enter(IntervalKind::Listener, Some(m), ms(i as u64 + 1))
+                    .unwrap();
+            }
+            for i in 0..16 {
+                b.exit(ms(100 + i)).unwrap();
+            }
+        });
+        let sig = ShapeSignature::of_tree(&t, &s);
+        let bound = rendered_len_bound(&t, &s);
+        assert!(
+            sig.as_str().len() <= bound,
+            "bound {bound} must cover rendered length {}",
+            sig.as_str().len()
+        );
+        assert!(
+            sig.as_str().len() > t.len() * 8,
+            "this tree must defeat the old heuristic for the test to bite"
+        );
     }
 }

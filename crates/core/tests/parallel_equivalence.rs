@@ -93,10 +93,10 @@ proptest! {
         let mut base = 0;
         for chunk_episodes in session.episodes().chunks(chunk) {
             let mut table = PatternTable::new();
-            table.scan_episodes(chunk_episodes, base, symbols, threshold);
+            table.scan_episodes(chunk_episodes, base, threshold);
             merged.merge(table);
             base += chunk_episodes.len();
         }
-        assert_sets_identical(&session.mine_patterns(), &merged.into_pattern_set())?;
+        assert_sets_identical(&session.mine_patterns(), &merged.into_pattern_set(symbols))?;
     }
 }

@@ -67,6 +67,36 @@ impl SymbolTable {
         SymbolTable::default()
     }
 
+    /// Creates an empty table with room for `capacity` symbols, so bulk
+    /// construction (the simulator interns tens of thousands of method
+    /// names per session) does not rehash repeatedly while growing.
+    pub fn with_capacity(capacity: usize) -> Self {
+        SymbolTable {
+            names: Vec::with_capacity(capacity),
+            index: HashMap::with_capacity(capacity),
+        }
+    }
+
+    /// Reserves room for at least `additional` more symbols.
+    pub fn reserve(&mut self, additional: usize) {
+        self.names.reserve(additional);
+        self.index.reserve(additional);
+    }
+
+    /// Drops excess capacity once construction is over, returning the
+    /// table to its working-set size.
+    pub fn shrink_to_fit(&mut self) {
+        self.names.shrink_to_fit();
+        self.index.shrink_to_fit();
+    }
+
+    /// Number of symbols the table can hold before its name storage must
+    /// reallocate (the index may rehash earlier; this reports the dense
+    /// side, which dominates memory).
+    pub fn capacity(&self) -> usize {
+        self.names.capacity()
+    }
+
     /// Interns `name`, returning its stable id.
     ///
     /// ```
@@ -80,11 +110,23 @@ impl SymbolTable {
         if let Some(&id) = self.index.get(name) {
             return id;
         }
+        self.insert_new(name.to_owned())
+    }
+
+    /// Interns an owned `name`, reusing its allocation on a miss.
+    pub fn intern_owned(&mut self, name: String) -> SymbolId {
+        if let Some(&id) = self.index.get(name.as_str()) {
+            return id;
+        }
+        self.insert_new(name)
+    }
+
+    fn insert_new(&mut self, name: String) -> SymbolId {
         let id = SymbolId::from_raw(
             u32::try_from(self.names.len()).expect("more than u32::MAX interned symbols"),
         );
-        self.names.push(name.to_owned());
-        self.index.insert(name.to_owned(), id);
+        self.names.push(name.clone());
+        self.index.insert(name, id);
         id
     }
 
@@ -137,6 +179,39 @@ impl SymbolTable {
                 n.as_str(),
             )
         })
+    }
+}
+
+/// Builds a table from an iterator of names, reserving from the
+/// iterator's `len()`-style size hint up front so construction performs a
+/// single allocation instead of rehashing at every growth step.
+///
+/// ```
+/// use lagalyzer_model::symbols::SymbolTable;
+/// let t: SymbolTable = ["a.B", "c.D", "a.B"].into_iter().collect();
+/// assert_eq!(t.len(), 2);
+/// assert!(t.capacity() >= 3);
+/// ```
+impl<S: Into<String>> FromIterator<S> for SymbolTable {
+    fn from_iter<I: IntoIterator<Item = S>>(iter: I) -> Self {
+        let iter = iter.into_iter();
+        let (lower, upper) = iter.size_hint();
+        // Exact-size iterators (slices, vecs) report lower == upper == len.
+        let mut table = SymbolTable::with_capacity(upper.unwrap_or(lower));
+        for name in iter {
+            table.intern_owned(name.into());
+        }
+        table
+    }
+}
+
+impl<S: Into<String>> Extend<S> for SymbolTable {
+    fn extend<I: IntoIterator<Item = S>>(&mut self, iter: I) {
+        let iter = iter.into_iter();
+        self.reserve(iter.size_hint().0);
+        for name in iter {
+            self.intern_owned(name.into());
+        }
     }
 }
 
@@ -233,6 +308,42 @@ mod tests {
         assert_eq!(a.as_raw(), 0);
         assert_eq!(b.as_raw(), 1);
         assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn capacity_is_reserved_and_shrinkable() {
+        let mut t = SymbolTable::with_capacity(64);
+        assert!(t.capacity() >= 64);
+        let cap_before = t.capacity();
+        for i in 0..64 {
+            t.intern(&format!("sym{i}"));
+        }
+        assert_eq!(t.capacity(), cap_before, "pre-sized table must not grow");
+        t.shrink_to_fit();
+        assert!(t.capacity() >= t.len());
+        // Shrinking must not disturb contents.
+        assert_eq!(t.resolve(SymbolId::from_raw(7)), Some("sym7"));
+        t.reserve(100);
+        assert!(t.capacity() >= t.len() + 100);
+    }
+
+    #[test]
+    fn from_iterator_pre_reserves_and_dedups() {
+        let names: Vec<String> = (0..100).map(|i| format!("cls{}", i % 10)).collect();
+        let t: SymbolTable = names.iter().map(String::as_str).collect();
+        assert_eq!(t.len(), 10);
+        assert!(t.capacity() >= 100, "exact size hint must be used");
+        assert_eq!(t.lookup("cls3"), Some(SymbolId::from_raw(3)));
+    }
+
+    #[test]
+    fn extend_and_intern_owned() {
+        let mut t = SymbolTable::new();
+        let a = t.intern_owned("alpha".to_owned());
+        t.extend(["beta", "alpha", "gamma"]);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.intern_owned("alpha".to_owned()), a);
+        assert_eq!(t.lookup("gamma"), Some(SymbolId::from_raw(2)));
     }
 
     #[test]

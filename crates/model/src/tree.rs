@@ -94,6 +94,16 @@ impl IntervalTree {
         self.nodes.get(id.index())
     }
 
+    /// All nodes in **preorder**: index `i` is `NodeId::from_raw(i)`,
+    /// every subtree occupies a contiguous range, and siblings appear in
+    /// start-time order. This is a builder invariant — nodes are pushed
+    /// on `enter`, and enters arrive in start-time order — that linear
+    /// traversals (e.g. shape-token emission) rely on to avoid chasing
+    /// per-node child lists.
+    pub fn nodes(&self) -> &[IntervalNode] {
+        &self.nodes
+    }
+
     /// The interval at `id`.
     pub fn interval(&self, id: NodeId) -> &Interval {
         &self.node(id).interval
@@ -117,8 +127,20 @@ impl IntervalTree {
     /// Number of descendants of `id` (excluding `id` itself).
     ///
     /// The paper's Table III "Descs" column is `descendant_count(root)`.
+    ///
+    /// Preorder makes this a contiguous-run length, not a traversal: the
+    /// descendants of `id` are exactly the nodes that follow it while
+    /// their depth stays greater (the root owns everything).
     pub fn descendant_count(&self, id: NodeId) -> usize {
-        self.pre_order_from(id).count() - 1
+        let index = id.index();
+        let depth = self.nodes[index].depth;
+        if depth == 0 {
+            return self.nodes.len() - 1;
+        }
+        self.nodes[index + 1..]
+            .iter()
+            .take_while(|n| n.depth > depth)
+            .count()
     }
 
     /// Maximum node depth in the tree. The paper's Table III "Depth" column
@@ -409,7 +431,24 @@ impl IntervalTreeBuilder {
     /// # Errors
     ///
     /// Fails if intervals are still open or no root was recorded.
-    pub fn finish(self) -> Result<IntervalTree, ModelError> {
+    pub fn finish(mut self) -> Result<IntervalTree, ModelError> {
+        self.finish_reset()
+    }
+
+    /// Finishes the tree and resets the builder for the next one.
+    ///
+    /// This is the streaming-decode variant of
+    /// [`finish`](Self::finish): decoders assembling thousands of
+    /// episodes keep one builder alive and call this per episode, so the
+    /// open-interval stack's allocation is reused instead of re-grown
+    /// from empty every time. The node arena necessarily moves into the
+    /// returned tree. On error the builder state is left untouched, so a
+    /// lenient caller may keep feeding events.
+    ///
+    /// # Errors
+    ///
+    /// Fails if intervals are still open or no root was recorded.
+    pub fn finish_reset(&mut self) -> Result<IntervalTree, ModelError> {
         if !self.open.is_empty() {
             return Err(ModelError::UnclosedIntervals {
                 open: self.open.len(),
@@ -418,7 +457,11 @@ impl IntervalTreeBuilder {
         if self.nodes.is_empty() {
             return Err(ModelError::MissingRoot);
         }
-        let tree = IntervalTree { nodes: self.nodes };
+        let tree = IntervalTree {
+            nodes: std::mem::take(&mut self.nodes),
+        };
+        self.last_event = None;
+        self.root_closed = false;
         debug_assert!(tree.validate().is_ok());
         Ok(tree)
     }
@@ -539,6 +582,48 @@ mod tests {
             DurationNs::from_millis(50)
         );
         assert_eq!(t.outermost_kind_time(IntervalKind::Gc), DurationNs::ZERO);
+    }
+
+    #[test]
+    fn finish_reset_reuses_builder_across_trees() {
+        let mut b = IntervalTreeBuilder::new();
+        // Times restart per episode, exactly as a decoder feeds them.
+        for round in 0..3u64 {
+            b.enter(IntervalKind::Dispatch, None, ms(round * 10))
+                .unwrap();
+            b.leaf(
+                IntervalKind::Paint,
+                None,
+                ms(round * 10 + 1),
+                ms(round * 10 + 2),
+            )
+            .unwrap();
+            b.exit(ms(round * 10 + 5)).unwrap();
+            let t = b.finish_reset().unwrap();
+            assert_eq!(t.len(), 2);
+            assert_eq!(t.root_interval().start, ms(round * 10));
+            assert!(b.is_empty(), "reset must leave the builder empty");
+            assert!(b.is_quiescent());
+        }
+        // A reset builder accepts a fresh root even though the previous
+        // one closed.
+        b.enter(IntervalKind::Dispatch, None, ms(0)).unwrap();
+        b.exit(ms(1)).unwrap();
+        assert!(b.finish_reset().is_ok());
+    }
+
+    #[test]
+    fn finish_reset_errors_leave_state_intact() {
+        let mut b = IntervalTreeBuilder::new();
+        assert_eq!(b.finish_reset(), Err(ModelError::MissingRoot));
+        b.enter(IntervalKind::Dispatch, None, ms(0)).unwrap();
+        assert_eq!(
+            b.finish_reset(),
+            Err(ModelError::UnclosedIntervals { open: 1 })
+        );
+        // The open interval survives the failed finish and can be closed.
+        b.exit(ms(5)).unwrap();
+        assert_eq!(b.finish_reset().unwrap().len(), 1);
     }
 
     #[test]

@@ -48,7 +48,10 @@ pub fn simulate_session_perturbed(
     // paper's four sessions per application do. Scheduling and execution
     // then vary per session.
     let mut library_rng = session_rng(profile, u32::MAX, seed);
-    let mut symbols = SymbolTable::new();
+    // Library construction interns a handful of names per distinct
+    // pattern (listener, paint chain, natives); pre-sizing from the
+    // pattern target avoids rehashing the table while it grows.
+    let mut symbols = SymbolTable::with_capacity(profile.scale.distinct_patterns as usize * 4 + 64);
     let library = build_library(profile, &mut symbols, &mut library_rng);
     let mut rng = session_rng(profile, session_index, seed);
     let pool = NamePool::new(&profile.package);

@@ -72,6 +72,13 @@ pub struct EpisodeStream<R> {
     short_count: u64,
     short_time: DurationNs,
     exhausted: bool,
+    /// The episode being assembled, if a begin record was seen.
+    current: Option<(lagalyzer_model::EpisodeId, ThreadId)>,
+    /// Reused across episodes ([`IntervalTreeBuilder::finish_reset`]), so
+    /// the open-interval stack is allocated once per stream rather than
+    /// once per episode.
+    builder: IntervalTreeBuilder,
+    samples: Vec<SampleSnapshot>,
 }
 
 impl<R: Read> EpisodeStream<R> {
@@ -89,6 +96,9 @@ impl<R: Read> EpisodeStream<R> {
             short_count: 0,
             short_time: DurationNs::ZERO,
             exhausted: false,
+            current: None,
+            builder: IntervalTreeBuilder::new(),
+            samples: Vec::new(),
         })
     }
 
@@ -112,16 +122,22 @@ impl<R: Read> EpisodeStream<R> {
     /// Fails on I/O errors, malformed records, model-invariant violations
     /// inside an episode, or a checksum mismatch at the end.
     pub fn next_episode(&mut self) -> Result<Option<Episode>, TraceError> {
-        let mut current: Option<(
-            lagalyzer_model::EpisodeId,
-            ThreadId,
-            IntervalTreeBuilder,
-            Vec<SampleSnapshot>,
-        )> = None;
+        let result = self.next_episode_inner();
+        if result.is_err() {
+            // Match the fresh-per-episode semantics: a failed assembly
+            // never leaks partial state into the next call.
+            self.current = None;
+            self.builder = IntervalTreeBuilder::new();
+            self.samples.clear();
+        }
+        result
+    }
+
+    fn next_episode_inner(&mut self) -> Result<Option<Episode>, TraceError> {
         while let Some(record) = self.reader.next_record()? {
             match record {
                 TraceRecord::Symbol { id, name } => {
-                    let interned = self.symbols.intern(&name);
+                    let interned = self.symbols.intern_owned(name);
                     debug_assert_eq!(interned, id, "non-dense symbol stream");
                 }
                 TraceRecord::Gc(gc) => self.gc_events.push(gc),
@@ -130,32 +146,42 @@ impl<R: Read> EpisodeStream<R> {
                     self.short_time += total;
                 }
                 TraceRecord::EpisodeBegin { id, thread } => {
-                    current = Some((id, thread, IntervalTreeBuilder::new(), Vec::new()));
+                    if self.current.replace((id, thread)).is_some() {
+                        // A begin without the previous end: drop the
+                        // partial assembly, as a fresh builder would.
+                        self.builder = IntervalTreeBuilder::new();
+                        self.samples.clear();
+                    }
                 }
                 TraceRecord::Enter { kind, symbol, at } => {
-                    let (_, _, tree, _) = current.as_mut().ok_or(ModelError::MissingRoot)?;
-                    tree.enter(kind, symbol, at)?;
+                    if self.current.is_none() {
+                        return Err(ModelError::MissingRoot.into());
+                    }
+                    self.builder.enter(kind, symbol, at)?;
                 }
                 TraceRecord::Exit { at } => {
-                    let (_, _, tree, _) = current.as_mut().ok_or(ModelError::MissingRoot)?;
-                    tree.exit(at)?;
+                    if self.current.is_none() {
+                        return Err(ModelError::MissingRoot.into());
+                    }
+                    self.builder.exit(at)?;
                 }
                 TraceRecord::Sample(snap) => {
-                    let (_, _, _, samples) = current.as_mut().ok_or(ModelError::MissingRoot)?;
-                    samples.push(snap);
+                    if self.current.is_none() {
+                        return Err(ModelError::MissingRoot.into());
+                    }
+                    self.samples.push(snap);
                 }
                 TraceRecord::EpisodeEnd => {
-                    let (id, thread, tree, samples) =
-                        current.take().ok_or(ModelError::MissingRoot)?;
+                    let (id, thread) = self.current.take().ok_or(ModelError::MissingRoot)?;
                     let episode = EpisodeBuilder::new(id, thread)
-                        .tree(tree.finish()?)
-                        .samples(samples)
+                        .tree(self.builder.finish_reset()?)
+                        .samples(std::mem::take(&mut self.samples))
                         .build()?;
                     return Ok(Some(episode));
                 }
             }
         }
-        if current.is_some() {
+        if self.current.is_some() {
             // An EpisodeBegin without its EpisodeEnd.
             return Err(ModelError::MissingRoot.into());
         }

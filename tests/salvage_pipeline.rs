@@ -99,8 +99,8 @@ fn chunked_mining_over_salvage_stream_matches_serial() {
     // Merge in reverse chunk order to exercise order-independence.
     for (start, episodes) in chunks.iter().rev() {
         let mut table = PatternTable::new();
-        table.scan_episodes(episodes, *start, &symbols, threshold);
+        table.scan_episodes(episodes, *start, threshold);
         merged.merge(table);
     }
-    assert_sets_identical(&reference, &merged.into_pattern_set());
+    assert_sets_identical(&reference, &merged.into_pattern_set(&symbols));
 }

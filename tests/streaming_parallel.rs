@@ -40,12 +40,11 @@ fn streamed_shards_match_in_memory_mining() {
         for _ in 0..WORKERS {
             let chunk_rx = &chunk_rx;
             let table_tx = table_tx.clone();
-            let symbols = &symbols;
             scope.spawn(move || loop {
                 let msg = chunk_rx.lock().unwrap().recv();
                 let Ok((base, episodes)) = msg else { break };
                 let mut table = PatternTable::new();
-                table.scan_episodes(&episodes, base, symbols, threshold);
+                table.scan_episodes(&episodes, base, threshold);
                 table_tx.send(table).unwrap();
             });
         }
@@ -77,7 +76,7 @@ fn streamed_shards_match_in_memory_mining() {
         merged
     });
 
-    let streamed = merged.into_pattern_set();
+    let streamed = merged.into_pattern_set(&symbols);
     assert_eq!(streamed.len(), reference.len());
     assert_eq!(streamed.covered_episodes(), reference.covered_episodes());
     assert_eq!(
