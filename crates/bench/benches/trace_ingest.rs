@@ -1,0 +1,182 @@
+//! Serial vs indexed trace ingest.
+//!
+//! Encodes one oversized session (>= 10k traced episodes) to the binary
+//! codec and measures three ways of getting episodes out of the bytes:
+//!
+//! * the serial streaming reader (`binary::read`), the pre-index baseline;
+//! * `IndexedTrace::open` + `par_decode` at increasing `--jobs` counts —
+//!   the extent footer makes every episode's byte range known up front, so
+//!   decoding fans out over the worker pool;
+//! * skip-decode filtered analysis: the perceptible-episodes-only question
+//!   answered by pruning extents against the index *before* decoding,
+//!   versus decoding everything and filtering afterwards.
+//!
+//! Results land in `BENCH_ingest.json` (see `lagalyzer_bench::benchjson`).
+
+use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
+use lagalyzer_bench::benchjson;
+use lagalyzer_core::parallel::available_jobs;
+use lagalyzer_core::prelude::*;
+use lagalyzer_model::{DurationNs, SessionTrace};
+use lagalyzer_sim::{apps, runner};
+use lagalyzer_trace::{binary, EpisodeFilter, IndexedTrace};
+
+/// Euclide scaled up ~3x so a single session clears 10k traced episodes.
+fn oversized_profile() -> lagalyzer_sim::profile::AppProfile {
+    let mut profile = apps::euclide();
+    profile.name = "Euclide-3x".into();
+    profile.scale.traced_episodes = 29_000;
+    profile.scale.structured_episodes = 27_100;
+    profile.scale.perceptible_episodes = 290;
+    profile.scale.distinct_patterns = 600;
+    profile
+}
+
+fn encoded_session() -> (SessionTrace, Vec<u8>) {
+    let trace = runner::simulate_session(&oversized_profile(), 0, 42);
+    assert!(
+        trace.episodes().len() >= 10_000,
+        "bench needs a 10k-episode session"
+    );
+    let mut bytes = Vec::new();
+    binary::write(&trace, &mut bytes).unwrap();
+    (trace, bytes)
+}
+
+fn job_counts() -> Vec<usize> {
+    let mut jobs = vec![1, 2, 4, 8];
+    let max = available_jobs();
+    if !jobs.contains(&max) {
+        jobs.push(max);
+        jobs.sort_unstable();
+    }
+    jobs
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let (trace, bytes) = encoded_session();
+    let mut group = c.benchmark_group("trace_decode");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(bytes.len() as u64));
+    group.bench_function("serial_read", |b| {
+        b.iter(|| binary::read(bytes.as_slice()).unwrap())
+    });
+    for jobs in job_counts() {
+        group.bench_with_input(
+            BenchmarkId::new("indexed_par_decode", format!("jobs{jobs}")),
+            &jobs,
+            |b, &jobs| {
+                b.iter(|| {
+                    IndexedTrace::open(bytes.clone())
+                        .unwrap()
+                        .par_decode(jobs)
+                        .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+    drop(trace);
+}
+
+fn bench_filtered_analysis(c: &mut Criterion) {
+    let (_, bytes) = encoded_session();
+    let filter = EpisodeFilter::new().min_duration(DurationNs::PERCEPTIBLE_DEFAULT);
+    let mut group = c.benchmark_group("perceptible_stats");
+    group.sample_size(10);
+    group.bench_function("full_decode_then_filter", |b| {
+        b.iter(|| {
+            let trace = binary::read(bytes.as_slice()).unwrap();
+            let trace = filter.retain(trace);
+            let session = AnalysisSession::new(trace, AnalysisConfig::default());
+            SessionStats::compute(&session)
+        })
+    });
+    group.bench_function("skip_decode_filtered", |b| {
+        b.iter(|| {
+            let trace = IndexedTrace::open(bytes.clone())
+                .unwrap()
+                .par_decode_filtered(1, &filter)
+                .unwrap();
+            let session = AnalysisSession::new(trace, AnalysisConfig::default());
+            SessionStats::compute(&session)
+        })
+    });
+    group.finish();
+}
+
+/// Decode and filtered-analysis timings, written to `BENCH_ingest.json`.
+fn emit_ingest_json() {
+    let budget = benchjson::budget();
+    let (trace, bytes) = encoded_session();
+    let episodes = trace.episodes().len() as u64;
+    drop(trace);
+
+    let serial_ns = benchjson::time_mean_ns(budget, || binary::read(bytes.as_slice()).unwrap());
+    let mut rows = String::new();
+    for jobs in job_counts() {
+        let ns = benchjson::time_mean_ns(budget, || {
+            IndexedTrace::open(bytes.clone())
+                .unwrap()
+                .par_decode(jobs)
+                .unwrap()
+        });
+        eprintln!(
+            "decode jobs={jobs:<2} {ns:>12.0} ns/iter  speedup vs serial reader {:>5.2}x",
+            serial_ns / ns
+        );
+        if !rows.is_empty() {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "    {{\"jobs\": {jobs}, \"ns_per_iter\": {ns:.1}, \
+             \"speedup_vs_serial\": {:.3}}}",
+            serial_ns / ns
+        ));
+    }
+
+    let filter = EpisodeFilter::new().min_duration(DurationNs::PERCEPTIBLE_DEFAULT);
+    let full_ns = benchjson::time_mean_ns(budget, || {
+        let trace = filter.retain(binary::read(bytes.as_slice()).unwrap());
+        let session = AnalysisSession::new(trace, AnalysisConfig::default());
+        SessionStats::compute(&session)
+    });
+    let skip_ns = benchjson::time_mean_ns(budget, || {
+        let trace = IndexedTrace::open(bytes.clone())
+            .unwrap()
+            .par_decode_filtered(1, &filter)
+            .unwrap();
+        let session = AnalysisSession::new(trace, AnalysisConfig::default());
+        SessionStats::compute(&session)
+    });
+    eprintln!(
+        "perceptible stats: full decode {full_ns:.0} ns, skip-decode {skip_ns:.0} ns \
+         ({:.2}x)",
+        full_ns / skip_ns
+    );
+
+    let json = format!(
+        "{{\n  \"corpus\": \"Euclide-3x\",\n  \"episodes\": {episodes},\n  \
+         \"trace_bytes\": {trace_bytes},\n  \"budget_ms\": {budget_ms},\n  \
+         \"available_jobs\": {available},\n  \
+         \"serial_read_ns_per_iter\": {serial_ns:.1},\n  \
+         \"indexed_decode_by_jobs\": [\n{rows}\n  ],\n  \
+         \"filtered_analysis\": {{\n    \
+         \"filter\": \"min-lag 100ms\",\n    \
+         \"full_decode_ns_per_iter\": {full_ns:.1},\n    \
+         \"skip_decode_ns_per_iter\": {skip_ns:.1},\n    \
+         \"speedup\": {filter_speedup:.3}\n  }}\n}}",
+        trace_bytes = bytes.len(),
+        budget_ms = budget.as_millis(),
+        available = available_jobs(),
+        filter_speedup = full_ns / skip_ns,
+    );
+    benchjson::record_section_in("BENCH_ingest", "trace_ingest", &json);
+}
+
+criterion_group!(benches, bench_decode, bench_filtered_analysis);
+
+fn main() {
+    benches();
+    emit_ingest_json();
+}

@@ -1,14 +1,15 @@
-//! Machine-readable bench output: `BENCH_mining.json`.
+//! Machine-readable bench output: `BENCH_mining.json`, `BENCH_ingest.json`.
 //!
 //! The vendored criterion stand-in prints human-readable timings only, so
-//! the mining benches record their before/after measurements here as
-//! hand-rolled JSON (no serde in the tree). Each bench binary contributes
-//! one top-level *section*; sections are staged as fragment files under
-//! `target/experiments/bench-sections/` and the combined
-//! `BENCH_mining.json` is regenerated from all staged fragments on every
-//! [`record_section`] call, so `pattern_mining` and `parallel_pipeline`
-//! can run in either order (or alone) and the combined file stays
-//! consistent. Set `BENCH_MINING_JSON` to move the combined file.
+//! the benches record their before/after measurements here as hand-rolled
+//! JSON (no serde in the tree). Each bench binary contributes one
+//! top-level *section* of one output file; sections are staged as
+//! fragment files under `target/experiments/bench-sections/<file>/` and
+//! the combined `<file>.json` is regenerated from all of its staged
+//! fragments on every [`record_section_in`] call, so the benches feeding
+//! one file can run in any order (or alone) and the combined file stays
+//! consistent. `BENCH_MINING_JSON` / `BENCH_INGEST_JSON` (the file stem
+//! upper-cased plus `_JSON`) move a combined file elsewhere.
 
 use std::fs;
 use std::path::PathBuf;
@@ -31,29 +32,38 @@ fn workspace_experiments_dir() -> PathBuf {
     dir
 }
 
-/// Where the combined JSON lands (`BENCH_MINING_JSON` overrides).
-pub fn output_path() -> PathBuf {
-    std::env::var_os("BENCH_MINING_JSON")
+/// Where the combined JSON for `stem` (e.g. `BENCH_mining`) lands; the
+/// environment variable `<STEM>_JSON` (upper-cased) overrides.
+pub fn output_path_for(stem: &str) -> PathBuf {
+    let env_key = format!("{}_JSON", stem.to_uppercase());
+    std::env::var_os(&env_key)
         .map(PathBuf::from)
-        .unwrap_or_else(|| workspace_experiments_dir().join("BENCH_mining.json"))
+        .unwrap_or_else(|| workspace_experiments_dir().join(format!("{stem}.json")))
 }
 
-fn sections_dir() -> PathBuf {
-    let dir = workspace_experiments_dir().join("bench-sections");
+/// Where the combined mining JSON lands (`BENCH_MINING_JSON` overrides).
+pub fn output_path() -> PathBuf {
+    output_path_for("BENCH_mining")
+}
+
+fn sections_dir(stem: &str) -> PathBuf {
+    let dir = workspace_experiments_dir()
+        .join("bench-sections")
+        .join(stem);
     fs::create_dir_all(&dir).expect("can create bench-sections dir");
     dir
 }
 
-/// Stages `json` (a complete JSON value) as section `key` and rewrites
-/// the combined `BENCH_mining.json` from every staged section.
-pub fn record_section(key: &str, json: &str) {
+/// Stages `json` (a complete JSON value) as section `key` of the combined
+/// file `<stem>.json` and rewrites that file from every staged section.
+pub fn record_section_in(stem: &str, key: &str, json: &str) {
     assert!(
         key.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'_'),
         "section keys are identifiers"
     );
-    fs::write(sections_dir().join(format!("{key}.json")), json).expect("write bench section");
+    fs::write(sections_dir(stem).join(format!("{key}.json")), json).expect("write bench section");
 
-    let mut sections: Vec<(String, String)> = fs::read_dir(sections_dir())
+    let mut sections: Vec<(String, String)> = fs::read_dir(sections_dir(stem))
         .expect("read bench-sections dir")
         .filter_map(|entry| {
             let path = entry.ok()?.path();
@@ -72,9 +82,14 @@ pub fn record_section(key: &str, json: &str) {
         combined.push_str(&format!("  \"{name}\": {}", body.trim()));
     }
     combined.push_str("\n}\n");
-    let path = output_path();
-    fs::write(&path, combined).expect("write BENCH_mining.json");
+    let path = output_path_for(stem);
+    fs::write(&path, combined).expect("write combined bench JSON");
     eprintln!("wrote {}", path.display());
+}
+
+/// Stages `json` as section `key` of the combined `BENCH_mining.json`.
+pub fn record_section(key: &str, json: &str) {
+    record_section_in("BENCH_mining", key, json);
 }
 
 /// Escapes a string for inclusion in JSON.
@@ -145,6 +160,6 @@ mod tests {
         assert!(combined.contains("\"zz_test_section\": {\"a\": 1}"));
         assert!(combined.trim_end().ends_with('}'));
         // Clean up so repeated local runs stay deterministic.
-        let _ = fs::remove_file(sections_dir().join("zz_test_section.json"));
+        let _ = fs::remove_file(sections_dir("BENCH_mining").join("zz_test_section.json"));
     }
 }

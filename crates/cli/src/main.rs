@@ -21,9 +21,10 @@ use std::process::ExitCode;
 
 use lagalyzer_core::browser::{PatternBrowser, SortBy};
 use lagalyzer_core::prelude::*;
-use lagalyzer_model::{DurationNs, SessionTrace};
+use lagalyzer_model::{DurationNs, Episode, SymbolTable, TimeNs};
 use lagalyzer_report::{figures, table3, Study};
 use lagalyzer_sim::{apps, runner};
+use lagalyzer_trace::{EpisodeFilter, IndexedTrace};
 use lagalyzer_viz::ascii::ascii_sketch;
 use lagalyzer_viz::sketch::{render_pattern_gallery, render_sketch, SketchOptions};
 use lagalyzer_viz::timeline::{render_timeline, TimelineOptions};
@@ -114,7 +115,7 @@ fn print_usage() {
                                               overall statistics of a trace\n\
            patterns FILE [--perceptible-only] [--sort count|total|max|perceptible] [--jobs N] [--salvage]\n\
                                               browse mined patterns\n\
-           lint FILE                          check a trace for damage and print the salvage report\n\
+           lint FILE                          check a trace for damage; print the salvage report and index health\n\
            sketch FILE [--episode N | --pattern N [--gallery]] [--ascii] [--out FILE.svg]\n\
                                               render an episode sketch\n\
            timeline FILE [--out FILE.svg]     render the whole-session timeline\n\
@@ -123,14 +124,29 @@ fn print_usage() {
            experiments [--out-dir DIR] [--sessions N] [--seed S] [--jobs N]\n\
                                               regenerate the paper's tables and figures\n\
          \n\
-         --jobs N shards analysis work across N worker threads (0 or omitted:\n\
-         all cores; 1: serial). Results are byte-identical for any N.\n\
+         --jobs N shards trace decoding and analysis work across N worker\n\
+         threads (0 or omitted: all cores; 1: serial). Results are\n\
+         byte-identical for any N.\n\
+         \n\
+         --min-lag MS, --perceptible, --since-ms MS and --until-ms MS\n\
+         filter episodes at ingest; on indexed binary traces the excluded\n\
+         episodes are never even decoded (skip-decode filtering).\n\
          \n\
          --salvage decodes a damaged trace leniently, dropping corrupt\n\
          records and reporting every skip. Exit codes: 0 clean, 1 usage or\n\
          I/O error, 2 damaged but salvaged, 3 unrecoverable."
     );
 }
+
+/// Every value-taking flag shared by the trace-loading commands, so
+/// positional-argument scanning can skip their values.
+const VALUE_FLAGS: &[&str] = &[
+    "--threshold-ms",
+    "--jobs",
+    "--min-lag",
+    "--since-ms",
+    "--until-ms",
+];
 
 /// Fetches the value following a `--flag`.
 fn opt_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
@@ -224,9 +240,57 @@ fn cmd_simulate(args: &[String]) -> Result<ExitCode, Failure> {
     Ok(ExitCode::SUCCESS)
 }
 
-/// Loads a trace, auto-detecting the codec from the file contents.
-fn load_trace(path: &str) -> Result<SessionTrace, String> {
-    lagalyzer_trace::read_path(path).map_err(|e| format!("cannot load {path}: {e}"))
+/// Builds the ingest-time episode filter from `--min-lag MS`,
+/// `--perceptible` and the `--since-ms`/`--until-ms` session window. On
+/// indexed binary traces the filter is evaluated against the extent index
+/// alone, so excluded episodes are never decoded.
+fn parse_filter(args: &[String]) -> Result<EpisodeFilter, String> {
+    let mut filter = EpisodeFilter::new();
+    if let Some(v) = opt_value(args, "--min-lag") {
+        let ms: u64 = v
+            .parse()
+            .map_err(|_| format!("--min-lag expects milliseconds, got {v:?}"))?;
+        filter = filter.min_duration(DurationNs::from_millis(ms));
+    }
+    if opt_flag(args, "--perceptible") {
+        filter = filter.min_duration(DurationNs::PERCEPTIBLE_DEFAULT);
+    }
+    let since = opt_value(args, "--since-ms");
+    let until = opt_value(args, "--until-ms");
+    if since.is_some() || until.is_some() {
+        let parse = |flag: &str, v: &str| -> Result<u64, String> {
+            v.parse()
+                .map_err(|_| format!("{flag} expects milliseconds, got {v:?}"))
+        };
+        let from = match since {
+            Some(v) => TimeNs::from_millis(parse("--since-ms", v)?),
+            None => TimeNs::from_nanos(0),
+        };
+        let to = match until {
+            Some(v) => TimeNs::from_millis(parse("--until-ms", v)?),
+            None => TimeNs::from_nanos(u64::MAX),
+        };
+        filter = filter.window(from, to);
+    }
+    Ok(filter)
+}
+
+/// Prints the salvage summary to stderr and builds the matching
+/// provenance; clean reports stay silent.
+fn salvage_provenance(path: &str, report: &lagalyzer_trace::SalvageReport) -> Provenance {
+    if report.is_clean() {
+        return Provenance::Clean;
+    }
+    eprintln!(
+        "salvage: {path}: recovered {} episode(s), lost {}, {} skip(s)",
+        report.episodes_recovered,
+        report.episodes_lost,
+        report.skips.len(),
+    );
+    Provenance::Salvaged {
+        skips: report.skips.len() as u64,
+        episodes_lost: report.episodes_lost,
+    }
 }
 
 fn session_from(args: &[String], path: &str) -> Result<AnalysisSession, Failure> {
@@ -234,30 +298,66 @@ fn session_from(args: &[String], path: &str) -> Result<AnalysisSession, Failure>
     let config = AnalysisConfig {
         perceptible_threshold: DurationNs::from_millis(threshold),
     };
-    if !opt_flag(args, "--salvage") {
-        return Ok(AnalysisSession::new(load_trace(path)?, config));
-    }
-    let salvaged = lagalyzer_trace::read_path_salvage(path)
-        .map_err(|e| Failure::unrecoverable(format!("cannot salvage {path}: {e}")))?;
-    let report = salvaged.report;
-    let provenance = if report.is_clean() {
-        Provenance::Clean
-    } else {
-        eprintln!(
-            "salvage: {path}: recovered {} episode(s), lost {}, {} skip(s)",
-            report.episodes_recovered,
-            report.episodes_lost,
-            report.skips.len(),
-        );
-        Provenance::Salvaged {
-            skips: report.skips.len() as u64,
-            episodes_lost: report.episodes_lost,
+    let filter = parse_filter(args)?;
+    let jobs = parse_jobs(args)?;
+    let salvage = opt_flag(args, "--salvage");
+
+    let bytes = match fs::read(path) {
+        Ok(bytes) => bytes,
+        Err(e) if salvage => {
+            return Err(Failure::unrecoverable(format!(
+                "cannot salvage {path}: {e}"
+            )))
         }
+        Err(e) => return Err(format!("cannot load {path}: {e}").into()),
     };
-    Ok(AnalysisSession::with_provenance(
-        salvaged.trace,
-        config,
-        provenance,
+
+    if bytes.starts_with(b"LGLZTRC") {
+        // Binary trace: open through the episode extent index. The filter
+        // prunes episodes against index entries before any record is
+        // decoded, and decoding fans the surviving extents over --jobs
+        // worker threads.
+        let indexed = if salvage {
+            IndexedTrace::open_salvage(bytes)
+                .map_err(|e| Failure::unrecoverable(format!("cannot salvage {path}: {e}")))?
+        } else {
+            IndexedTrace::open(bytes).map_err(|e| format!("cannot load {path}: {e}"))?
+        };
+        let admitted = indexed
+            .extents()
+            .iter()
+            .filter(|e| filter.admits_extent(e))
+            .count();
+        let excluded = (indexed.len() - admitted) as u64;
+        let provenance = match indexed.salvage_report() {
+            Some(report) => salvage_provenance(path, report),
+            None => Provenance::Clean,
+        };
+        let trace = indexed
+            .par_decode_filtered(jobs, &filter)
+            .map_err(|e| format!("cannot load {path}: {e}"))?;
+        return Ok(AnalysisSession::with_exclusions(
+            trace, config, provenance, excluded,
+        ));
+    }
+
+    // Text trace (or unrecognized bytes): serial decode, then drop the
+    // episodes the filter rejects.
+    let (trace, provenance) = if salvage {
+        let salvaged = lagalyzer_trace::read_bytes_salvage(&bytes)
+            .map_err(|e| Failure::unrecoverable(format!("cannot salvage {path}: {e}")))?;
+        let provenance = salvage_provenance(path, &salvaged.report);
+        (salvaged.trace, provenance)
+    } else {
+        let trace =
+            lagalyzer_trace::read_bytes(&bytes).map_err(|e| format!("cannot load {path}: {e}"))?;
+        (trace, Provenance::Clean)
+    };
+    let before = trace.episodes().len();
+    let trace = filter.retain(trace);
+    let excluded = (before - trace.episodes().len()) as u64;
+    Ok(AnalysisSession::with_exclusions(
+        trace, config, provenance, excluded,
     ))
 }
 
@@ -288,6 +388,9 @@ fn cmd_analyze(args: &[String]) -> Result<ExitCode, Failure> {
     println!("episodes < 3ms    {}", stats.short_count);
     println!("episodes >= 3ms   {}", stats.traced_count);
     println!("episodes >= 100ms {}", stats.perceptible_count);
+    if session.excluded_episodes() > 0 {
+        println!("filtered out      {}", session.excluded_episodes());
+    }
     println!("long per minute   {:.0}", stats.long_per_minute);
     println!("distinct patterns {}", stats.distinct_patterns);
     println!("episodes in pats  {}", stats.episodes_in_patterns);
@@ -341,6 +444,12 @@ fn cmd_lint(args: &[String]) -> Result<ExitCode, Failure> {
         }
         Ok(salvaged) => {
             print!("{}", salvaged.report.render());
+            // Index health is diagnostic only; it never changes the exit
+            // code (a footerless or footer-damaged trace still decodes).
+            match lagalyzer_trace::index::probe_health(&bytes) {
+                Some(health) => println!("index               {health}"),
+                None => println!("index               not applicable (text trace)"),
+            }
             if salvaged.report.is_clean() {
                 Ok(ExitCode::SUCCESS)
             } else {
@@ -352,6 +461,27 @@ fn cmd_lint(args: &[String]) -> Result<ExitCode, Failure> {
 
 fn cmd_sketch(args: &[String]) -> Result<ExitCode, Failure> {
     let path = args.first().ok_or("sketch requires a trace file")?;
+    // Random access: a plain `--episode N` on an unfiltered binary trace
+    // decodes just that episode through the extent index instead of the
+    // whole file.
+    if opt_value(args, "--pattern").is_none() && !opt_flag(args, "--salvage") {
+        let filter = parse_filter(args)?;
+        let bytes = fs::read(path).map_err(|e| format!("cannot load {path}: {e}"))?;
+        if bytes.starts_with(b"LGLZTRC") && filter.is_unrestricted() {
+            let indexed =
+                IndexedTrace::open(bytes).map_err(|e| format!("cannot load {path}: {e}"))?;
+            let index = parse_u64(args, "--episode", 0)? as usize;
+            if index >= indexed.len() {
+                return Err(
+                    format!("trace has {} episodes, no index {index}", indexed.len()).into(),
+                );
+            }
+            let episode = indexed
+                .decode_episode(index)
+                .map_err(|e| format!("cannot load {path}: {e}"))?;
+            return render_episode_sketch(args, &episode, indexed.symbols(), index);
+        }
+    }
     let session = session_from(args, path)?;
     // --pattern N selects the first episode of the N-th pattern (what the
     // paper's pattern browser shows on selection); --episode N selects by
@@ -400,15 +530,20 @@ fn cmd_sketch(args: &[String]) -> Result<ExitCode, Failure> {
             session.episodes().len()
         )
     })?;
+    render_episode_sketch(args, episode, session.trace().symbols(), index)
+}
+
+fn render_episode_sketch(
+    args: &[String],
+    episode: &Episode,
+    symbols: &SymbolTable,
+    index: usize,
+) -> Result<ExitCode, Failure> {
     if opt_flag(args, "--ascii") {
-        print!("{}", ascii_sketch(episode, session.trace().symbols(), 100));
+        print!("{}", ascii_sketch(episode, symbols, 100));
         return Ok(ExitCode::SUCCESS);
     }
-    let svg = render_sketch(
-        episode,
-        session.trace().symbols(),
-        &SketchOptions::default(),
-    );
+    let svg = render_sketch(episode, symbols, &SketchOptions::default());
     match opt_value(args, "--out") {
         Some(out) => {
             fs::write(out, svg).map_err(|e| format!("cannot write {out}: {e}"))?;
@@ -434,7 +569,7 @@ fn cmd_timeline(args: &[String]) -> Result<ExitCode, Failure> {
 }
 
 fn cmd_stable(args: &[String]) -> Result<ExitCode, Failure> {
-    let paths = positional_args(args, &["--threshold-ms", "--jobs"]);
+    let paths = positional_args(args, VALUE_FLAGS);
     if paths.is_empty() {
         return Err("stable requires at least one trace file".into());
     }
@@ -468,7 +603,7 @@ fn cmd_stable(args: &[String]) -> Result<ExitCode, Failure> {
 }
 
 fn cmd_diff(args: &[String]) -> Result<ExitCode, Failure> {
-    let paths = positional_args(args, &["--threshold-ms"]);
+    let paths = positional_args(args, VALUE_FLAGS);
     let [baseline_path, candidate_path] = paths.as_slice() else {
         return Err("diff requires exactly two trace files: BASELINE CANDIDATE".into());
     };

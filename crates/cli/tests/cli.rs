@@ -133,6 +133,82 @@ fn analyze_rejects_garbage() {
 }
 
 #[test]
+fn ingest_filters_prune_before_decode() {
+    let dir = std::env::temp_dir().join(format!("lagalyzer-cli-filter-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("t.lgz");
+    let trace_str = trace.to_str().unwrap();
+    run_ok(&[
+        "simulate", "--app", "JEdit", "--seed", "7", "--out", trace_str,
+    ]);
+
+    let grab = |out: &str, label: &str| -> u64 {
+        out.lines()
+            .find(|l| l.starts_with(label))
+            .and_then(|l| l.split_whitespace().last())
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0)
+    };
+    let full = run_ok(&["analyze", trace_str]);
+    assert!(
+        !full.contains("filtered out"),
+        "unfiltered run must not note exclusions"
+    );
+    let filtered = run_ok(&["analyze", trace_str, "--perceptible", "--jobs", "3"]);
+    // Everything below the perceptibility threshold was skipped at ingest;
+    // the perceptible population itself is untouched.
+    assert_eq!(
+        grab(&filtered, "episodes >= 100ms"),
+        grab(&full, "episodes >= 100ms")
+    );
+    assert_eq!(
+        grab(&filtered, "episodes >= 3ms"),
+        grab(&full, "episodes >= 100ms")
+    );
+    assert_eq!(
+        grab(&filtered, "filtered out"),
+        grab(&full, "episodes >= 3ms") - grab(&full, "episodes >= 100ms")
+    );
+
+    // --min-lag with the same threshold agrees with --perceptible, and a
+    // time window excludes everything outside the session.
+    let min_lag = run_ok(&["analyze", trace_str, "--min-lag", "100"]);
+    assert_eq!(
+        grab(&min_lag, "episodes >= 3ms"),
+        grab(&filtered, "episodes >= 3ms")
+    );
+    let windowed = run_ok(&["analyze", trace_str, "--until-ms", "0"]);
+    assert_eq!(grab(&windowed, "episodes >= 3ms"), 0);
+
+    // The text codec honors the same filter (decode-then-drop).
+    let text = dir.join("t.txt");
+    let text_str = text.to_str().unwrap();
+    run_ok(&[
+        "simulate", "--app", "JEdit", "--seed", "7", "--text", "--out", text_str,
+    ]);
+    let text_filtered = run_ok(&["analyze", text_str, "--perceptible"]);
+    assert_eq!(
+        grab(&text_filtered, "episodes >= 3ms"),
+        grab(&filtered, "episodes >= 3ms")
+    );
+    assert_eq!(
+        grab(&text_filtered, "filtered out"),
+        grab(&filtered, "filtered out")
+    );
+
+    // lint reports index health without changing its exit code.
+    let lint_bin = run_ok(&["lint", trace_str]);
+    assert!(
+        lint_bin.contains("index               footer valid"),
+        "{lint_bin}"
+    );
+    let lint_text = run_ok(&["lint", text_str]);
+    assert!(lint_text.contains("not applicable"), "{lint_text}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn custom_threshold_flag() {
     let dir = std::env::temp_dir().join(format!("lagalyzer-cli-thr-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();

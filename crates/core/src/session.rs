@@ -56,6 +56,7 @@ pub struct AnalysisSession {
     trace: SessionTrace,
     config: AnalysisConfig,
     provenance: Provenance,
+    excluded_episodes: u64,
 }
 
 impl AnalysisSession {
@@ -65,6 +66,7 @@ impl AnalysisSession {
             trace,
             config,
             provenance: Provenance::Clean,
+            excluded_episodes: 0,
         }
     }
 
@@ -78,7 +80,32 @@ impl AnalysisSession {
             trace,
             config,
             provenance,
+            excluded_episodes: 0,
         }
+    }
+
+    /// Ingests a trace from which an ingest-time filter excluded
+    /// `excluded_episodes` episodes before decoding (skip-decode
+    /// filtering); analyses see only what survived, but reports can say
+    /// how much was left out.
+    pub fn with_exclusions(
+        trace: SessionTrace,
+        config: AnalysisConfig,
+        provenance: Provenance,
+        excluded_episodes: u64,
+    ) -> Self {
+        AnalysisSession {
+            trace,
+            config,
+            provenance,
+            excluded_episodes,
+        }
+    }
+
+    /// Episodes an ingest-time filter excluded before decoding; zero for
+    /// unfiltered sessions.
+    pub fn excluded_episodes(&self) -> u64 {
+        self.excluded_episodes
     }
 
     /// How this session's trace was obtained.
@@ -208,6 +235,20 @@ mod tests {
                 episodes_lost: 1,
             }
         );
+    }
+
+    #[test]
+    fn exclusions_default_to_zero_and_are_carried() {
+        let plain = AnalysisSession::new(tiny_trace(), AnalysisConfig::default());
+        assert_eq!(plain.excluded_episodes(), 0);
+        let filtered = AnalysisSession::with_exclusions(
+            tiny_trace(),
+            AnalysisConfig::default(),
+            Provenance::Clean,
+            5,
+        );
+        assert_eq!(filtered.excluded_episodes(), 5);
+        assert!(!filtered.is_salvaged());
     }
 
     #[test]

@@ -40,6 +40,7 @@ pub mod episode;
 pub mod error;
 pub mod ids;
 pub mod interval;
+pub mod parallel;
 pub mod sample;
 pub mod session;
 pub mod symbols;

@@ -1,0 +1,200 @@
+//! The parallel sharded analysis pipeline.
+//!
+//! Every LagAlyzer analysis is a fold over episodes (or over whole
+//! sessions) whose accumulators are exact — integer counts, integer
+//! nanosecond sums, minima and maxima — and are normalized to floating
+//! point exactly once at the end. That makes the fold splittable: shard
+//! the input into contiguous index ranges, accumulate each shard on its
+//! own worker, and merge the shard accumulators in shard order. Because
+//! the merge is exact and the shards are contiguous and ascending, the
+//! merged result is *byte-identical* to the serial one regardless of the
+//! number of workers or shards.
+//!
+//! The worker pool is built on `std::thread::scope` and `std::sync::mpsc`
+//! only, so the pipeline works without any external dependency. Shards are
+//! claimed from an atomic counter, which load-balances uneven shards;
+//! results are tagged with their shard index and re-ordered before they
+//! are merged, which is what keeps the pipeline deterministic.
+//!
+//! The module lives in `lagalyzer-model` (the bottom of the crate graph)
+//! so that both the trace codecs and the analyses can fan work out over
+//! the same pool; `lagalyzer_core::parallel` re-exports it unchanged.
+//!
+//! ```
+//! use lagalyzer_model::parallel::map_shards;
+//!
+//! let data: Vec<u64> = (0..10_000).collect();
+//! let shard_sums = map_shards(data.len(), 4, |range| {
+//!     data[range].iter().sum::<u64>()
+//! });
+//! let total: u64 = shard_sums.into_iter().sum();
+//! assert_eq!(total, data.iter().sum());
+//! ```
+
+use std::num::NonZeroUsize;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Shards per worker: more shards than workers lets the atomic claim
+/// counter balance uneven per-shard work without affecting the merged
+/// result (the merge is exact, so shard granularity is invisible).
+const SHARDS_PER_JOB: usize = 4;
+
+/// The machine's available parallelism, falling back to 1 when it cannot
+/// be determined.
+pub fn available_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Resolves a user-requested job count: `None` or `Some(0)` mean "use the
+/// available parallelism", anything else is taken literally.
+pub fn resolve_jobs(requested: Option<usize>) -> usize {
+    match requested {
+        None | Some(0) => available_jobs(),
+        Some(n) => n,
+    }
+}
+
+/// Splits `0..len` into at most `shards` contiguous ascending ranges of
+/// near-equal size (the first `len % shards` ranges are one longer).
+/// Returns fewer ranges when `len < shards` and none when `len == 0`.
+pub fn shard_ranges(len: usize, shards: usize) -> Vec<Range<usize>> {
+    let shards = shards.clamp(1, len.max(1));
+    if len == 0 {
+        return Vec::new();
+    }
+    let base = len / shards;
+    let extra = len % shards;
+    let mut out = Vec::with_capacity(shards);
+    let mut start = 0;
+    for i in 0..shards {
+        let size = base + usize::from(i < extra);
+        out.push(start..start + size);
+        start += size;
+    }
+    debug_assert_eq!(start, len);
+    out
+}
+
+/// How many shards to cut `len` items into for `jobs` workers.
+fn shard_count(len: usize, jobs: usize) -> usize {
+    if jobs <= 1 {
+        1
+    } else {
+        jobs.saturating_mul(SHARDS_PER_JOB).min(len.max(1))
+    }
+}
+
+/// Runs `f` over contiguous ascending shards of `0..len` on a pool of at
+/// most `jobs` worker threads and returns the shard results *in shard
+/// order* (ascending by range start), ready for an in-order merge.
+///
+/// With `jobs <= 1` (or a single shard) everything runs inline on the
+/// calling thread — the serial path spawns nothing. An empty input yields
+/// an empty result vector.
+pub fn map_shards<R, F>(len: usize, jobs: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Range<usize>) -> R + Sync,
+{
+    let ranges = shard_ranges(len, shard_count(len, jobs));
+    if jobs <= 1 || ranges.len() <= 1 {
+        return ranges.into_iter().map(f).collect();
+    }
+    let workers = jobs.min(ranges.len());
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    let mut out: Vec<Option<R>> = std::iter::repeat_with(|| None).take(ranges.len()).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let (next, ranges, f) = (&next, &ranges, &f);
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(range) = ranges.get(i) else { break };
+                if tx.send((i, f(range.clone()))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        for (i, r) in rx {
+            out[i] = Some(r);
+        }
+    });
+    out.into_iter()
+        .map(|r| r.expect("every claimed shard sends exactly one result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_ranges_partition_the_input() {
+        for len in [0usize, 1, 2, 7, 100, 101] {
+            for shards in [1usize, 2, 3, 8, 200] {
+                let ranges = shard_ranges(len, shards);
+                if len == 0 {
+                    assert!(ranges.is_empty());
+                    continue;
+                }
+                assert!(ranges.len() <= shards.max(1));
+                assert_eq!(ranges[0].start, 0);
+                assert_eq!(ranges.last().unwrap().end, len);
+                for w in ranges.windows(2) {
+                    assert_eq!(w[0].end, w[1].start, "ranges must be contiguous");
+                    assert!(!w[1].is_empty());
+                }
+                let sizes: Vec<usize> = ranges.iter().map(ExactSizeIterator::len).collect();
+                let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+                assert!(max - min <= 1, "near-equal shards, got {sizes:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn map_shards_preserves_shard_order() {
+        for jobs in [1usize, 2, 3, 8] {
+            let starts = map_shards(1000, jobs, |range| range.start);
+            let mut sorted = starts.clone();
+            sorted.sort_unstable();
+            assert_eq!(starts, sorted, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn parallel_fold_matches_serial() {
+        let data: Vec<u64> = (0..4096).map(|i| i * 37 % 101).collect();
+        let serial: u64 = data.iter().sum();
+        for jobs in [1usize, 2, 5, 16] {
+            let total: u64 = map_shards(data.len(), jobs, |r| data[r].iter().sum::<u64>())
+                .into_iter()
+                .sum();
+            assert_eq!(total, serial, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_no_shards() {
+        let out = map_shards(0, 8, |r| r.len());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_item_input() {
+        let out = map_shards(1, 8, |r| r.clone());
+        assert_eq!(out, vec![0..1]);
+    }
+
+    #[test]
+    fn resolve_jobs_defaults() {
+        assert!(resolve_jobs(None) >= 1);
+        assert_eq!(resolve_jobs(Some(0)), available_jobs());
+        assert_eq!(resolve_jobs(Some(3)), 3);
+    }
+}

@@ -3,15 +3,19 @@
 //! Layout (all integers LEB128 unless noted):
 //!
 //! ```text
-//! magic      8 bytes  b"LGLZTRC\x01"
+//! magic      8 bytes  b"LGLZTRC\x02" (the last byte is the version)
 //! header     app name (len+utf8), session id, gui thread,
 //!            end-to-end ns, filter threshold ns
 //! records    count, then each record: 1 tag byte + payload
-//! trailer    8 bytes little-endian FNV-1a checksum over header+records
+//! footer     v2 only: the episode extent index (see [`crate::index`]),
+//!            self-checksummed and locatable from the end of the file
+//! trailer    8 bytes little-endian FNV-1a checksum over
+//!            header+records+footer
 //! ```
 //!
 //! The checksum lets the reader detect truncation and bit rot before
-//! handing malformed structures to the analyses.
+//! handing malformed structures to the analyses. Version 1 files (no
+//! footer) remain fully readable; [`write_legacy`] still produces them.
 
 use std::io::{Read, Write};
 
@@ -21,17 +25,21 @@ use crate::error::TraceError;
 use crate::record::{records_from_trace, trace_from_records, TraceRecord};
 use crate::varint;
 
-const MAGIC: &[u8; 8] = b"LGLZTRC\x01";
+/// The legacy footerless format.
+const MAGIC_V1: &[u8; 8] = b"LGLZTRC\x01";
 
-/// The version-independent format signature (byte 8 of [`MAGIC`] is the
+/// The current format, carrying an episode extent index footer.
+const MAGIC_V2: &[u8; 8] = b"LGLZTRC\x02";
+
+/// The version-independent format signature (byte 8 of the magic is the
 /// version); used by format sniffing and salvage decoding.
 pub(crate) const MAGIC_PREFIX: &[u8] = b"LGLZTRC";
 
 /// Cap on the declared record count; anything larger is corrupt.
-const MAX_RECORDS: u64 = 1 << 32;
+pub(crate) const MAX_RECORDS: u64 = 1 << 32;
 
 /// Record tag bytes.
-mod tag {
+pub(crate) mod tag {
     pub const SYMBOL: u8 = 1;
     pub const GC: u8 = 2;
     pub const SHORT: u8 = 3;
@@ -66,16 +74,19 @@ impl Fnv1a {
     }
 }
 
-/// A writer adapter that hashes everything it forwards.
+/// A writer adapter that hashes and counts everything it forwards (the
+/// count gives the extent index its byte offsets).
 struct HashingWriter<W> {
     inner: W,
     hash: Fnv1a,
+    written: u64,
 }
 
 impl<W: Write> Write for HashingWriter<W> {
     fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
         let n = self.inner.write(buf)?;
         self.hash.update(&buf[..n]);
+        self.written += n as u64;
         Ok(n)
     }
 
@@ -98,7 +109,8 @@ impl<R: Read> Read for HashingReader<R> {
     }
 }
 
-/// Serializes a trace to the binary format.
+/// Serializes a trace to the binary format (v2: records followed by the
+/// episode extent index footer).
 ///
 /// A `&mut` reference may be passed for `w` (it also implements `Write`).
 ///
@@ -106,16 +118,62 @@ impl<R: Read> Read for HashingReader<R> {
 ///
 /// Propagates I/O failures from `w`.
 pub fn write<W: Write>(trace: &SessionTrace, w: W) -> Result<(), TraceError> {
+    write_impl(trace, w, true)
+}
+
+/// Serializes a trace in the legacy v1 layout — no extent index footer —
+/// for compatibility fixtures and readers that predate the index.
+///
+/// # Errors
+///
+/// Propagates I/O failures from `w`.
+pub fn write_legacy<W: Write>(trace: &SessionTrace, w: W) -> Result<(), TraceError> {
+    write_impl(trace, w, false)
+}
+
+fn write_impl<W: Write>(trace: &SessionTrace, w: W, with_footer: bool) -> Result<(), TraceError> {
     let mut hw = HashingWriter {
         inner: w,
         hash: Fnv1a::new(),
+        written: 0,
     };
-    hw.inner.write_all(MAGIC)?;
+    hw.inner
+        .write_all(if with_footer { MAGIC_V2 } else { MAGIC_V1 })?;
     write_header(trace.meta(), &mut hw)?;
     let records = records_from_trace(trace);
     varint::write_u64(&mut hw, records.len() as u64)?;
+    // The writer emits one EpisodeEnd per episode, in dispatch order, so
+    // the k-th end record closes `trace.episodes()[k]` — that pairing
+    // supplies the extent metadata without re-deriving it from records.
+    let mut extents = Vec::with_capacity(if with_footer {
+        trace.episodes().len()
+    } else {
+        0
+    });
+    let mut begin_at = 0u64;
     for rec in &records {
+        if with_footer && matches!(rec, TraceRecord::EpisodeBegin { .. }) {
+            begin_at = 8 + hw.written;
+        }
         write_record(rec, &mut hw)?;
+        if with_footer && matches!(rec, TraceRecord::EpisodeEnd) {
+            let episode = &trace.episodes()[extents.len()];
+            extents.push(crate::index::EpisodeExtent {
+                offset: begin_at,
+                len: 8 + hw.written - begin_at,
+                id: episode.id(),
+                start: episode.start(),
+                end: episode.end(),
+                intervals: episode.tree().len().min(u32::MAX as usize) as u32,
+                samples: episode.samples().len().min(u32::MAX as usize) as u32,
+                skips: 0,
+            });
+        }
+    }
+    if with_footer {
+        let footer = crate::index::encode_footer(&extents)?;
+        // Through the hasher: the trailer checksum covers the footer.
+        hw.write_all(&footer)?;
     }
     let checksum = hw.hash.finish();
     hw.inner.write_all(&checksum.to_le_bytes())?;
@@ -141,7 +199,7 @@ pub fn read<R: Read>(r: R) -> Result<SessionTrace, TraceError> {
     while let Some(record) = reader.next_record()? {
         records.push(record);
     }
-    Ok(trace_from_records(reader.meta().clone(), records)?)
+    Ok(trace_from_records(reader.into_meta(), records)?)
 }
 
 /// A streaming binary-trace reader: yields one [`TraceRecord`] at a time
@@ -180,10 +238,12 @@ pub struct Reader<R> {
     meta: SessionMeta,
     remaining: u64,
     verified: bool,
+    version: u8,
 }
 
 impl<R: Read> Reader<R> {
-    /// Opens a binary trace, reading and validating the header.
+    /// Opens a binary trace, reading and validating the header. Both the
+    /// current (v2) and the legacy footerless (v1) layouts are accepted.
     ///
     /// # Errors
     ///
@@ -196,12 +256,13 @@ impl<R: Read> Reader<R> {
         };
         let mut magic = [0u8; 8];
         hr.inner.read_exact(&mut magic)?;
-        if magic[..7] != MAGIC[..7] {
+        if magic[..7] != *MAGIC_PREFIX {
             return Err(TraceError::corrupt("magic", format!("{magic:?}")));
         }
-        if magic[7] != MAGIC[7] {
+        let version = magic[7];
+        if version != 1 && version != 2 {
             return Err(TraceError::UnsupportedVersion {
-                found: u32::from(magic[7]),
+                found: u32::from(version),
             });
         }
         let meta = read_header(&mut hr)?;
@@ -217,6 +278,7 @@ impl<R: Read> Reader<R> {
             meta,
             remaining: count,
             verified: false,
+            version,
         })
     }
 
@@ -225,13 +287,20 @@ impl<R: Read> Reader<R> {
         &self.meta
     }
 
+    /// Consumes the reader, moving the session metadata out (spares the
+    /// clone that finishing a whole-trace read used to pay).
+    pub fn into_meta(self) -> SessionMeta {
+        self.meta
+    }
+
     /// How many records are still to be read.
     pub fn remaining(&self) -> u64 {
         self.remaining
     }
 
     /// Reads the next record; `None` after the last one (at which point
-    /// the trailer checksum has been verified).
+    /// the footer, if any, has been consumed and the trailer checksum
+    /// verified).
     ///
     /// # Errors
     ///
@@ -240,6 +309,9 @@ impl<R: Read> Reader<R> {
     pub fn next_record(&mut self) -> Result<Option<TraceRecord>, TraceError> {
         if self.remaining == 0 {
             if !self.verified {
+                if self.version >= 2 {
+                    self.consume_footer()?;
+                }
                 let computed = self.source.hash.finish();
                 let mut trailer = [0u8; 8];
                 self.source.inner.read_exact(&mut trailer)?;
@@ -254,6 +326,41 @@ impl<R: Read> Reader<R> {
         let record = read_record(&mut self.source)?;
         self.remaining -= 1;
         Ok(Some(record))
+    }
+
+    /// Streams the v2 extent-index footer through the hasher so the
+    /// trailer checksum can be verified; the extents themselves are not
+    /// needed here (random access wants [`crate::IndexedTrace`]).
+    fn consume_footer(&mut self) -> Result<(), TraceError> {
+        let mut fmagic = [0u8; 8];
+        self.source.read_exact(&mut fmagic)?;
+        if &fmagic != crate::index::FOOTER_MAGIC {
+            return Err(TraceError::corrupt("index footer", "bad footer magic"));
+        }
+        let payload_len = varint::read_u64(&mut self.source)?;
+        let skipped = std::io::copy(
+            &mut (&mut self.source).take(payload_len),
+            &mut std::io::sink(),
+        )?;
+        if skipped != payload_len {
+            return Err(TraceError::corrupt("index footer", "truncated payload"));
+        }
+        let mut tail = [0u8; 24];
+        self.source.read_exact(&mut tail)?;
+        // tail[0..8] is the footer's own checksum — the trailer hash
+        // already covers every footer byte, so it needs no re-check here.
+        let total = u64::from_le_bytes(tail[8..16].try_into().expect("8-byte slice"));
+        if &tail[16..24] != crate::index::FOOTER_MAGIC {
+            return Err(TraceError::corrupt("index footer", "bad trailing magic"));
+        }
+        let expected = 8 + varint::len_u64(payload_len) + payload_len + 24;
+        if total != expected {
+            return Err(TraceError::corrupt(
+                "index footer",
+                format!("declared length {total}, consumed {expected}"),
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -295,6 +402,10 @@ pub(crate) struct SalvageCursor<'a> {
     pending: std::collections::VecDeque<SalvageEvent>,
     checksum_ok: Option<bool>,
     finished: bool,
+    /// Version >= 2: the file carries (or should carry) an index footer.
+    indexed: bool,
+    /// The footer was located, so `payload_end` already excludes it.
+    footer_located: bool,
 }
 
 impl<'a> SalvageCursor<'a> {
@@ -303,14 +414,19 @@ impl<'a> SalvageCursor<'a> {
         if bytes.len() < 8 {
             return Err(TraceError::corrupt("magic", "input shorter than magic"));
         }
-        if bytes[..7] != MAGIC[..7] {
+        if bytes[..7] != *MAGIC_PREFIX {
             return Err(TraceError::corrupt("magic", format!("{:?}", &bytes[..8])));
         }
-        if bytes[7] != MAGIC[7] {
+        let version = bytes[7];
+        let indexed = version >= 2;
+        if version != 1 && version != 2 {
             pending.push_back(SalvageEvent::Skip {
                 at: 7,
                 context: "version",
-                detail: format!("unsupported version {}, decoding as v1", bytes[7]),
+                detail: format!(
+                    "unsupported version {version}, decoding as v{}",
+                    if indexed { 2 } else { 1 }
+                ),
                 bytes_skipped: 0,
             });
         }
@@ -360,6 +476,18 @@ impl<'a> SalvageCursor<'a> {
             });
             (bytes.len(), None)
         };
+        // An indexed trace's record region ends where the footer starts.
+        // When the footer cannot be located (damaged), the record scan
+        // instead stops at the declared count or the footer magic — see
+        // `next_event` — so footer bytes are never misread as records.
+        let (payload_end, footer_located) = if indexed {
+            match crate::index::locate_footer(bytes, payload_end) {
+                Ok((footer_start, _)) => (footer_start, true),
+                Err(_) => (payload_end, false),
+            }
+        } else {
+            (payload_end, false)
+        };
         Ok(SalvageCursor {
             bytes,
             pos,
@@ -370,11 +498,17 @@ impl<'a> SalvageCursor<'a> {
             pending,
             checksum_ok,
             finished: false,
+            indexed,
+            footer_located,
         })
     }
 
     pub(crate) fn meta(&self) -> &SessionMeta {
         &self.meta
+    }
+
+    pub(crate) fn into_meta(self) -> SessionMeta {
+        self.meta
     }
 
     pub(crate) fn checksum_ok(&self) -> Option<bool> {
@@ -395,6 +529,26 @@ impl<'a> SalvageCursor<'a> {
             return None;
         }
         if self.pos < self.payload_end {
+            // A damaged footer could not bound the record region up
+            // front, so bound it here: the declared record count and the
+            // footer magic both mark where records end. Without this, the
+            // footer's varint payload would be misread as records and
+            // could invent episodes that were never traced.
+            if self.indexed && !self.footer_located {
+                let at_footer =
+                    self.bytes[self.pos..self.payload_end].starts_with(crate::index::FOOTER_MAGIC);
+                if at_footer || Some(self.decoded) == self.declared {
+                    let at = self.pos as u64;
+                    let skipped = (self.payload_end - self.pos) as u64;
+                    self.pos = self.payload_end;
+                    return Some(SalvageEvent::Skip {
+                        at,
+                        context: "index footer",
+                        detail: "damaged index footer region".into(),
+                        bytes_skipped: skipped,
+                    });
+                }
+            }
             let at = self.pos as u64;
             let mut r = &self.bytes[self.pos..self.payload_end];
             match read_record(&mut r) {
@@ -410,6 +564,15 @@ impl<'a> SalvageCursor<'a> {
                     // are rare and the region is slice-bounded.)
                     let mut resync = self.payload_end;
                     for p in self.pos + 1..self.payload_end {
+                        if self.indexed
+                            && !self.footer_located
+                            && self.bytes[p..].starts_with(crate::index::FOOTER_MAGIC)
+                        {
+                            // Stop at the footer boundary; the guard above
+                            // skips the rest on the next call.
+                            resync = p;
+                            break;
+                        }
                         if (tag::SYMBOL..=tag::EP_END).contains(&self.bytes[p]) {
                             let mut probe = &self.bytes[p..self.payload_end];
                             if read_record(&mut probe).is_ok() {
@@ -457,12 +620,11 @@ impl<'a> SalvageCursor<'a> {
 /// damaged to establish the session metadata).
 pub fn read_salvage(bytes: &[u8]) -> Result<crate::salvage::Salvaged, TraceError> {
     let mut stream = crate::stream::SalvageEpisodeStream::new(bytes)?;
-    let meta = stream.meta().clone();
     let mut episodes = Vec::new();
     while let Some(episode) = stream.next_episode() {
         episodes.push(episode);
     }
-    let (tail, report) = stream.finish();
+    let (meta, tail, report, _extents) = stream.into_parts();
     Ok(crate::salvage::Salvaged {
         trace: crate::salvage::build_session(meta, episodes, tail),
         report,

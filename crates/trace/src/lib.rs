@@ -54,6 +54,7 @@ pub mod binary;
 pub mod error;
 pub mod faults;
 pub mod filter;
+pub mod index;
 pub mod record;
 pub mod salvage;
 pub mod stream;
@@ -63,6 +64,7 @@ mod varint;
 pub use auto::{read_bytes, read_path};
 pub use error::TraceError;
 pub use filter::TraceFilter;
+pub use index::{DurationBand, EpisodeExtent, EpisodeFilter, IndexHealth, IndexedTrace};
 pub use record::{records_from_trace, trace_from_records, TraceRecord};
 pub use salvage::{
     read_bytes_salvage, read_path_salvage, SalvageReport, SalvageSkip, Salvaged, SkipAt,

@@ -22,6 +22,7 @@ use lagalyzer_model::{
 
 use crate::binary::Reader;
 use crate::error::TraceError;
+use crate::index::{EpisodeExtent, EpisodeFilter};
 use crate::record::TraceRecord;
 use crate::salvage::{SalvageReport, SkipAt};
 
@@ -79,6 +80,8 @@ pub struct EpisodeStream<R> {
     /// once per episode.
     builder: IntervalTreeBuilder,
     samples: Vec<SampleSnapshot>,
+    filter: EpisodeFilter,
+    excluded: u64,
 }
 
 impl<R: Read> EpisodeStream<R> {
@@ -99,7 +102,25 @@ impl<R: Read> EpisodeStream<R> {
             current: None,
             builder: IntervalTreeBuilder::new(),
             samples: Vec::new(),
+            filter: EpisodeFilter::default(),
+            excluded: 0,
         })
+    }
+
+    /// Installs an [`EpisodeFilter`]: episodes it rejects are assembled
+    /// (the stream must still walk their records) but not yielded. For
+    /// true skip-decode filtering use
+    /// [`IndexedTrace`](crate::IndexedTrace), which never touches the
+    /// excluded bytes.
+    #[must_use]
+    pub fn with_filter(mut self, filter: EpisodeFilter) -> Self {
+        self.filter = filter;
+        self
+    }
+
+    /// Episodes assembled but withheld by the filter so far.
+    pub fn excluded(&self) -> u64 {
+        self.excluded
     }
 
     /// The session metadata from the header.
@@ -177,6 +198,10 @@ impl<R: Read> EpisodeStream<R> {
                         .tree(self.builder.finish_reset()?)
                         .samples(std::mem::take(&mut self.samples))
                         .build()?;
+                    if !self.filter.admits_episode(&episode) {
+                        self.excluded += 1;
+                        continue;
+                    }
                     return Ok(Some(episode));
                 }
             }
@@ -266,6 +291,9 @@ pub struct SalvageEpisodeStream<'a> {
     cursor: crate::binary::SalvageCursor<'a>,
     assembler: crate::salvage::Assembler,
     done: bool,
+    extents: Vec<EpisodeExtent>,
+    last_begin: u64,
+    skips_attributed: usize,
 }
 
 impl<'a> SalvageEpisodeStream<'a> {
@@ -280,7 +308,17 @@ impl<'a> SalvageEpisodeStream<'a> {
             cursor: crate::binary::SalvageCursor::new(bytes)?,
             assembler: crate::salvage::Assembler::new(),
             done: false,
+            extents: Vec::new(),
+            last_begin: 0,
+            skips_attributed: 0,
         })
+    }
+
+    /// The extent table rebuilt alongside salvage: one entry per
+    /// recovered episode, with the number of skips stepped over since
+    /// the previous recovery attributed to it.
+    pub fn extents(&self) -> &[EpisodeExtent] {
+        &self.extents
     }
 
     /// The session metadata from the header.
@@ -309,7 +347,23 @@ impl<'a> SalvageEpisodeStream<'a> {
         loop {
             match self.cursor.next_event() {
                 Some(crate::binary::SalvageEvent::Record { at, record }) => {
+                    if matches!(record, TraceRecord::EpisodeBegin { .. }) {
+                        self.last_begin = at;
+                    }
                     if let Some(episode) = self.assembler.push(SkipAt::Byte(at), record) {
+                        let skips_now = self.assembler.report().skips.len();
+                        self.extents.push(EpisodeExtent {
+                            offset: self.last_begin,
+                            len: self.cursor.position() - self.last_begin,
+                            id: episode.id(),
+                            start: episode.start(),
+                            end: episode.end(),
+                            intervals: episode.tree().len().min(u32::MAX as usize) as u32,
+                            samples: episode.samples().len().min(u32::MAX as usize) as u32,
+                            skips: (skips_now - self.skips_attributed).min(u32::MAX as usize)
+                                as u32,
+                        });
+                        self.skips_attributed = skips_now;
                         return Some(episode);
                     }
                 }
@@ -338,6 +392,16 @@ impl<'a> SalvageEpisodeStream<'a> {
     pub fn finish(mut self) -> (StreamTail, SalvageReport) {
         while self.next_episode().is_some() {}
         self.assembler.finish()
+    }
+
+    /// Consumes the stream (draining unread episodes), moving out the
+    /// session metadata, tail, report, and the rebuilt extent table.
+    pub(crate) fn into_parts(
+        mut self,
+    ) -> (SessionMeta, StreamTail, SalvageReport, Vec<EpisodeExtent>) {
+        while self.next_episode().is_some() {}
+        let (tail, report) = self.assembler.finish();
+        (self.cursor.into_meta(), tail, report, self.extents)
     }
 }
 

@@ -123,7 +123,15 @@ pub fn read<R: Read>(r: R) -> Result<SessionTrace, TraceError> {
     let (_, first) = lines
         .next()
         .ok_or_else(|| TraceError::corrupt("text header", "empty input"))?;
-    let first = first?;
+    let first = match first {
+        Ok(line) => line,
+        // `BufRead::lines` folds invalid UTF-8 into a generic I/O error;
+        // surface it as the corruption it is.
+        Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+            return Err(TraceError::corrupt("text header", "invalid UTF-8"));
+        }
+        Err(e) => return Err(e.into()),
+    };
     if first.trim_end() != HEADER_LINE {
         return Err(TraceError::corrupt("text header", first));
     }
@@ -322,18 +330,37 @@ pub fn read_salvage(bytes: &[u8]) -> Result<crate::salvage::Salvaged, TraceError
 
     // Split lines by hand so invalid UTF-8 damages one line, not the file.
     let mut lines = bytes.split(|&b| b == b'\n');
-    let first = String::from_utf8_lossy(lines.next().unwrap_or(&[]));
-    let first = first.trim_end();
+    let first_raw = lines.next().unwrap_or(&[]);
     let mut assembler = Assembler::new();
-    if first != HEADER_LINE {
-        if first.starts_with(SIGNATURE_PREFIX) {
-            assembler.note_skip(
-                SkipAt::Line(1),
-                "text header",
-                format!("unsupported header {first:?}, decoding as v1"),
-            );
-        } else {
-            return Err(TraceError::corrupt("text header", first.to_string()));
+    match std::str::from_utf8(first_raw) {
+        Ok(first) => {
+            let first = first.trim_end();
+            if first != HEADER_LINE {
+                if first.starts_with(SIGNATURE_PREFIX) {
+                    assembler.note_skip(
+                        SkipAt::Line(1),
+                        "text header",
+                        format!("unsupported header {first:?}, decoding as v1"),
+                    );
+                } else {
+                    return Err(TraceError::corrupt("text header", first.to_string()));
+                }
+            }
+        }
+        // Invalid UTF-8 in the header is damage, never silently accepted:
+        // if the signature bytes survive we record the skip and press on,
+        // otherwise the input is unrecoverable.
+        Err(_) => {
+            if first_raw.starts_with(SIGNATURE_PREFIX.as_bytes()) {
+                assembler.note_lines_skipped(1);
+                assembler.note_skip(
+                    SkipAt::Line(1),
+                    "text header",
+                    "header line contains invalid UTF-8, decoding as v1".into(),
+                );
+            } else {
+                return Err(TraceError::corrupt("text header", "invalid UTF-8"));
+            }
         }
     }
 
@@ -595,6 +622,42 @@ mod tests {
              episode 0 0\nenter Z 0\nexit 1\nend\n"
         );
         assert!(read(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn invalid_utf8_header_rejected_strictly() {
+        let mut bytes = encode(&fixture()).into_bytes();
+        // Damage the header line itself with a continuation byte.
+        bytes[17] = 0xff;
+        assert!(matches!(
+            read(bytes.as_slice()),
+            Err(TraceError::Corrupt {
+                context: "text header",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn invalid_utf8_header_salvages_with_a_recorded_skip() {
+        let trace = fixture();
+        let mut bytes = encode(&trace).into_bytes();
+        bytes[17] = 0xff; // signature prefix survives, version suffix does not
+        let salvaged = read_salvage(&bytes).unwrap();
+        assert!(!salvaged.report.is_clean());
+        assert_eq!(salvaged.report.lines_skipped, 1);
+        assert!(salvaged
+            .report
+            .skips
+            .iter()
+            .any(|s| s.detail.contains("invalid UTF-8")));
+        assert_eq!(salvaged.trace.episodes(), trace.episodes());
+    }
+
+    #[test]
+    fn invalid_utf8_garbage_header_is_unrecoverable() {
+        let bytes = b"\xff\xfe garbage\nrest\n";
+        assert!(read_salvage(bytes).is_err());
     }
 
     #[test]

@@ -17,6 +17,16 @@ pub fn write_u64<W: Write>(w: &mut W, mut value: u64) -> Result<(), TraceError> 
     }
 }
 
+/// The encoded length of `value` in bytes (always 1..=10).
+pub fn len_u64(mut value: u64) -> u64 {
+    let mut n = 1;
+    while value >= 0x80 {
+        value >>= 7;
+        n += 1;
+    }
+    n
+}
+
 /// Reads an unsigned LEB128 value.
 ///
 /// Rejects over-long encodings: more than 10 bytes, payload bits that

@@ -89,8 +89,10 @@ fn fixtures() -> Vec<(&'static str, Vec<u8>)> {
     let mut txt = Vec::new();
     text::write(&trace, &mut txt).unwrap();
 
+    let mut legacy = Vec::new();
+    binary::write_legacy(&trace, &mut legacy).unwrap();
     let mut version_skew = bin.clone();
-    version_skew[7] = 2;
+    version_skew[7] = 3;
     let mut checksum_mismatch = bin.clone();
     let last = checksum_mismatch.len() - 1;
     checksum_mismatch[last] ^= 0xff;
@@ -113,6 +115,7 @@ fn fixtures() -> Vec<(&'static str, Vec<u8>)> {
 
     vec![
         ("clean.lgz", bin.clone()),
+        ("legacy-v1.lgz", legacy),
         ("clean.txt", txt.clone()),
         ("truncated.lgz", bin[..bin.len() * 2 / 3].to_vec()),
         ("bitflip.lgz", bitflip),

@@ -69,11 +69,14 @@ fn cut_inside_episode(trace: &SessionTrace, full: &[u8], episode: usize) -> usiz
     for e in &trace.episodes()[..episode] {
         b.push_episode(e.clone()).unwrap();
     }
-    let prefix = encode(&b.finish());
-    // Strip the trailer, then step into the next episode far enough that
-    // the salvager's 8-byte trailer heuristic (the last 8 bytes of a
-    // truncated file are presumed to be the trailer) stays inside the
-    // episode being cut.
+    // A legacy (footerless) encoding is header + records + trailer, and its
+    // header/records bytes are identical to the v2 prefix, so its length
+    // minus the trailer is the offset where the next episode begins.
+    let mut prefix = Vec::new();
+    binary::write_legacy(&b.finish(), &mut prefix).unwrap();
+    // Step into the next episode far enough that the salvager's 8-byte
+    // trailer heuristic (the last 8 bytes of a truncated file are presumed
+    // to be the trailer) stays inside the episode being cut.
     (prefix.len() - 8 + 12).min(full.len() - 1)
 }
 
