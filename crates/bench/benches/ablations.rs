@@ -89,7 +89,7 @@ fn bench_ablations(c: &mut Criterion) {
     group.sample_size(10);
 
     group.bench_function("mining_gc_excluded_paper", |b| {
-        b.iter(|| session.mine_patterns().len())
+        b.iter(|| session.mine_patterns().len());
     });
     group.bench_function("mining_gc_included_variant", |b| {
         b.iter(|| {
@@ -100,21 +100,21 @@ fn bench_ablations(c: &mut Criterion) {
                     .or_default() += 1;
             }
             groups.len()
-        })
+        });
     });
     group.bench_function("signature_strings", |b| {
         b.iter(|| {
             for e in &episodes {
                 black_box(ShapeSignature::of_tree(e.tree(), symbols));
             }
-        })
+        });
     });
     group.bench_function("signature_hash_only", |b| {
         b.iter(|| {
             for e in &episodes {
                 black_box(signature_hash(e.tree(), symbols));
             }
-        })
+        });
     });
     group.bench_function("timing_buckets_variant", |b| {
         b.iter(|| {
@@ -129,7 +129,7 @@ fn bench_ablations(c: &mut Criterion) {
                 *groups.entry(key).or_default() += 1;
             }
             groups.len()
-        })
+        });
     });
     group.finish();
 
@@ -208,10 +208,10 @@ fn bench_tree_storage(c: &mut Criterion) {
                 .pre_order()
                 .map(|id| tree.interval(id).duration().as_nanos())
                 .sum::<u64>()
-        })
+        });
     });
     group.bench_function("boxed_pre_order", |b| {
-        b.iter(|| tree_storage::boxed_pre_order_sum(black_box(&boxed)))
+        b.iter(|| tree_storage::boxed_pre_order_sum(black_box(&boxed)));
     });
     group.finish();
 }

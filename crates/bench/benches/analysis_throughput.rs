@@ -30,10 +30,10 @@ fn bench_analyses(c: &mut Criterion) {
                 TriggerBreakdown::of_all(&s),
                 TriggerBreakdown::of_perceptible(&s),
             )
-        })
+        });
     });
     group.bench_function("locations", |b| {
-        b.iter(|| LocationStats::of_all(&s, &classifier))
+        b.iter(|| LocationStats::of_all(&s, &classifier));
     });
     group.bench_function("causes", |b| b.iter(|| CauseStats::of_all(&s)));
     group.bench_function("concurrency", |b| b.iter(|| concurrency_stats(&s)));
@@ -54,7 +54,7 @@ fn bench_full_pipeline(c: &mut Criterion) {
                 (stats, occ)
             },
             BatchSize::LargeInput,
-        )
+        );
     });
     group.finish();
 }

@@ -66,14 +66,14 @@ fn bench_signature(c: &mut Criterion) {
         .max_by_key(|e| e.tree().len())
         .expect("episodes exist");
     c.bench_function("shape_signature_deep_tree", |b| {
-        b.iter(|| ShapeSignature::of_tree(deepest.tree(), symbols))
+        b.iter(|| ShapeSignature::of_tree(deepest.tree(), symbols));
     });
     let mut scratch = Vec::new();
     c.bench_function("shape_tokens_deep_tree", |b| {
         b.iter(|| {
             scratch.clear();
             lagalyzer_core::shape::write_shape_tokens(deepest.tree(), &mut scratch)
-        })
+        });
     });
 }
 

@@ -19,10 +19,10 @@ fn bench_codecs(c: &mut Criterion) {
             let mut buf = Vec::with_capacity(bin.len());
             binary::write(&trace, &mut buf).unwrap();
             buf
-        })
+        });
     });
     group.bench_function("binary_read", |b| {
-        b.iter(|| binary::read(&mut bin.as_slice()).unwrap())
+        b.iter(|| binary::read(&mut bin.as_slice()).unwrap());
     });
     group.throughput(Throughput::Bytes(txt.len() as u64));
     group.bench_function("text_write", |b| {
@@ -30,10 +30,10 @@ fn bench_codecs(c: &mut Criterion) {
             let mut buf = Vec::with_capacity(txt.len());
             text::write(&trace, &mut buf).unwrap();
             buf
-        })
+        });
     });
     group.bench_function("text_read", |b| {
-        b.iter(|| text::read(&mut txt.as_slice()).unwrap())
+        b.iter(|| text::read(&mut txt.as_slice()).unwrap());
     });
     group.finish();
 

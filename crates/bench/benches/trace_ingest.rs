@@ -59,7 +59,7 @@ fn bench_decode(c: &mut Criterion) {
     group.sample_size(10);
     group.throughput(Throughput::Bytes(bytes.len() as u64));
     group.bench_function("serial_read", |b| {
-        b.iter(|| binary::read(bytes.as_slice()).unwrap())
+        b.iter(|| binary::read(bytes.as_slice()).unwrap());
     });
     for jobs in job_counts() {
         group.bench_with_input(
@@ -71,7 +71,7 @@ fn bench_decode(c: &mut Criterion) {
                         .unwrap()
                         .par_decode(jobs)
                         .unwrap()
-                })
+                });
             },
         );
     }
@@ -90,7 +90,7 @@ fn bench_filtered_analysis(c: &mut Criterion) {
             let trace = filter.retain(trace);
             let session = AnalysisSession::new(trace, AnalysisConfig::default());
             SessionStats::compute(&session)
-        })
+        });
     });
     group.bench_function("skip_decode_filtered", |b| {
         b.iter(|| {
@@ -100,7 +100,7 @@ fn bench_filtered_analysis(c: &mut Criterion) {
                 .unwrap();
             let session = AnalysisSession::new(trace, AnalysisConfig::default());
             SessionStats::compute(&session)
-        })
+        });
     });
     group.finish();
 }

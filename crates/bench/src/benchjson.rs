@@ -36,9 +36,10 @@ fn workspace_experiments_dir() -> PathBuf {
 /// environment variable `<STEM>_JSON` (upper-cased) overrides.
 pub fn output_path_for(stem: &str) -> PathBuf {
     let env_key = format!("{}_JSON", stem.to_uppercase());
-    std::env::var_os(&env_key)
-        .map(PathBuf::from)
-        .unwrap_or_else(|| workspace_experiments_dir().join(format!("{stem}.json")))
+    std::env::var_os(&env_key).map_or_else(
+        || workspace_experiments_dir().join(format!("{stem}.json")),
+        PathBuf::from,
+    )
 }
 
 /// Where the combined mining JSON lands (`BENCH_MINING_JSON` overrides).

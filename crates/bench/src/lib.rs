@@ -1,5 +1,7 @@
 //! Shared plumbing for the experiment binaries and benches.
 
+#![forbid(unsafe_code)]
+
 pub mod benchjson;
 
 use std::fs;

@@ -1,0 +1,325 @@
+//! The checking engine: the [`Rule`] trait, the [`RuleSet`] that
+//! configures which rules run at which severity, and the one-pass driver
+//! that visits a trace and collects [`Diagnostic`]s.
+//!
+//! A rule is a trait object with a stable code and a default severity.
+//! The engine calls `begin` once, `episode` once per decoded episode (in
+//! order, with the episode's byte extent when the trace came from an
+//! indexed `.lgz` file), and `finish` once. Rules report through a
+//! [`Sink`] which stamps the code and the *effective* severity — the
+//! default, unless the rule set carries an `--allow`/`--deny`/`--level`
+//! override.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use lagalyzer_model::{Episode, SessionTrace};
+use lagalyzer_trace::{EpisodeExtent, IndexHealth, SalvageReport};
+
+use crate::diag::{ByteSpan, CheckReport, Diagnostic, Related, Severity};
+
+/// Everything the checker knows about the input being checked.
+///
+/// The trace itself is always present; the provenance fields are `None`
+/// when the input did not come through the indexed binary path (e.g. a
+/// text trace, or an in-memory trace that was never serialized).
+pub struct CheckSubject<'a> {
+    /// The decoded session.
+    pub trace: &'a SessionTrace,
+    /// Byte extents, index-aligned with `trace.episodes()` when present.
+    pub extents: Option<&'a [EpisodeExtent]>,
+    /// How the episode index was established.
+    pub health: Option<&'a IndexHealth>,
+    /// Damage report when the trace was decoded in salvage mode.
+    pub salvage: Option<&'a SalvageReport>,
+    /// Total length of the raw input file, for trailer spans.
+    pub file_len: Option<u64>,
+}
+
+impl<'a> CheckSubject<'a> {
+    /// A subject with no file provenance: just a decoded trace.
+    pub fn of_trace(trace: &'a SessionTrace) -> CheckSubject<'a> {
+        CheckSubject {
+            trace,
+            extents: None,
+            health: None,
+            salvage: None,
+            file_len: None,
+        }
+    }
+}
+
+/// Per-episode context handed to [`Rule::episode`].
+pub struct EpisodeCtx<'a> {
+    /// Position of the episode in `trace.episodes()`.
+    pub index: usize,
+    /// The episode under inspection.
+    pub episode: &'a Episode,
+    /// Its byte extent, when the subject's extent table aligns with the
+    /// decoded episodes.
+    pub extent: Option<&'a EpisodeExtent>,
+    /// The surrounding session (symbol table, GC events, metadata).
+    pub trace: &'a SessionTrace,
+}
+
+impl EpisodeCtx<'_> {
+    /// The episode's byte range in the raw file, when known.
+    pub fn byte_span(&self) -> Option<ByteSpan> {
+        self.extent
+            .map(|e| ByteSpan::new(e.offset, e.offset + e.len))
+    }
+}
+
+/// One finding under construction; [`Sink::emit`] stamps code/severity.
+#[derive(Debug, Default)]
+pub struct Finding {
+    message: String,
+    episode_id: Option<lagalyzer_model::EpisodeId>,
+    byte_span: Option<ByteSpan>,
+    related: Vec<Related>,
+}
+
+impl Finding {
+    /// Starts a finding with its message.
+    pub fn new(message: impl Into<String>) -> Finding {
+        Finding {
+            message: message.into(),
+            ..Finding::default()
+        }
+    }
+
+    /// Attaches the episode the finding concerns.
+    #[must_use]
+    pub fn episode(mut self, id: lagalyzer_model::EpisodeId) -> Finding {
+        self.episode_id = Some(id);
+        self
+    }
+
+    /// Attaches a byte range in the raw file.
+    #[must_use]
+    pub fn span(mut self, span: Option<ByteSpan>) -> Finding {
+        self.byte_span = span;
+        self
+    }
+
+    /// Adds a secondary message (optionally with its own span).
+    #[must_use]
+    pub fn related(mut self, message: impl Into<String>, span: Option<ByteSpan>) -> Finding {
+        self.related.push(Related {
+            message: message.into(),
+            byte_span: span,
+        });
+        self
+    }
+}
+
+/// Where rules report findings. Created by the engine per rule with the
+/// rule's code and effective severity already resolved.
+pub struct Sink<'a> {
+    code: &'static str,
+    severity: Severity,
+    out: &'a mut Vec<Diagnostic>,
+}
+
+impl Sink<'_> {
+    /// Records one finding as a [`Diagnostic`].
+    pub fn emit(&mut self, finding: Finding) {
+        self.out.push(Diagnostic {
+            code: self.code,
+            severity: self.severity,
+            message: finding.message,
+            episode_id: finding.episode_id,
+            byte_span: finding.byte_span,
+            related: finding.related,
+        });
+    }
+}
+
+/// A semantic check over a decoded trace.
+///
+/// Rules hold per-run state in `&mut self`; `begin` must reset it so a
+/// `RuleSet` can be reused across inputs.
+pub trait Rule {
+    /// Stable diagnostic code (`"LA001"`…). Never reused or renumbered.
+    fn code(&self) -> &'static str;
+
+    /// Short kebab-case name (`"improper-nesting"`), accepted wherever a
+    /// code is.
+    fn name(&self) -> &'static str;
+
+    /// Severity when no override is configured.
+    fn default_severity(&self) -> Severity;
+
+    /// One-line description for `--help` and the README rule table.
+    fn summary(&self) -> &'static str;
+
+    /// Called once before any episode; reset per-run state here.
+    fn begin(&mut self, _subject: &CheckSubject<'_>, _sink: &mut Sink<'_>) {}
+
+    /// Called once per episode, in decode order.
+    fn episode(&mut self, _ctx: &EpisodeCtx<'_>, _sink: &mut Sink<'_>) {}
+
+    /// Called once after all episodes.
+    fn finish(&mut self, _subject: &CheckSubject<'_>, _sink: &mut Sink<'_>) {}
+}
+
+/// How an override changes a rule: suppress it or force a severity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum LevelOverride {
+    Allow,
+    At(Severity),
+}
+
+/// A rule code that matched no registered rule.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnknownRule(pub String);
+
+impl fmt::Display for UnknownRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown rule '{}' (expected a code like LA001)", self.0)
+    }
+}
+
+impl std::error::Error for UnknownRule {}
+
+/// An ordered collection of rules plus severity overrides.
+pub struct RuleSet {
+    rules: Vec<Box<dyn Rule>>,
+    overrides: BTreeMap<&'static str, LevelOverride>,
+}
+
+impl RuleSet {
+    /// All shipped rules (`LA001`…) at their default severities.
+    pub fn standard() -> RuleSet {
+        RuleSet::with_rules(crate::rules::standard_rules())
+    }
+
+    /// A rule set over an explicit list of rules.
+    pub fn with_rules(rules: Vec<Box<dyn Rule>>) -> RuleSet {
+        RuleSet {
+            rules,
+            overrides: BTreeMap::new(),
+        }
+    }
+
+    /// Metadata of every registered rule: `(code, name, default severity,
+    /// summary)` — drives `--help` and the README table.
+    pub fn descriptions(&self) -> Vec<(&'static str, &'static str, Severity, &'static str)> {
+        self.rules
+            .iter()
+            .map(|r| (r.code(), r.name(), r.default_severity(), r.summary()))
+            .collect()
+    }
+
+    /// Resolves a user-supplied code or name to the canonical code.
+    fn canon(&self, key: &str) -> Result<&'static str, UnknownRule> {
+        self.rules
+            .iter()
+            .find(|r| r.code() == key || r.name() == key)
+            .map(|r| r.code())
+            .ok_or_else(|| UnknownRule(key.to_owned()))
+    }
+
+    /// Suppresses a rule entirely (`--allow`).
+    ///
+    /// # Errors
+    ///
+    /// Fails when `key` names no registered rule.
+    pub fn allow(&mut self, key: &str) -> Result<(), UnknownRule> {
+        let code = self.canon(key)?;
+        self.overrides.insert(code, LevelOverride::Allow);
+        Ok(())
+    }
+
+    /// Escalates a rule to error severity (`--deny`).
+    ///
+    /// # Errors
+    ///
+    /// Fails when `key` names no registered rule.
+    pub fn deny(&mut self, key: &str) -> Result<(), UnknownRule> {
+        self.level(key, Severity::Error)
+    }
+
+    /// Forces a rule to a specific severity (`--level CODE=SEV`).
+    ///
+    /// # Errors
+    ///
+    /// Fails when `key` names no registered rule.
+    pub fn level(&mut self, key: &str, severity: Severity) -> Result<(), UnknownRule> {
+        let code = self.canon(key)?;
+        self.overrides.insert(code, LevelOverride::At(severity));
+        Ok(())
+    }
+
+    /// Runs every enabled rule over `subject`, one pass over the
+    /// episodes, and collects the diagnostics.
+    pub fn run(&mut self, subject: &CheckSubject<'_>) -> CheckReport {
+        let mut out = Vec::new();
+        let episodes = subject.trace.episodes();
+        // Extents are positionally aligned with decoded episodes on every
+        // IndexedTrace open path; if something upstream broke that, hand
+        // rules no extent rather than the wrong one (LA009 reports the
+        // count disagreement from the subject itself).
+        let aligned = subject.extents.filter(|e| e.len() == episodes.len());
+
+        let active: Vec<(usize, Severity)> = self
+            .rules
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| match self.overrides.get(r.code()) {
+                Some(LevelOverride::Allow) => None,
+                Some(LevelOverride::At(sev)) => Some((i, *sev)),
+                None => Some((i, r.default_severity())),
+            })
+            .collect();
+
+        for &(i, severity) in &active {
+            let rule = &mut self.rules[i];
+            let mut sink = Sink {
+                code: rule.code(),
+                severity,
+                out: &mut out,
+            };
+            rule.begin(subject, &mut sink);
+        }
+        for (index, episode) in episodes.iter().enumerate() {
+            let ctx = EpisodeCtx {
+                index,
+                episode,
+                extent: aligned.and_then(|e| e.get(index)),
+                trace: subject.trace,
+            };
+            for &(i, severity) in &active {
+                let rule = &mut self.rules[i];
+                let mut sink = Sink {
+                    code: rule.code(),
+                    severity,
+                    out: &mut out,
+                };
+                rule.episode(&ctx, &mut sink);
+            }
+        }
+        for &(i, severity) in &active {
+            let rule = &mut self.rules[i];
+            let mut sink = Sink {
+                code: rule.code(),
+                severity,
+                out: &mut out,
+            };
+            rule.finish(subject, &mut sink);
+        }
+        CheckReport::new(out)
+    }
+}
+
+impl fmt::Debug for RuleSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RuleSet")
+            .field(
+                "rules",
+                &self.rules.iter().map(|r| r.code()).collect::<Vec<_>>(),
+            )
+            .field("overrides", &self.overrides)
+            .finish()
+    }
+}

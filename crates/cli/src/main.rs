@@ -8,23 +8,28 @@
 //! * `patterns` — print the pattern browser table for a trace;
 //! * `sketch` — render an episode sketch (SVG or ASCII);
 //! * `lint` — check a trace file for damage and print the salvage report;
+//! * `check` — run the semantic rule checker and print its diagnostics;
 //! * `experiments` — regenerate every table and figure of the paper.
 //!
 //! Exit codes: `0` success on a clean trace, `1` usage or I/O error,
-//! `2` the trace was damaged but salvageable, `3` the trace is
-//! unrecoverable.
+//! `2` the trace was damaged but salvageable (for `check`: semantic
+//! errors were found), `3` the trace is unrecoverable. `check` exits `1`
+//! when only warnings were found.
+
+#![forbid(unsafe_code)]
 
 use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+use lagalyzer_check::{check_bytes, RuleSet, Severity};
 use lagalyzer_core::browser::{PatternBrowser, SortBy};
 use lagalyzer_core::prelude::*;
 use lagalyzer_model::{DurationNs, Episode, SymbolTable, TimeNs};
 use lagalyzer_report::{figures, table3, Study};
 use lagalyzer_sim::{apps, runner};
-use lagalyzer_trace::{EpisodeFilter, IndexedTrace};
+use lagalyzer_trace::{DamageVerdict, EpisodeFilter, IndexedTrace};
 use lagalyzer_viz::ascii::ascii_sketch;
 use lagalyzer_viz::sketch::{render_pattern_gallery, render_sketch, SketchOptions};
 use lagalyzer_viz::timeline::{render_timeline, TimelineOptions};
@@ -92,6 +97,7 @@ fn run(args: &[String]) -> Result<ExitCode, Failure> {
         "stable" => cmd_stable(rest),
         "diff" => cmd_diff(rest),
         "lint" => cmd_lint(rest),
+        "check" => cmd_check(rest),
         "experiments" => cmd_experiments(rest),
         "help" | "--help" | "-h" => {
             print_usage();
@@ -111,11 +117,13 @@ fn print_usage() {
            apps                               list built-in application profiles\n\
            simulate --app NAME [--session N] [--seed S] [--text] --out FILE\n\
                                               synthesize a session trace\n\
-           analyze FILE [--threshold-ms MS] [--histogram] [--jobs N] [--salvage]\n\
+           analyze FILE [--threshold-ms MS] [--histogram] [--jobs N] [--salvage] [--check]\n\
                                               overall statistics of a trace\n\
            patterns FILE [--perceptible-only] [--sort count|total|max|perceptible] [--jobs N] [--salvage]\n\
                                               browse mined patterns\n\
            lint FILE                          check a trace for damage; print the salvage report and index health\n\
+           check FILE [--format text|json] [--allow CODE] [--deny CODE] [--level CODE=SEV] [--fix-report FILE.json]\n\
+                                              run the semantic rule checker (codes LA001..)\n\
            sketch FILE [--episode N | --pattern N [--gallery]] [--ascii] [--out FILE.svg]\n\
                                               render an episode sketch\n\
            timeline FILE [--out FILE.svg]     render the whole-session timeline\n\
@@ -134,7 +142,11 @@ fn print_usage() {
          \n\
          --salvage decodes a damaged trace leniently, dropping corrupt\n\
          records and reporting every skip. Exit codes: 0 clean, 1 usage or\n\
-         I/O error, 2 damaged but salvaged, 3 unrecoverable."
+         I/O error, 2 damaged but salvaged, 3 unrecoverable.\n\
+         \n\
+         check exits 0 when clean (notes allowed), 1 on warnings, 2 on\n\
+         errors, 3 when the trace is unrecoverable. analyze --check runs\n\
+         the checker first and refuses analysis when it reports errors."
     );
 }
 
@@ -158,6 +170,21 @@ fn opt_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
 
 fn opt_flag(args: &[String], flag: &str) -> bool {
     args.iter().any(|a| a == flag)
+}
+
+/// Every value given for a repeatable flag, in order
+/// (`--allow LA007 --allow LA011` yields both codes).
+fn opt_values<'a>(args: &'a [String], flag: &str) -> Vec<&'a str> {
+    let mut out = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg == flag {
+            if let Some(value) = iter.next() {
+                out.push(value.as_str());
+            }
+        }
+    }
+    out
 }
 
 /// Positional (non-flag) arguments, skipping the values of value-taking
@@ -375,7 +402,42 @@ fn exit_for(session: &AnalysisSession) -> ExitCode {
 fn cmd_analyze(args: &[String]) -> Result<ExitCode, Failure> {
     let path = args.first().ok_or("analyze requires a trace file")?;
     let jobs = parse_jobs(args)?;
-    let session = session_from(args, path)?;
+    // --check gates analysis on a semantically sound trace: errors refuse
+    // analysis outright (exit 2); warnings and notes are recorded on the
+    // session so the report carries them.
+    let checked = if opt_flag(args, "--check") {
+        let bytes = fs::read(path.as_str()).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let report = check_bytes(&bytes, &mut RuleSet::standard())
+            .map_err(|e| Failure::unrecoverable(format!("cannot check {path}: {e}")))?;
+        if report.errors() > 0 {
+            eprint!("{}", report.render_text(path));
+            return Err(Failure {
+                msg: format!(
+                    "check found {} error(s) in {path}; refusing analysis",
+                    report.errors()
+                ),
+                code: EXIT_SALVAGED,
+            });
+        }
+        if !report.is_clean() {
+            eprintln!(
+                "check: {path}: {} warning(s), {} note(s); analyzing anyway",
+                report.warnings(),
+                report.notes()
+            );
+        }
+        Some(CheckOutcome {
+            errors: report.errors() as u64,
+            warnings: report.warnings() as u64,
+            notes: report.notes() as u64,
+        })
+    } else {
+        None
+    };
+    let mut session = session_from(args, path)?;
+    if let Some(outcome) = checked {
+        session.record_check(outcome);
+    }
     let stats = SessionStats::compute_with_jobs(&session, jobs);
     let meta = session.trace().meta();
     println!("application       {}", meta.application);
@@ -400,6 +462,12 @@ fn cmd_analyze(args: &[String]) -> Result<ExitCode, Failure> {
     );
     println!("mean tree size    {:.1}", stats.mean_tree_size);
     println!("mean tree depth   {:.1}", stats.mean_tree_depth);
+    if let Some(check) = session.check_outcome() {
+        println!(
+            "semantic check    {} error(s), {} warning(s), {} note(s)",
+            check.errors, check.warnings, check.notes
+        );
+    }
     if opt_flag(args, "--histogram") {
         let histogram = lagalyzer_core::DurationHistogram::of(&session);
         println!("\nepisode duration distribution:");
@@ -437,10 +505,12 @@ fn cmd_patterns(args: &[String]) -> Result<ExitCode, Failure> {
 fn cmd_lint(args: &[String]) -> Result<ExitCode, Failure> {
     let path = args.first().ok_or("lint requires a trace file")?;
     let bytes = fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    // The exit code comes from the shared damage classification so `lint`
+    // and `check` can never disagree on what counts as salvaged.
     match lagalyzer_trace::read_bytes_salvage(&bytes) {
         Err(e) => {
             println!("unrecoverable: {e}");
-            Ok(ExitCode::from(EXIT_UNRECOVERABLE))
+            Ok(ExitCode::from(DamageVerdict::Unrecoverable.exit_code()))
         }
         Ok(salvaged) => {
             print!("{}", salvaged.report.render());
@@ -450,13 +520,60 @@ fn cmd_lint(args: &[String]) -> Result<ExitCode, Failure> {
                 Some(health) => println!("index               {health}"),
                 None => println!("index               not applicable (text trace)"),
             }
-            if salvaged.report.is_clean() {
-                Ok(ExitCode::SUCCESS)
-            } else {
-                Ok(ExitCode::from(EXIT_SALVAGED))
-            }
+            Ok(ExitCode::from(
+                DamageVerdict::of_report(&salvaged.report).exit_code(),
+            ))
         }
     }
+}
+
+/// Value-taking flags of the `check` subcommand.
+const CHECK_VALUE_FLAGS: &[&str] = &["--format", "--allow", "--deny", "--level", "--fix-report"];
+
+/// Builds the rule set for `check`, applying every `--allow CODE`,
+/// `--deny CODE` and `--level CODE=SEVERITY` override in turn. Rules may
+/// be named by code (`LA007`) or by name (`sub-floor-episode`).
+fn check_ruleset(args: &[String]) -> Result<RuleSet, Failure> {
+    let mut rules = RuleSet::standard();
+    for code in opt_values(args, "--allow") {
+        rules.allow(code).map_err(|e| e.to_string())?;
+    }
+    for code in opt_values(args, "--deny") {
+        rules.deny(code).map_err(|e| e.to_string())?;
+    }
+    for spec in opt_values(args, "--level") {
+        let (code, sev) = spec
+            .split_once('=')
+            .ok_or_else(|| format!("--level expects CODE=SEVERITY, got {spec:?}"))?;
+        let severity = Severity::parse(sev)
+            .ok_or_else(|| format!("unknown severity {sev:?}; expected note, warning or error"))?;
+        rules.level(code, severity).map_err(|e| e.to_string())?;
+    }
+    Ok(rules)
+}
+
+fn cmd_check(args: &[String]) -> Result<ExitCode, Failure> {
+    let positionals = positional_args(args, CHECK_VALUE_FLAGS);
+    let path = positionals.first().ok_or("check requires a trace file")?;
+    let format = opt_value(args, "--format").unwrap_or("text");
+    if format != "text" && format != "json" {
+        return Err(format!("unknown format {format:?}; expected text or json").into());
+    }
+    let mut rules = check_ruleset(args)?;
+    let bytes = fs::read(path.as_str()).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let report = check_bytes(&bytes, &mut rules)
+        .map_err(|e| Failure::unrecoverable(format!("cannot check {path}: {e}")))?;
+    if format == "json" {
+        println!("{}", report.render_json(path));
+    } else {
+        print!("{}", report.render_text(path));
+    }
+    if let Some(out) = opt_value(args, "--fix-report") {
+        let mut json = report.render_json(path);
+        json.push('\n');
+        fs::write(out, json).map_err(|e| format!("cannot write {out}: {e}"))?;
+    }
+    Ok(ExitCode::from(report.exit_code()))
 }
 
 fn cmd_sketch(args: &[String]) -> Result<ExitCode, Failure> {

@@ -502,3 +502,183 @@ fn diff_compares_two_traces() {
     assert!(!output.status.success());
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn check_exit_codes_separate_clean_warnings_errors_unrecoverable() {
+    let dir = std::env::temp_dir().join(format!("lagalyzer-cli-check-{}", std::process::id()));
+    let (clean, damaged) = clean_and_damaged(&dir);
+
+    let output = lagalyzer()
+        .args(["check", clean.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(
+        output.status.code(),
+        Some(0),
+        "clean trace must check clean"
+    );
+    let out = String::from_utf8_lossy(&output.stdout).to_string();
+    assert!(out.contains("clean — 0 error(s)"), "report missing: {out}");
+
+    // Truncation surfaces as salvage-skip warnings (LA011) plus a
+    // trailer-checksum error (LA012): exit 2.
+    let output = lagalyzer()
+        .args(["check", damaged.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(output.status.code(), Some(2), "damaged trace must exit 2");
+    let out = String::from_utf8_lossy(&output.stdout).to_string();
+    assert!(
+        out.contains("error[LA012]"),
+        "missing checksum error: {out}"
+    );
+    assert!(
+        out.contains("warning[LA011]"),
+        "missing skip warning: {out}"
+    );
+
+    let garbage = dir.join("garbage.bin");
+    std::fs::write(&garbage, b"definitely not a trace").unwrap();
+    let output = lagalyzer()
+        .args(["check", garbage.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(output.status.code(), Some(3), "garbage must exit 3");
+
+    let output = lagalyzer()
+        .args(["check", dir.join("nope.lgz").to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(
+        output.status.code(),
+        Some(1),
+        "missing file is an I/O error"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn check_rule_overrides_and_unknown_rules() {
+    let dir = std::env::temp_dir().join(format!("lagalyzer-cli-check-ov-{}", std::process::id()));
+    let (_clean, damaged) = clean_and_damaged(&dir);
+    let damaged = damaged.to_str().unwrap();
+
+    // Allowing every rule the damage trips turns the report clean; rules
+    // may be addressed by code or by name.
+    for allow in [
+        ["--allow", "LA011", "--allow", "LA012", "--allow", "LA013"],
+        [
+            "--allow",
+            "salvage-skip",
+            "--allow",
+            "checksum-mismatch",
+            "--allow",
+            "index-degraded",
+        ],
+    ] {
+        let mut args = vec!["check", damaged];
+        args.extend(allow);
+        let output = lagalyzer().args(&args).output().unwrap();
+        assert_eq!(output.status.code(), Some(0), "allowed rules must exit 0");
+    }
+
+    // Demoting the checksum error to a note leaves only the LA011
+    // warnings: exit 1.
+    let output = lagalyzer()
+        .args([
+            "check",
+            damaged,
+            "--level",
+            "LA012=note",
+            "--allow",
+            "LA013",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(output.status.code(), Some(1), "warnings alone must exit 1");
+
+    // Unknown rules and malformed severities are usage errors.
+    for bad in [
+        ["--allow", "LA999"],
+        ["--level", "LA012=frobnicate"],
+        ["--level", "LA012"],
+    ] {
+        let mut args = vec!["check", damaged];
+        args.extend(bad);
+        let output = lagalyzer().args(&args).output().unwrap();
+        assert_eq!(output.status.code(), Some(1), "{bad:?} must be rejected");
+        assert!(!String::from_utf8_lossy(&output.stderr).is_empty());
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn check_json_format_and_fix_report() {
+    let dir = std::env::temp_dir().join(format!("lagalyzer-cli-check-js-{}", std::process::id()));
+    let (clean, damaged) = clean_and_damaged(&dir);
+
+    let json = run_ok(&["check", clean.to_str().unwrap(), "--format", "json"]);
+    assert!(json.starts_with("{\"file\":"), "not JSON: {json}");
+    assert!(json.contains("\"verdict\":\"clean\""));
+
+    let report_path = dir.join("fix-report.json");
+    let output = lagalyzer()
+        .args([
+            "check",
+            damaged.to_str().unwrap(),
+            "--fix-report",
+            report_path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(output.status.code(), Some(2));
+    let written = std::fs::read_to_string(&report_path).unwrap();
+    assert!(written.ends_with('\n'));
+    assert!(written.contains("\"verdict\":\"errors\""));
+    assert!(written.contains("\"code\":\"LA012\""));
+
+    // The stdout text report and the machine report coexist.
+    assert!(String::from_utf8_lossy(&output.stdout).contains("error[LA012]"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn analyze_check_gates_on_semantic_errors() {
+    let dir = std::env::temp_dir().join(format!("lagalyzer-cli-check-an-{}", std::process::id()));
+    let (clean, damaged) = clean_and_damaged(&dir);
+
+    let out = run_ok(&["analyze", clean.to_str().unwrap(), "--check"]);
+    assert!(
+        out.contains("semantic check    0 error(s), 0 warning(s), 0 note(s)"),
+        "missing check line: {out}"
+    );
+
+    // Semantic errors refuse analysis even under --salvage: the checker
+    // runs first and wins.
+    for extra in [&[][..], &["--salvage"][..]] {
+        let mut args = vec!["analyze", damaged.to_str().unwrap(), "--check"];
+        args.extend_from_slice(extra);
+        let output = lagalyzer().args(&args).output().unwrap();
+        assert_eq!(output.status.code(), Some(2), "errors must refuse analysis");
+        let err = String::from_utf8_lossy(&output.stderr).to_string();
+        assert!(err.contains("refusing analysis"), "stderr: {err}");
+        assert!(err.contains("error[LA012]"), "stderr: {err}");
+        assert!(
+            String::from_utf8_lossy(&output.stdout).is_empty(),
+            "no analysis output on refusal"
+        );
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn help_documents_check() {
+    let out = run_ok(&["help"]);
+    assert!(out.contains("check FILE"));
+    assert!(out.contains("--fix-report"));
+    assert!(out.contains("analyze --check"));
+}

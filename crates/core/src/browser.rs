@@ -79,7 +79,7 @@ impl<'a> PatternBrowser<'a> {
             SortBy::TotalLag => rows.sort_by_key(|p| std::cmp::Reverse(p.stats().total)),
             SortBy::MaxLag => rows.sort_by_key(|p| std::cmp::Reverse(p.stats().max)),
             SortBy::PerceptibleCount => {
-                rows.sort_by_key(|p| std::cmp::Reverse(p.perceptible_count()))
+                rows.sort_by_key(|p| std::cmp::Reverse(p.perceptible_count()));
             }
         }
         rows.into_iter()
@@ -132,6 +132,14 @@ impl<'a> PatternBrowser<'a> {
             out.push_str(
                 "note: trace salvaged from a damaged file; pattern population may be incomplete\n",
             );
+        }
+        if let Some(check) = self.session.check_outcome() {
+            if !check.is_clean() {
+                out.push_str(&format!(
+                    "note: semantic check reported {} error(s), {} warning(s), {} note(s); run `lagalyzer check` for details\n",
+                    check.errors, check.warnings, check.notes
+                ));
+            }
         }
         out
     }

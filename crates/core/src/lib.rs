@@ -10,7 +10,7 @@
 //! * [`shape`] — structural tree signatures: interval type + symbolic
 //!   information, *excluding* GC nodes and all timing (paper §II-D);
 //! * [`intern`] — hash-consing of shape token streams into dense
-//!   per-session [`ShapeId`](intern::ShapeId)s (the mining hot path);
+//!   per-session [`intern::ShapeId`]s (the mining hot path);
 //! * [`patterns`] — episode equivalence classes with per-pattern lag
 //!   statistics and the Fig 3 cumulative coverage curve;
 //! * [`occurrence`] — always / sometimes / once / never classification of
@@ -50,6 +50,7 @@
 //! assert_eq!(stats.traced_count as usize, session.trace().episodes().len());
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod aggregate;
@@ -83,7 +84,7 @@ pub use multi::{MultiPattern, MultiPatternSet};
 pub use occurrence::Occurrence;
 pub use parallel::{available_jobs, map_shards, resolve_jobs};
 pub use patterns::{Pattern, PatternSet, PatternTable};
-pub use session::{AnalysisConfig, AnalysisSession, Provenance};
+pub use session::{AnalysisConfig, AnalysisSession, CheckOutcome, Provenance};
 pub use shape::ShapeSignature;
 pub use stats::SessionStats;
 pub use trigger::Trigger;
@@ -103,7 +104,7 @@ pub mod prelude {
     pub use crate::occurrence::Occurrence;
     pub use crate::parallel::{available_jobs, map_shards, resolve_jobs};
     pub use crate::patterns::{Pattern, PatternSet, PatternTable};
-    pub use crate::session::{AnalysisConfig, AnalysisSession, Provenance};
+    pub use crate::session::{AnalysisConfig, AnalysisSession, CheckOutcome, Provenance};
     pub use crate::shape::ShapeSignature;
     pub use crate::stats::SessionStats;
     pub use crate::trigger::Trigger;

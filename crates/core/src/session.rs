@@ -46,6 +46,28 @@ impl Provenance {
     }
 }
 
+/// The recorded outcome of a semantic `check` pass over the session's
+/// trace (diagnostic counts by severity; see the `lagalyzer-check`
+/// crate). Attached via [`AnalysisSession::record_check`] so reports can
+/// say not only *that* the trace was salvaged but whether its decoded
+/// content also violated analysis invariants.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CheckOutcome {
+    /// Error-severity diagnostics (violated analysis invariants).
+    pub errors: u64,
+    /// Warning-severity diagnostics (weakened assumptions).
+    pub warnings: u64,
+    /// Note-severity diagnostics (informational).
+    pub notes: u64,
+}
+
+impl CheckOutcome {
+    /// True when the check pass reported nothing at all.
+    pub fn is_clean(&self) -> bool {
+        self.errors == 0 && self.warnings == 0 && self.notes == 0
+    }
+}
+
 /// One trace loaded for analysis.
 ///
 /// LagAlyzer is an offline tool: the complete trace must exist before
@@ -57,6 +79,7 @@ pub struct AnalysisSession {
     config: AnalysisConfig,
     provenance: Provenance,
     excluded_episodes: u64,
+    check_outcome: Option<CheckOutcome>,
 }
 
 impl AnalysisSession {
@@ -67,6 +90,7 @@ impl AnalysisSession {
             config,
             provenance: Provenance::Clean,
             excluded_episodes: 0,
+            check_outcome: None,
         }
     }
 
@@ -81,6 +105,7 @@ impl AnalysisSession {
             config,
             provenance,
             excluded_episodes: 0,
+            check_outcome: None,
         }
     }
 
@@ -99,6 +124,7 @@ impl AnalysisSession {
             config,
             provenance,
             excluded_episodes,
+            check_outcome: None,
         }
     }
 
@@ -106,6 +132,17 @@ impl AnalysisSession {
     /// unfiltered sessions.
     pub fn excluded_episodes(&self) -> u64 {
         self.excluded_episodes
+    }
+
+    /// Records the outcome of a semantic check pass over this trace so
+    /// downstream reports can surface it (`analyze --check`).
+    pub fn record_check(&mut self, outcome: CheckOutcome) {
+        self.check_outcome = Some(outcome);
+    }
+
+    /// The recorded check outcome, if a check pass ran.
+    pub fn check_outcome(&self) -> Option<CheckOutcome> {
+        self.check_outcome
     }
 
     /// How this session's trace was obtained.
@@ -249,6 +286,21 @@ mod tests {
         );
         assert_eq!(filtered.excluded_episodes(), 5);
         assert!(!filtered.is_salvaged());
+    }
+
+    #[test]
+    fn check_outcome_defaults_to_none_and_is_carried() {
+        let mut session = AnalysisSession::new(tiny_trace(), AnalysisConfig::default());
+        assert_eq!(session.check_outcome(), None);
+        session.record_check(CheckOutcome {
+            errors: 0,
+            warnings: 2,
+            notes: 1,
+        });
+        let outcome = session.check_outcome().unwrap();
+        assert_eq!(outcome.warnings, 2);
+        assert!(!outcome.is_clean());
+        assert!(CheckOutcome::default().is_clean());
     }
 
     #[test]

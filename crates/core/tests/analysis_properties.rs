@@ -154,7 +154,7 @@ proptest! {
     fn mining_partitions_episodes(specs in proptest::collection::vec(ep_spec(), 0..40)) {
         let session = build_session(&specs);
         let set = session.mine_patterns();
-        let covered: u64 = set.patterns().iter().map(|p| p.count()).sum();
+        let covered: u64 = set.patterns().iter().map(lagalyzer_core::Pattern::count).sum();
         prop_assert_eq!(covered, set.covered_episodes());
         prop_assert_eq!(
             set.covered_episodes() + set.structureless_episodes(),

@@ -37,6 +37,28 @@ pub struct Episode {
 }
 
 impl Episode {
+    /// Assembles an episode directly from its parts, **without** the
+    /// validation [`EpisodeBuilder::build`] performs (dispatch root,
+    /// sorted in-window samples).
+    ///
+    /// Like [`IntervalTree::from_nodes_unchecked`], this exists so the
+    /// `lagalyzer-check` semantic checker can represent invalid episodes
+    /// in order to diagnose them; analyses assume builder-validated
+    /// episodes.
+    pub fn from_parts_unchecked(
+        id: EpisodeId,
+        thread: ThreadId,
+        tree: IntervalTree,
+        samples: Vec<SampleSnapshot>,
+    ) -> Episode {
+        Episode {
+            id,
+            thread,
+            tree,
+            samples,
+        }
+    }
+
     /// The episode's id (dispatch order within the session).
     pub fn id(&self) -> EpisodeId {
         self.id

@@ -44,9 +44,7 @@ const SHARDS_PER_JOB: usize = 4;
 /// The machine's available parallelism, falling back to 1 when it cannot
 /// be determined.
 pub fn available_jobs() -> usize {
-    std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
+    std::thread::available_parallelism().map_or(1, NonZeroUsize::get)
 }
 
 /// Resolves a user-requested job count: `None` or `Some(0)` mean "use the

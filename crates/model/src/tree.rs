@@ -58,6 +58,25 @@ pub struct IntervalTree {
 }
 
 impl IntervalTree {
+    /// Assembles a tree directly from nodes, **without** validating the
+    /// nesting, ordering, or parent/child invariants that
+    /// [`IntervalTreeBuilder`] enforces.
+    ///
+    /// This exists for tooling that must *represent* invalid data rather
+    /// than reject it — most importantly the `lagalyzer-check` semantic
+    /// checker, whose rules need trees that violate proper nesting,
+    /// sibling ordering, or episode bounds in order to diagnose them.
+    /// Analyses assume builder-validated trees; do not feed unchecked
+    /// trees into them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is empty (even invalid trees have a root).
+    pub fn from_nodes_unchecked(nodes: Vec<IntervalNode>) -> IntervalTree {
+        assert!(!nodes.is_empty(), "an interval tree must have a root node");
+        IntervalTree { nodes }
+    }
+
     /// The root node id.
     ///
     /// Every finished tree has exactly one root at index 0.

@@ -107,7 +107,7 @@ proptest! {
     #[test]
     fn pre_order_matches_arena_order(script in script_strategy()) {
         let tree = build_tree(&script);
-        let visited: Vec<u32> = tree.pre_order().map(|n| n.as_raw()).collect();
+        let visited: Vec<u32> = tree.pre_order().map(lagalyzer_model::NodeId::as_raw).collect();
         let expected: Vec<u32> = (0..tree.len() as u32).collect();
         prop_assert_eq!(visited, expected);
     }

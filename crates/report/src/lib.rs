@@ -19,6 +19,7 @@
 //! assert!(table.contains("CrosswordSage"));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod compare;

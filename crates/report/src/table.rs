@@ -57,7 +57,7 @@ impl TextTable {
         let mut out = String::new();
         let fmt_row = |cells: &[String], out: &mut String| {
             for (i, (align, width)) in self.aligns.iter().zip(&widths).enumerate() {
-                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                let cell = cells.get(i).map_or("", String::as_str);
                 if i > 0 {
                     out.push_str("  ");
                 }

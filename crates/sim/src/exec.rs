@@ -294,9 +294,7 @@ fn gui_sample(
     } else {
         // Runnable: the executing frame depends on where the episode is.
         let deepest = tree.deepest_at(t);
-        let native = deepest
-            .map(|id| tree.interval(id).kind == IntervalKind::Native)
-            .unwrap_or(false);
+        let native = deepest.is_some_and(|id| tree.interval(id).kind == IntervalKind::Native);
         let top = if native {
             let sym = deepest
                 .and_then(|id| tree.interval(id).symbol)

@@ -41,6 +41,7 @@
 //! assert!(!trace.episodes().is_empty());
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod apps;

@@ -668,7 +668,10 @@ mod tests {
     fn perceptible_totals_are_close_to_target() {
         for p in [apps::jmol(), apps::free_mind(), apps::gantt_project()] {
             let lib = library_for(&p, 4);
-            let perceptible: u64 = lib.iter().map(|t| t.expected_perceptible()).sum();
+            let perceptible: u64 = lib
+                .iter()
+                .map(super::EpisodeTemplate::expected_perceptible)
+                .sum();
             let target = p.scale.perceptible_episodes;
             let ratio = perceptible as f64 / target.max(1) as f64;
             assert!(

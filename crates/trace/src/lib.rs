@@ -47,6 +47,7 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod auto;
@@ -67,6 +68,7 @@ pub use filter::TraceFilter;
 pub use index::{DurationBand, EpisodeExtent, EpisodeFilter, IndexHealth, IndexedTrace};
 pub use record::{records_from_trace, trace_from_records, TraceRecord};
 pub use salvage::{
-    read_bytes_salvage, read_path_salvage, SalvageReport, SalvageSkip, Salvaged, SkipAt,
+    read_bytes_salvage, read_path_salvage, DamageVerdict, SalvageReport, SalvageSkip, Salvaged,
+    SkipAt,
 };
 pub use stream::{EpisodeStream, SalvageEpisodeStream};

@@ -97,11 +97,69 @@ pub struct SalvageReport {
     pub checksum_ok: Option<bool>,
 }
 
+/// Three-way salvage verdict shared by every consumer that must agree on
+/// what "damaged" means — `lagalyzer lint`, `lagalyzer check`, and the
+/// provenance plumbing. Centralizing the classification (and the exit
+/// codes derived from it) here keeps the CLI subcommands from drifting
+/// apart in how they read a [`SalvageReport`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DamageVerdict {
+    /// No skips and no checksum mismatch: salvage equals strict decode.
+    Clean,
+    /// The trace decoded, but records were skipped or the trailer
+    /// checksum did not verify.
+    Damaged,
+    /// The input could not be decoded at all (no codec signature, or a
+    /// header too damaged to establish session metadata).
+    Unrecoverable,
+}
+
+impl DamageVerdict {
+    /// Classifies a salvage report (never [`DamageVerdict::Unrecoverable`]:
+    /// if a report exists, something was recovered).
+    pub fn of_report(report: &SalvageReport) -> Self {
+        if report.skips.is_empty() && report.checksum_ok != Some(false) {
+            DamageVerdict::Clean
+        } else {
+            DamageVerdict::Damaged
+        }
+    }
+
+    /// Classifies the outcome of a salvage attempt, mapping decode
+    /// failure to [`DamageVerdict::Unrecoverable`].
+    pub fn of_outcome<E>(outcome: Result<&SalvageReport, &E>) -> Self {
+        match outcome {
+            Ok(report) => Self::of_report(report),
+            Err(_) => DamageVerdict::Unrecoverable,
+        }
+    }
+
+    /// The process exit code the CLI scripting contract assigns to this
+    /// verdict: 0 clean, 2 salvaged-with-damage, 3 unrecoverable (1 is
+    /// reserved for usage/I-O errors and never produced here).
+    pub const fn exit_code(self) -> u8 {
+        match self {
+            DamageVerdict::Clean => 0,
+            DamageVerdict::Damaged => 2,
+            DamageVerdict::Unrecoverable => 3,
+        }
+    }
+
+    /// Short human-readable name used in reports.
+    pub const fn describe(self) -> &'static str {
+        match self {
+            DamageVerdict::Clean => "clean",
+            DamageVerdict::Damaged => "damaged",
+            DamageVerdict::Unrecoverable => "unrecoverable",
+        }
+    }
+}
+
 impl SalvageReport {
     /// `true` when the input decoded without any damage: no skips and no
     /// checksum mismatch. A clean salvage equals the strict decode.
     pub fn is_clean(&self) -> bool {
-        self.skips.is_empty() && self.checksum_ok != Some(false)
+        DamageVerdict::of_report(self) == DamageVerdict::Clean
     }
 
     /// Renders the report as human-readable text (used by `lagalyzer

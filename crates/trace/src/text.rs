@@ -69,10 +69,10 @@ fn write_record<W: Write>(rec: &TraceRecord, w: &mut W) -> Result<(), TraceError
             if gc.major { "major" } else { "minor" }
         )?,
         TraceRecord::ShortEpisodes { count, total } => {
-            writeln!(w, "short_episodes {} {}", count, total.as_nanos())?
+            writeln!(w, "short_episodes {} {}", count, total.as_nanos())?;
         }
         TraceRecord::EpisodeBegin { id, thread } => {
-            writeln!(w, "episode {} {}", id.as_raw(), thread.as_raw())?
+            writeln!(w, "episode {} {}", id.as_raw(), thread.as_raw())?;
         }
         TraceRecord::Enter { kind, symbol, at } => match symbol {
             Some(m) => writeln!(

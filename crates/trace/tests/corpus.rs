@@ -1,6 +1,6 @@
 //! Golden-corpus snapshot test: every fixture under `tests/corpus/` has
-//! its strict-decode and salvage-decode outcome locked in
-//! `tests/corpus/EXPECTED.txt`.
+//! its strict-decode outcome, salvage-decode outcome, and full semantic
+//! `check --format json` report locked in `tests/corpus/EXPECTED.txt`.
 //!
 //! To regenerate the fixtures and the snapshot after an intentional
 //! format change:
@@ -180,11 +180,29 @@ fn salvage_outcome(bytes: &[u8]) -> String {
     }
 }
 
+/// The fixture's semantic-check report, exactly as `lagalyzer check
+/// --format json` would print it (keyed by fixture name, not path, so
+/// the snapshot is machine-independent). Run twice to lock in that the
+/// checker is deterministic: a report that varies between runs would
+/// make the snapshot flaky, so instability fails here, loudly.
+fn check_outcome(name: &str, bytes: &[u8]) -> String {
+    let render =
+        || match lagalyzer_check::check_bytes(bytes, &mut lagalyzer_check::RuleSet::standard()) {
+            Err(_) => "unrecoverable".to_owned(),
+            Ok(report) => report.render_json(name),
+        };
+    let first = render();
+    let second = render();
+    assert_eq!(first, second, "{name}: check report unstable across runs");
+    first
+}
+
 fn snapshot_line(name: &str, bytes: &[u8]) -> String {
     format!(
-        "{name}: strict={} salvage={}",
+        "{name}: strict={} salvage={}\n{name}: check={}",
         strict_outcome(bytes),
-        salvage_outcome(bytes)
+        salvage_outcome(bytes),
+        check_outcome(name, bytes),
     )
 }
 

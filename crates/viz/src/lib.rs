@@ -23,6 +23,7 @@
 //! assert!(svg.contains("DrawLine"));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ascii;

@@ -31,8 +31,10 @@
 //! assert!(!browser.rows().is_empty());
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use lagalyzer_check as check;
 pub use lagalyzer_core as core;
 pub use lagalyzer_model as model;
 pub use lagalyzer_report as report;

@@ -12,6 +12,7 @@
 //! The budget defaults to 500 ms per benchmark; set
 //! `CRITERION_BUDGET_MS` to trade precision for runtime.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fmt::Display;

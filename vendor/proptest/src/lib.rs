@@ -18,6 +18,8 @@
 //! (64) can be raised without recompiling via `PROPTEST_CASES`, mirroring
 //! upstream — CI uses this for its scheduled deep fuzz pass.
 
+#![forbid(unsafe_code)]
+
 pub mod arbitrary;
 pub mod collection;
 pub mod strategy;

@@ -12,6 +12,7 @@
 //! crates.io `rand`; everything inside this repository is seeded through
 //! this crate, so all in-repo results remain reproducible.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::ops::{Range, RangeInclusive};
