@@ -115,9 +115,10 @@ impl Rule for OverlappingSiblings {
 
     fn episode(&mut self, ctx: &EpisodeCtx<'_>, sink: &mut Sink<'_>) {
         let tree = ctx.episode.tree();
-        for node in tree.nodes() {
-            for (i, &a) in node.children.iter().enumerate() {
-                for &b in &node.children[i + 1..] {
+        for (id, _) in tree.iter() {
+            let children = tree.children(id);
+            for (i, &a) in children.iter().enumerate() {
+                for &b in &children[i + 1..] {
                     let (a, b) = (tree.interval(a), tree.interval(b));
                     if a.overlaps(b) {
                         sink.emit(
@@ -696,11 +697,10 @@ mod tests {
         }
     }
 
-    fn node(interval: Interval, parent: Option<u32>, children: &[u32], depth: u32) -> IntervalNode {
+    fn node(interval: Interval, parent: Option<u32>, depth: u32) -> IntervalNode {
         IntervalNode {
             interval,
             parent: parent.map(NodeId::from_raw),
-            children: children.iter().map(|&c| NodeId::from_raw(c)).collect(),
             depth,
         }
     }
@@ -765,8 +765,8 @@ mod tests {
     #[test]
     fn la001_child_escaping_parent_fires() {
         let nodes = vec![
-            node(iv(IntervalKind::Dispatch, ms(0), ms(100)), None, &[1], 0),
-            node(iv(IntervalKind::Listener, ms(50), ms(150)), Some(0), &[], 1),
+            node(iv(IntervalKind::Dispatch, ms(0), ms(100)), None, 0),
+            node(iv(IntervalKind::Listener, ms(50), ms(150)), Some(0), 1),
         ];
         let trace = trace_of(vec![episode_from_nodes(0, nodes)]);
         assert!(codes(&trace).contains(&"LA001"));
@@ -781,9 +781,9 @@ mod tests {
     #[test]
     fn la002_overlapping_siblings_fire() {
         let nodes = vec![
-            node(iv(IntervalKind::Dispatch, ms(0), ms(100)), None, &[1, 2], 0),
-            node(iv(IntervalKind::Listener, ms(10), ms(60)), Some(0), &[], 1),
-            node(iv(IntervalKind::Paint, ms(50), ms(90)), Some(0), &[], 1),
+            node(iv(IntervalKind::Dispatch, ms(0), ms(100)), None, 0),
+            node(iv(IntervalKind::Listener, ms(10), ms(60)), Some(0), 1),
+            node(iv(IntervalKind::Paint, ms(50), ms(90)), Some(0), 1),
         ];
         let trace = trace_of(vec![episode_from_nodes(0, nodes)]);
         let codes = codes(&trace);
@@ -802,8 +802,8 @@ mod tests {
     #[test]
     fn la003_interval_outside_episode_window_fires() {
         let nodes = vec![
-            node(iv(IntervalKind::Dispatch, ms(0), ms(100)), None, &[1], 0),
-            node(iv(IntervalKind::Native, ms(20), ms(110)), Some(0), &[], 1),
+            node(iv(IntervalKind::Dispatch, ms(0), ms(100)), None, 0),
+            node(iv(IntervalKind::Native, ms(20), ms(110)), Some(0), 1),
         ];
         let trace = trace_of(vec![episode_from_nodes(0, nodes)]);
         assert!(codes(&trace).contains(&"LA003"));
@@ -818,9 +818,9 @@ mod tests {
     #[test]
     fn la004_preorder_regress_fires() {
         let nodes = vec![
-            node(iv(IntervalKind::Dispatch, ms(0), ms(100)), None, &[1, 2], 0),
-            node(iv(IntervalKind::Listener, ms(50), ms(60)), Some(0), &[], 1),
-            node(iv(IntervalKind::Paint, ms(10), ms(20)), Some(0), &[], 1),
+            node(iv(IntervalKind::Dispatch, ms(0), ms(100)), None, 0),
+            node(iv(IntervalKind::Listener, ms(50), ms(60)), Some(0), 1),
+            node(iv(IntervalKind::Paint, ms(10), ms(20)), Some(0), 1),
         ];
         let trace = trace_of(vec![episode_from_nodes(0, nodes)]);
         assert!(codes(&trace).contains(&"LA004"));
@@ -829,8 +829,8 @@ mod tests {
     #[test]
     fn la004_inverted_interval_fires() {
         let nodes = vec![
-            node(iv(IntervalKind::Dispatch, ms(0), ms(100)), None, &[1], 0),
-            node(iv(IntervalKind::Listener, ms(50), ms(40)), Some(0), &[], 1),
+            node(iv(IntervalKind::Dispatch, ms(0), ms(100)), None, 0),
+            node(iv(IntervalKind::Listener, ms(50), ms(40)), Some(0), 1),
         ];
         let trace = trace_of(vec![episode_from_nodes(0, nodes)]);
         assert!(codes(&trace).contains(&"LA004"));
@@ -907,7 +907,7 @@ mod tests {
             method: SymbolId::from_raw(41),
         };
         let nodes = vec![
-            node(iv(IntervalKind::Dispatch, ms(0), ms(100)), None, &[1], 0),
+            node(iv(IntervalKind::Dispatch, ms(0), ms(100)), None, 0),
             node(
                 Interval {
                     kind: IntervalKind::Listener,
@@ -916,7 +916,6 @@ mod tests {
                     end: ms(20),
                 },
                 Some(0),
-                &[],
                 1,
             ),
         ];
@@ -996,12 +995,7 @@ mod tests {
 
     #[test]
     fn la008_non_dispatch_root_fires() {
-        let nodes = vec![node(
-            iv(IntervalKind::Listener, ms(0), ms(100)),
-            None,
-            &[],
-            0,
-        )];
+        let nodes = vec![node(iv(IntervalKind::Listener, ms(0), ms(100)), None, 0)];
         let trace = trace_of(vec![episode_from_nodes(0, nodes)]);
         assert!(codes(&trace).contains(&"LA008"));
     }

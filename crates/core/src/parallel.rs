@@ -6,4 +6,6 @@
 //! `lagalyzer_core::parallel` remains the canonical import for analysis
 //! code; everything re-exported here behaves exactly as before.
 
-pub use lagalyzer_model::parallel::{available_jobs, map_shards, resolve_jobs, shard_ranges};
+pub use lagalyzer_model::parallel::{
+    available_jobs, effective_jobs, map_shards, map_shards_init, resolve_jobs, shard_ranges,
+};

@@ -53,7 +53,7 @@ pub use error::ModelError;
 pub use ids::{EpisodeId, NodeId, SessionId, SymbolId, ThreadId};
 pub use interval::{Interval, IntervalKind};
 pub use sample::{SampleSnapshot, StackFrame, ThreadSample, ThreadState};
-pub use session::{GcEvent, SessionMeta, SessionTrace, SessionTraceBuilder};
+pub use session::{EpisodeFragment, GcEvent, SessionMeta, SessionTrace, SessionTraceBuilder};
 pub use symbols::{CodeOrigin, MethodRef, OriginClassifier, SymbolTable};
 pub use time::{DurationNs, TimeNs};
 pub use tree::{IntervalTree, IntervalTreeBuilder, PreOrder};
@@ -71,7 +71,9 @@ pub mod prelude {
     pub use crate::ids::{EpisodeId, NodeId, SessionId, SymbolId, ThreadId};
     pub use crate::interval::{Interval, IntervalKind};
     pub use crate::sample::{SampleSnapshot, StackFrame, ThreadSample, ThreadState};
-    pub use crate::session::{GcEvent, SessionMeta, SessionTrace, SessionTraceBuilder};
+    pub use crate::session::{
+        EpisodeFragment, GcEvent, SessionMeta, SessionTrace, SessionTraceBuilder,
+    };
     pub use crate::symbols::{CodeOrigin, MethodRef, OriginClassifier, SymbolTable};
     pub use crate::time::{DurationNs, TimeNs};
     pub use crate::tree::{IntervalTree, IntervalTreeBuilder};

@@ -56,6 +56,18 @@ pub fn resolve_jobs(requested: Option<usize>) -> usize {
     }
 }
 
+/// The worker count a request for `jobs` actually gets: clamped to the
+/// machine's available parallelism (never below 1).
+///
+/// Oversubscribing a CPU-bound fold is pure overhead — the shards are
+/// claimed from a shared counter, so fewer workers simply claim more
+/// shards each, and the merged result is identical either way. Clamping
+/// here means `--jobs 8` on a 2-core box runs the 2-worker schedule
+/// instead of thrashing 8 threads across 2 cores.
+pub fn effective_jobs(jobs: usize) -> usize {
+    jobs.clamp(1, available_jobs())
+}
+
 /// Splits `0..len` into at most `shards` contiguous ascending ranges of
 /// near-equal size (the first `len % shards` ranges are one longer).
 /// Returns fewer ranges when `len < shards` and none when `len == 0`.
@@ -90,17 +102,43 @@ fn shard_count(len: usize, jobs: usize) -> usize {
 /// most `jobs` worker threads and returns the shard results *in shard
 /// order* (ascending by range start), ready for an in-order merge.
 ///
-/// With `jobs <= 1` (or a single shard) everything runs inline on the
-/// calling thread — the serial path spawns nothing. An empty input yields
-/// an empty result vector.
+/// The worker count is clamped to the machine's available parallelism
+/// (see [`effective_jobs`]); with one effective worker (or a single
+/// shard) everything runs inline on the calling thread — the serial path
+/// spawns nothing. An empty input yields an empty result vector.
 pub fn map_shards<R, F>(len: usize, jobs: usize, f: F) -> Vec<R>
 where
     R: Send,
     F: Fn(Range<usize>) -> R + Sync,
 {
+    map_shards_init(len, jobs, || (), |(), range| f(range))
+}
+
+/// Like [`map_shards`], but each worker thread builds one persistent
+/// state value with `init` and reuses it (`&mut`) across every shard it
+/// claims.
+///
+/// This is how decode and analysis hot paths keep per-worker scratch —
+/// reused builders, sample buffers, arenas — alive across work batches
+/// instead of reallocating them per shard (or worse, per item): the shard
+/// granularity exists purely for load balancing, so worker-lifetime state
+/// is the natural place for anything reusable. The state never migrates
+/// between threads and is dropped when the worker finishes.
+///
+/// Results are returned in shard order exactly like [`map_shards`]; with
+/// one effective worker everything runs inline on one state value, so the
+/// merged result is byte-identical regardless of `jobs`.
+pub fn map_shards_init<S, R, I, F>(len: usize, jobs: usize, init: I, f: F) -> Vec<R>
+where
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, Range<usize>) -> R + Sync,
+{
+    let jobs = effective_jobs(jobs);
     let ranges = shard_ranges(len, shard_count(len, jobs));
     if jobs <= 1 || ranges.len() <= 1 {
-        return ranges.into_iter().map(f).collect();
+        let mut state = init();
+        return ranges.into_iter().map(|r| f(&mut state, r)).collect();
     }
     let workers = jobs.min(ranges.len());
     let next = AtomicUsize::new(0);
@@ -109,12 +147,15 @@ where
     std::thread::scope(|scope| {
         for _ in 0..workers {
             let tx = tx.clone();
-            let (next, ranges, f) = (&next, &ranges, &f);
-            scope.spawn(move || loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(range) = ranges.get(i) else { break };
-                if tx.send((i, f(range.clone()))).is_err() {
-                    break;
+            let (next, ranges, init, f) = (&next, &ranges, &init, &f);
+            scope.spawn(move || {
+                let mut state = init();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(range) = ranges.get(i) else { break };
+                    if tx.send((i, f(&mut state, range.clone()))).is_err() {
+                        break;
+                    }
                 }
             });
         }
@@ -187,6 +228,46 @@ mod tests {
     fn single_item_input() {
         let out = map_shards(1, 8, |r| r.clone());
         assert_eq!(out, vec![0..1]);
+    }
+
+    #[test]
+    fn effective_jobs_clamps_to_machine() {
+        assert_eq!(effective_jobs(0), 1);
+        assert_eq!(effective_jobs(1), 1);
+        let avail = available_jobs();
+        assert_eq!(effective_jobs(avail + 100), avail);
+    }
+
+    #[test]
+    fn map_shards_init_reuses_worker_state() {
+        // Each worker counts the shards it handled in its own state; the
+        // per-shard results must still arrive in shard order and cover
+        // every index exactly once.
+        for jobs in [1usize, 2, 8] {
+            let results = map_shards_init(
+                1000,
+                jobs,
+                || 0usize,
+                |claimed, range| {
+                    *claimed += 1;
+                    (*claimed, range)
+                },
+            );
+            let mut seen = 0;
+            for (claimed, range) in &results {
+                assert!(*claimed >= 1);
+                assert_eq!(range.start, seen, "jobs={jobs}: shard order broken");
+                seen = range.end;
+            }
+            assert_eq!(seen, 1000, "jobs={jobs}: shards must cover the input");
+            // Worker-lifetime state outlives individual shards: the total
+            // of per-worker claim counters equals the shard count, and on
+            // the inline path one state value sees every shard.
+            if effective_jobs(jobs) == 1 {
+                let last = results.last().unwrap();
+                assert_eq!(last.0, results.len());
+            }
+        }
     }
 
     #[test]

@@ -21,14 +21,20 @@ use crate::symbols::{MethodRef, SymbolTable};
 use crate::time::{DurationNs, TimeNs};
 
 /// One node of an interval tree.
+///
+/// Children are not stored per node: nodes live in a pre-order arena with
+/// parent pointers, so each node's children are exactly the later nodes
+/// that point back at it, in arena order. [`IntervalTree`] derives that
+/// relation once into a shared children arena (see
+/// [`IntervalTree::children`]) — keeping the node itself flat is what lets
+/// a decoded episode materialize its whole tree with two child-table
+/// allocations instead of one `Vec` per node.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct IntervalNode {
     /// The interval at this node.
     pub interval: Interval,
     /// Parent node; `None` for the root.
     pub parent: Option<NodeId>,
-    /// Children in start-time order.
-    pub children: Vec<NodeId>,
     /// Depth of this node; the root has depth 0.
     pub depth: u32,
 }
@@ -55,12 +61,56 @@ pub struct IntervalNode {
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct IntervalTree {
     nodes: Vec<IntervalNode>,
+    /// Children arena in CSR layout: node `n`'s children are
+    /// `child_ids[child_start[n] as usize..child_start[n + 1] as usize]`,
+    /// in arena (= start-time) order. Derived from the parent pointers —
+    /// two allocations for the whole tree instead of one list per node.
+    child_ids: Vec<NodeId>,
+    child_start: Vec<u32>,
+}
+
+/// Derives the CSR children table from parent pointers via a counting
+/// sort: nodes are visited in arena order, so each parent's children land
+/// in arena order too. Parent ids outside the arena are ignored (possible
+/// only through [`IntervalTree::from_nodes_unchecked`]).
+fn derive_children(nodes: &[IntervalNode]) -> (Vec<NodeId>, Vec<u32>) {
+    let n = nodes.len();
+    let mut child_start = vec![0u32; n + 1];
+    let in_range = |p: NodeId| p.index() < n;
+    for node in nodes {
+        if let Some(p) = node.parent.filter(|&p| in_range(p)) {
+            child_start[p.index() + 1] += 1;
+        }
+    }
+    for i in 0..n {
+        child_start[i + 1] += child_start[i];
+    }
+    let mut child_ids = vec![NodeId::from_raw(0); child_start[n] as usize];
+    // Fill buckets front to back, using `child_start[p]` as the write
+    // cursor; afterwards each slot holds its bucket's *end*, so shift the
+    // table right by one to restore the starts.
+    for (i, node) in nodes.iter().enumerate() {
+        if let Some(p) = node.parent.filter(|&p| in_range(p)) {
+            let cursor = &mut child_start[p.index()];
+            child_ids[*cursor as usize] =
+                NodeId::from_raw(u32::try_from(i).expect("node index overflows u32"));
+            *cursor += 1;
+        }
+    }
+    for i in (1..=n).rev() {
+        child_start[i] = child_start[i - 1];
+    }
+    child_start[0] = 0;
+    (child_ids, child_start)
 }
 
 impl IntervalTree {
     /// Assembles a tree directly from nodes, **without** validating the
     /// nesting, ordering, or parent/child invariants that
-    /// [`IntervalTreeBuilder`] enforces.
+    /// [`IntervalTreeBuilder`] enforces. Children are derived from the
+    /// parent pointers (each node's children are the nodes pointing back
+    /// at it, in arena order); parent ids outside the arena are treated as
+    /// parentless.
     ///
     /// This exists for tooling that must *represent* invalid data rather
     /// than reject it — most importantly the `lagalyzer-check` semantic
@@ -74,7 +124,12 @@ impl IntervalTree {
     /// Panics if `nodes` is empty (even invalid trees have a root).
     pub fn from_nodes_unchecked(nodes: Vec<IntervalNode>) -> IntervalTree {
         assert!(!nodes.is_empty(), "an interval tree must have a root node");
-        IntervalTree { nodes }
+        let (child_ids, child_start) = derive_children(&nodes);
+        IntervalTree {
+            nodes,
+            child_ids,
+            child_start,
+        }
     }
 
     /// The root node id.
@@ -130,7 +185,8 @@ impl IntervalTree {
 
     /// Children of `id`, in start-time order.
     pub fn children(&self, id: NodeId) -> &[NodeId] {
-        &self.node(id).children
+        let i = id.index();
+        &self.child_ids[self.child_start[i] as usize..self.child_start[i + 1] as usize]
     }
 
     /// Parent of `id`, `None` for the root.
@@ -213,7 +269,7 @@ impl IntervalTree {
                 // Do not descend: nested same-kind intervals are covered.
                 continue;
             }
-            stack.extend(node.children.iter().copied());
+            stack.extend(self.children(id).iter().copied());
         }
         total
     }
@@ -258,7 +314,8 @@ impl IntervalTree {
                     at: node.interval.start,
                 });
             }
-            for pair in node.children.windows(2) {
+            let id = NodeId::from_raw(u32::try_from(i).expect("node index overflows u32"));
+            for pair in self.children(id).windows(2) {
                 let a = &self.nodes[pair[0].index()].interval;
                 let b = &self.nodes[pair[1].index()].interval;
                 if a.overlaps(b) || b.start < a.start {
@@ -350,6 +407,28 @@ impl IntervalTreeBuilder {
         IntervalTreeBuilder::default()
     }
 
+    /// Reserves room for `n` more nodes.
+    ///
+    /// Decoders that know an episode's interval count up front (from an
+    /// extent index) call this so the node arena is sized in one
+    /// allocation instead of growing geometrically mid-episode.
+    pub fn reserve_nodes(&mut self, n: usize) {
+        self.nodes.reserve(n);
+    }
+
+    /// Discards all building state, retaining allocations.
+    ///
+    /// A reused builder that hit a mid-episode error (a malformed exit, an
+    /// unclosed interval) still holds the broken episode's nodes and open
+    /// stack; `reset` returns it to a pristine state so the next episode
+    /// cannot observe the failed one.
+    pub fn reset(&mut self) {
+        self.nodes.clear();
+        self.open.clear();
+        self.last_event = None;
+        self.root_closed = false;
+    }
+
     /// True if no interval is currently open.
     pub fn is_quiescent(&self) -> bool {
         self.open.is_empty()
@@ -365,6 +444,7 @@ impl IntervalTreeBuilder {
         self.nodes.is_empty()
     }
 
+    #[inline]
     fn check_monotone(&mut self, at: TimeNs) -> Result<(), ModelError> {
         if let Some(prev) = self.last_event {
             if at < prev {
@@ -381,6 +461,7 @@ impl IntervalTreeBuilder {
     ///
     /// Fails if `at` precedes the previous event or if a second root is
     /// opened after the first root closed.
+    #[inline]
     pub fn enter(
         &mut self,
         kind: IntervalKind,
@@ -392,7 +473,9 @@ impl IntervalTreeBuilder {
             return Err(ModelError::MultipleRoots { at });
         }
         let parent = self.open.last().copied();
-        let depth = parent.map_or(0, |p| self.nodes[p.index()].depth + 1);
+        // The open stack holds exactly the new node's proper ancestors, so
+        // its length *is* the depth — no need to load the parent node.
+        let depth = u32::try_from(self.open.len()).expect("more than u32::MAX open intervals");
         let id = NodeId::from_raw(
             u32::try_from(self.nodes.len()).expect("more than u32::MAX tree nodes"),
         );
@@ -401,12 +484,8 @@ impl IntervalTreeBuilder {
             // invariant that intervals never invert.
             interval: Interval::new(kind, symbol, at, at),
             parent,
-            children: Vec::new(),
             depth,
         });
-        if let Some(p) = parent {
-            self.nodes[p.index()].children.push(id);
-        }
         self.open.push(id);
         Ok(id)
     }
@@ -416,6 +495,7 @@ impl IntervalTreeBuilder {
     /// # Errors
     ///
     /// Fails if no interval is open or `at` precedes the previous event.
+    #[inline]
     pub fn exit(&mut self, at: TimeNs) -> Result<NodeId, ModelError> {
         self.check_monotone(at)?;
         let id = self.open.pop().ok_or(ModelError::ExitWithoutEnter { at })?;
@@ -476,8 +556,12 @@ impl IntervalTreeBuilder {
         if self.nodes.is_empty() {
             return Err(ModelError::MissingRoot);
         }
+        let nodes = std::mem::take(&mut self.nodes);
+        let (child_ids, child_start) = derive_children(&nodes);
         let tree = IntervalTree {
-            nodes: std::mem::take(&mut self.nodes),
+            nodes,
+            child_ids,
+            child_start,
         };
         self.last_event = None;
         self.root_closed = false;

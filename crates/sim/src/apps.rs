@@ -67,6 +67,7 @@ fn profile(
         repaint_manager_fraction: 0.15,
         perceptible_median_ms,
         sample_period: DurationNs::from_millis(10),
+        extra_stack_frames: 0,
     }
 }
 

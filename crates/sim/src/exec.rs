@@ -26,6 +26,11 @@ pub struct ExecContext<'a> {
     pub background: BackgroundThreads,
     /// Stack-sampler cadence.
     pub sample_period: DurationNs,
+    /// Extra plumbing frames drawn beneath each sampled stack (see
+    /// [`crate::AppProfile::extra_stack_frames`]). Zero leaves the random
+    /// stream untouched, so default-profile sessions are bit-identical to
+    /// those generated before the knob existed.
+    pub extra_stack_frames: u64,
     /// Instrumentation cost the tracer adds per recorded interval event
     /// (enter or exit). Zero models LagAlyzer's idealized tracer; nonzero
     /// values drive the perturbation study the paper defers to future
@@ -324,16 +329,38 @@ fn gui_sample(
         };
         stack.push(frame);
     }
+    push_plumbing_frames(&mut stack, ctx);
     ThreadSample::new(ctx.gui_thread, state, stack)
+}
+
+/// Appends the deep event-pump / layout plumbing below the sampled frames
+/// when the profile asks for realistic stack depth. Draws nothing from the
+/// random stream when the knob is zero.
+fn push_plumbing_frames(stack: &mut Vec<StackFrame>, ctx: &mut ExecContext<'_>) {
+    if ctx.extra_stack_frames == 0 {
+        return;
+    }
+    let lo = ctx.extra_stack_frames / 2;
+    let n = ctx.rng.range_u64(lo, ctx.extra_stack_frames);
+    stack.reserve(n as usize);
+    for depth in 0..n {
+        let frame = if depth % 3 == 2 {
+            StackFrame::java(ctx.pool.app_method(ctx.symbols, ctx.rng, depth as usize))
+        } else {
+            StackFrame::java(ctx.pool.library_frame(ctx.symbols, ctx.rng))
+        };
+        stack.push(frame);
+    }
 }
 
 /// Draws a background thread's sample.
 fn background_sample(thread: ThreadId, runnable_p: f64, ctx: &mut ExecContext<'_>) -> ThreadSample {
     if ctx.rng.chance(runnable_p) {
-        let stack = vec![
+        let mut stack = vec![
             StackFrame::java(ctx.pool.app_method(ctx.symbols, ctx.rng, thread.index())),
             StackFrame::java(ctx.pool.library_frame(ctx.symbols, ctx.rng)),
         ];
+        push_plumbing_frames(&mut stack, ctx);
         ThreadSample::new(thread, ThreadState::Runnable, stack)
     } else {
         let stack = vec![StackFrame::java(
@@ -368,6 +395,7 @@ mod tests {
             gui_thread: ThreadId::from_raw(0),
             background: app.background,
             sample_period: app.sample_period,
+            extra_stack_frames: app.extra_stack_frames,
             tracer_overhead_per_event: DurationNs::ZERO,
         };
         let episode = execute_template(
@@ -437,6 +465,7 @@ mod tests {
                 gui_thread: ThreadId::from_raw(0),
                 background: app.background,
                 sample_period: app.sample_period,
+                extra_stack_frames: app.extra_stack_frames,
                 tracer_overhead_per_event: DurationNs::ZERO,
             };
             let episode = execute_template(
@@ -484,6 +513,7 @@ mod tests {
             gui_thread: ThreadId::from_raw(0),
             background: app.background,
             sample_period: app.sample_period,
+            extra_stack_frames: app.extra_stack_frames,
             tracer_overhead_per_event: DurationNs::ZERO,
         };
         let e = execute_template(
@@ -538,6 +568,7 @@ mod tests {
             gui_thread: ThreadId::from_raw(0),
             background: app.background,
             sample_period: app.sample_period,
+            extra_stack_frames: app.extra_stack_frames,
             tracer_overhead_per_event: DurationNs::ZERO,
         };
         let e = execute_template(

@@ -150,6 +150,15 @@ pub struct AppProfile {
     pub perceptible_median_ms: u64,
     /// Sampling cadence of the call-stack sampler.
     pub sample_period: DurationNs,
+    /// Extra plumbing frames drawn beneath each sampled stack.
+    ///
+    /// The default profiles keep this at zero and emit only the
+    /// semantically meaningful top frames, which keeps unit fixtures
+    /// small. Real EDT stacks in the paper's Swing subjects run tens of
+    /// frames deep (event pumps, repaint managers, layout recursion), so
+    /// workloads that should stress ingest realistically — the bench
+    /// corpus in particular — raise this to model that depth.
+    pub extra_stack_frames: u64,
 }
 
 impl AppProfile {
@@ -236,6 +245,7 @@ mod tests {
             repaint_manager_fraction: 0.1,
             perceptible_median_ms: 220,
             sample_period: DurationNs::from_millis(10),
+            extra_stack_frames: 0,
         }
     }
 

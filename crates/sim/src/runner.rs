@@ -99,6 +99,7 @@ pub fn simulate_session_perturbed(
             gui_thread,
             background: profile.background,
             sample_period: profile.sample_period,
+            extra_stack_frames: profile.extra_stack_frames,
             tracer_overhead_per_event,
         };
         let episode = match item {
@@ -322,6 +323,48 @@ mod tests {
             .map(|e| e.duration().as_nanos())
             .collect();
         assert_ne!(da, db);
+    }
+
+    #[test]
+    fn extra_stack_frames_deepen_stacks_and_zero_is_the_status_quo() {
+        fn max_depth(trace: &SessionTrace) -> usize {
+            trace
+                .episodes()
+                .iter()
+                .flat_map(lagalyzer_model::Episode::samples)
+                .flat_map(|snap| snap.threads.iter())
+                .map(|t| t.stack.len())
+                .max()
+                .unwrap_or(0)
+        }
+        fn bytes(trace: &SessionTrace) -> Vec<u8> {
+            let mut out = Vec::new();
+            binary::write(trace, &mut out).unwrap();
+            out
+        }
+
+        let base = apps::crossword_sage();
+        assert_eq!(
+            base.extra_stack_frames, 0,
+            "calibrated profiles stay shallow"
+        );
+        let mut deep = base.clone();
+        deep.extra_stack_frames = 24;
+
+        let shallow = simulate_session(&base, 0, 7);
+        let deepened = simulate_session(&deep, 0, 7);
+        assert!(
+            max_depth(&deepened) > max_depth(&shallow) + 8,
+            "24 plumbing frames must visibly deepen stacks: {} vs {}",
+            max_depth(&deepened),
+            max_depth(&shallow)
+        );
+
+        // Zero draws nothing from the random stream, so a profile with the
+        // knob explicitly at zero reproduces the default bit-for-bit.
+        let mut zeroed = deep;
+        zeroed.extra_stack_frames = 0;
+        assert_eq!(bytes(&simulate_session(&zeroed, 0, 7)), bytes(&shallow));
     }
 
     #[test]

@@ -123,6 +123,7 @@ fn profile_from(p: &FuzzParams) -> AppProfile {
         repaint_manager_fraction: 0.2,
         perceptible_median_ms: 200,
         sample_period: DurationNs::from_millis(10),
+        extra_stack_frames: 0,
     }
 }
 

@@ -24,10 +24,13 @@
 //! [`EpisodeFilter`] evaluated against index entries alone implements
 //! skip-decode filtering: excluded episodes' bytes are never parsed.
 
-use lagalyzer_model::parallel::map_shards;
+use std::ops::Range;
+
+use lagalyzer_model::parallel::map_shards_init;
 use lagalyzer_model::{
-    DurationNs, Episode, EpisodeBuilder, EpisodeId, GcEvent, IntervalKind, IntervalTreeBuilder,
-    SessionMeta, SessionTrace, SessionTraceBuilder, SymbolTable, ThreadState, TimeNs,
+    DurationNs, Episode, EpisodeBuilder, EpisodeFragment, EpisodeId, GcEvent, IntervalKind,
+    IntervalTreeBuilder, MethodRef, SampleSnapshot, SessionMeta, SessionTrace, SessionTraceBuilder,
+    StackFrame, SymbolId, SymbolTable, ThreadId, ThreadSample, ThreadState, TimeNs,
 };
 
 use crate::binary::{fnv1a, read_header, read_record, tag, MAGIC_PREFIX, MAX_RECORDS};
@@ -403,18 +406,12 @@ fn decode_extents(
 
 /// Reads one varint `u64` from `bytes[*pos..end]`, advancing `pos`.
 fn take_u64(bytes: &[u8], pos: &mut usize, end: usize) -> Result<u64, TraceError> {
-    let mut r = &bytes[*pos..end];
-    let v = varint::read_u64(&mut r)?;
-    *pos = end - r.len();
-    Ok(v)
+    varint::read_u64_at(bytes, pos, end)
 }
 
 /// Reads one varint `u32` from `bytes[*pos..end]`, advancing `pos`.
 fn take_u32(bytes: &[u8], pos: &mut usize, end: usize) -> Result<u32, TraceError> {
-    let mut r = &bytes[*pos..end];
-    let v = varint::read_u32(&mut r)?;
-    *pos = end - r.len();
-    Ok(v)
+    varint::read_u32_at(bytes, pos, end)
 }
 
 fn take_byte(
@@ -924,17 +921,50 @@ impl IndexedTrace {
     /// to a well-formed episode (possible only when the index disagrees
     /// with the records — e.g. a handcrafted footer).
     pub fn decode_episode(&self, i: usize) -> Result<Episode, TraceError> {
+        self.decode_episode_with(i, &mut DecodeScratch::default())
+    }
+
+    /// Decodes episode `i` reusing per-worker `scratch` — the hot inner
+    /// loop of [`par_decode`](IndexedTrace::par_decode).
+    ///
+    /// On error the scratch is reset, so a reused builder can never leak a
+    /// failed episode's partial state into the next decode.
+    fn decode_episode_with(
+        &self,
+        i: usize,
+        scratch: &mut DecodeScratch,
+    ) -> Result<Episode, TraceError> {
+        let result = self.decode_episode_inner(i, scratch);
+        if result.is_err() {
+            scratch.tree.reset();
+        }
+        result
+    }
+
+    fn decode_episode_inner(
+        &self,
+        i: usize,
+        scratch: &mut DecodeScratch,
+    ) -> Result<Episode, TraceError> {
+        const MAX_VEC: u64 = 1 << 24;
         let extent = *self.extents.get(i).ok_or_else(|| {
             TraceError::corrupt("episode extent", format!("no episode {i} in the index"))
         })?;
         let span = &self.bytes[extent.offset as usize..(extent.offset + extent.len) as usize];
-        let mut r = span;
-        let TraceRecord::EpisodeBegin { id, thread } = read_record(&mut r)? else {
+        let end = span.len();
+        let mut pos = 0usize;
+        if take_byte(span, &mut pos, end, "record tag")? != tag::EP_BEGIN {
+            // Match the strict reader: a malformed first record reports
+            // its own corruption, a well-formed non-begin one is a layout
+            // error.
+            read_record(&mut &span[..])?;
             return Err(TraceError::corrupt(
                 "episode extent",
                 "extent does not start with an episode begin",
             ));
-        };
+        }
+        let id = EpisodeId::from_raw(take_u32(span, &mut pos, end)?);
+        let thread = ThreadId::from_raw(take_u32(span, &mut pos, end)?);
         if id != extent.id {
             return Err(TraceError::corrupt(
                 "episode extent",
@@ -945,46 +975,106 @@ impl IndexedTrace {
                 ),
             ));
         }
-        let mut tree = IntervalTreeBuilder::new();
-        let mut samples = Vec::new();
+        // The extent's counts size both arenas in one allocation; they are
+        // capacity hints only (a lying footer still decodes correctly, its
+        // growth just paced by the actual input like the serial reader's).
+        let tree = &mut scratch.tree;
+        tree.reserve_nodes((extent.intervals as usize).min(1 << 20));
+        let mut samples: Vec<SampleSnapshot> =
+            Vec::with_capacity((extent.samples as usize).min(1024));
         loop {
-            if r.is_empty() {
+            if pos >= end {
                 return Err(TraceError::corrupt(
                     "episode extent",
                     "extent ends before the episode does",
                 ));
             }
-            match read_record(&mut r)? {
-                TraceRecord::Enter { kind, symbol, at } => {
+            match take_byte(span, &mut pos, end, "record tag")? {
+                tag::ENTER => {
+                    let kind_tag = take_byte(span, &mut pos, end, "enter record")?;
+                    let kind = IntervalKind::from_tag(kind_tag).ok_or_else(|| {
+                        TraceError::corrupt("enter record", format!("bad kind tag {kind_tag}"))
+                    })?;
+                    let symbol = if take_bool(span, &mut pos, end, "enter record")? {
+                        Some(MethodRef {
+                            class: SymbolId::from_raw(take_u32(span, &mut pos, end)?),
+                            method: SymbolId::from_raw(take_u32(span, &mut pos, end)?),
+                        })
+                    } else {
+                        None
+                    };
+                    let at = TimeNs::from_nanos(take_u64(span, &mut pos, end)?);
                     tree.enter(kind, symbol, at)?;
                 }
-                TraceRecord::Exit { at } => {
-                    tree.exit(at)?;
+                tag::EXIT => {
+                    tree.exit(TimeNs::from_nanos(take_u64(span, &mut pos, end)?))?;
                 }
-                TraceRecord::Sample(snap) => samples.push(snap),
-                TraceRecord::EpisodeEnd => break,
+                tag::SAMPLE => {
+                    let time = TimeNs::from_nanos(take_u64(span, &mut pos, end)?);
+                    let n_threads = take_u64(span, &mut pos, end)?;
+                    if n_threads > MAX_VEC {
+                        return Err(TraceError::corrupt("sample record", "thread count cap"));
+                    }
+                    let mut threads = Vec::with_capacity(n_threads.min(1024) as usize);
+                    for _ in 0..n_threads {
+                        let thread = ThreadId::from_raw(take_u32(span, &mut pos, end)?);
+                        let state_tag = take_byte(span, &mut pos, end, "sample record")?;
+                        let state = ThreadState::from_tag(state_tag).ok_or_else(|| {
+                            TraceError::corrupt(
+                                "sample record",
+                                format!("bad state tag {state_tag}"),
+                            )
+                        })?;
+                        let n_frames = take_u64(span, &mut pos, end)?;
+                        if n_frames > MAX_VEC {
+                            return Err(TraceError::corrupt("sample record", "frame count cap"));
+                        }
+                        let mut stack = Vec::with_capacity(n_frames.min(1024) as usize);
+                        for _ in 0..n_frames {
+                            let method = MethodRef {
+                                class: SymbolId::from_raw(take_u32(span, &mut pos, end)?),
+                                method: SymbolId::from_raw(take_u32(span, &mut pos, end)?),
+                            };
+                            let native = take_bool(span, &mut pos, end, "sample record")?;
+                            stack.push(StackFrame { method, native });
+                        }
+                        threads.push(ThreadSample::new(thread, state, stack));
+                    }
+                    samples.push(SampleSnapshot::new(time, threads));
+                }
+                tag::EP_END => break,
                 // Salvage-derived extents may interleave session-level
                 // records inside an episode span; they were absorbed at
-                // open time, so just step over them here.
-                TraceRecord::Symbol { .. }
-                | TraceRecord::Gc(_)
-                | TraceRecord::ShortEpisodes { .. } => {}
-                TraceRecord::EpisodeBegin { .. } => {
+                // open time, so decode them with the strict reader (same
+                // validation, cold path) and step over them here.
+                tag::SYMBOL | tag::GC | tag::SHORT => {
+                    let mut r = &span[pos - 1..end];
+                    read_record(&mut r)?;
+                    pos = end - r.len();
+                }
+                tag::EP_BEGIN => {
                     return Err(TraceError::corrupt(
                         "episode extent",
                         "nested episode begin inside an extent",
                     ));
                 }
+                other => {
+                    return Err(TraceError::corrupt(
+                        "record tag",
+                        format!("unknown tag {other}"),
+                    ));
+                }
             }
         }
-        if !r.is_empty() {
+        if pos != end {
             return Err(TraceError::corrupt(
                 "episode extent",
                 "trailing bytes after the episode end",
             ));
         }
+        let finished = tree.finish_reset()?;
         Ok(EpisodeBuilder::new(id, thread)
-            .tree(tree.finish()?)
+            .tree(finished)
             .samples(samples)
             .build()?)
     }
@@ -1006,33 +1096,51 @@ impl IndexedTrace {
     /// parsed. Session-level state (GC events, short-episode counts) is
     /// always preserved.
     ///
+    /// Each worker thread keeps one [`DecodeScratch`] alive across every
+    /// extent shard it claims and decodes its shard into an
+    /// [`EpisodeFragment`]; fragments are then merged structurally in
+    /// shard order (one `Vec::append` each) instead of re-pushing every
+    /// episode through a single serial builder. Ordering is enforced
+    /// inside the fragments as the workers fill them, so the merge only
+    /// checks shard boundaries — the union of those checks is exactly the
+    /// serial reader's adjacent-pair validation.
+    ///
     /// # Errors
     ///
-    /// Propagates the first extent decode failure.
+    /// Propagates the first (in episode order) extent decode failure.
     pub fn par_decode_filtered(
         &self,
         jobs: usize,
         filter: &EpisodeFilter,
     ) -> Result<SessionTrace, TraceError> {
-        let indices: Vec<usize> = (0..self.extents.len())
-            .filter(|&i| filter.admits_extent(&self.extents[i]))
-            .collect();
-        let shards = map_shards(indices.len(), jobs, |range| {
-            indices[range]
-                .iter()
-                .map(|&i| self.decode_episode(i))
-                .collect::<Result<Vec<Episode>, TraceError>>()
-        });
+        // After `open_salvage`, ordering was already enforced during the
+        // scan; mirror the serial salvage path and drop defensively
+        // instead of failing.
+        let lenient = self.salvage.is_some();
+        let shards = if filter.is_unrestricted() {
+            // Skip materializing an index vector when every extent is
+            // admitted: shard the extent table directly.
+            map_shards_init(self.extents.len(), jobs, DecodeScratch::default, |s, r| {
+                self.decode_fragment(r, None, s, lenient)
+            })
+        } else {
+            let indices: Vec<usize> = (0..self.extents.len())
+                .filter(|&i| filter.admits_extent(&self.extents[i]))
+                .collect();
+            map_shards_init(indices.len(), jobs, DecodeScratch::default, |s, r| {
+                self.decode_fragment(r, Some(&indices), s, lenient)
+            })
+        };
+        let fragments = shards
+            .into_iter()
+            .collect::<Result<Vec<EpisodeFragment>, TraceError>>()?;
         let mut b = SessionTraceBuilder::new(self.meta.clone(), self.symbols.clone());
-        for shard in shards {
-            for episode in shard? {
-                if self.salvage.is_some() {
-                    // Mirror the serial salvage path: ordering was already
-                    // enforced during the scan, drop defensively.
-                    let _ = b.push_episode(episode);
-                } else {
-                    b.push_episode(episode)?;
-                }
+        b.reserve_episodes(fragments.iter().map(EpisodeFragment::len).sum());
+        for fragment in fragments {
+            if lenient {
+                b.append_fragment_lenient(fragment);
+            } else {
+                b.append_fragment(fragment)?;
             }
         }
         for gc in &self.gc_events {
@@ -1041,6 +1149,44 @@ impl IndexedTrace {
         b.add_short_episodes(self.short_episode_count, self.short_episode_time);
         Ok(b.finish())
     }
+
+    /// Decodes one shard of extent slots into an ordered fragment.
+    ///
+    /// `slots` indexes either the extent table directly (`indices` is
+    /// `None`, the unrestricted fast path) or a precomputed list of
+    /// filter-admitted extent indices.
+    fn decode_fragment(
+        &self,
+        slots: Range<usize>,
+        indices: Option<&[usize]>,
+        scratch: &mut DecodeScratch,
+        lenient: bool,
+    ) -> Result<EpisodeFragment, TraceError> {
+        let mut fragment = EpisodeFragment::with_capacity(slots.len());
+        for slot in slots {
+            let i = indices.map_or(slot, |ix| ix[slot]);
+            let episode = self.decode_episode_with(i, scratch)?;
+            if lenient {
+                fragment.push_lenient(episode);
+            } else {
+                fragment.push(episode)?;
+            }
+        }
+        Ok(fragment)
+    }
+}
+
+/// Per-worker decode scratch, built once per worker thread and reused
+/// across every extent it decodes.
+///
+/// The interval-tree builder's open-interval stack survives between
+/// episodes ([`IntervalTreeBuilder::finish_reset`] hands the node arena to
+/// the finished tree but keeps the stack); the arena itself is pre-sized
+/// per episode from the extent's interval count, so a decode makes one
+/// node allocation instead of a geometric growth series.
+#[derive(Default)]
+struct DecodeScratch {
+    tree: IntervalTreeBuilder,
 }
 
 /// Cheap index-health probe for diagnostics (`lagalyzer lint`): reports

@@ -146,9 +146,10 @@ impl<R: Read> EpisodeStream<R> {
         let result = self.next_episode_inner();
         if result.is_err() {
             // Match the fresh-per-episode semantics: a failed assembly
-            // never leaks partial state into the next call.
+            // never leaks partial state into the next call. `reset` keeps
+            // the builder's allocations for the episodes that follow.
             self.current = None;
-            self.builder = IntervalTreeBuilder::new();
+            self.builder.reset();
             self.samples.clear();
         }
         result
@@ -170,7 +171,7 @@ impl<R: Read> EpisodeStream<R> {
                     if self.current.replace((id, thread)).is_some() {
                         // A begin without the previous end: drop the
                         // partial assembly, as a fresh builder would.
-                        self.builder = IntervalTreeBuilder::new();
+                        self.builder.reset();
                         self.samples.clear();
                     }
                 }

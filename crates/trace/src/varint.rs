@@ -59,6 +59,93 @@ pub fn read_u64<R: Read>(r: &mut R) -> Result<u64, TraceError> {
     }
 }
 
+/// Reads an unsigned LEB128 value from `bytes[*pos..end]`, advancing
+/// `pos` past the encoding.
+///
+/// Semantics are byte-for-byte identical to [`read_u64`] — the same
+/// truncation, >10-byte, overflow, and non-minimal rejections — but the
+/// hot path decodes a whole word at a time instead of paying an
+/// `io::Read` virtual dispatch and `read_exact` bounds dance per byte.
+/// This is the decode hot path: an indexed episode decode reads one
+/// varint every few bytes, and event timestamps routinely encode to 5–7
+/// bytes.
+///
+/// # Errors
+///
+/// Fails with an I/O `UnexpectedEof` when the encoding runs past `end`,
+/// and with the same corruption errors as [`read_u64`] otherwise.
+pub fn read_u64_at(bytes: &[u8], pos: &mut usize, end: usize) -> Result<u64, TraceError> {
+    /// The continuation bit of each lane.
+    const CONT: u64 = 0x8080_8080_8080_8080;
+    let end = end.min(bytes.len());
+    let p = *pos;
+    // SWAR fast path: load 8 bytes, find the terminator (the first byte
+    // with its continuation bit clear), and compact the 7-bit payload
+    // groups with three shift/mask rounds. Covers every encoding of up to
+    // 8 bytes — values below 2^56, i.e. all ids, counts, and timestamps a
+    // writer actually emits — away from the buffer tail.
+    if p + 8 <= end {
+        let chunk = u64::from_le_bytes(bytes[p..p + 8].try_into().expect("8-byte slice"));
+        let stops = !chunk & CONT;
+        if stops != 0 {
+            let n = (stops.trailing_zeros() / 8) as usize + 1;
+            // Non-minimal form: a multi-byte chain whose final byte
+            // carries no payload (same rejection as the byte loop).
+            if n > 1 && (chunk >> (8 * (n - 1))) & 0x7f == 0 {
+                return Err(TraceError::corrupt("varint", "over-long encoding"));
+            }
+            let mask = if n == 8 {
+                u64::MAX
+            } else {
+                (1u64 << (8 * n)) - 1
+            };
+            let mut v = chunk & mask & !CONT;
+            v = (v & 0x007f_007f_007f_007f) | ((v & 0x7f00_7f00_7f00_7f00) >> 1);
+            v = (v & 0x0000_3fff_0000_3fff) | ((v & 0x3fff_0000_3fff_0000) >> 2);
+            v = (v & 0x0000_0000_0fff_ffff) | ((v & 0x0fff_ffff_0000_0000) >> 4);
+            *pos = p + n;
+            return Ok(v);
+        }
+        // All 8 bytes are continuations: a 9–10 byte encoding (or a
+        // corrupt chain); the byte loop below handles its checks.
+    }
+    let mut value: u64 = 0;
+    let mut shift = 0u32;
+    let mut p = p;
+    loop {
+        if p >= end {
+            return Err(TraceError::Io(std::io::Error::from(
+                std::io::ErrorKind::UnexpectedEof,
+            )));
+        }
+        let byte = bytes[p];
+        p += 1;
+        if shift >= 64 {
+            return Err(TraceError::corrupt("varint", "more than 10 bytes"));
+        }
+        let payload = u64::from(byte & 0x7f);
+        if shift == 63 && payload > 1 {
+            return Err(TraceError::corrupt("varint", "overflows u64"));
+        }
+        if shift > 0 && payload == 0 && byte & 0x80 == 0 {
+            return Err(TraceError::corrupt("varint", "over-long encoding"));
+        }
+        value |= payload << shift;
+        if byte & 0x80 == 0 {
+            *pos = p;
+            return Ok(value);
+        }
+        shift += 7;
+    }
+}
+
+/// Reads a `u32` from `bytes[*pos..end]` via [`read_u64_at`], rejecting
+/// values out of range.
+pub fn read_u32_at(bytes: &[u8], pos: &mut usize, end: usize) -> Result<u32, TraceError> {
+    let v = read_u64_at(bytes, pos, end)?;
+    u32::try_from(v).map_err(|_| TraceError::corrupt("varint", format!("{v} overflows u32")))
+}
+
 /// Writes a `u32` via the `u64` encoding.
 pub fn write_u32<W: Write>(w: &mut W, value: u32) -> Result<(), TraceError> {
     write_u64(w, u64::from(value))
@@ -224,6 +311,76 @@ mod tests {
             let _ = read_u64(&mut &bytes[..]);
             let _ = read_u32(&mut &bytes[..]);
             let _ = read_str(&mut &bytes[..]);
+        }
+    }
+
+    #[test]
+    fn slice_reader_agrees_with_io_reader() {
+        // Valid encodings, truncations, over-long chains, overflow: the
+        // slice cursor must accept and reject exactly what the io reader
+        // does, and leave `pos` exactly past what it consumed.
+        let mut cases: Vec<Vec<u8>> = Vec::new();
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16_384,
+            1 << 20,
+            481_000_000_000, // a session-scale timestamp: a 6-byte encoding
+            u64::from(u32::MAX),
+            (1 << 56) - 1, // longest encoding the word-at-a-time path covers
+            1 << 56,       // first value that falls through to the byte loop
+            u64::MAX,
+        ] {
+            let mut buf = Vec::new();
+            write_u64(&mut buf, v).unwrap();
+            cases.push(buf);
+        }
+        cases.extend(
+            [
+                &[][..],
+                &[0x80][..],
+                &[0x80; 11][..],
+                &[0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f][..],
+                &[0x80, 0x00][..],
+                &[0xff, 0x00][..],
+                &[0x80, 0x80, 0x00][..],
+                &[0x81, 0x80, 0x80, 0x80, 0x80, 0x00][..],
+            ]
+            .map(<[u8]>::to_vec),
+        );
+        for case in &cases {
+            // Embed each case mid-buffer so `pos`/`end` handling is tested
+            // too, with trailing bytes the reader must not touch. Check
+            // each case under two windows: a tight one ending exactly at
+            // the case (forces the slice cursor's byte loop) and a loose
+            // one including the padding (lets its word-at-a-time path
+            // fire); both readers always see the same window, so behavior
+            // must agree under each.
+            let mut buf = vec![0xaau8; 3];
+            buf.extend_from_slice(case);
+            buf.extend_from_slice(&[0x01; 9]);
+            for end in [3 + case.len(), buf.len()] {
+                let mut pos = 3usize;
+                let via_slice = read_u64_at(&buf, &mut pos, end);
+                let mut r = &buf[3..end];
+                let via_io = read_u64(&mut r);
+                match (via_slice, via_io) {
+                    (Ok(a), Ok(b)) => {
+                        assert_eq!(a, b, "case {case:?} end {end}");
+                        assert_eq!(
+                            pos,
+                            end - r.len(),
+                            "case {case:?} end {end}: consumed differs"
+                        );
+                    }
+                    (Err(TraceError::Io(_)), Err(TraceError::Io(_))) => {}
+                    (Err(TraceError::Corrupt { .. }), Err(TraceError::Corrupt { .. })) => {}
+                    (a, b) => panic!("case {case:?} end {end}: slice {a:?} vs io {b:?}"),
+                }
+            }
         }
     }
 

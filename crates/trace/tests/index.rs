@@ -296,6 +296,74 @@ fn filter_admits_extents_and_episodes_identically() {
     }
 }
 
+/// Deterministic jobs sweep over every trace class the decoder handles:
+/// clean v2, legacy v1, fault-injected-then-salvaged, and filtered. The
+/// proptest suites below cover the same properties over random inputs;
+/// this test pins the exact `jobs ∈ {1, 2, 3, 8}` matrix on a fixed
+/// corpus so a scheduling bug cannot hide behind shrinking.
+#[test]
+fn par_decode_byte_identical_at_every_job_count() {
+    const JOBS: [usize; 4] = [1, 2, 3, 8];
+    let trace = fixed_trace(23);
+
+    // Clean v2 (footer) and legacy v1 (scan-built index).
+    let v2 = encode(&trace);
+    let serial = binary::read(v2.as_slice()).unwrap();
+    let indexed = IndexedTrace::open(v2.clone()).unwrap();
+    let legacy = IndexedTrace::open(encode_legacy(&trace)).unwrap();
+    for jobs in JOBS {
+        assert_byte_identical(&indexed.par_decode(jobs).unwrap(), &serial);
+        assert_byte_identical(&legacy.par_decode(jobs).unwrap(), &serial);
+    }
+
+    // Fault-injected: whenever salvage opens, every job count must agree
+    // with the serial salvage reader.
+    let mut injector = FaultInjector::new(0xC1);
+    let mut salvaged_cases = 0;
+    for _ in 0..16 {
+        let (damaged, _fault) = injector.inject(&v2);
+        let (Ok(serial), Ok(indexed)) = (
+            read_bytes_salvage(&damaged),
+            IndexedTrace::open_salvage(damaged.clone()),
+        ) else {
+            continue;
+        };
+        salvaged_cases += 1;
+        for jobs in JOBS {
+            assert_byte_identical(&indexed.par_decode(jobs).unwrap(), &serial.trace);
+        }
+    }
+    assert!(salvaged_cases > 0, "no injected fault was salvageable");
+
+    // Filter that excludes some episodes (durations alternate through
+    // 20/110/200/290 ms, so a 100 ms minimum drops a quarter of them).
+    let filter = EpisodeFilter::new().min_duration(DurationNs::PERCEPTIBLE_DEFAULT);
+    let expected = filter.retain(serial);
+    assert!(expected.episodes().len() < trace.episodes().len());
+    assert!(!expected.episodes().is_empty());
+    for jobs in JOBS {
+        assert_byte_identical(
+            &indexed.par_decode_filtered(jobs, &filter).unwrap(),
+            &expected,
+        );
+    }
+}
+
+/// Shard batching hands each worker contiguous ascending extent ranges,
+/// so the decoded episodes come back in exactly the serial order no
+/// matter how many workers claim batches.
+#[test]
+fn shard_batching_preserves_episode_ordering() {
+    let trace = fixed_trace(57);
+    let indexed = IndexedTrace::open(encode(&trace)).unwrap();
+    let expected: Vec<EpisodeId> = trace.episodes().iter().map(Episode::id).collect();
+    for jobs in [1, 2, 3, 8] {
+        let decoded = indexed.par_decode(jobs).unwrap();
+        let order: Vec<EpisodeId> = decoded.episodes().iter().map(Episode::id).collect();
+        assert_eq!(order, expected, "jobs={jobs} permuted the episode order");
+    }
+}
+
 #[test]
 fn empty_trace_round_trips_with_empty_index() {
     let trace = build_trace(&[], 0);
