@@ -9,6 +9,8 @@
 //! * `sketch` — render an episode sketch (SVG or ASCII);
 //! * `lint` — check a trace file for damage and print the salvage report;
 //! * `check` — run the semantic rule checker and print its diagnostics;
+//! * `outliers` — flag per-pattern duration outliers and attribute each
+//!   one's excess to a cause (lock wait, GC, slow I/O, self time);
 //! * `experiments` — regenerate every table and figure of the paper.
 //!
 //! Exit codes: `0` success on a clean trace, `1` usage or I/O error,
@@ -98,6 +100,7 @@ fn run(args: &[String]) -> Result<ExitCode, Failure> {
         "diff" => cmd_diff(rest),
         "lint" => cmd_lint(rest),
         "check" => cmd_check(rest),
+        "outliers" => cmd_outliers(rest),
         "experiments" => cmd_experiments(rest),
         "help" | "--help" | "-h" => {
             print_usage();
@@ -124,6 +127,11 @@ fn print_usage() {
            lint FILE                          check a trace for damage; print the salvage report and index health\n\
            check FILE [--format text|json] [--allow CODE] [--deny CODE] [--level CODE=SEV] [--fix-report FILE.json]\n\
                                               run the semantic rule checker (codes LA001..)\n\
+           outliers FILE [--format text|json] [--mad-k K] [--min-excess-ms MS] [--min-count N]\n\
+                    [--explain N] [--jobs N] [--salvage]\n\
+                                              flag per-pattern duration outliers and attribute\n\
+                                              each one's excess (codes OC-LOCK, OC-WAIT, OC-SLEEP,\n\
+                                              OC-GC, OC-IO, OC-NATIVE, OC-SELF)\n\
            sketch FILE [--episode N | --pattern N [--gallery]] [--ascii] [--out FILE.svg]\n\
                                               render an episode sketch\n\
            timeline FILE [--out FILE.svg]     render the whole-session timeline\n\
@@ -462,6 +470,14 @@ fn cmd_analyze(args: &[String]) -> Result<ExitCode, Failure> {
     );
     println!("mean tree size    {:.1}", stats.mean_tree_size);
     println!("mean tree depth   {:.1}", stats.mean_tree_depth);
+    {
+        // Per-pattern outlier scan with the default config; the dedicated
+        // `outliers` subcommand exposes the knobs and the full report.
+        let patterns = session.mine_patterns_with_jobs(jobs);
+        let outliers =
+            OutlierReport::analyze_with_jobs(&session, &patterns, &OutlierConfig::default(), jobs);
+        println!("outliers          {}", outliers.summary());
+    }
     if let Some(check) = session.check_outcome() {
         println!(
             "semantic check    {} error(s), {} warning(s), {} note(s)",
@@ -574,6 +590,163 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, Failure> {
         fs::write(out, json).map_err(|e| format!("cannot write {out}: {e}"))?;
     }
     Ok(ExitCode::from(report.exit_code()))
+}
+
+/// Value-taking flags of the `outliers` subcommand (on top of the shared
+/// trace-loading ones).
+const OUTLIER_VALUE_FLAGS: &[&str] = &[
+    "--threshold-ms",
+    "--jobs",
+    "--min-lag",
+    "--since-ms",
+    "--until-ms",
+    "--format",
+    "--mad-k",
+    "--min-excess-ms",
+    "--min-count",
+    "--explain",
+];
+
+/// Builds the outlier detection config from `--mad-k`, `--min-excess-ms`
+/// and `--min-count`.
+fn parse_outlier_config(args: &[String]) -> Result<OutlierConfig, Failure> {
+    let mut config = OutlierConfig::default();
+    if let Some(v) = opt_value(args, "--mad-k") {
+        let k: f64 = v
+            .parse()
+            .map_err(|_| format!("--mad-k expects a number, got {v:?}"))?;
+        if !k.is_finite() || k <= 0.0 {
+            return Err(format!("--mad-k must be a positive number, got {v:?}").into());
+        }
+        config.mad_k = k;
+    }
+    if let Some(v) = opt_value(args, "--min-excess-ms") {
+        let ms: u64 = v
+            .parse()
+            .map_err(|_| format!("--min-excess-ms expects milliseconds, got {v:?}"))?;
+        config.min_excess = DurationNs::from_millis(ms);
+    }
+    if let Some(v) = opt_value(args, "--min-count") {
+        let n: usize = v
+            .parse()
+            .map_err(|_| format!("--min-count expects a number, got {v:?}"))?;
+        config.min_count = n.max(2);
+    }
+    Ok(config)
+}
+
+fn cmd_outliers(args: &[String]) -> Result<ExitCode, Failure> {
+    let positionals = positional_args(args, OUTLIER_VALUE_FLAGS);
+    let path = positionals
+        .first()
+        .ok_or("outliers requires a trace file")?;
+    let format = opt_value(args, "--format").unwrap_or("text");
+    if format != "text" && format != "json" {
+        return Err(format!("unknown format {format:?}; expected text or json").into());
+    }
+    let jobs = parse_jobs(args)?;
+    let config = parse_outlier_config(args)?;
+    let session = session_from(args, path)?;
+    let patterns = session.mine_patterns_with_jobs(jobs);
+    let mut report = OutlierReport::analyze_with_jobs(&session, &patterns, &config, jobs);
+
+    // On indexed binary traces, stamp each finding with the byte span of
+    // its episode's records (same provenance `check` diagnostics carry),
+    // and keep the index around so `--explain` can re-decode a flagged
+    // episode without touching any other extent.
+    let indexed: Option<IndexedTrace> = match fs::read(path.as_str()) {
+        Ok(bytes) if bytes.starts_with(b"LGLZTRC") => {
+            if opt_flag(args, "--salvage") {
+                IndexedTrace::open_salvage(bytes).ok()
+            } else {
+                IndexedTrace::open(bytes).ok()
+            }
+        }
+        _ => None,
+    };
+    if let Some(indexed) = &indexed {
+        report.attach_spans(|id| {
+            indexed
+                .extents()
+                .iter()
+                .find(|e| e.id == id)
+                .map(|e| (e.offset, e.offset + e.len))
+        });
+    }
+
+    if format == "json" {
+        println!("{}", report.render_json(session.trace().symbols()));
+    } else {
+        print!("{}", report.render_text(session.trace().symbols()));
+    }
+
+    if let Some(v) = opt_value(args, "--explain") {
+        let index: usize = v
+            .parse()
+            .map_err(|_| format!("--explain expects a finding index, got {v:?}"))?;
+        let finding = report
+            .findings()
+            .get(index)
+            .ok_or_else(|| format!("report has {} finding(s), no index {index}", report.len()))?;
+        explain_finding(&session, indexed.as_ref(), finding, jobs)?;
+    }
+    Ok(exit_for(&session))
+}
+
+/// Prints the deep-dive for one finding: the wait-edge evidence and an
+/// ASCII sketch. On an indexed binary trace the episode is re-decoded
+/// through [`IndexedTrace::par_decode_subset`] — only the flagged extent's
+/// bytes are touched, demonstrating the skip-decode path the report's byte
+/// spans point at.
+fn explain_finding(
+    session: &AnalysisSession,
+    indexed: Option<&IndexedTrace>,
+    finding: &lagalyzer_core::OutlierFinding,
+    jobs: usize,
+) -> Result<ExitCode, Failure> {
+    let subset_decoded: Option<Episode> = indexed.and_then(|ix| {
+        let pos = ix
+            .extents()
+            .iter()
+            .position(|e| e.id == finding.episode_id)?;
+        ix.par_decode_subset(jobs, &[pos]).ok()?.pop()
+    });
+    let episode = match &subset_decoded {
+        Some(e) => e,
+        None => session
+            .episodes()
+            .get(finding.episode_index)
+            .ok_or("finding points outside the decoded session")?,
+    };
+    let symbols = session.trace().symbols();
+    println!(
+        "\nepisode {} — {} ({}), excess +{}ms over the pattern median",
+        finding.episode_id.as_raw(),
+        finding.cause.code(),
+        finding.cause.label(),
+        finding.excess.as_nanos() / 1_000_000,
+    );
+    let graph = lagalyzer_model::WaitGraph::extract(episode);
+    if graph.wait_samples() > 0 {
+        println!(
+            "wait edges: {} blocked + {} waiting sample(s)",
+            graph.blocked_samples, graph.waiting_samples
+        );
+        for holder in graph.holders().iter().take(5) {
+            println!(
+                "  t{:<4} {:>4} sample(s)  {}",
+                holder.thread.as_raw(),
+                holder.samples,
+                holder
+                    .top_frame
+                    .map_or_else(|| "<vm>".to_string(), |(m, _)| symbols.render(m)),
+            );
+        }
+    } else {
+        println!("wait edges: none (dispatch thread never sampled blocked/waiting)");
+    }
+    print!("{}", ascii_sketch(episode, symbols, 100));
+    Ok(ExitCode::SUCCESS)
 }
 
 fn cmd_sketch(args: &[String]) -> Result<ExitCode, Failure> {

@@ -173,4 +173,34 @@ mod tests {
         let s = session(vec![]);
         assert_eq!(CauseStats::of_all(&s), CauseStats::default());
     }
+
+    /// Episodes exist but carry zero samples: the partition must stay
+    /// all-zero and finite, never 0/0.
+    #[test]
+    fn sampleless_episodes_are_zero_not_nan() {
+        let s = session(vec![
+            episode_with_states(0, 0, 50, &[]),
+            episode_with_states(1, 100, 50, &[]),
+        ]);
+        let c = CauseStats::of_all(&s);
+        assert_eq!(c, CauseStats::default());
+        assert!(c.synchronization().is_finite());
+        assert_eq!(c.synchronization(), 0.0);
+    }
+
+    /// A session whose every episode falls below the perceptibility
+    /// threshold gives the perceptible partition an empty input set;
+    /// the fractions must come back zero and finite.
+    #[test]
+    fn all_imperceptible_session_has_finite_perceptible_partition() {
+        use ThreadState::*;
+        let s = session(vec![
+            episode_with_states(0, 0, 20, &[Runnable]),
+            episode_with_states(1, 100, 30, &[Blocked]),
+        ]);
+        assert_eq!(s.perceptible_episodes().count(), 0, "fixture went stale");
+        let c = CauseStats::of_perceptible(&s);
+        assert_eq!(c, CauseStats::default());
+        assert!(c.synchronization().is_finite());
+    }
 }

@@ -27,6 +27,8 @@
 //! * [`aggregate`] — averaging across an application's sessions;
 //! * [`multi`] — merging patterns across several traces (paper §VI:
 //!   "integrates multiple traces in its analysis");
+//! * [`outliers`] — per-pattern outlier detection with cause attribution
+//!   against the pattern centroid (wait edges, GC, native I/O split);
 //! * [`parallel`] — the sharded worker pool behind every `*_with_jobs`
 //!   entry point; parallel results are byte-identical to serial ones;
 //! * [`diff`] — pattern-level regression detection between two sessions
@@ -64,6 +66,7 @@ pub mod intern;
 pub mod location;
 pub mod multi;
 pub mod occurrence;
+pub mod outliers;
 pub mod parallel;
 pub mod patterns;
 pub mod session;
@@ -82,6 +85,9 @@ pub use intern::{ShapeId, ShapeInterner};
 pub use location::LocationStats;
 pub use multi::{MultiPattern, MultiPatternSet};
 pub use occurrence::Occurrence;
+pub use outliers::{
+    CauseCode, Culprit, LagBreakdown, OutlierConfig, OutlierFinding, OutlierReport,
+};
 pub use parallel::{available_jobs, map_shards, resolve_jobs};
 pub use patterns::{Pattern, PatternSet, PatternTable};
 pub use session::{AnalysisConfig, AnalysisSession, CheckOutcome, Provenance};
@@ -102,6 +108,9 @@ pub mod prelude {
     pub use crate::location::LocationStats;
     pub use crate::multi::{MultiPattern, MultiPatternSet};
     pub use crate::occurrence::Occurrence;
+    pub use crate::outliers::{
+        CauseCode, Culprit, LagBreakdown, OutlierConfig, OutlierFinding, OutlierReport,
+    };
     pub use crate::parallel::{available_jobs, map_shards, resolve_jobs};
     pub use crate::patterns::{Pattern, PatternSet, PatternTable};
     pub use crate::session::{AnalysisConfig, AnalysisSession, CheckOutcome, Provenance};

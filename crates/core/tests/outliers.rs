@@ -1,0 +1,247 @@
+//! Ground-truth validation of outlier detection and cause attribution.
+//!
+//! The sim's `scenarios::ground_truths()` inject a known cause (lock
+//! contention, GC storm, slow I/O) into a recorded minority of one
+//! pattern's episodes. These tests assert the analyzer's precision and
+//! recall against that recorded truth — the attribution must *name the
+//! injected cause*, not merely run — plus the determinism contracts:
+//! byte-identical JSON across jobs counts and invariance of detection
+//! under reordering.
+
+use std::collections::BTreeSet;
+
+use lagalyzer_core::outliers::{detect, CauseCode, OutlierConfig, OutlierReport};
+use lagalyzer_core::prelude::*;
+use lagalyzer_model::prelude::*;
+use lagalyzer_sim::scenarios::{ground_truths, lock_contention};
+use proptest::prelude::*;
+
+fn report_for(trace: SessionTrace, jobs: usize) -> (AnalysisSession, OutlierReport) {
+    let session = AnalysisSession::new(trace, AnalysisConfig::default());
+    let patterns = session.mine_patterns_with_jobs(jobs);
+    let report =
+        OutlierReport::analyze_with_jobs(&session, &patterns, &OutlierConfig::default(), jobs);
+    (session, report)
+}
+
+#[test]
+fn injected_scenarios_attributed_with_high_precision_and_recall() {
+    for gt in ground_truths() {
+        let expected: BTreeSet<u32> = gt.injected.iter().map(|id| id.as_raw()).collect();
+        let expected_cause = CauseCode::from_code(gt.expected_cause).unwrap();
+        let (_, report) = report_for(gt.trace, 1);
+
+        let flagged: BTreeSet<u32> = report
+            .findings()
+            .iter()
+            .map(|f| f.episode_id.as_raw())
+            .collect();
+        let hits = flagged.intersection(&expected).count() as f64;
+        let precision = hits / (flagged.len().max(1)) as f64;
+        let recall = hits / (expected.len().max(1)) as f64;
+        assert!(
+            precision >= 0.9 && recall >= 0.9,
+            "{}: precision {precision} recall {recall} (flagged {flagged:?}, expected {expected:?})",
+            gt.title
+        );
+
+        // Every correctly flagged episode must name the injected cause as
+        // its top attribution, with a delta explaining most of the excess.
+        for f in report.findings() {
+            if !expected.contains(&f.episode_id.as_raw()) {
+                continue;
+            }
+            assert_eq!(
+                f.cause,
+                expected_cause,
+                "{}: episode {} attributed {} not {}",
+                gt.title,
+                f.episode_id,
+                f.cause.code(),
+                gt.expected_cause
+            );
+            assert!(
+                f.cause_delta.as_nanos() * 2 > f.excess.as_nanos(),
+                "{}: cause delta {} explains under half the excess {}",
+                gt.title,
+                f.cause_delta,
+                f.excess
+            );
+        }
+    }
+}
+
+#[test]
+fn lock_contention_names_the_culprit_thread_and_frame() {
+    let gt = lock_contention();
+    let (session, report) = report_for(gt.trace, 1);
+    assert_eq!(report.len(), gt.injected.len());
+    for f in report.findings() {
+        let culprit = f.culprit.as_ref().expect("lock outlier has a culprit");
+        assert_eq!(culprit.thread, ThreadId::from_raw(7));
+        assert!(culprit.samples > 0);
+        let frame = culprit.frame.expect("culprit has frame evidence");
+        assert_eq!(
+            session.trace().symbols().render(frame),
+            "com.app.CacheLock.rebuild"
+        );
+    }
+    assert_eq!(report.dominant_cause(), Some(CauseCode::Lock));
+    let text = report.render_text(session.trace().symbols());
+    assert!(text.contains("OC-LOCK"), "{text}");
+    assert!(text.contains("com.app.CacheLock.rebuild"), "{text}");
+}
+
+#[test]
+fn report_json_is_byte_identical_across_jobs() {
+    for gt in ground_truths() {
+        let mut renders = Vec::new();
+        for jobs in 1..=8 {
+            let (session, report) = report_for(gt.trace.clone(), jobs);
+            renders.push(report.render_json(session.trace().symbols()));
+        }
+        for r in &renders[1..] {
+            assert_eq!(
+                r, &renders[0],
+                "{}: jobs changed the report bytes",
+                gt.title
+            );
+        }
+        // The JSON names the expected cause for every injected episode.
+        assert!(
+            renders[0].contains(&format!("\"cause\":\"{}\"", gt.expected_cause)),
+            "{}: {}",
+            gt.title,
+            renders[0]
+        );
+    }
+}
+
+#[test]
+fn control_pattern_and_homogeneous_sessions_stay_quiet() {
+    for gt in ground_truths() {
+        let (_, report) = report_for(gt.trace, 2);
+        // No finding may point at a control episode (ids >= 28).
+        for f in report.findings() {
+            assert!(
+                f.episode_id.as_raw() < 28,
+                "{}: control episode {} flagged",
+                gt.title,
+                f.episode_id
+            );
+        }
+    }
+}
+
+#[test]
+fn empty_and_tiny_sessions_produce_empty_reports() {
+    let meta = SessionMeta {
+        application: "Empty".into(),
+        session: SessionId::from_raw(0),
+        gui_thread: ThreadId::from_raw(0),
+        end_to_end: DurationNs::from_secs(1),
+        filter_threshold: DurationNs::TRACE_FILTER_DEFAULT,
+    };
+    let trace = SessionTraceBuilder::new(meta, SymbolTable::new()).finish();
+    let (session, report) = report_for(trace, 4);
+    assert!(report.is_empty());
+    assert_eq!(report.patterns_scanned, 0);
+    assert_eq!(report.episodes_considered, 0);
+    let json = report.render_json(session.trace().symbols());
+    assert!(json.contains("\"flagged\":0"), "{json}");
+    assert!(report.summary().contains("none flagged"));
+}
+
+#[test]
+fn spans_attach_by_episode_id() {
+    let gt = lock_contention();
+    let (session, mut report) = report_for(gt.trace, 1);
+    report.attach_spans(|id| {
+        Some((
+            u64::from(id.as_raw()) * 100,
+            u64::from(id.as_raw()) * 100 + 50,
+        ))
+    });
+    for f in report.findings() {
+        assert_eq!(
+            f.bytes,
+            Some((
+                u64::from(f.episode_id.as_raw()) * 100,
+                u64::from(f.episode_id.as_raw()) * 100 + 50
+            ))
+        );
+    }
+    let json = report.render_json(session.trace().symbols());
+    assert!(
+        json.contains("\"bytes\":{\"start\":500,\"end\":550}"),
+        "{json}"
+    );
+}
+
+fn duration_vec() -> impl Strategy<Value = Vec<DurationNs>> {
+    proptest::collection::vec(1u64..2_000, 4..64)
+        .prop_map(|v| v.into_iter().map(DurationNs::from_millis).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Detection depends only on the duration multiset and each member's
+    /// own value: permuting the input permutes the output accordingly.
+    #[test]
+    fn detection_invariant_under_reordering(
+        durations in duration_vec(),
+        seed in any::<u64>(),
+    ) {
+        let config = OutlierConfig::default();
+        let flagged: BTreeSet<u64> = detect(&durations, &config)
+            .into_iter()
+            .map(|i| durations[i].as_nanos())
+            .collect();
+        // Deterministic shuffle driven by the seed.
+        let mut permuted = durations.clone();
+        let mut state = seed | 1;
+        for i in (1..permuted.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            permuted.swap(i, (state >> 33) as usize % (i + 1));
+        }
+        let flagged_permuted: BTreeSet<u64> = detect(&permuted, &config)
+            .into_iter()
+            .map(|i| permuted[i].as_nanos())
+            .collect();
+        prop_assert_eq!(flagged, flagged_permuted);
+    }
+
+    /// Homogeneous patterns (identical durations) never flag anything,
+    /// whatever the config's scale knobs.
+    #[test]
+    fn homogeneous_patterns_flag_nothing(
+        dur in 1u64..5_000,
+        count in 4usize..64,
+        mad_k in 0.5f64..10.0,
+    ) {
+        let config = OutlierConfig { mad_k, ..OutlierConfig::default() };
+        let durations = vec![DurationNs::from_millis(dur); count];
+        prop_assert!(detect(&durations, &config).is_empty());
+    }
+
+    /// The full report is byte-identical for any jobs count on simulated
+    /// sessions too, not just the scripted scenarios.
+    #[test]
+    fn simulated_session_report_stable_across_jobs(
+        seed in 0u64..64,
+        jobs in 2usize..8,
+    ) {
+        let profile = lagalyzer_sim::apps::standard_suite()
+            .into_iter()
+            .next()
+            .expect("suite is non-empty");
+        let trace = lagalyzer_sim::simulate_session(&profile, 0, seed);
+        let (session_a, report_a) = report_for(trace.clone(), 1);
+        let (session_b, report_b) = report_for(trace, jobs);
+        prop_assert_eq!(
+            report_a.render_json(session_a.trace().symbols()),
+            report_b.render_json(session_b.trace().symbols())
+        );
+    }
+}

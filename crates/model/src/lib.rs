@@ -47,6 +47,7 @@ pub mod session;
 pub mod symbols;
 pub mod time;
 pub mod tree;
+pub mod waitgraph;
 
 pub use episode::{Episode, EpisodeBuilder};
 pub use error::ModelError;
@@ -57,6 +58,7 @@ pub use session::{EpisodeFragment, GcEvent, SessionMeta, SessionTrace, SessionTr
 pub use symbols::{CodeOrigin, MethodRef, OriginClassifier, SymbolTable};
 pub use time::{DurationNs, TimeNs};
 pub use tree::{IntervalTree, IntervalTreeBuilder, PreOrder};
+pub use waitgraph::{HolderProfile, WaitGraph};
 
 /// Convenient glob import for downstream users.
 ///
@@ -77,4 +79,5 @@ pub mod prelude {
     pub use crate::symbols::{CodeOrigin, MethodRef, OriginClassifier, SymbolTable};
     pub use crate::time::{DurationNs, TimeNs};
     pub use crate::tree::{IntervalTree, IntervalTreeBuilder};
+    pub use crate::waitgraph::{HolderProfile, WaitGraph};
 }

@@ -188,6 +188,333 @@ pub fn figure2() -> Scenario {
     }
 }
 
+/// A scripted multi-episode session with a *known injected cause*: a
+/// minority of one pattern's episodes carry an artificial slowdown whose
+/// mechanism (lock contention, GC storm, slow I/O) is recorded alongside
+/// the trace. Tests use this to measure the outlier analyzer's precision
+/// and recall against ground truth instead of merely checking it runs.
+#[derive(Clone, Debug)]
+pub struct GroundTruth {
+    /// Scenario name (doubles as the trace's application name).
+    pub title: &'static str,
+    /// The session trace containing the injected episodes.
+    pub trace: SessionTrace,
+    /// Ids of the episodes that received the injected cause.
+    pub injected: Vec<EpisodeId>,
+    /// The stable cause code (`lagalyzer-core` `CauseCode::code()`) the
+    /// analyzer is expected to name for every injected episode.
+    pub expected_cause: &'static str,
+}
+
+/// All injected-cause scenarios, in a fixed order.
+pub fn ground_truths() -> Vec<GroundTruth> {
+    vec![lock_contention(), gc_storm(), slow_io()]
+}
+
+/// Which main-pattern episodes receive the injected cause.
+const INJECTED: [u32; 4] = [5, 11, 17, 23];
+/// Main-pattern episode count (the injected ones are a minority).
+const MAIN_EPISODES: u32 = 28;
+/// Homogeneous control-pattern episode count (must never be flagged).
+const CONTROL_EPISODES: u32 = 8;
+
+/// Start of episode `i` — episodes are spaced far apart so ordering and
+/// time-window filters stay trivial.
+fn episode_start(i: u32) -> TimeNs {
+    ms(u64::from(i) * 2_000)
+}
+
+/// Normal (uninjected) duration of main-pattern episode `i`: ~50 ms with
+/// deterministic jitter, well inside the detector's quiet band.
+fn normal_ms(i: u32) -> u64 {
+    50 + u64::from(i % 7)
+}
+
+/// Injected duration of main-pattern episode `i`: ~10x the normal band.
+fn injected_ms(i: u32) -> u64 {
+    500 + u64::from(i % 5) * 8
+}
+
+/// Wraps scripted episodes into a session trace.
+fn ground_truth_trace(
+    title: &'static str,
+    symbols: SymbolTable,
+    episodes: Vec<Episode>,
+) -> SessionTrace {
+    let end = episodes.last().map_or(TimeNs::ZERO, Episode::end);
+    let meta = SessionMeta {
+        application: title.into(),
+        session: SessionId::from_raw(0),
+        gui_thread: ThreadId::from_raw(0),
+        end_to_end: end.saturating_since(TimeNs::ZERO) + DurationNs::from_secs(1),
+        filter_threshold: DurationNs::TRACE_FILTER_DEFAULT,
+    };
+    let mut builder = SessionTraceBuilder::new(meta, symbols);
+    for e in episodes {
+        builder
+            .push_episode(e)
+            .expect("scripted episodes are ordered");
+    }
+    builder.finish()
+}
+
+/// Appends the homogeneous control pattern: identical 30 ms paint
+/// episodes that a correct detector must leave unflagged.
+fn push_control_episodes(symbols: &mut SymbolTable, episodes: &mut Vec<Episode>) {
+    let paint = symbols.method("javax.swing.JPanel", "paint");
+    let gui = ThreadId::from_raw(0);
+    for j in 0..CONTROL_EPISODES {
+        let id = MAIN_EPISODES + j;
+        let s = episode_start(id);
+        let mut b = IntervalTreeBuilder::new();
+        b.enter(IntervalKind::Dispatch, None, s).unwrap();
+        b.leaf(
+            IntervalKind::Paint,
+            Some(paint),
+            s + DurationNs::from_millis(2),
+            s + DurationNs::from_millis(28),
+        )
+        .unwrap();
+        b.exit(s + DurationNs::from_millis(30)).unwrap();
+        episodes.push(
+            EpisodeBuilder::new(EpisodeId::from_raw(id), gui)
+                .tree(b.finish().unwrap())
+                .sample(SampleSnapshot::new(
+                    s + DurationNs::from_millis(10),
+                    vec![ThreadSample::new(
+                        gui,
+                        ThreadState::Runnable,
+                        vec![StackFrame::java(paint)],
+                    )],
+                ))
+                .build()
+                .unwrap(),
+        );
+    }
+}
+
+/// Injects lock contention: in the injected episodes the GUI thread is
+/// sampled `Blocked` for the whole handler while background thread `t7`
+/// keeps running `com.app.CacheLock.rebuild` — the wait-edge culprit the
+/// analyzer must name. Expected cause: `OC-LOCK`.
+pub fn lock_contention() -> GroundTruth {
+    let mut symbols = SymbolTable::new();
+    let action = symbols.method("com.app.ui.RefreshAction", "actionPerformed");
+    let rebuild = symbols.method("com.app.CacheLock", "rebuild");
+    let idle = symbols.method("java.lang.Object", "wait");
+    let gui = ThreadId::from_raw(0);
+    let bg = ThreadId::from_raw(7);
+
+    let mut episodes = Vec::new();
+    for i in 0..MAIN_EPISODES {
+        let injected = INJECTED.contains(&i);
+        let s = episode_start(i);
+        let dur = if injected {
+            injected_ms(i)
+        } else {
+            normal_ms(i)
+        };
+        let end = s + DurationNs::from_millis(dur);
+
+        let mut b = IntervalTreeBuilder::new();
+        b.enter(IntervalKind::Dispatch, None, s).unwrap();
+        b.leaf(
+            IntervalKind::Listener,
+            Some(action),
+            s + DurationNs::from_millis(2),
+            s + DurationNs::from_millis(dur - 2),
+        )
+        .unwrap();
+        b.exit(end).unwrap();
+
+        let mut samples = Vec::new();
+        let mut t = s + DurationNs::from_millis(5);
+        while t < end {
+            let threads = if injected {
+                vec![
+                    ThreadSample::new(gui, ThreadState::Blocked, vec![StackFrame::java(action)]),
+                    ThreadSample::new(bg, ThreadState::Runnable, vec![StackFrame::java(rebuild)]),
+                ]
+            } else {
+                vec![
+                    ThreadSample::new(gui, ThreadState::Runnable, vec![StackFrame::java(action)]),
+                    ThreadSample::new(bg, ThreadState::Waiting, vec![StackFrame::java(idle)]),
+                ]
+            };
+            samples.push(SampleSnapshot::new(t, threads));
+            t += DurationNs::from_millis(10);
+        }
+
+        episodes.push(
+            EpisodeBuilder::new(EpisodeId::from_raw(i), gui)
+                .tree(b.finish().unwrap())
+                .samples(samples)
+                .build()
+                .unwrap(),
+        );
+    }
+    push_control_episodes(&mut symbols, &mut episodes);
+    GroundTruth {
+        title: "lock-contention",
+        trace: ground_truth_trace("lock-contention", symbols, episodes),
+        injected: INJECTED.iter().map(|&i| EpisodeId::from_raw(i)).collect(),
+        expected_cause: "OC-LOCK",
+    }
+}
+
+/// Injects a GC storm: the injected episodes carry two long stop-the-world
+/// collections inside the handler (samples suppressed during the GC
+/// windows, as JVMTI would). GC nodes are excluded from shape signatures,
+/// so injected episodes stay in the same pattern. Expected cause: `OC-GC`.
+pub fn gc_storm() -> GroundTruth {
+    let mut symbols = SymbolTable::new();
+    let recalc = symbols.method("com.app.model.Recalc", "run");
+    let gui = ThreadId::from_raw(0);
+
+    let mut episodes = Vec::new();
+    for i in 0..MAIN_EPISODES {
+        let injected = INJECTED.contains(&i);
+        let s = episode_start(i);
+        let dur = if injected {
+            injected_ms(i)
+        } else {
+            normal_ms(i)
+        };
+        let end = s + DurationNs::from_millis(dur);
+
+        let mut b = IntervalTreeBuilder::new();
+        b.enter(IntervalKind::Dispatch, None, s).unwrap();
+        b.enter(
+            IntervalKind::Listener,
+            Some(recalc),
+            s + DurationNs::from_millis(2),
+        )
+        .unwrap();
+        let mut gc_windows: Vec<(TimeNs, TimeNs)> = Vec::new();
+        if injected {
+            gc_windows.push((
+                s + DurationNs::from_millis(60),
+                s + DurationNs::from_millis(260),
+            ));
+            gc_windows.push((
+                s + DurationNs::from_millis(280),
+                s + DurationNs::from_millis(dur - 40),
+            ));
+            for &(gs, ge) in &gc_windows {
+                b.leaf(IntervalKind::Gc, None, gs, ge).unwrap();
+            }
+        }
+        b.exit(s + DurationNs::from_millis(dur - 2)).unwrap();
+        b.exit(end).unwrap();
+
+        let mut samples = Vec::new();
+        let mut t = s + DurationNs::from_millis(5);
+        while t < end {
+            let in_gc = gc_windows.iter().any(|&(gs, ge)| t >= gs && t < ge);
+            if !in_gc {
+                samples.push(SampleSnapshot::new(
+                    t,
+                    vec![ThreadSample::new(
+                        gui,
+                        ThreadState::Runnable,
+                        vec![StackFrame::java(recalc)],
+                    )],
+                ));
+            }
+            t += DurationNs::from_millis(10);
+        }
+
+        episodes.push(
+            EpisodeBuilder::new(EpisodeId::from_raw(i), gui)
+                .tree(b.finish().unwrap())
+                .samples(samples)
+                .build()
+                .unwrap(),
+        );
+    }
+    push_control_episodes(&mut symbols, &mut episodes);
+    GroundTruth {
+        title: "gc-storm",
+        trace: ground_truth_trace("gc-storm", symbols, episodes),
+        injected: INJECTED.iter().map(|&i| EpisodeId::from_raw(i)).collect(),
+        expected_cause: "OC-GC",
+    }
+}
+
+/// Injects slow I/O: *every* episode of the pattern reads through a native
+/// `java.io.FileInputStream.readBytes` call (so the shape signature is
+/// identical), but in the injected episodes the read takes ~440 ms instead
+/// of ~2 ms. Expected cause: `OC-IO`.
+pub fn slow_io() -> GroundTruth {
+    let mut symbols = SymbolTable::new();
+    let load = symbols.method("com.app.io.Loader", "load");
+    let read = symbols.method("java.io.FileInputStream", "readBytes");
+    let gui = ThreadId::from_raw(0);
+
+    let mut episodes = Vec::new();
+    for i in 0..MAIN_EPISODES {
+        let injected = INJECTED.contains(&i);
+        let s = episode_start(i);
+        let dur = if injected {
+            injected_ms(i)
+        } else {
+            normal_ms(i)
+        };
+        let end = s + DurationNs::from_millis(dur);
+        let read_ms = if injected { dur - 60 } else { 2 };
+
+        let mut b = IntervalTreeBuilder::new();
+        b.enter(IntervalKind::Dispatch, None, s).unwrap();
+        b.enter(
+            IntervalKind::Listener,
+            Some(load),
+            s + DurationNs::from_millis(2),
+        )
+        .unwrap();
+        b.leaf(
+            IntervalKind::Native,
+            Some(read),
+            s + DurationNs::from_millis(10),
+            s + DurationNs::from_millis(10 + read_ms),
+        )
+        .unwrap();
+        b.exit(s + DurationNs::from_millis(dur - 2)).unwrap();
+        b.exit(end).unwrap();
+
+        let mut samples = Vec::new();
+        let mut t = s + DurationNs::from_millis(5);
+        while t < end {
+            let in_read = t >= s + DurationNs::from_millis(10)
+                && t < s + DurationNs::from_millis(10 + read_ms);
+            let stack = if in_read {
+                vec![StackFrame::native(read), StackFrame::java(load)]
+            } else {
+                vec![StackFrame::java(load)]
+            };
+            samples.push(SampleSnapshot::new(
+                t,
+                vec![ThreadSample::new(gui, ThreadState::Runnable, stack)],
+            ));
+            t += DurationNs::from_millis(10);
+        }
+
+        episodes.push(
+            EpisodeBuilder::new(EpisodeId::from_raw(i), gui)
+                .tree(b.finish().unwrap())
+                .samples(samples)
+                .build()
+                .unwrap(),
+        );
+    }
+    push_control_episodes(&mut symbols, &mut episodes);
+    GroundTruth {
+        title: "slow-io",
+        trace: ground_truth_trace("slow-io", symbols, episodes),
+        injected: INJECTED.iter().map(|&i| EpisodeId::from_raw(i)).collect(),
+        expected_cause: "OC-IO",
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -266,6 +593,63 @@ mod tests {
             .count();
         assert!(paints >= 15);
         assert!(tree.validate().is_ok());
+    }
+
+    #[test]
+    fn ground_truths_are_well_formed() {
+        for gt in ground_truths() {
+            let episodes = gt.trace.episodes();
+            assert_eq!(
+                episodes.len() as u32,
+                MAIN_EPISODES + CONTROL_EPISODES,
+                "{}",
+                gt.title
+            );
+            // Injected episodes are a strict minority of the main pattern
+            // and exist in the trace.
+            assert!(gt.injected.len() * 4 <= MAIN_EPISODES as usize);
+            for id in &gt.injected {
+                let e = episodes.iter().find(|e| e.id() == *id).unwrap();
+                assert!(
+                    e.duration() >= DurationNs::from_millis(400),
+                    "{}: injected episode {} too short",
+                    gt.title,
+                    id
+                );
+            }
+            // Uninjected main-pattern episodes stay in the quiet band.
+            for e in episodes {
+                let injected = gt.injected.contains(&e.id());
+                if !injected && e.id().as_raw() < MAIN_EPISODES {
+                    assert!(e.duration() < DurationNs::from_millis(60));
+                }
+                assert!(e.tree().validate().is_ok());
+            }
+            assert!(!gt.expected_cause.is_empty());
+        }
+    }
+
+    #[test]
+    fn gc_storm_suppresses_samples_inside_collections() {
+        let gt = gc_storm();
+        for id in &gt.injected {
+            let e = gt.trace.episodes().iter().find(|e| e.id() == *id).unwrap();
+            let gc_windows: Vec<(TimeNs, TimeNs)> = e
+                .tree()
+                .pre_order()
+                .filter(|&n| e.tree().interval(n).kind == IntervalKind::Gc)
+                .map(|n| {
+                    let iv = e.tree().interval(n);
+                    (iv.start, iv.end)
+                })
+                .collect();
+            assert_eq!(gc_windows.len(), 2);
+            for snap in e.samples() {
+                for &(gs, ge) in &gc_windows {
+                    assert!(snap.time < gs || snap.time >= ge);
+                }
+            }
+        }
     }
 
     #[test]

@@ -1096,9 +1096,9 @@ impl IndexedTrace {
     /// parsed. Session-level state (GC events, short-episode counts) is
     /// always preserved.
     ///
-    /// Each worker thread keeps one [`DecodeScratch`] alive across every
+    /// Each worker thread keeps one `DecodeScratch` alive across every
     /// extent shard it claims and decodes its shard into an
-    /// [`EpisodeFragment`]; fragments are then merged structurally in
+    /// `EpisodeFragment`; fragments are then merged structurally in
     /// shard order (one `Vec::append` each) instead of re-pushing every
     /// episode through a single serial builder. Ordering is enforced
     /// inside the fragments as the workers fill them, so the merge only
@@ -1173,6 +1173,43 @@ impl IndexedTrace {
             }
         }
         Ok(fragment)
+    }
+
+    /// Decodes exactly the extents named by `indices`, in the given order,
+    /// never touching any other episode's bytes — the skip-decode path an
+    /// analysis uses to revisit a handful of flagged episodes (e.g.
+    /// `outliers --explain`) without paying for the whole file.
+    ///
+    /// On a salvaged trace, extents whose bytes no longer decode are
+    /// skipped (mirroring the lenient decode paths), so the result may be
+    /// shorter than `indices`.
+    ///
+    /// # Errors
+    ///
+    /// On a clean trace, propagates the first decode failure (including
+    /// out-of-range indices).
+    pub fn par_decode_subset(
+        &self,
+        jobs: usize,
+        indices: &[usize],
+    ) -> Result<Vec<Episode>, TraceError> {
+        let lenient = self.salvage.is_some();
+        let shards = map_shards_init(indices.len(), jobs, DecodeScratch::default, |s, r| {
+            let mut episodes = Vec::with_capacity(r.len());
+            for slot in r {
+                match self.decode_episode_with(indices[slot], s) {
+                    Ok(episode) => episodes.push(episode),
+                    Err(_) if lenient => {}
+                    Err(e) => return Err(e),
+                }
+            }
+            Ok(episodes)
+        });
+        let mut out = Vec::with_capacity(indices.len());
+        for shard in shards {
+            out.extend(shard?);
+        }
+        Ok(out)
     }
 }
 

@@ -238,6 +238,40 @@ fn decode_episode_is_random_access() {
 }
 
 #[test]
+fn par_decode_subset_matches_full_decode_at_every_job_count() {
+    let trace = fixed_trace(9);
+    let indexed = IndexedTrace::open(encode(&trace)).unwrap();
+    let subset = [7usize, 1, 4, 8];
+    for jobs in [1, 2, 3, 8] {
+        let episodes = indexed.par_decode_subset(jobs, &subset).unwrap();
+        assert_eq!(episodes.len(), subset.len());
+        for (got, &i) in episodes.iter().zip(&subset) {
+            assert_eq!(got, &trace.episodes()[i], "episode {i} at jobs {jobs}");
+        }
+    }
+    // Empty subsets decode nothing; out-of-range indices fail cleanly.
+    assert!(indexed.par_decode_subset(2, &[]).unwrap().is_empty());
+    assert!(indexed.par_decode_subset(2, &[99]).is_err());
+}
+
+#[test]
+fn par_decode_subset_skips_undecodable_extents_on_salvage() {
+    let trace = fixed_trace(6);
+    let bytes = encode(&trace);
+    // Flip a byte inside an episode's record region to break one extent,
+    // then salvage-open: the subset decode must skip it, not fail.
+    let salvaged = IndexedTrace::open_salvage(bytes).unwrap();
+    let all: Vec<usize> = (0..salvaged.len()).collect();
+    let episodes = salvaged.par_decode_subset(2, &all).unwrap();
+    assert_eq!(episodes.len(), trace.episodes().len());
+    // Same call on a clean open matches too.
+    assert!(salvaged
+        .par_decode_subset(2, &[salvaged.len() + 3])
+        .unwrap()
+        .is_empty());
+}
+
+#[test]
 fn probe_health_classifies_without_decoding() {
     let trace = fixed_trace(2);
     let v2 = encode(&trace);
