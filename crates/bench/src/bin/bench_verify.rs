@@ -1,8 +1,8 @@
 //! `bench-verify` — validates the machine-readable bench artifacts.
 //!
-//! The benches emit `BENCH_ingest.json` and `BENCH_mining.json` (see
-//! `lagalyzer_bench::benchjson`); this binary is the CI gate over them.
-//! Three subcommands:
+//! The benches emit `BENCH_ingest.json`, `BENCH_mining.json`, and
+//! `BENCH_corpus.json` (see `lagalyzer_bench::benchjson`); this binary
+//! is the CI gate over them. Three subcommands:
 //!
 //! * `check FILE...` — structural validation: the file parses, is a
 //!   non-empty JSON object, contains no `zz_`/placeholder keys anywhere,
@@ -17,6 +17,11 @@
 //!   gate instead requires the single-core algorithmic floor
 //!   ([`SINGLE_CORE_FLOOR`]) so a 1-core runner still verifies that
 //!   indexed decode beats the serial reader.
+//! * `gate FILE --min-corpus-speedup X` — for the corpus artifact: the
+//!   end-to-end (load + mine) corpus-vs-separate-files speedup must be
+//!   *strictly above* the threshold, so `--min-corpus-speedup 1.0`
+//!   enforces that corpus-wide mining actually beats N separate file
+//!   loads rather than merely tying them.
 //! * `drift SMOKE COMMITTED` — compares the *section names* of a CI
 //!   smoke artifact against the committed full-budget file, so a bench
 //!   that silently stops emitting (or starts emitting a new, unreviewed
@@ -444,10 +449,46 @@ fn check_mining(doc: &Json, out: &mut Findings) {
     }
 }
 
-/// Which artifact a path holds, by file name.
+/// Validates the `corpus_ingest` section of the corpus artifact and
+/// returns the end-to-end speedup for the `gate` subcommand.
+fn check_corpus(doc: &Json, out: &mut Findings) -> Option<f64> {
+    let Some(section) = doc.get("corpus_ingest") else {
+        out.push("required section `corpus_ingest` is missing".into());
+        return None;
+    };
+    let path = "corpus_ingest";
+    require_str(section, "corpus", path, out);
+    require_num(section, "sessions", 0.0, path, out);
+    require_num(section, "episodes", 0.0, path, out);
+    require_num(section, "available_jobs", 0.0, path, out);
+    require_num(section, "separate_bytes", 0.0, path, out);
+    require_num(section, "corpus_bytes", 0.0, path, out);
+    let mut end_to_end = None;
+    for key in ["load_only", "load_and_mine"] {
+        match section.get(key) {
+            Some(pair) => {
+                let pair_path = format!("{path}.{key}");
+                require_num(pair, "separate_files_ns_per_iter", 0.0, &pair_path, out);
+                require_num(pair, "corpus_ns_per_iter", 0.0, &pair_path, out);
+                let speedup = require_num(pair, "speedup", 0.0, &pair_path, out);
+                if key == "load_and_mine" {
+                    end_to_end = speedup;
+                }
+            }
+            None => out.push(format!("`{path}.{key}` is missing")),
+        }
+    }
+    end_to_end
+}
+
+/// Which artifact a path holds, by file name. `corpus` is matched before
+/// `ingest` so that corpus-flavoured names never fall into the
+/// trace-ingest rules.
 fn artifact_kind(path: &str) -> Option<&'static str> {
     let name = path.rsplit('/').next().unwrap_or(path);
-    if name.contains("ingest") {
+    if name.contains("corpus") {
+        Some("corpus")
+    } else if name.contains("ingest") {
         Some("ingest")
     } else if name.contains("mining") {
         Some("mining")
@@ -467,20 +508,32 @@ fn load(path: &str) -> Result<Json, String> {
     }
 }
 
-/// The `check` validation for one already-parsed file; returns decode
-/// rows when the file is the ingest artifact.
-fn check_doc(path: &str, doc: &Json) -> (Findings, Vec<DecodeRow>) {
+/// Everything `check` learned about one file: the problems found, plus
+/// the numbers the `gate` subcommand gates on (each present only for
+/// the artifact kind that carries them).
+struct Checked {
+    findings: Findings,
+    decode_rows: Vec<DecodeRow>,
+    corpus_speedup: Option<f64>,
+}
+
+/// The `check` validation for one already-parsed file.
+fn check_doc(path: &str, doc: &Json) -> Checked {
     let mut findings = Findings::default();
     check_no_placeholders(doc, "", &mut findings);
-    let rows = match artifact_kind(path) {
-        Some("ingest") => check_ingest(doc, &mut findings),
-        Some("mining") => {
-            check_mining(doc, &mut findings);
-            Vec::new()
-        }
-        _ => Vec::new(),
-    };
-    (findings, rows)
+    let mut decode_rows = Vec::new();
+    let mut corpus_speedup = None;
+    match artifact_kind(path) {
+        Some("ingest") => decode_rows = check_ingest(doc, &mut findings),
+        Some("mining") => check_mining(doc, &mut findings),
+        Some("corpus") => corpus_speedup = check_corpus(doc, &mut findings),
+        _ => {}
+    }
+    Checked {
+        findings,
+        decode_rows,
+        corpus_speedup,
+    }
 }
 
 fn report(path: &str, findings: &Findings) -> bool {
@@ -507,8 +560,7 @@ fn cmd_check(paths: &[String]) -> Result<ExitCode, String> {
     let mut ok = true;
     for path in paths {
         let doc = load(path)?;
-        let (findings, _) = check_doc(path, &doc);
-        ok &= report(path, &findings);
+        ok &= report(path, &check_doc(path, &doc).findings);
     }
     Ok(if ok {
         ExitCode::SUCCESS
@@ -561,19 +613,34 @@ fn gate_rows(rows: &[DecodeRow], min_speedup: f64, out: &mut Findings) {
     }
 }
 
+/// The `gate` rule for the corpus artifact: strictly above threshold,
+/// so a tie with the per-file path does not pass (see module docs).
+fn gate_corpus(speedup: Option<f64>, min_speedup: f64, out: &mut Findings) {
+    match speedup {
+        Some(s) if s > min_speedup => {}
+        Some(s) => out.push(format!(
+            "corpus load+mine speedup {s:.3}x is not above the gate {min_speedup}x"
+        )),
+        None => out.push("no corpus speedup to gate on".into()),
+    }
+}
+
 fn cmd_gate(paths: &[String]) -> Result<ExitCode, String> {
     let mut file = None;
-    let mut min_speedup = None;
+    let mut min_ingest = None;
+    let mut min_corpus = None;
     let mut iter = paths.iter();
     while let Some(arg) = iter.next() {
-        if arg == "--min-ingest-speedup" {
-            let v = iter
-                .next()
-                .ok_or("gate: --min-ingest-speedup needs a value")?;
-            min_speedup = Some(
-                v.parse::<f64>()
-                    .map_err(|_| format!("gate: bad speedup `{v}`"))?,
-            );
+        if arg == "--min-ingest-speedup" || arg == "--min-corpus-speedup" {
+            let v = iter.next().ok_or(format!("gate: {arg} needs a value"))?;
+            let parsed = v
+                .parse::<f64>()
+                .map_err(|_| format!("gate: bad speedup `{v}`"))?;
+            if arg == "--min-ingest-speedup" {
+                min_ingest = Some(parsed);
+            } else {
+                min_corpus = Some(parsed);
+            }
         } else if file.is_none() {
             file = Some(arg.clone());
         } else {
@@ -581,14 +648,20 @@ fn cmd_gate(paths: &[String]) -> Result<ExitCode, String> {
         }
     }
     let file = file.ok_or("gate: FILE required")?;
-    let min_speedup = min_speedup.ok_or("gate: --min-ingest-speedup required")?;
-    if artifact_kind(&file) != Some("ingest") {
-        return Err(format!("gate: `{file}` is not an ingest artifact"));
-    }
     let doc = load(&file)?;
-    let (mut findings, rows) = check_doc(&file, &doc);
-    gate_rows(&rows, min_speedup, &mut findings);
-    Ok(if report(&file, &findings) {
+    let mut checked = check_doc(&file, &doc);
+    match artifact_kind(&file) {
+        Some("ingest") => {
+            let min = min_ingest.ok_or("gate: --min-ingest-speedup required")?;
+            gate_rows(&checked.decode_rows, min, &mut checked.findings);
+        }
+        Some("corpus") => {
+            let min = min_corpus.ok_or("gate: --min-corpus-speedup required")?;
+            gate_corpus(checked.corpus_speedup, min, &mut checked.findings);
+        }
+        _ => return Err(format!("gate: `{file}` is not a gateable artifact")),
+    }
+    Ok(if report(&file, &checked.findings) {
         ExitCode::SUCCESS
     } else {
         ExitCode::from(1)
@@ -635,8 +708,8 @@ fn cmd_drift(paths: &[String]) -> Result<ExitCode, String> {
     })
 }
 
-const USAGE: &str =
-    "usage: bench-verify <check FILE...|gate FILE --min-ingest-speedup X|drift SMOKE COMMITTED>";
+const USAGE: &str = "usage: bench-verify <check FILE...|gate FILE \
+     (--min-ingest-speedup X|--min-corpus-speedup X)|drift SMOKE COMMITTED>";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -710,15 +783,19 @@ mod tests {
     fn check_accepts_complete_ingest() {
         let text = ingest_doc(&[row(1, 1, 1.4), row(8, 8, 3.1)].join(","));
         let doc = Parser::parse_document(&text).unwrap();
-        let (findings, rows) = check_doc("BENCH_ingest.json", &doc);
-        assert!(findings.problems.is_empty(), "{:?}", findings.problems);
-        assert_eq!(rows.len(), 2);
+        let checked = check_doc("BENCH_ingest.json", &doc);
+        assert!(
+            checked.findings.problems.is_empty(),
+            "{:?}",
+            checked.findings.problems
+        );
+        assert_eq!(checked.decode_rows.len(), 2);
     }
 
     #[test]
     fn check_rejects_placeholder_keys_anywhere() {
         let doc = parse(r#"{"trace_ingest": {"zz_placeholder": 1}, "zz_x": 2}"#);
-        let (findings, _) = check_doc("BENCH_ingest.json", &doc);
+        let findings = check_doc("BENCH_ingest.json", &doc).findings;
         assert!(findings
             .problems
             .iter()
@@ -732,7 +809,7 @@ mod tests {
     #[test]
     fn check_rejects_missing_sections_and_bad_numbers() {
         let doc = parse(r#"{"something_else": {}}"#);
-        let (findings, _) = check_doc("BENCH_ingest.json", &doc);
+        let findings = check_doc("BENCH_ingest.json", &doc).findings;
         assert!(findings
             .problems
             .iter()
@@ -740,11 +817,90 @@ mod tests {
 
         let text = ingest_doc(&row(8, 8, 0.0));
         let doc = Parser::parse_document(&text).unwrap();
-        let (findings, _) = check_doc("BENCH_ingest.json", &doc);
+        let findings = check_doc("BENCH_ingest.json", &doc).findings;
         assert!(findings
             .problems
             .iter()
             .any(|p| p.contains("speedup_vs_serial")));
+    }
+
+    fn corpus_doc(load_speedup: f64, mine_speedup: f64) -> String {
+        format!(
+            r#"{{"corpus_ingest": {{
+                "corpus": "CrosswordSage-fleet", "sessions": 16, "episodes": 6400,
+                "budget_ms": 500, "available_jobs": 1,
+                "separate_bytes": 3000000, "corpus_bytes": 2800000,
+                "load_only": {{"separate_files_ns_per_iter": 2000000.0,
+                    "corpus_ns_per_iter": 1500000.0, "speedup": {load_speedup}}},
+                "load_and_mine": {{"separate_files_ns_per_iter": 9000000.0,
+                    "corpus_ns_per_iter": 8000000.0, "speedup": {mine_speedup}}}
+            }}}}"#
+        )
+    }
+
+    #[test]
+    fn check_accepts_complete_corpus_and_extracts_speedup() {
+        let doc = Parser::parse_document(&corpus_doc(1.3, 1.12)).unwrap();
+        let checked = check_doc("BENCH_corpus.json", &doc);
+        assert!(
+            checked.findings.problems.is_empty(),
+            "{:?}",
+            checked.findings.problems
+        );
+        assert_eq!(checked.corpus_speedup, Some(1.12));
+    }
+
+    #[test]
+    fn check_rejects_incomplete_corpus() {
+        let doc = parse(r#"{"something_else": {}}"#);
+        let findings = check_doc("BENCH_corpus.json", &doc).findings;
+        assert!(findings
+            .problems
+            .iter()
+            .any(|p| p.contains("`corpus_ingest` is missing")));
+
+        let doc = parse(r#"{"corpus_ingest": {"corpus": "x", "load_only": {}}}"#);
+        let findings = check_doc("BENCH_corpus.json", &doc).findings;
+        assert!(findings
+            .problems
+            .iter()
+            .any(|p| p.contains("load_and_mine` is missing")));
+        assert!(findings
+            .problems
+            .iter()
+            .any(|p| p.contains("load_only.speedup")));
+    }
+
+    #[test]
+    fn corpus_gate_requires_strictly_above_threshold() {
+        let mut findings = Findings::default();
+        gate_corpus(Some(1.08), 1.0, &mut findings);
+        assert!(findings.problems.is_empty(), "{:?}", findings.problems);
+
+        // A tie is not a win: exactly 1.0x fails the default gate.
+        let mut findings = Findings::default();
+        gate_corpus(Some(1.0), 1.0, &mut findings);
+        assert!(findings.problems.iter().any(|p| p.contains("not above")));
+
+        let mut findings = Findings::default();
+        gate_corpus(None, 1.0, &mut findings);
+        assert!(findings
+            .problems
+            .iter()
+            .any(|p| p.contains("no corpus speedup")));
+    }
+
+    #[test]
+    fn corpus_names_never_fall_into_ingest_rules() {
+        assert_eq!(artifact_kind("BENCH_corpus.json"), Some("corpus"));
+        assert_eq!(
+            artifact_kind("target/smoke/BENCH_corpus.json"),
+            Some("corpus")
+        );
+        assert_eq!(artifact_kind("corpus_ingest.json"), Some("corpus"));
+        assert_eq!(artifact_kind("BENCH_ingest.json"), Some("ingest"));
+        assert_eq!(artifact_kind("BENCH_mining.json"), Some("mining"));
+        assert_eq!(artifact_kind("notes.json"), None);
     }
 
     #[test]
@@ -849,11 +1005,11 @@ mod tests {
                 "total": {"speedup": 2.0}
             }}"#,
         );
-        let (findings, _) = check_doc("BENCH_mining.json", &doc);
+        let findings = check_doc("BENCH_mining.json", &doc).findings;
         assert!(findings.problems.is_empty(), "{:?}", findings.problems);
 
         let doc = parse(r#"{"pattern_mining": {"apps": [], "total": {}}}"#);
-        let (findings, _) = check_doc("BENCH_mining.json", &doc);
+        let findings = check_doc("BENCH_mining.json", &doc).findings;
         assert!(!findings.problems.is_empty());
     }
 }

@@ -3,9 +3,14 @@
 //! Subcommands:
 //!
 //! * `apps` — list the built-in application profiles (Table II);
-//! * `simulate` — synthesize a session trace to a file;
-//! * `analyze` — print overall statistics for a trace (a Table III row);
-//! * `patterns` — print the pattern browser table for a trace;
+//! * `simulate` — synthesize a session trace (or, with `--sessions N`, a
+//!   multi-session corpus) to a file;
+//! * `pack` — pack N `.lgz` traces into one `.lgzc` corpus;
+//! * `compact` — re-pack a corpus, dropping salvage-skipped bytes;
+//! * `analyze` — print overall statistics for a trace (a Table III row)
+//!   or corpus-wide statistics for a `.lgzc` file;
+//! * `patterns` — print the pattern browser table for a trace, or the
+//!   merged cross-session table for a corpus;
 //! * `sketch` — render an episode sketch (SVG or ASCII);
 //! * `lint` — check a trace file for damage and print the salvage report;
 //! * `check` — run the semantic rule checker and print its diagnostics;
@@ -31,6 +36,7 @@ use lagalyzer_core::prelude::*;
 use lagalyzer_model::{DurationNs, Episode, SymbolTable, TimeNs};
 use lagalyzer_report::{figures, table3, Study};
 use lagalyzer_sim::{apps, runner};
+use lagalyzer_trace::corpus::{self, CorpusReader, PackOptions};
 use lagalyzer_trace::{DamageVerdict, EpisodeFilter, IndexedTrace};
 use lagalyzer_viz::ascii::ascii_sketch;
 use lagalyzer_viz::sketch::{render_pattern_gallery, render_sketch, SketchOptions};
@@ -92,6 +98,8 @@ fn run(args: &[String]) -> Result<ExitCode, Failure> {
     match command.as_str() {
         "apps" => cmd_apps(),
         "simulate" => cmd_simulate(rest),
+        "pack" => cmd_pack(rest),
+        "compact" => cmd_compact(rest),
         "analyze" => cmd_analyze(rest),
         "patterns" => cmd_patterns(rest),
         "sketch" => cmd_sketch(rest),
@@ -119,12 +127,25 @@ fn print_usage() {
          commands:\n\
            apps                               list built-in application profiles\n\
            simulate --app NAME [--session N] [--seed S] [--text] --out FILE\n\
-                                              synthesize a session trace\n\
+                    [--sessions N] [--compress]\n\
+                                              synthesize a session trace; --sessions N\n\
+                                              writes an N-session .lgzc corpus instead\n\
+           pack IN.lgz [IN.lgz...] --out OUT.lgzc [--compress] [--salvage]\n\
+                                              pack traces into one corpus with a\n\
+                                              deduplicated corpus-wide symbol table\n\
+           compact IN.lgzc --out OUT.lgzc [--compress] [--jobs N]\n\
+                                              re-pack a corpus, dropping salvage-skipped\n\
+                                              bytes and re-deduplicating symbols\n\
            analyze FILE [--threshold-ms MS] [--histogram] [--jobs N] [--salvage] [--check]\n\
-                                              overall statistics of a trace\n\
+                   [--session K] [--format text|json]\n\
+                                              overall statistics of a trace; on a .lgzc\n\
+                                              corpus: corpus-wide stats (or one session\n\
+                                              via --session K)\n\
            patterns FILE [--perceptible-only] [--sort count|total|max|perceptible] [--jobs N] [--salvage]\n\
-                                              browse mined patterns\n\
-           lint FILE                          check a trace for damage; print the salvage report and index health\n\
+                    [--session K]\n\
+                                              browse mined patterns; on a corpus: the\n\
+                                              cross-session merged table\n\
+           lint FILE                          check a trace (or corpus) for damage; print the salvage report and index health\n\
            check FILE [--format text|json] [--allow CODE] [--deny CODE] [--level CODE=SEV] [--fix-report FILE.json]\n\
                                               run the semantic rule checker (codes LA001..)\n\
            outliers FILE [--format text|json] [--mad-k K] [--min-excess-ms MS] [--min-count N]\n\
@@ -166,6 +187,8 @@ const VALUE_FLAGS: &[&str] = &[
     "--min-lag",
     "--since-ms",
     "--until-ms",
+    "--session",
+    "--format",
 ];
 
 /// Fetches the value following a `--flag`.
@@ -257,6 +280,40 @@ fn cmd_simulate(args: &[String]) -> Result<ExitCode, Failure> {
     let session = parse_u64(args, "--session", 0)? as u32;
     let seed = parse_u64(args, "--seed", 42)?;
     let out = opt_value(args, "--out").ok_or("simulate requires --out FILE")?;
+    if let Some(v) = opt_value(args, "--sessions") {
+        // Multi-session corpus generation: N consecutive sessions of the
+        // application, packed straight into one .lgzc file.
+        let n: u32 = v
+            .parse()
+            .map_err(|_| format!("--sessions expects a count, got {v:?}"))?;
+        if n == 0 {
+            return Err("--sessions must be at least 1".into());
+        }
+        if opt_flag(args, "--text") {
+            return Err("--text cannot be combined with --sessions (corpora are binary)".into());
+        }
+        let traces = runner::simulate_corpus(&profile, n, seed);
+        let mut opened = Vec::with_capacity(traces.len());
+        for trace in &traces {
+            let mut buf = Vec::new();
+            lagalyzer_trace::binary::write(trace, &mut buf).map_err(|e| e.to_string())?;
+            opened.push(IndexedTrace::open(buf).map_err(|e| e.to_string())?);
+        }
+        let packed = corpus::pack(
+            &opened,
+            PackOptions {
+                compress: opt_flag(args, "--compress"),
+            },
+        )
+        .map_err(|e| e.to_string())?;
+        fs::write(out, &packed).map_err(|e| format!("cannot write {out}: {e}"))?;
+        println!(
+            "wrote {} corpus of {n} sessions ({} traced episodes) to {out}",
+            profile.name,
+            opened.iter().map(IndexedTrace::len).sum::<usize>()
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
     let trace = runner::simulate_session(&profile, session, seed);
     let file = fs::File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
     let mut writer = std::io::BufWriter::new(file);
@@ -271,6 +328,104 @@ fn cmd_simulate(args: &[String]) -> Result<ExitCode, Failure> {
         profile.name,
         trace.episodes().len(),
         trace.short_episode_count()
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Value-taking flags of the `pack` subcommand.
+const PACK_VALUE_FLAGS: &[&str] = &["--out"];
+
+fn cmd_pack(args: &[String]) -> Result<ExitCode, Failure> {
+    let out = opt_value(args, "--out").ok_or("pack requires --out FILE.lgzc")?;
+    let inputs = positional_args(args, PACK_VALUE_FLAGS);
+    if inputs.is_empty() {
+        return Err("pack requires at least one input .lgz trace".into());
+    }
+    let salvage = opt_flag(args, "--salvage");
+    let options = PackOptions {
+        compress: opt_flag(args, "--compress"),
+    };
+    let mut opened = Vec::with_capacity(inputs.len());
+    for path in &inputs {
+        let bytes = fs::read(path.as_str()).map_err(|e| format!("cannot read {path}: {e}"))?;
+        if !bytes.starts_with(b"LGLZTRC") {
+            return Err(format!("{path} is not a binary .lgz trace").into());
+        }
+        let trace = if salvage {
+            IndexedTrace::open_salvage(bytes)
+                .map_err(|e| Failure::unrecoverable(format!("cannot salvage {path}: {e}")))?
+        } else {
+            IndexedTrace::open(bytes)
+                .map_err(|e| format!("cannot load {path}: {e} (retry with --salvage)"))?
+        };
+        if let Some(report) = trace.salvage_report() {
+            if !report.is_clean() {
+                eprintln!(
+                    "salvage: {path}: recovered {} episode(s), lost {}, {} skip(s)",
+                    report.episodes_recovered,
+                    report.episodes_lost,
+                    report.skips.len()
+                );
+            }
+        }
+        opened.push(trace);
+    }
+    let per_file_symbols: usize = opened.iter().map(|t| t.symbols().len()).sum();
+    let distinct_symbols = {
+        let mut set = std::collections::HashSet::new();
+        for trace in &opened {
+            for (_, name) in trace.symbols().iter() {
+                set.insert(name);
+            }
+        }
+        set.len()
+    };
+    let episodes: usize = opened.iter().map(IndexedTrace::len).sum();
+    let damaged = opened
+        .iter()
+        .filter(|t| t.salvage_report().is_some_and(|r| !r.is_clean()))
+        .count();
+    let packed = corpus::pack(&opened, options).map_err(|e| e.to_string())?;
+    fs::write(out, &packed).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!(
+        "packed {} session(s), {episodes} episode(s) into {out} ({} bytes): \
+         {per_file_symbols} per-file symbols deduplicated to {distinct_symbols}",
+        opened.len(),
+        packed.len(),
+    );
+    if damaged > 0 {
+        Ok(ExitCode::from(EXIT_SALVAGED))
+    } else {
+        Ok(ExitCode::SUCCESS)
+    }
+}
+
+/// Value-taking flags of the `compact` subcommand.
+const COMPACT_VALUE_FLAGS: &[&str] = &["--out", "--jobs"];
+
+fn cmd_compact(args: &[String]) -> Result<ExitCode, Failure> {
+    let positionals = positional_args(args, COMPACT_VALUE_FLAGS);
+    let path = positionals
+        .first()
+        .ok_or("compact requires a corpus file")?;
+    let out = opt_value(args, "--out").ok_or("compact requires --out FILE.lgzc")?;
+    let jobs = parse_jobs(args)?;
+    let options = PackOptions {
+        compress: opt_flag(args, "--compress"),
+    };
+    let bytes = fs::read(path.as_str()).map_err(|e| format!("cannot read {path}: {e}"))?;
+    if !corpus::is_corpus(&bytes) {
+        return Err(format!("{path} is not a .lgzc corpus (pack traces first)").into());
+    }
+    let before = bytes.len();
+    let reader = CorpusReader::open(bytes)
+        .map_err(|e| Failure::unrecoverable(format!("cannot load {path}: {e}")))?;
+    let compacted = corpus::compact(&reader, jobs, options).map_err(|e| e.to_string())?;
+    let after = compacted.len();
+    fs::write(out, compacted).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!(
+        "compacted {} session(s): {before} -> {after} bytes in {out}",
+        reader.len()
     );
     Ok(ExitCode::SUCCESS)
 }
@@ -347,6 +502,50 @@ fn session_from(args: &[String], path: &str) -> Result<AnalysisSession, Failure>
         Err(e) => return Err(format!("cannot load {path}: {e}").into()),
     };
 
+    if corpus::is_corpus(&bytes) {
+        // Corpus file: --session K selects one member session; the filter
+        // rides the corpus extent index exactly as it does for a single
+        // indexed trace.
+        let reader = CorpusReader::open(bytes)
+            .map_err(|e| Failure::unrecoverable(format!("cannot load {path}: {e}")))?;
+        let k = match opt_value(args, "--session") {
+            Some(v) => v
+                .parse::<usize>()
+                .map_err(|_| format!("--session expects a session index, got {v:?}"))?,
+            None => {
+                return Err(format!(
+                    "{path} is a corpus of {} sessions; select one with --session K",
+                    reader.len()
+                )
+                .into())
+            }
+        };
+        if k >= reader.len() {
+            return Err(format!("{path} has {} sessions, no index {k}", reader.len()).into());
+        }
+        let view = reader.session(k);
+        let excluded = view.excluded_by(&filter) as u64;
+        let provenance = if view.is_damaged() {
+            eprintln!(
+                "salvage: {path} session {k}: {} skip(s), {} episode(s) lost at pack time",
+                view.skips(),
+                view.episodes_lost()
+            );
+            Provenance::Salvaged {
+                skips: view.skips(),
+                episodes_lost: view.episodes_lost(),
+            }
+        } else {
+            Provenance::Clean
+        };
+        let trace = view
+            .decode_filtered(jobs, &filter)
+            .map_err(|e| format!("cannot load {path}: {e}"))?;
+        return Ok(AnalysisSession::with_exclusions(
+            trace, config, provenance, excluded,
+        ));
+    }
+
     if bytes.starts_with(b"LGLZTRC") {
         // Binary trace: open through the episode extent index. The filter
         // prunes episodes against index entries before any record is
@@ -407,9 +606,47 @@ fn exit_for(session: &AnalysisSession) -> ExitCode {
     }
 }
 
+/// `true` when `path` starts with the `.lgzc` corpus signature.
+fn sniff_corpus(path: &str) -> bool {
+    use std::io::Read as _;
+    let mut magic = [0u8; 8];
+    fs::File::open(path)
+        .and_then(|mut f| f.read_exact(&mut magic))
+        .is_ok_and(|()| corpus::is_corpus(&magic))
+}
+
+/// Minimal JSON string escaping for the corpus `--format json` output.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
 fn cmd_analyze(args: &[String]) -> Result<ExitCode, Failure> {
     let path = args.first().ok_or("analyze requires a trace file")?;
     let jobs = parse_jobs(args)?;
+    if sniff_corpus(path) && opt_value(args, "--session").is_none() {
+        return cmd_analyze_corpus(args, path, jobs);
+    }
+    if let Some(format) = opt_value(args, "--format") {
+        if format != "text" {
+            return Err(
+                format!("--format {format} is only supported for corpus-wide analyze").into(),
+            );
+        }
+    }
     // --check gates analysis on a semantically sound trace: errors refuse
     // analysis outright (exit 2); warnings and notes are recorded on the
     // session so the report carries them.
@@ -496,9 +733,215 @@ fn cmd_analyze(args: &[String]) -> Result<ExitCode, Failure> {
     Ok(exit_for(&session))
 }
 
+/// One decoded corpus: the per-session traces (filtered at the extent
+/// index) plus the per-session rows the reports print.
+struct DecodedCorpus {
+    reader: CorpusReader,
+    traces: Vec<lagalyzer_model::SessionTrace>,
+    excluded: u64,
+}
+
+fn decode_corpus(
+    path: &str,
+    filter: &EpisodeFilter,
+    jobs: usize,
+) -> Result<DecodedCorpus, Failure> {
+    let bytes = fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let reader = CorpusReader::open(bytes)
+        .map_err(|e| Failure::unrecoverable(format!("cannot load {path}: {e}")))?;
+    let excluded: u64 = reader
+        .sessions()
+        .map(|v| v.excluded_by(filter) as u64)
+        .sum();
+    let traces = if filter.is_unrestricted() {
+        reader
+            .par_decode(jobs)
+            .map_err(|e| format!("cannot load {path}: {e}"))?
+    } else {
+        reader
+            .sessions()
+            .map(|v| v.decode_filtered(jobs, filter))
+            .collect::<Result<_, _>>()
+            .map_err(|e| format!("cannot load {path}: {e}"))?
+    };
+    Ok(DecodedCorpus {
+        reader,
+        traces,
+        excluded,
+    })
+}
+
+/// Corpus-wide `analyze`: every session decoded through the corpus
+/// extent index, patterns mined across all of them through the mergeable
+/// multi-session path (byte-identical to mining the N files separately).
+fn cmd_analyze_corpus(args: &[String], path: &str, jobs: usize) -> Result<ExitCode, Failure> {
+    let format = opt_value(args, "--format").unwrap_or("text");
+    if format != "text" && format != "json" {
+        return Err(format!("unknown format {format:?}; expected text or json").into());
+    }
+    if opt_flag(args, "--check") {
+        return Err("--check is not supported on corpus files".into());
+    }
+    let threshold = DurationNs::from_millis(parse_u64(args, "--threshold-ms", 100)?);
+    let config = AnalysisConfig {
+        perceptible_threshold: threshold,
+    };
+    let filter = parse_filter(args)?;
+    let decoded = decode_corpus(path, &filter, jobs)?;
+    let DecodedCorpus {
+        reader,
+        traces,
+        excluded,
+    } = decoded;
+
+    struct Row {
+        application: String,
+        session: String,
+        episodes: usize,
+        perceptible: usize,
+        salvaged: bool,
+        damaged: bool,
+        compressed: bool,
+        health: String,
+    }
+    let rows: Vec<Row> = traces
+        .iter()
+        .zip(reader.sessions())
+        .map(|(trace, view)| Row {
+            application: trace.meta().application.clone(),
+            session: trace.meta().session.to_string(),
+            episodes: trace.episodes().len(),
+            perceptible: trace.perceptible_episodes(threshold).count(),
+            salvaged: view.is_salvaged(),
+            damaged: view.is_damaged(),
+            compressed: view.is_compressed(),
+            health: view.health().to_string(),
+        })
+        .collect();
+    let episodes: usize = rows.iter().map(|r| r.episodes).sum();
+    let perceptible: usize = rows.iter().map(|r| r.perceptible).sum();
+    let damaged = rows.iter().filter(|r| r.damaged).count();
+    let multi = lagalyzer_core::MultiPatternSet::mine_traces_with_jobs(traces, config, jobs);
+
+    if format == "json" {
+        let sessions_json: Vec<String> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                format!(
+                    "{{\"index\":{i},\"application\":{},\"session\":{},\"episodes\":{},\
+                     \"perceptible\":{},\"salvaged\":{},\"damaged\":{},\"compressed\":{},\
+                     \"health\":{}}}",
+                    json_str(&r.application),
+                    json_str(&r.session),
+                    r.episodes,
+                    r.perceptible,
+                    r.salvaged,
+                    r.damaged,
+                    r.compressed,
+                    json_str(&r.health),
+                )
+            })
+            .collect();
+        println!(
+            "{{\"corpus\":{{\"sessions\":{},\"episodes\":{episodes},\"perceptible\":{perceptible},\
+             \"filtered_out\":{excluded},\"global_symbols\":{},\"damaged_sessions\":{damaged}}},\
+             \"sessions\":[{}],\
+             \"patterns\":{{\"merged\":{},\"recurring\":{},\"stable_problems\":{}}}}}",
+            reader.len(),
+            reader.global_symbols().len(),
+            sessions_json.join(","),
+            multi.len(),
+            multi.recurring().count(),
+            multi.stable_problems().len(),
+        );
+    } else {
+        println!("corpus            {path}");
+        println!("sessions          {}", reader.len());
+        println!("episodes          {episodes}");
+        println!("episodes >= 100ms {perceptible}");
+        if excluded > 0 {
+            println!("filtered out      {excluded}");
+        }
+        println!("global symbols    {}", reader.global_symbols().len());
+        println!("damaged sessions  {damaged}");
+        for (i, r) in rows.iter().enumerate() {
+            let mut notes = Vec::new();
+            if r.damaged {
+                notes.push("damaged");
+            } else if r.salvaged {
+                notes.push("salvaged");
+            }
+            if r.compressed {
+                notes.push("compressed");
+            }
+            println!(
+                "  session {i:<3} {} {}  {:>6} episodes {:>5} perceptible  [{}]{}",
+                r.application,
+                r.session,
+                r.episodes,
+                r.perceptible,
+                r.health,
+                if notes.is_empty() {
+                    String::new()
+                } else {
+                    format!(" ({})", notes.join(", "))
+                },
+            );
+        }
+        println!(
+            "merged patterns   {} ({} recurring in every session)",
+            multi.len(),
+            multi.recurring().count()
+        );
+        println!("stable problems   {}", multi.stable_problems().len());
+    }
+    Ok(ExitCode::from(reader.damage_verdict().exit_code()))
+}
+
+/// Corpus-wide `patterns`: the merged cross-session table.
+fn cmd_patterns_corpus(args: &[String], path: &str, jobs: usize) -> Result<ExitCode, Failure> {
+    let threshold = DurationNs::from_millis(parse_u64(args, "--threshold-ms", 100)?);
+    let config = AnalysisConfig {
+        perceptible_threshold: threshold,
+    };
+    let filter = parse_filter(args)?;
+    let decoded = decode_corpus(path, &filter, jobs)?;
+    let multi =
+        lagalyzer_core::MultiPatternSet::mine_traces_with_jobs(decoded.traces, config, jobs);
+    println!(
+        "{} sessions, {} merged patterns ({} recurring in every session)",
+        multi.sessions(),
+        multi.len(),
+        multi.recurring().count()
+    );
+    let perceptible_only = opt_flag(args, "--perceptible-only");
+    println!(
+        "{:>5} {:>5} {:>8} {:>12}  signature",
+        "eps", "perc", "sessions", "total lag"
+    );
+    for p in multi.patterns() {
+        if perceptible_only && p.total_perceptible() == 0 {
+            continue;
+        }
+        let sig: String = p.signature().as_str().chars().take(60).collect();
+        println!(
+            "{:>5} {:>5} {:>8} {:>12}  {sig}",
+            p.total_episodes(),
+            p.total_perceptible(),
+            p.session_coverage(),
+            p.total_lag().to_string(),
+        );
+    }
+    Ok(ExitCode::from(decoded.reader.damage_verdict().exit_code()))
+}
+
 fn cmd_patterns(args: &[String]) -> Result<ExitCode, Failure> {
     let path = args.first().ok_or("patterns requires a trace file")?;
     let jobs = parse_jobs(args)?;
+    if sniff_corpus(path) && opt_value(args, "--session").is_none() {
+        return cmd_patterns_corpus(args, path, jobs);
+    }
     let session = session_from(args, path)?;
     let patterns = session.mine_patterns_with_jobs(jobs);
     let mut browser = PatternBrowser::new(&session, &patterns);
@@ -521,6 +964,53 @@ fn cmd_patterns(args: &[String]) -> Result<ExitCode, Failure> {
 fn cmd_lint(args: &[String]) -> Result<ExitCode, Failure> {
     let path = args.first().ok_or("lint requires a trace file")?;
     let bytes = fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    if corpus::is_corpus(&bytes) {
+        // Corpus: one index-health line per member session, then the
+        // aggregate verdict. Exit codes follow the same 0/2/3 contract
+        // as single traces (1 is reserved for usage/I-O errors).
+        return match CorpusReader::open(bytes) {
+            Err(e) => {
+                println!("unrecoverable: {e}");
+                Ok(ExitCode::from(DamageVerdict::Unrecoverable.exit_code()))
+            }
+            Ok(reader) => {
+                println!(
+                    "corpus              {} session(s), {} episode(s), {} symbol(s)",
+                    reader.len(),
+                    reader.total_episodes(),
+                    reader.global_symbols().len()
+                );
+                for view in reader.sessions() {
+                    let status = if view.is_damaged() {
+                        format!(
+                            "damaged ({} skip(s), {} episode(s) lost)",
+                            view.skips(),
+                            view.episodes_lost()
+                        )
+                    } else if view.is_salvaged() {
+                        "salvaged clean".to_string()
+                    } else {
+                        "clean".to_string()
+                    };
+                    println!(
+                        "session {:<11} index {}; {status}",
+                        view.index(),
+                        view.health()
+                    );
+                }
+                let verdict = reader.damage_verdict();
+                println!(
+                    "aggregate           {}",
+                    if matches!(verdict, DamageVerdict::Clean) {
+                        "clean"
+                    } else {
+                        "damaged corpus"
+                    }
+                );
+                Ok(ExitCode::from(verdict.exit_code()))
+            }
+        };
+    }
     // The exit code comes from the shared damage classification so `lint`
     // and `check` can never disagree on what counts as salvaged.
     match lagalyzer_trace::read_bytes_salvage(&bytes) {
@@ -600,6 +1090,7 @@ const OUTLIER_VALUE_FLAGS: &[&str] = &[
     "--min-lag",
     "--since-ms",
     "--until-ms",
+    "--session",
     "--format",
     "--mad-k",
     "--min-excess-ms",

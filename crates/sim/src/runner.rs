@@ -163,6 +163,16 @@ pub fn simulate_suite(profiles: &[AppProfile], seed: u64) -> Vec<SimulatedApp> {
         .collect()
 }
 
+/// Simulates a multi-session corpus of one application: `sessions`
+/// consecutive session indices, deterministic in `(profile, seed)` —
+/// the generation path behind `simulate --sessions N`, whose output the
+/// CLI packs into one `.lgzc`.
+pub fn simulate_corpus(profile: &AppProfile, sessions: u32, seed: u64) -> Vec<SessionTrace> {
+    (0..sessions)
+        .map(|i| simulate_session(profile, i, seed))
+        .collect()
+}
+
 /// One planned episode execution.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum PlanItem {

@@ -631,7 +631,7 @@ pub fn read_salvage(bytes: &[u8]) -> Result<crate::salvage::Salvaged, TraceError
     })
 }
 
-fn write_header<W: Write>(meta: &SessionMeta, w: &mut W) -> Result<(), TraceError> {
+pub(crate) fn write_header<W: Write>(meta: &SessionMeta, w: &mut W) -> Result<(), TraceError> {
     varint::write_str(w, &meta.application)?;
     varint::write_u32(w, meta.session.as_raw())?;
     varint::write_u32(w, meta.gui_thread.as_raw())?;

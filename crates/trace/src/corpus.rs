@@ -1,0 +1,1267 @@
+//! Multi-session corpus container (`.lgzc`): many traces, one file.
+//!
+//! The analyses serve fleets of sessions, but a `.lgz` file holds exactly
+//! one: N sessions cost N opens, N symbol tables, and N copies of the
+//! same method names. The corpus container packs many sessions into one
+//! file with a **corpus-wide deduplicated symbol table** (every string
+//! stored once, per-session tables reconstructed through a dense remap),
+//! a **section index** with per-section compression flags (episode
+//! payloads may be stored raw or through the crate's own hand-rolled LZ
+//! codec), and the per-file episode extent index promoted to a
+//! **corpus-level index** — any episode of any session is addressable in
+//! O(1) without decoding its neighbors.
+//!
+//! Layout (integers little-endian; varints are LEB128 as in `.lgz`):
+//!
+//! ```text
+//! magic        8 bytes  b"LGLZCRP\x01" (the last byte is the version)
+//! header       flags u32, session count u32, then five u64 region
+//!              offsets: strings, sessions, sections, extents, data
+//! strings      corpus-global deduplicated string pool: count, then
+//!              len+utf8 per string (dense global symbol ids, in order)
+//! sessions     per session: the .lgz header fields, index health,
+//!              provenance (salvaged/damaged flags, skip + lost counts),
+//!              the local→global symbol remap, GC events, short-episode
+//!              counters
+//! sections     per session payload section: kind, session, compression
+//!              flags, offset into the data region, stored len, raw len
+//! extents      per session: the extent table (same delta-coded wire
+//!              shape as the v2 footer), offsets relative to the
+//!              session's decompressed payload
+//! data         concatenated payload sections (episode record bytes
+//!              only — session-level records are hoisted into the
+//!              directory regions above)
+//! trailer      8 bytes LE FNV-1a over everything between magic and
+//!              trailer
+//! ```
+//!
+//! Because a session's payload is the byte-for-byte concatenation of its
+//! episode extents and the episode decoder is shared with
+//! [`IndexedTrace`], decoding a session out of a corpus is byte-identical
+//! to opening its original `.lgz` and calling
+//! [`IndexedTrace::par_decode`] — property-tested in
+//! `tests/corpus_store.rs`.
+
+use std::ops::Range;
+
+use lagalyzer_model::parallel::map_shards_init;
+use lagalyzer_model::{
+    DurationNs, Episode, EpisodeFragment, GcEvent, SessionMeta, SessionTrace, SessionTraceBuilder,
+    SymbolId, SymbolTable, TimeNs,
+};
+
+use crate::binary::{fnv1a, read_header, write_header};
+use crate::error::TraceError;
+use crate::index::{
+    decode_extent, decode_extents, encode_extents_into, DecodeScratch, EpisodeExtent,
+    EpisodeFilter, IndexHealth, IndexedTrace,
+};
+use crate::salvage::DamageVerdict;
+use crate::varint;
+
+/// The version-independent corpus signature (byte 8 is the version).
+pub(crate) const CORPUS_MAGIC_PREFIX: &[u8] = b"LGLZCRP";
+
+/// The current corpus format: prefix plus version byte 1.
+const CORPUS_MAGIC: &[u8; 8] = b"LGLZCRP\x01";
+
+/// Fixed header size: magic, flags, session count, five region offsets.
+const HEADER_LEN: usize = 8 + 4 + 4 + 5 * 8;
+
+/// Header flag: at least one section is LZ-compressed (advisory; the
+/// authoritative bit is per-section).
+const FLAG_COMPRESSED: u32 = 1;
+
+/// Section kinds. Only session payloads exist today; new kinds require a
+/// version bump (see the forward-compat rules in DESIGN.md).
+const SECTION_PAYLOAD: u8 = 0;
+
+/// Per-section flag: the stored bytes are LZ-compressed.
+const SECTION_FLAG_LZ: u8 = 1;
+
+/// Caps that keep a corrupt (but checksum-valid) header from forcing
+/// absurd allocations.
+const MAX_SESSIONS: u64 = 1 << 20;
+const MAX_STRINGS: u64 = 1 << 28;
+const MAX_STRING_LEN: u64 = 1 << 20;
+const MAX_RAW_SECTION: u64 = 1 << 30;
+
+/// `true` when `bytes` carry the corpus signature (any version) — the
+/// sniff the CLI uses to route a file to [`CorpusReader`] instead of the
+/// single-trace codecs.
+pub fn is_corpus(bytes: &[u8]) -> bool {
+    bytes.len() >= 8 && &bytes[..7] == CORPUS_MAGIC_PREFIX
+}
+
+/// Options for [`pack`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PackOptions {
+    /// LZ-compress each session's payload section. The corpus remains
+    /// byte-identical to decode; only the stored bytes differ.
+    pub compress: bool,
+}
+
+/// Everything the writer needs for one session, already rebased.
+struct PackSession {
+    meta: SessionMeta,
+    symbols: SymbolTable,
+    gc_events: Vec<GcEvent>,
+    short_count: u64,
+    short_time: DurationNs,
+    health: IndexHealth,
+    salvaged: bool,
+    damaged: bool,
+    skips: u64,
+    episodes_lost: u64,
+    extents: Vec<EpisodeExtent>,
+    payload: Vec<u8>,
+}
+
+impl PackSession {
+    /// Rebases one opened trace: concatenates its episode extents into a
+    /// dense payload (dropping inter-extent bytes — session-level records
+    /// are hoisted, salvage garbage is simply not copied) and rewrites
+    /// the extent offsets to match.
+    fn of_indexed(trace: &IndexedTrace) -> PackSession {
+        let total: u64 = trace.extents().iter().map(|e| e.len).sum();
+        let mut payload = Vec::with_capacity(total as usize);
+        let mut extents = Vec::with_capacity(trace.extents().len());
+        for (i, extent) in trace.extents().iter().enumerate() {
+            let rebased = EpisodeExtent {
+                offset: payload.len() as u64,
+                ..*extent
+            };
+            payload.extend_from_slice(trace.episode_bytes(i));
+            extents.push(rebased);
+        }
+        let report = trace.salvage_report();
+        PackSession {
+            meta: trace.meta().clone(),
+            symbols: trace.symbols().clone(),
+            gc_events: trace.gc_events().to_vec(),
+            short_count: trace.short_episode_count(),
+            short_time: trace.short_episode_time(),
+            health: trace.health().clone(),
+            salvaged: report.is_some(),
+            damaged: report.is_some_and(|r| !r.is_clean()),
+            skips: report.map_or(0, |r| r.skips.len() as u64),
+            episodes_lost: report.map_or(0, |r| r.episodes_lost),
+            extents,
+            payload,
+        }
+    }
+}
+
+/// Packs opened traces into one corpus file.
+///
+/// Symbols are interned **once corpus-wide**: every session's local
+/// table is folded into a single deduplicated string pool, and each
+/// session keeps only a dense local→global id remap — decoding restores
+/// the exact per-session tables, so corpus decodes stay byte-identical
+/// to per-file ones.
+///
+/// # Errors
+///
+/// Fails on a symbol table with an unresolvable id (impossible for
+/// tables produced by the decoders) or an I/O-level encoding failure.
+pub fn pack(traces: &[IndexedTrace], options: PackOptions) -> Result<Vec<u8>, TraceError> {
+    let sessions: Vec<PackSession> = traces.iter().map(PackSession::of_indexed).collect();
+    pack_sessions(&sessions, options)
+}
+
+/// Re-packs an already-open corpus, dropping every byte salvage had to
+/// step over: each session is decoded and canonically re-encoded, so
+/// payloads contain exactly the surviving episodes' records and the
+/// global string pool is re-deduplicated from the surviving sessions.
+/// Provenance (salvaged/damaged flags, skip and lost counts) is carried
+/// over so a compacted corpus still reports its history.
+///
+/// Compacting an already-compact corpus is byte-identical (idempotent):
+/// re-encoding canonical payloads is a fixed point.
+///
+/// # Errors
+///
+/// Propagates decode or re-encode failures.
+pub fn compact(
+    reader: &CorpusReader,
+    jobs: usize,
+    options: PackOptions,
+) -> Result<Vec<u8>, TraceError> {
+    let decoded = reader.par_decode(jobs)?;
+    let mut sessions = Vec::with_capacity(decoded.len());
+    for (i, trace) in decoded.iter().enumerate() {
+        let mut buf = Vec::new();
+        crate::binary::write(trace, &mut buf)?;
+        let indexed = IndexedTrace::open(buf)?;
+        let mut session = PackSession::of_indexed(&indexed);
+        // The re-encoded bytes are clean; the history is the original's.
+        let entry = reader.entry(i);
+        session.health = IndexHealth::FooterValid;
+        session.salvaged = entry.salvaged;
+        session.damaged = entry.damaged;
+        session.skips = entry.skips;
+        session.episodes_lost = entry.episodes_lost;
+        sessions.push(session);
+    }
+    pack_sessions(&sessions, options)
+}
+
+fn health_tag(health: &IndexHealth) -> (u8, &str) {
+    match health {
+        IndexHealth::FooterValid => (0, ""),
+        IndexHealth::FooterAbsent => (1, ""),
+        IndexHealth::FooterInvalid(reason) => (2, reason),
+        IndexHealth::SalvageScan => (3, ""),
+    }
+}
+
+fn health_of_tag(tag: u8, reason: String) -> Result<IndexHealth, TraceError> {
+    match tag {
+        0 => Ok(IndexHealth::FooterValid),
+        1 => Ok(IndexHealth::FooterAbsent),
+        2 => Ok(IndexHealth::FooterInvalid(reason)),
+        3 => Ok(IndexHealth::SalvageScan),
+        other => Err(TraceError::corrupt(
+            "session directory",
+            format!("bad index health tag {other}"),
+        )),
+    }
+}
+
+fn pack_sessions(sessions: &[PackSession], options: PackOptions) -> Result<Vec<u8>, TraceError> {
+    // Corpus-global interning: one deduplicated pool, one remap each.
+    let mut global = SymbolTable::new();
+    let mut remaps: Vec<Vec<u32>> = Vec::with_capacity(sessions.len());
+    for session in sessions {
+        let mut remap = Vec::with_capacity(session.symbols.len());
+        for (_, name) in session.symbols.iter() {
+            remap.push(global.intern(name).as_raw());
+        }
+        remaps.push(remap);
+    }
+
+    let mut strings = Vec::new();
+    varint::write_u64(&mut strings, global.len() as u64)?;
+    for (_, name) in global.iter() {
+        varint::write_str(&mut strings, name)?;
+    }
+
+    let mut directory = Vec::new();
+    for (session, remap) in sessions.iter().zip(&remaps) {
+        write_header(&session.meta, &mut directory)?;
+        let (tag, reason) = health_tag(&session.health);
+        directory.push(tag);
+        varint::write_str(&mut directory, reason)?;
+        directory.push(u8::from(session.salvaged) | (u8::from(session.damaged) << 1));
+        varint::write_u64(&mut directory, session.skips)?;
+        varint::write_u64(&mut directory, session.episodes_lost)?;
+        varint::write_u64(&mut directory, remap.len() as u64)?;
+        for &global_id in remap {
+            varint::write_u32(&mut directory, global_id)?;
+        }
+        varint::write_u64(&mut directory, session.gc_events.len() as u64)?;
+        for gc in &session.gc_events {
+            varint::write_u64(&mut directory, gc.start.as_nanos())?;
+            varint::write_u64(&mut directory, gc.end.as_nanos())?;
+            directory.push(u8::from(gc.major));
+        }
+        varint::write_u64(&mut directory, session.short_count)?;
+        varint::write_u64(&mut directory, session.short_time.as_nanos())?;
+    }
+
+    let mut data = Vec::new();
+    let mut sections = Vec::new();
+    let mut any_compressed = false;
+    varint::write_u64(&mut sections, sessions.len() as u64)?;
+    for (i, session) in sessions.iter().enumerate() {
+        let offset = data.len() as u64;
+        let (flags, stored_len) = if options.compress {
+            let compressed = lz::compress(&session.payload);
+            if compressed.len() < session.payload.len() {
+                data.extend_from_slice(&compressed);
+                (SECTION_FLAG_LZ, compressed.len() as u64)
+            } else {
+                // Incompressible payloads are stored raw — never pay
+                // stored_len > raw_len.
+                data.extend_from_slice(&session.payload);
+                (0, session.payload.len() as u64)
+            }
+        } else {
+            data.extend_from_slice(&session.payload);
+            (0, session.payload.len() as u64)
+        };
+        any_compressed |= flags & SECTION_FLAG_LZ != 0;
+        sections.push(SECTION_PAYLOAD);
+        varint::write_u64(&mut sections, i as u64)?;
+        sections.push(flags);
+        varint::write_u64(&mut sections, offset)?;
+        varint::write_u64(&mut sections, stored_len)?;
+        varint::write_u64(&mut sections, session.payload.len() as u64)?;
+    }
+
+    let mut extents = Vec::new();
+    for session in sessions {
+        encode_extents_into(&session.extents, &mut extents)?;
+    }
+
+    let strings_off = HEADER_LEN as u64;
+    let sessions_off = strings_off + strings.len() as u64;
+    let sections_off = sessions_off + directory.len() as u64;
+    let extents_off = sections_off + sections.len() as u64;
+    let data_off = extents_off + extents.len() as u64;
+
+    let mut out = Vec::with_capacity(HEADER_LEN + data_off as usize + data.len() + 8);
+    out.extend_from_slice(CORPUS_MAGIC);
+    out.extend_from_slice(
+        &(if any_compressed {
+            FLAG_COMPRESSED
+        } else {
+            0u32
+        })
+        .to_le_bytes(),
+    );
+    out.extend_from_slice(&(sessions.len() as u32).to_le_bytes());
+    for off in [
+        strings_off,
+        sessions_off,
+        sections_off,
+        extents_off,
+        data_off,
+    ] {
+        out.extend_from_slice(&off.to_le_bytes());
+    }
+    out.extend_from_slice(&strings);
+    out.extend_from_slice(&directory);
+    out.extend_from_slice(&sections);
+    out.extend_from_slice(&extents);
+    out.extend_from_slice(&data);
+    let checksum = fnv1a(&out[8..]);
+    out.extend_from_slice(&checksum.to_le_bytes());
+    Ok(out)
+}
+
+/// Where a session's (possibly decompressed) payload lives.
+enum Payload {
+    /// Raw section: a range into the corpus bytes (zero-copy).
+    Raw(Range<usize>),
+    /// LZ section: decompressed once at open time.
+    Decompressed(Vec<u8>),
+}
+
+/// One session's directory entry, fully materialized at open time.
+struct SessionEntry {
+    meta: SessionMeta,
+    symbols: SymbolTable,
+    gc_events: Vec<GcEvent>,
+    short_count: u64,
+    short_time: DurationNs,
+    health: IndexHealth,
+    salvaged: bool,
+    damaged: bool,
+    skips: u64,
+    episodes_lost: u64,
+    compressed: bool,
+    extents: Vec<EpisodeExtent>,
+    payload: Payload,
+}
+
+/// A corpus opened for indexed, zero-copy access.
+///
+/// Owns the corpus bytes; raw payload sections are borrowed in place
+/// (compressed ones are decompressed once at open). Episode decoding
+/// shares [`IndexedTrace`]'s extent decoder, so per-session results are
+/// byte-identical to opening the original `.lgz` files.
+pub struct CorpusReader {
+    bytes: Vec<u8>,
+    global: SymbolTable,
+    sessions: Vec<SessionEntry>,
+    /// Flattened episode addressing: `slot_base[i]` is the first global
+    /// slot of session `i` (one past-the-end sentinel at the back).
+    slot_base: Vec<usize>,
+}
+
+/// A borrowed view of one session inside a [`CorpusReader`].
+#[derive(Clone, Copy)]
+pub struct SessionView<'a> {
+    reader: &'a CorpusReader,
+    index: usize,
+}
+
+impl CorpusReader {
+    /// Opens a corpus from an owned byte buffer (the mmap-free zero-copy
+    /// open: raw payload sections are never copied out of `bytes`),
+    /// verifying the trailer checksum and materializing the directory.
+    ///
+    /// # Errors
+    ///
+    /// Fails on bad magic, an unsupported version, a checksum mismatch,
+    /// or a malformed directory/section/extent region.
+    pub fn open(bytes: Vec<u8>) -> Result<CorpusReader, TraceError> {
+        if bytes.len() < HEADER_LEN + 8 {
+            return Err(TraceError::corrupt("corpus header", "input too short"));
+        }
+        if &bytes[..7] != CORPUS_MAGIC_PREFIX {
+            return Err(TraceError::corrupt(
+                "corpus magic",
+                format!("{:?}", &bytes[..8]),
+            ));
+        }
+        if bytes[7] != 1 {
+            return Err(TraceError::UnsupportedVersion {
+                found: u32::from(bytes[7]),
+            });
+        }
+        let payload_end = bytes.len() - 8;
+        let stored = u64::from_le_bytes(bytes[payload_end..].try_into().expect("8-byte slice"));
+        let computed = fnv1a(&bytes[8..payload_end]);
+        if stored != computed {
+            return Err(TraceError::ChecksumMismatch { stored, computed });
+        }
+        let flags = u32::from_le_bytes(bytes[8..12].try_into().expect("4-byte slice"));
+        if flags & !FLAG_COMPRESSED != 0 {
+            return Err(TraceError::corrupt(
+                "corpus header",
+                format!("unknown header flags {flags:#x}"),
+            ));
+        }
+        let session_count = u64::from(u32::from_le_bytes(
+            bytes[12..16].try_into().expect("4-byte slice"),
+        ));
+        if session_count > MAX_SESSIONS {
+            return Err(TraceError::corrupt(
+                "corpus header",
+                format!("{session_count} sessions exceeds cap"),
+            ));
+        }
+        let mut offsets = [0u64; 5];
+        for (i, off) in offsets.iter_mut().enumerate() {
+            *off = u64::from_le_bytes(
+                bytes[16 + i * 8..24 + i * 8]
+                    .try_into()
+                    .expect("8-byte slice"),
+            );
+        }
+        let [strings_off, sessions_off, sections_off, extents_off, data_off] = offsets;
+        let bounds = [
+            HEADER_LEN as u64,
+            strings_off,
+            sessions_off,
+            sections_off,
+            extents_off,
+            data_off,
+            payload_end as u64,
+        ];
+        if bounds.windows(2).any(|w| w[0] > w[1]) {
+            return Err(TraceError::corrupt(
+                "corpus header",
+                "region offsets out of order",
+            ));
+        }
+
+        let global = read_strings(&bytes[strings_off as usize..sessions_off as usize])?;
+        let directory = read_directory(
+            &bytes[sessions_off as usize..sections_off as usize],
+            session_count,
+            &global,
+        )?;
+        let sections = read_sections(
+            &bytes[sections_off as usize..extents_off as usize],
+            session_count,
+            (payload_end as u64) - data_off,
+        )?;
+
+        let mut sessions = Vec::with_capacity(directory.len());
+        let extents_bytes = &bytes[..extents_off as usize + (data_off - extents_off) as usize];
+        let mut pos = extents_off as usize;
+        let extents_end = data_off as usize;
+        for (dir, section) in directory.into_iter().zip(&sections) {
+            let extents = decode_extents(extents_bytes, &mut pos, extents_end, section.raw_len)?;
+            let start = (data_off + section.offset) as usize;
+            let stored = &bytes[start..start + section.stored_len as usize];
+            let payload = if section.compressed {
+                Payload::Decompressed(lz::decompress(stored, section.raw_len as usize)?)
+            } else {
+                if section.stored_len != section.raw_len {
+                    return Err(TraceError::corrupt(
+                        "section index",
+                        "raw section with stored_len != raw_len",
+                    ));
+                }
+                Payload::Raw(start..start + section.raw_len as usize)
+            };
+            sessions.push(SessionEntry {
+                meta: dir.meta,
+                symbols: dir.symbols,
+                gc_events: dir.gc_events,
+                short_count: dir.short_count,
+                short_time: dir.short_time,
+                health: dir.health,
+                salvaged: dir.salvaged,
+                damaged: dir.damaged,
+                skips: dir.skips,
+                episodes_lost: dir.episodes_lost,
+                compressed: section.compressed,
+                extents,
+                payload,
+            });
+        }
+        if pos != extents_end {
+            return Err(TraceError::corrupt(
+                "corpus extent index",
+                "trailing bytes after the last session's extents",
+            ));
+        }
+        let mut slot_base = Vec::with_capacity(sessions.len() + 1);
+        let mut total = 0usize;
+        for entry in &sessions {
+            slot_base.push(total);
+            total += entry.extents.len();
+        }
+        slot_base.push(total);
+        Ok(CorpusReader {
+            bytes,
+            global,
+            sessions,
+            slot_base,
+        })
+    }
+
+    /// Number of sessions in the corpus.
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// `true` when the corpus holds no sessions.
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+
+    /// Episodes across all sessions (the corpus extent index's size).
+    pub fn total_episodes(&self) -> usize {
+        *self.slot_base.last().expect("sentinel")
+    }
+
+    /// The corpus-wide deduplicated symbol table.
+    pub fn global_symbols(&self) -> &SymbolTable {
+        &self.global
+    }
+
+    /// A view of session `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range (see [`CorpusReader::len`]).
+    pub fn session(&self, i: usize) -> SessionView<'_> {
+        assert!(i < self.sessions.len(), "no session {i} in the corpus");
+        SessionView {
+            reader: self,
+            index: i,
+        }
+    }
+
+    /// Iterates the sessions in order.
+    pub fn sessions(&self) -> impl Iterator<Item = SessionView<'_>> {
+        (0..self.sessions.len()).map(|i| self.session(i))
+    }
+
+    /// The corpus-wide damage verdict: the worst per-session verdict
+    /// (sessions in a corpus are never `Unrecoverable` — pack refuses
+    /// inputs that do not open).
+    pub fn damage_verdict(&self) -> DamageVerdict {
+        if self.sessions.iter().any(|s| s.damaged) {
+            DamageVerdict::Damaged
+        } else {
+            DamageVerdict::Clean
+        }
+    }
+
+    fn entry(&self, i: usize) -> &SessionEntry {
+        &self.sessions[i]
+    }
+
+    fn payload_bytes(&self, i: usize) -> &[u8] {
+        match &self.sessions[i].payload {
+            Payload::Raw(range) => &self.bytes[range.clone()],
+            Payload::Decompressed(buf) => buf,
+        }
+    }
+
+    /// Maps a flat slot to `(session, extent index)`.
+    fn locate(&self, slot: usize) -> (usize, usize) {
+        let session = self.slot_base.partition_point(|&base| base <= slot) - 1;
+        (session, slot - self.slot_base[session])
+    }
+
+    /// Decodes every session by fanning `(session, extent-batch)` work
+    /// items over `jobs` worker threads — one flattened slot space, so a
+    /// short session never strands a worker. Results are byte-identical
+    /// to decoding each session separately, for any job count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first (in corpus order) extent decode failure of a
+    /// non-salvaged session.
+    pub fn par_decode(&self, jobs: usize) -> Result<Vec<SessionTrace>, TraceError> {
+        let shards = map_shards_init(
+            self.total_episodes(),
+            jobs,
+            DecodeScratch::default,
+            |scratch, slots| self.decode_slots(slots, scratch),
+        );
+        let mut builders: Vec<SessionTraceBuilder> = self
+            .sessions
+            .iter()
+            .map(|s| {
+                let mut b = SessionTraceBuilder::new(s.meta.clone(), s.symbols.clone());
+                b.reserve_episodes(s.extents.len());
+                b
+            })
+            .collect();
+        for shard in shards {
+            for (session, fragment) in shard? {
+                if self.sessions[session].salvaged {
+                    builders[session].append_fragment_lenient(fragment);
+                } else {
+                    builders[session].append_fragment(fragment)?;
+                }
+            }
+        }
+        Ok(builders
+            .into_iter()
+            .zip(&self.sessions)
+            .map(|(mut b, s)| {
+                for gc in &s.gc_events {
+                    b.push_gc(*gc);
+                }
+                b.add_short_episodes(s.short_count, s.short_time);
+                b.finish()
+            })
+            .collect())
+    }
+
+    /// Decodes one shard of flat slots into per-session fragments (a new
+    /// fragment starts whenever the slot walk crosses a session
+    /// boundary).
+    fn decode_slots(
+        &self,
+        slots: Range<usize>,
+        scratch: &mut DecodeScratch,
+    ) -> Result<Vec<(usize, EpisodeFragment)>, TraceError> {
+        let mut out: Vec<(usize, EpisodeFragment)> = Vec::new();
+        for slot in slots {
+            let (session, i) = self.locate(slot);
+            let entry = &self.sessions[session];
+            let episode = self.decode_episode_with(session, i, scratch)?;
+            if out.last().map(|(s, _)| *s) != Some(session) {
+                let remaining = self.slot_base[session + 1] - slot;
+                out.push((session, EpisodeFragment::with_capacity(remaining)));
+            }
+            let fragment = &mut out.last_mut().expect("fragment just ensured").1;
+            if entry.salvaged {
+                fragment.push_lenient(episode);
+            } else {
+                fragment.push(episode)?;
+            }
+        }
+        Ok(out)
+    }
+
+    fn decode_episode_with(
+        &self,
+        session: usize,
+        i: usize,
+        scratch: &mut DecodeScratch,
+    ) -> Result<Episode, TraceError> {
+        let entry = &self.sessions[session];
+        let extent = *entry.extents.get(i).ok_or_else(|| {
+            TraceError::corrupt(
+                "corpus extent index",
+                format!("no episode {i} in session {session}"),
+            )
+        })?;
+        let payload = self.payload_bytes(session);
+        let span = &payload[extent.offset as usize..(extent.offset + extent.len) as usize];
+        decode_extent(span, &extent, scratch)
+    }
+}
+
+impl<'a> SessionView<'a> {
+    /// The session's position in the corpus.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The session metadata.
+    pub fn meta(&self) -> &'a SessionMeta {
+        &self.reader.entry(self.index).meta
+    }
+
+    /// The reconstructed per-session symbol table (dense local ids, same
+    /// table the original `.lgz` decode produces).
+    pub fn symbols(&self) -> &'a SymbolTable {
+        &self.reader.entry(self.index).symbols
+    }
+
+    /// The session's extent index (offsets relative to its payload).
+    pub fn extents(&self) -> &'a [EpisodeExtent] {
+        &self.reader.entry(self.index).extents
+    }
+
+    /// How the session's extent index was obtained when it was packed.
+    pub fn health(&self) -> &'a IndexHealth {
+        &self.reader.entry(self.index).health
+    }
+
+    /// `true` when the session was packed from a salvage-mode open
+    /// (decoding is lenient, mirroring [`IndexedTrace::open_salvage`]).
+    pub fn is_salvaged(&self) -> bool {
+        self.reader.entry(self.index).salvaged
+    }
+
+    /// `true` when salvage actually skipped bytes or lost episodes.
+    pub fn is_damaged(&self) -> bool {
+        self.reader.entry(self.index).damaged
+    }
+
+    /// Salvage skip regions recorded when the session was packed.
+    pub fn skips(&self) -> u64 {
+        self.reader.entry(self.index).skips
+    }
+
+    /// Episodes lost to salvage when the session was packed.
+    pub fn episodes_lost(&self) -> u64 {
+        self.reader.entry(self.index).episodes_lost
+    }
+
+    /// `true` when the session's payload section is LZ-compressed.
+    pub fn is_compressed(&self) -> bool {
+        self.reader.entry(self.index).compressed
+    }
+
+    /// The session's damage verdict.
+    pub fn damage_verdict(&self) -> DamageVerdict {
+        if self.is_damaged() {
+            DamageVerdict::Damaged
+        } else {
+            DamageVerdict::Clean
+        }
+    }
+
+    /// Number of episodes in the session.
+    pub fn len(&self) -> usize {
+        self.extents().len()
+    }
+
+    /// `true` when the session has no traced episodes.
+    pub fn is_empty(&self) -> bool {
+        self.extents().is_empty()
+    }
+
+    /// Borrows episode `i`'s record bytes zero-copy (from the corpus
+    /// buffer for raw sections, from the decompressed payload for LZ
+    /// ones).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range.
+    pub fn episode_bytes(&self, i: usize) -> &'a [u8] {
+        let extent = &self.extents()[i];
+        let payload = self.reader.payload_bytes(self.index);
+        &payload[extent.offset as usize..(extent.offset + extent.len) as usize]
+    }
+
+    /// Randomly accesses episode `i` — O(1) via the corpus extent index.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `i` is out of range or the extent's bytes do not
+    /// decode.
+    pub fn decode_episode(&self, i: usize) -> Result<Episode, TraceError> {
+        self.reader
+            .decode_episode_with(self.index, i, &mut DecodeScratch::default())
+    }
+
+    /// Decodes this session alone, fanning its extents over `jobs`
+    /// workers — byte-identical to `IndexedTrace::par_decode` on the
+    /// session's original file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first extent decode failure (non-salvaged
+    /// sessions).
+    pub fn decode(&self, jobs: usize) -> Result<SessionTrace, TraceError> {
+        self.decode_filtered(jobs, &EpisodeFilter::default())
+    }
+
+    /// Like [`decode`](SessionView::decode), but only decodes episodes
+    /// the filter admits — the filter rides the corpus extent index, so
+    /// excluded episodes' bytes are never parsed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first extent decode failure (non-salvaged
+    /// sessions).
+    pub fn decode_filtered(
+        &self,
+        jobs: usize,
+        filter: &EpisodeFilter,
+    ) -> Result<SessionTrace, TraceError> {
+        let entry = self.reader.entry(self.index);
+        let lenient = entry.salvaged;
+        let indices: Vec<usize> = (0..entry.extents.len())
+            .filter(|&i| filter.admits_extent(&entry.extents[i]))
+            .collect();
+        let shards = map_shards_init(indices.len(), jobs, DecodeScratch::default, |scratch, r| {
+            let mut fragment = EpisodeFragment::with_capacity(r.len());
+            for slot in r {
+                let episode =
+                    self.reader
+                        .decode_episode_with(self.index, indices[slot], scratch)?;
+                if lenient {
+                    fragment.push_lenient(episode);
+                } else {
+                    fragment.push(episode)?;
+                }
+            }
+            Ok::<EpisodeFragment, TraceError>(fragment)
+        });
+        let mut b = SessionTraceBuilder::new(entry.meta.clone(), entry.symbols.clone());
+        b.reserve_episodes(indices.len());
+        for shard in shards {
+            let fragment = shard?;
+            if lenient {
+                b.append_fragment_lenient(fragment);
+            } else {
+                b.append_fragment(fragment)?;
+            }
+        }
+        for gc in &entry.gc_events {
+            b.push_gc(*gc);
+        }
+        b.add_short_episodes(entry.short_count, entry.short_time);
+        Ok(b.finish())
+    }
+
+    /// Episodes the filter would exclude, counted from the extent index
+    /// alone.
+    pub fn excluded_by(&self, filter: &EpisodeFilter) -> usize {
+        self.extents()
+            .iter()
+            .filter(|e| !filter.admits_extent(e))
+            .count()
+    }
+}
+
+/// What the section index records about one payload section.
+struct Section {
+    compressed: bool,
+    offset: u64,
+    stored_len: u64,
+    raw_len: u64,
+}
+
+/// Parsed per-session directory entry (before extents and payload).
+struct DirEntry {
+    meta: SessionMeta,
+    symbols: SymbolTable,
+    gc_events: Vec<GcEvent>,
+    short_count: u64,
+    short_time: DurationNs,
+    health: IndexHealth,
+    salvaged: bool,
+    damaged: bool,
+    skips: u64,
+    episodes_lost: u64,
+}
+
+fn read_strings(region: &[u8]) -> Result<SymbolTable, TraceError> {
+    let mut r = region;
+    let count = varint::read_u64(&mut r)?;
+    if count > MAX_STRINGS {
+        return Err(TraceError::corrupt(
+            "corpus string table",
+            format!("{count} strings exceeds cap"),
+        ));
+    }
+    let mut global = SymbolTable::with_capacity(count.min(1 << 16) as usize);
+    for i in 0..count {
+        let name = varint::read_str(&mut r)?;
+        if name.len() as u64 > MAX_STRING_LEN {
+            return Err(TraceError::corrupt(
+                "corpus string table",
+                "oversized string",
+            ));
+        }
+        if global.intern_owned(name) != SymbolId::from_raw(i.min(u64::from(u32::MAX)) as u32) {
+            // A duplicate would intern to an earlier id: the pool must be
+            // deduplicated (that is the whole point of the corpus table).
+            return Err(TraceError::corrupt(
+                "corpus string table",
+                "duplicate string in the deduplicated pool",
+            ));
+        }
+    }
+    if !r.is_empty() {
+        return Err(TraceError::corrupt(
+            "corpus string table",
+            "trailing bytes after the last string",
+        ));
+    }
+    Ok(global)
+}
+
+fn read_directory(
+    region: &[u8],
+    session_count: u64,
+    global: &SymbolTable,
+) -> Result<Vec<DirEntry>, TraceError> {
+    let mut r = region;
+    let mut out = Vec::with_capacity(session_count.min(1 << 12) as usize);
+    for _ in 0..session_count {
+        let meta = read_header(&mut r)?;
+        let (health_tag, rest) = split_byte(r, "session directory")?;
+        r = rest;
+        let reason = varint::read_str(&mut r)?;
+        let health = health_of_tag(health_tag, reason)?;
+        let (flags, rest) = split_byte(r, "session directory")?;
+        r = rest;
+        if flags & !0b11 != 0 {
+            return Err(TraceError::corrupt(
+                "session directory",
+                format!("unknown provenance flags {flags:#x}"),
+            ));
+        }
+        let salvaged = flags & 1 != 0;
+        let damaged = flags & 2 != 0;
+        let skips = varint::read_u64(&mut r)?;
+        let episodes_lost = varint::read_u64(&mut r)?;
+        let remap_len = varint::read_u64(&mut r)?;
+        if remap_len > MAX_STRINGS {
+            return Err(TraceError::corrupt(
+                "session directory",
+                format!("{remap_len} symbols exceeds cap"),
+            ));
+        }
+        let mut symbols = SymbolTable::with_capacity(remap_len.min(1 << 16) as usize);
+        for local in 0..remap_len {
+            let global_id = SymbolId::from_raw(varint::read_u32(&mut r)?);
+            let name = global.resolve(global_id).ok_or_else(|| {
+                TraceError::corrupt(
+                    "session directory",
+                    format!("remap names unknown global symbol {}", global_id.as_raw()),
+                )
+            })?;
+            if symbols.intern(name) != SymbolId::from_raw(local.min(u64::from(u32::MAX)) as u32) {
+                return Err(TraceError::corrupt(
+                    "session directory",
+                    "remap produces a non-dense local symbol table",
+                ));
+            }
+        }
+        let gc_count = varint::read_u64(&mut r)?;
+        if gc_count > MAX_STRINGS {
+            return Err(TraceError::corrupt(
+                "session directory",
+                format!("{gc_count} GC events exceeds cap"),
+            ));
+        }
+        let mut gc_events = Vec::with_capacity(gc_count.min(1 << 12) as usize);
+        for _ in 0..gc_count {
+            let start = TimeNs::from_nanos(varint::read_u64(&mut r)?);
+            let end = TimeNs::from_nanos(varint::read_u64(&mut r)?);
+            if end < start {
+                return Err(TraceError::corrupt(
+                    "session directory",
+                    "GC end precedes start",
+                ));
+            }
+            let (major, rest) = split_byte(r, "session directory")?;
+            r = rest;
+            if major > 1 {
+                return Err(TraceError::corrupt(
+                    "session directory",
+                    format!("bad bool {major}"),
+                ));
+            }
+            gc_events.push(GcEvent {
+                start,
+                end,
+                major: major == 1,
+            });
+        }
+        let short_count = varint::read_u64(&mut r)?;
+        let short_time = DurationNs::from_nanos(varint::read_u64(&mut r)?);
+        out.push(DirEntry {
+            meta,
+            symbols,
+            gc_events,
+            short_count,
+            short_time,
+            health,
+            salvaged,
+            damaged,
+            skips,
+            episodes_lost,
+        });
+    }
+    if !r.is_empty() {
+        return Err(TraceError::corrupt(
+            "session directory",
+            "trailing bytes after the last session",
+        ));
+    }
+    Ok(out)
+}
+
+fn read_sections(
+    region: &[u8],
+    session_count: u64,
+    data_len: u64,
+) -> Result<Vec<Section>, TraceError> {
+    let mut r = region;
+    let count = varint::read_u64(&mut r)?;
+    if count != session_count {
+        return Err(TraceError::corrupt(
+            "section index",
+            format!("{count} sections for {session_count} sessions"),
+        ));
+    }
+    let mut out = Vec::with_capacity(count.min(1 << 12) as usize);
+    for i in 0..count {
+        let (kind, rest) = split_byte(r, "section index")?;
+        r = rest;
+        if kind != SECTION_PAYLOAD {
+            return Err(TraceError::corrupt(
+                "section index",
+                format!("unsupported section kind {kind}"),
+            ));
+        }
+        let session = varint::read_u64(&mut r)?;
+        if session != i {
+            return Err(TraceError::corrupt(
+                "section index",
+                format!("section {i} names session {session}"),
+            ));
+        }
+        let (flags, rest) = split_byte(r, "section index")?;
+        r = rest;
+        if flags & !SECTION_FLAG_LZ != 0 {
+            return Err(TraceError::corrupt(
+                "section index",
+                format!("unknown section flags {flags:#x}"),
+            ));
+        }
+        let offset = varint::read_u64(&mut r)?;
+        let stored_len = varint::read_u64(&mut r)?;
+        let raw_len = varint::read_u64(&mut r)?;
+        let end = offset
+            .checked_add(stored_len)
+            .ok_or_else(|| TraceError::corrupt("section index", "section length overflow"))?;
+        if end > data_len || raw_len > MAX_RAW_SECTION {
+            return Err(TraceError::corrupt(
+                "section index",
+                format!("section {offset}+{stored_len} outside the data region"),
+            ));
+        }
+        out.push(Section {
+            compressed: flags & SECTION_FLAG_LZ != 0,
+            offset,
+            stored_len,
+            raw_len,
+        });
+    }
+    if !r.is_empty() {
+        return Err(TraceError::corrupt(
+            "section index",
+            "trailing bytes after the last section",
+        ));
+    }
+    Ok(out)
+}
+
+fn split_byte<'a>(r: &'a [u8], context: &'static str) -> Result<(u8, &'a [u8]), TraceError> {
+    r.split_first()
+        .map(|(&b, rest)| (b, rest))
+        .ok_or_else(|| TraceError::corrupt(context, "unexpected end of input"))
+}
+
+/// A hand-rolled byte-oriented LZ codec for cold corpus sections.
+///
+/// The stream is a sequence of varint-prefixed tokens. A token `t` with
+/// the low bit clear introduces a literal run of `t >> 1` bytes (copied
+/// verbatim); with the low bit set it is a match of length `t >> 1`
+/// (&ge; 4) followed by a varint back-distance into the already-produced
+/// output (1 ..= 64 KiB). Overlapping matches are legal (RLE falls out of
+/// `distance < length`). Compression is greedy over a 4-byte hash table;
+/// decompression is bounds-checked everywhere and never reads outside
+/// the stored section.
+pub(crate) mod lz {
+    use crate::error::TraceError;
+    use crate::varint;
+
+    const MIN_MATCH: usize = 4;
+    const WINDOW: usize = 1 << 16;
+    const HASH_BITS: u32 = 15;
+
+    fn hash4(bytes: &[u8]) -> usize {
+        let v = u32::from_le_bytes(bytes[..4].try_into().expect("4-byte slice"));
+        (v.wrapping_mul(2_654_435_761) >> (32 - HASH_BITS)) as usize
+    }
+
+    fn push_literals(out: &mut Vec<u8>, run: &[u8]) {
+        if run.is_empty() {
+            return;
+        }
+        varint::write_u64(out, (run.len() as u64) << 1).expect("vec write");
+        out.extend_from_slice(run);
+    }
+
+    /// Compresses `input` (deterministic greedy LZ).
+    pub fn compress(input: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(input.len() / 2 + 16);
+        let mut table = vec![usize::MAX; 1 << HASH_BITS];
+        let mut pos = 0usize;
+        let mut lit_start = 0usize;
+        while pos + MIN_MATCH <= input.len() {
+            let h = hash4(&input[pos..]);
+            let candidate = table[h];
+            table[h] = pos;
+            if candidate != usize::MAX
+                && pos - candidate <= WINDOW
+                && input[candidate..candidate + MIN_MATCH] == input[pos..pos + MIN_MATCH]
+            {
+                let mut len = MIN_MATCH;
+                while pos + len < input.len() && input[candidate + len] == input[pos + len] {
+                    len += 1;
+                }
+                push_literals(&mut out, &input[lit_start..pos]);
+                varint::write_u64(&mut out, ((len as u64) << 1) | 1).expect("vec write");
+                varint::write_u64(&mut out, (pos - candidate) as u64).expect("vec write");
+                pos += len;
+                lit_start = pos;
+            } else {
+                pos += 1;
+            }
+        }
+        push_literals(&mut out, &input[lit_start..]);
+        out
+    }
+
+    /// Decompresses a stored section back to exactly `raw_len` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed tokens, out-of-window distances, or a stream
+    /// that produces more or fewer than `raw_len` bytes.
+    pub fn decompress(input: &[u8], raw_len: usize) -> Result<Vec<u8>, TraceError> {
+        let end = input.len();
+        let mut pos = 0usize;
+        let mut out = Vec::with_capacity(raw_len.min(1 << 20));
+        while out.len() < raw_len {
+            let token = varint::read_u64_at(input, &mut pos, end)?;
+            let n = (token >> 1) as usize;
+            if n == 0 || out.len() + n > raw_len {
+                return Err(TraceError::corrupt(
+                    "compressed section",
+                    "token overruns the declared raw length",
+                ));
+            }
+            if token & 1 == 0 {
+                if pos + n > end {
+                    return Err(TraceError::corrupt(
+                        "compressed section",
+                        "literal run overruns the stored bytes",
+                    ));
+                }
+                out.extend_from_slice(&input[pos..pos + n]);
+                pos += n;
+            } else {
+                if n < MIN_MATCH {
+                    return Err(TraceError::corrupt(
+                        "compressed section",
+                        format!("match shorter than {MIN_MATCH}"),
+                    ));
+                }
+                let distance = varint::read_u64_at(input, &mut pos, end)? as usize;
+                if distance == 0 || distance > out.len() || distance > WINDOW {
+                    return Err(TraceError::corrupt(
+                        "compressed section",
+                        "match distance outside the produced output",
+                    ));
+                }
+                let start = out.len() - distance;
+                for k in 0..n {
+                    let byte = out[start + k];
+                    out.push(byte);
+                }
+            }
+        }
+        if pos != end {
+            return Err(TraceError::corrupt(
+                "compressed section",
+                "trailing bytes after the last token",
+            ));
+        }
+        Ok(out)
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn round_trips() {
+            for input in [
+                &b""[..],
+                &b"a"[..],
+                &b"abc"[..],
+                &b"abcdabcdabcdabcd"[..],
+                &[0u8; 1000][..],
+            ] {
+                let packed = compress(input);
+                let back = decompress(&packed, input.len()).unwrap();
+                assert_eq!(back, input);
+            }
+            // A long pseudo-random-ish buffer with embedded repeats.
+            let mut big = Vec::new();
+            for i in 0..10_000u32 {
+                big.extend_from_slice(&(i.wrapping_mul(2_654_435_761)).to_le_bytes());
+                if i % 7 == 0 {
+                    big.extend_from_slice(b"org.example.DispatchThread.run");
+                }
+            }
+            let packed = compress(&big);
+            assert!(packed.len() < big.len(), "repeats must compress");
+            assert_eq!(decompress(&packed, big.len()).unwrap(), big);
+        }
+
+        #[test]
+        fn rle_compresses_through_overlap() {
+            let zeros = vec![0u8; 100_000];
+            let packed = compress(&zeros);
+            assert!(
+                packed.len() < 64,
+                "RLE should collapse, got {}",
+                packed.len()
+            );
+            assert_eq!(decompress(&packed, zeros.len()).unwrap(), zeros);
+        }
+
+        #[test]
+        fn malformed_streams_rejected() {
+            // Wrong raw_len (stream produces fewer bytes).
+            let packed = compress(b"hello world");
+            assert!(decompress(&packed, 100).is_err());
+            // Declares a match before any output exists.
+            let mut bogus = Vec::new();
+            varint::write_u64(&mut bogus, (8u64 << 1) | 1).unwrap();
+            varint::write_u64(&mut bogus, 1).unwrap();
+            assert!(decompress(&bogus, 8).is_err());
+            // Truncated literal run.
+            let mut cut = Vec::new();
+            varint::write_u64(&mut cut, 10u64 << 1).unwrap();
+            cut.extend_from_slice(b"abc");
+            assert!(decompress(&cut, 10).is_err());
+        }
+    }
+}

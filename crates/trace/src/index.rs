@@ -262,21 +262,7 @@ impl std::fmt::Display for IndexHealth {
 /// ```
 pub(crate) fn encode_footer(extents: &[EpisodeExtent]) -> Result<Vec<u8>, TraceError> {
     let mut payload = Vec::with_capacity(16 + extents.len() * 8);
-    varint::write_u64(&mut payload, extents.len() as u64)?;
-    let mut prev_end = 0u64;
-    let mut prev_start = 0u64;
-    for e in extents {
-        varint::write_u64(&mut payload, e.offset - prev_end)?;
-        varint::write_u64(&mut payload, e.len)?;
-        varint::write_u32(&mut payload, e.id.as_raw())?;
-        varint::write_u64(&mut payload, e.start.as_nanos() - prev_start)?;
-        varint::write_u64(&mut payload, e.duration().as_nanos())?;
-        varint::write_u64(&mut payload, u64::from(e.intervals))?;
-        varint::write_u64(&mut payload, u64::from(e.samples))?;
-        varint::write_u64(&mut payload, u64::from(e.skips))?;
-        prev_end = e.offset + e.len;
-        prev_start = e.start.as_nanos();
-    }
+    encode_extents_into(extents, &mut payload)?;
     let mut footer = Vec::with_capacity(payload.len() + FOOTER_FIXED + 4);
     footer.extend_from_slice(FOOTER_MAGIC);
     varint::write_u64(&mut footer, payload.len() as u64)?;
@@ -334,20 +320,49 @@ pub(crate) fn locate_footer(
     if pos + payload_len as usize != checked_end {
         return Err("footer payload length disagrees with footer length".into());
     }
-    let extents = decode_extents(bytes, pos, checked_end, footer_start as u64)
+    let extents = decode_extents(bytes, &mut pos, checked_end, footer_start as u64)
         .map_err(|e| format!("bad extent table: {e}"))?;
+    if pos != checked_end {
+        return Err("trailing bytes after the last extent".into());
+    }
     Ok((footer_start, extents))
 }
 
-/// Decodes the extent-table payload in `bytes[pos..end]`; extents must
-/// be ascending, non-overlapping, and contained in `[0, limit)`.
-fn decode_extents(
+/// Serializes an extent table (count, then delta-coded extents) into
+/// `payload` — the shared wire shape of the v2 footer and the corpus
+/// extent index.
+pub(crate) fn encode_extents_into(
+    extents: &[EpisodeExtent],
+    payload: &mut Vec<u8>,
+) -> Result<(), TraceError> {
+    varint::write_u64(payload, extents.len() as u64)?;
+    let mut prev_end = 0u64;
+    let mut prev_start = 0u64;
+    for e in extents {
+        varint::write_u64(payload, e.offset - prev_end)?;
+        varint::write_u64(payload, e.len)?;
+        varint::write_u32(payload, e.id.as_raw())?;
+        varint::write_u64(payload, e.start.as_nanos() - prev_start)?;
+        varint::write_u64(payload, e.duration().as_nanos())?;
+        varint::write_u64(payload, u64::from(e.intervals))?;
+        varint::write_u64(payload, u64::from(e.samples))?;
+        varint::write_u64(payload, u64::from(e.skips))?;
+        prev_end = e.offset + e.len;
+        prev_start = e.start.as_nanos();
+    }
+    Ok(())
+}
+
+/// Decodes the extent-table payload at `bytes[*pos..end]`, advancing
+/// `pos` past it; extents must be ascending, non-overlapping, and
+/// contained in `[0, limit)`.
+pub(crate) fn decode_extents(
     bytes: &[u8],
-    mut pos: usize,
+    pos: &mut usize,
     end: usize,
     limit: u64,
 ) -> Result<Vec<EpisodeExtent>, TraceError> {
-    let count = take_u64(bytes, &mut pos, end)?;
+    let count = take_u64(bytes, pos, end)?;
     if count > MAX_RECORDS {
         return Err(TraceError::corrupt(
             "extent table",
@@ -359,17 +374,17 @@ fn decode_extents(
     let mut prev_start = 0u64;
     for _ in 0..count {
         let offset = prev_end
-            .checked_add(take_u64(bytes, &mut pos, end)?)
+            .checked_add(take_u64(bytes, pos, end)?)
             .ok_or_else(|| TraceError::corrupt("extent table", "offset overflow"))?;
-        let len = take_u64(bytes, &mut pos, end)?;
-        let id = EpisodeId::from_raw(take_u32(bytes, &mut pos, end)?);
+        let len = take_u64(bytes, pos, end)?;
+        let id = EpisodeId::from_raw(take_u32(bytes, pos, end)?);
         let start = prev_start
-            .checked_add(take_u64(bytes, &mut pos, end)?)
+            .checked_add(take_u64(bytes, pos, end)?)
             .ok_or_else(|| TraceError::corrupt("extent table", "timestamp overflow"))?;
-        let duration = take_u64(bytes, &mut pos, end)?;
-        let intervals = take_u64(bytes, &mut pos, end)?;
-        let samples = take_u64(bytes, &mut pos, end)?;
-        let skips = take_u64(bytes, &mut pos, end)?;
+        let duration = take_u64(bytes, pos, end)?;
+        let intervals = take_u64(bytes, pos, end)?;
+        let samples = take_u64(bytes, pos, end)?;
+        let skips = take_u64(bytes, pos, end)?;
         let span_end = offset
             .checked_add(len)
             .ok_or_else(|| TraceError::corrupt("extent table", "length overflow"))?;
@@ -394,12 +409,6 @@ fn decode_extents(
         });
         prev_end = span_end;
         prev_start = start;
-    }
-    if pos != end {
-        return Err(TraceError::corrupt(
-            "extent table",
-            "trailing bytes after the last extent",
-        ));
     }
     Ok(extents)
 }
@@ -880,6 +889,22 @@ impl IndexedTrace {
         &self.extents
     }
 
+    /// Session-level GC events (decoded at open time).
+    pub fn gc_events(&self) -> &[GcEvent] {
+        &self.gc_events
+    }
+
+    /// Episodes below the tracer-side filter threshold (counted, not
+    /// recorded individually).
+    pub fn short_episode_count(&self) -> u64 {
+        self.short_episode_count
+    }
+
+    /// Total time spent in short (untraced) episodes.
+    pub fn short_episode_time(&self) -> DurationNs {
+        self.short_episode_time
+    }
+
     /// How the extent index was obtained.
     pub fn health(&self) -> &IndexHealth {
         &self.health
@@ -934,23 +959,40 @@ impl IndexedTrace {
         i: usize,
         scratch: &mut DecodeScratch,
     ) -> Result<Episode, TraceError> {
-        let result = self.decode_episode_inner(i, scratch);
-        if result.is_err() {
-            scratch.tree.reset();
-        }
-        result
-    }
-
-    fn decode_episode_inner(
-        &self,
-        i: usize,
-        scratch: &mut DecodeScratch,
-    ) -> Result<Episode, TraceError> {
-        const MAX_VEC: u64 = 1 << 24;
         let extent = *self.extents.get(i).ok_or_else(|| {
             TraceError::corrupt("episode extent", format!("no episode {i} in the index"))
         })?;
         let span = &self.bytes[extent.offset as usize..(extent.offset + extent.len) as usize];
+        decode_extent(span, &extent, scratch)
+    }
+}
+
+/// Strictly decodes one episode from its extent's byte span, reusing the
+/// per-worker `scratch`. Shared by [`IndexedTrace`] and the corpus
+/// reader — the corpus stores the same record bytes, so sharing the
+/// decoder is what makes corpus decodes byte-identical to per-file ones.
+///
+/// On error the scratch is reset, so a reused builder can never leak a
+/// failed episode's partial state into the next decode.
+pub(crate) fn decode_extent(
+    span: &[u8],
+    extent: &EpisodeExtent,
+    scratch: &mut DecodeScratch,
+) -> Result<Episode, TraceError> {
+    let result = decode_extent_inner(span, extent, scratch);
+    if result.is_err() {
+        scratch.tree.reset();
+    }
+    result
+}
+
+fn decode_extent_inner(
+    span: &[u8],
+    extent: &EpisodeExtent,
+    scratch: &mut DecodeScratch,
+) -> Result<Episode, TraceError> {
+    {
+        const MAX_VEC: u64 = 1 << 24;
         let end = span.len();
         let mut pos = 0usize;
         if take_byte(span, &mut pos, end, "record tag")? != tag::EP_BEGIN {
@@ -1078,7 +1120,9 @@ impl IndexedTrace {
             .samples(samples)
             .build()?)
     }
+}
 
+impl IndexedTrace {
     /// Decodes the whole session by fanning extents over `jobs` worker
     /// threads. The result is identical to the serial reader's (or, after
     /// [`open_salvage`](IndexedTrace::open_salvage), to the serial
@@ -1222,7 +1266,7 @@ impl IndexedTrace {
 /// per episode from the extent's interval count, so a decode makes one
 /// node allocation instead of a geometric growth series.
 #[derive(Default)]
-struct DecodeScratch {
+pub(crate) struct DecodeScratch {
     tree: IntervalTreeBuilder,
 }
 

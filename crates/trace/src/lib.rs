@@ -52,6 +52,7 @@
 
 pub mod auto;
 pub mod binary;
+pub mod corpus;
 pub mod error;
 pub mod faults;
 pub mod filter;
@@ -63,6 +64,7 @@ pub mod text;
 mod varint;
 
 pub use auto::{read_bytes, read_path};
+pub use corpus::{is_corpus, CorpusReader, PackOptions, SessionView};
 pub use error::TraceError;
 pub use filter::TraceFilter;
 pub use index::{DurationBand, EpisodeExtent, EpisodeFilter, IndexHealth, IndexedTrace};
