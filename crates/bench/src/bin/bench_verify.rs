@@ -22,6 +22,10 @@
 //!   *strictly above* the threshold, so `--min-corpus-speedup 1.0`
 //!   enforces that corpus-wide mining actually beats N separate file
 //!   loads rather than merely tying them.
+//! * `gate FILE --min-warm-speedup X` — for the warm-analysis artifact:
+//!   the rollup-backed warm `analyze` must be strictly more than X times
+//!   faster than the cold full-decode pipeline on the same trace, so the
+//!   persisted cache keeps paying for its section bytes.
 //! * `drift SMOKE COMMITTED` — compares the *section names* of a CI
 //!   smoke artifact against the committed full-budget file, so a bench
 //!   that silently stops emitting (or starts emitting a new, unreviewed
@@ -449,6 +453,33 @@ fn check_mining(doc: &Json, out: &mut Findings) {
     }
 }
 
+/// Validates the `analysis_warm` section of the warm-analysis artifact
+/// and returns the warm-over-cold speedup for the `gate` subcommand.
+fn check_warm(doc: &Json, out: &mut Findings) -> Option<f64> {
+    let Some(section) = doc.get("analysis_warm") else {
+        out.push("required section `analysis_warm` is missing".into());
+        return None;
+    };
+    let path = "analysis_warm";
+    require_str(section, "corpus", path, out);
+    require_num(section, "episodes", 0.0, path, out);
+    require_num(section, "available_jobs", 0.0, path, out);
+    require_num(section, "trace_bytes", 0.0, path, out);
+    require_num(section, "trace_bytes_with_rollup", 0.0, path, out);
+    match section.get("analyze") {
+        Some(pair) => {
+            let pair_path = format!("{path}.analyze");
+            require_num(pair, "cold_ns_per_iter", 0.0, &pair_path, out);
+            require_num(pair, "warm_ns_per_iter", 0.0, &pair_path, out);
+            require_num(pair, "speedup", 0.0, &pair_path, out)
+        }
+        None => {
+            out.push(format!("`{path}.analyze` is missing"));
+            None
+        }
+    }
+}
+
 /// Validates the `corpus_ingest` section of the corpus artifact and
 /// returns the end-to-end speedup for the `gate` subcommand.
 fn check_corpus(doc: &Json, out: &mut Findings) -> Option<f64> {
@@ -488,6 +519,8 @@ fn artifact_kind(path: &str) -> Option<&'static str> {
     let name = path.rsplit('/').next().unwrap_or(path);
     if name.contains("corpus") {
         Some("corpus")
+    } else if name.contains("warm") {
+        Some("warm")
     } else if name.contains("ingest") {
         Some("ingest")
     } else if name.contains("mining") {
@@ -515,6 +548,7 @@ struct Checked {
     findings: Findings,
     decode_rows: Vec<DecodeRow>,
     corpus_speedup: Option<f64>,
+    warm_speedup: Option<f64>,
 }
 
 /// The `check` validation for one already-parsed file.
@@ -523,16 +557,19 @@ fn check_doc(path: &str, doc: &Json) -> Checked {
     check_no_placeholders(doc, "", &mut findings);
     let mut decode_rows = Vec::new();
     let mut corpus_speedup = None;
+    let mut warm_speedup = None;
     match artifact_kind(path) {
         Some("ingest") => decode_rows = check_ingest(doc, &mut findings),
         Some("mining") => check_mining(doc, &mut findings),
         Some("corpus") => corpus_speedup = check_corpus(doc, &mut findings),
+        Some("warm") => warm_speedup = check_warm(doc, &mut findings),
         _ => {}
     }
     Checked {
         findings,
         decode_rows,
         corpus_speedup,
+        warm_speedup,
     }
 }
 
@@ -625,21 +662,37 @@ fn gate_corpus(speedup: Option<f64>, min_speedup: f64, out: &mut Findings) {
     }
 }
 
+/// The `gate` rule for the warm-analysis artifact: the warm path must be
+/// strictly more than `min_speedup` times faster than the cold decode.
+fn gate_warm(speedup: Option<f64>, min_speedup: f64, out: &mut Findings) {
+    match speedup {
+        Some(s) if s > min_speedup => {}
+        Some(s) => out.push(format!(
+            "warm analyze speedup {s:.3}x is not above the gate {min_speedup}x"
+        )),
+        None => out.push("no warm-analysis speedup to gate on".into()),
+    }
+}
+
 fn cmd_gate(paths: &[String]) -> Result<ExitCode, String> {
     let mut file = None;
     let mut min_ingest = None;
     let mut min_corpus = None;
+    let mut min_warm = None;
     let mut iter = paths.iter();
     while let Some(arg) = iter.next() {
-        if arg == "--min-ingest-speedup" || arg == "--min-corpus-speedup" {
+        if arg == "--min-ingest-speedup"
+            || arg == "--min-corpus-speedup"
+            || arg == "--min-warm-speedup"
+        {
             let v = iter.next().ok_or(format!("gate: {arg} needs a value"))?;
             let parsed = v
                 .parse::<f64>()
                 .map_err(|_| format!("gate: bad speedup `{v}`"))?;
-            if arg == "--min-ingest-speedup" {
-                min_ingest = Some(parsed);
-            } else {
-                min_corpus = Some(parsed);
+            match arg.as_str() {
+                "--min-ingest-speedup" => min_ingest = Some(parsed),
+                "--min-corpus-speedup" => min_corpus = Some(parsed),
+                _ => min_warm = Some(parsed),
             }
         } else if file.is_none() {
             file = Some(arg.clone());
@@ -658,6 +711,10 @@ fn cmd_gate(paths: &[String]) -> Result<ExitCode, String> {
         Some("corpus") => {
             let min = min_corpus.ok_or("gate: --min-corpus-speedup required")?;
             gate_corpus(checked.corpus_speedup, min, &mut checked.findings);
+        }
+        Some("warm") => {
+            let min = min_warm.ok_or("gate: --min-warm-speedup required")?;
+            gate_warm(checked.warm_speedup, min, &mut checked.findings);
         }
         _ => return Err(format!("gate: `{file}` is not a gateable artifact")),
     }
@@ -709,7 +766,8 @@ fn cmd_drift(paths: &[String]) -> Result<ExitCode, String> {
 }
 
 const USAGE: &str = "usage: bench-verify <check FILE...|gate FILE \
-     (--min-ingest-speedup X|--min-corpus-speedup X)|drift SMOKE COMMITTED>";
+     (--min-ingest-speedup X|--min-corpus-speedup X|--min-warm-speedup X)|\
+     drift SMOKE COMMITTED>";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -900,7 +958,72 @@ mod tests {
         assert_eq!(artifact_kind("corpus_ingest.json"), Some("corpus"));
         assert_eq!(artifact_kind("BENCH_ingest.json"), Some("ingest"));
         assert_eq!(artifact_kind("BENCH_mining.json"), Some("mining"));
+        assert_eq!(artifact_kind("BENCH_warm.json"), Some("warm"));
+        assert_eq!(artifact_kind("target/smoke/BENCH_warm.json"), Some("warm"));
         assert_eq!(artifact_kind("notes.json"), None);
+    }
+
+    fn warm_doc(speedup: f64) -> String {
+        format!(
+            r#"{{"analysis_warm": {{
+                "corpus": "jEdit-warm", "episodes": 1200, "budget_ms": 500,
+                "available_jobs": 1, "trace_bytes": 1583639,
+                "trace_bytes_with_rollup": 1645885,
+                "analyze": {{"cold_ns_per_iter": 12000000.0,
+                    "warm_ns_per_iter": 3200000.0, "speedup": {speedup}}}
+            }}}}"#
+        )
+    }
+
+    #[test]
+    fn check_accepts_complete_warm_and_extracts_speedup() {
+        let doc = Parser::parse_document(&warm_doc(3.75)).unwrap();
+        let checked = check_doc("BENCH_warm.json", &doc);
+        assert!(
+            checked.findings.problems.is_empty(),
+            "{:?}",
+            checked.findings.problems
+        );
+        assert_eq!(checked.warm_speedup, Some(3.75));
+    }
+
+    #[test]
+    fn check_rejects_incomplete_warm() {
+        let doc = parse(r#"{"something_else": {}}"#);
+        let findings = check_doc("BENCH_warm.json", &doc).findings;
+        assert!(findings
+            .problems
+            .iter()
+            .any(|p| p.contains("`analysis_warm` is missing")));
+
+        let doc = parse(r#"{"analysis_warm": {"corpus": "x"}}"#);
+        let findings = check_doc("BENCH_warm.json", &doc).findings;
+        assert!(findings
+            .problems
+            .iter()
+            .any(|p| p.contains("analyze` is missing")));
+        assert!(findings
+            .problems
+            .iter()
+            .any(|p| p.contains("trace_bytes_with_rollup")));
+    }
+
+    #[test]
+    fn warm_gate_requires_strictly_above_threshold() {
+        let mut findings = Findings::default();
+        gate_warm(Some(3.6), 3.0, &mut findings);
+        assert!(findings.problems.is_empty(), "{:?}", findings.problems);
+
+        let mut findings = Findings::default();
+        gate_warm(Some(3.0), 3.0, &mut findings);
+        assert!(findings.problems.iter().any(|p| p.contains("not above")));
+
+        let mut findings = Findings::default();
+        gate_warm(None, 3.0, &mut findings);
+        assert!(findings
+            .problems
+            .iter()
+            .any(|p| p.contains("no warm-analysis speedup")));
     }
 
     #[test]

@@ -14,7 +14,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 use lagalyzer_model::{Episode, SessionTrace};
-use lagalyzer_trace::{EpisodeExtent, IndexHealth, SalvageReport};
+use lagalyzer_trace::{EpisodeExtent, IndexHealth, RollupHealth, SalvageReport};
 
 use crate::diag::{ByteSpan, CheckReport, Diagnostic, Related, Severity};
 
@@ -34,6 +34,9 @@ pub struct CheckSubject<'a> {
     pub salvage: Option<&'a SalvageReport>,
     /// Total length of the raw input file, for trailer spans.
     pub file_len: Option<u64>,
+    /// Health of the persisted rollup section, when the input is a v2
+    /// binary trace (`None` for text and legacy-v1 inputs).
+    pub rollup: Option<&'a RollupHealth>,
 }
 
 impl<'a> CheckSubject<'a> {
@@ -45,6 +48,7 @@ impl<'a> CheckSubject<'a> {
             health: None,
             salvage: None,
             file_len: None,
+            rollup: None,
         }
     }
 }

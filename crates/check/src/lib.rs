@@ -75,12 +75,14 @@ pub fn check_bytes(bytes: &[u8], rules: &mut RuleSet) -> Result<CheckReport, Tra
     if bytes.starts_with(b"LGLZTRC") {
         let indexed = IndexedTrace::open_salvage(bytes.to_vec())?;
         let trace = indexed.par_decode(1)?;
+        let rollup = lagalyzer_trace::probe_rollup(bytes);
         let subject = CheckSubject {
             trace: &trace,
             extents: Some(indexed.extents()),
             health: Some(indexed.health()),
             salvage: indexed.salvage_report(),
             file_len: Some(bytes.len() as u64),
+            rollup: rollup.as_ref(),
         };
         Ok(rules.run(&subject))
     } else {
@@ -91,6 +93,7 @@ pub fn check_bytes(bytes: &[u8], rules: &mut RuleSet) -> Result<CheckReport, Tra
             health: None,
             salvage: Some(&salvaged.report),
             file_len: Some(bytes.len() as u64),
+            rollup: None,
         };
         Ok(rules.run(&subject))
     }

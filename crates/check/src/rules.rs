@@ -1,4 +1,4 @@
-//! The shipped rules, `LA001`…`LA013`.
+//! The shipped rules, `LA001`…`LA014`.
 //!
 //! Every rule checks one invariant the analyses otherwise assume, each
 //! grounded in the paper or in the trace format:
@@ -18,11 +18,12 @@
 //! | LA011 | salvage-skip            | warning  | explains every region salvage decoding skipped |
 //! | LA012 | checksum-mismatch       | error    | the FNV-1a trailer checksum verifies |
 //! | LA013 | index-degraded          | note     | the episode index came from the footer, not a fallback scan |
+//! | LA014 | stale-rollup            | note     | the persisted rollup section matches the episode payload it summarizes |
 
 use std::collections::HashSet;
 
 use lagalyzer_model::{Interval, IntervalKind, MethodRef, SymbolTable, TimeNs};
-use lagalyzer_trace::{IndexHealth, SkipAt};
+use lagalyzer_trace::{IndexHealth, RollupHealth, SkipAt};
 
 use crate::diag::{ByteSpan, Severity};
 use crate::engine::{CheckSubject, EpisodeCtx, Finding, Rule, Sink};
@@ -43,6 +44,7 @@ pub fn standard_rules() -> Vec<Box<dyn Rule>> {
         Box::new(SalvageSkipRule),
         Box::new(ChecksumMismatch),
         Box::new(IndexDegraded),
+        Box::new(StaleRollup),
     ]
 }
 
@@ -665,6 +667,40 @@ impl Rule for IndexDegraded {
     }
 }
 
+/// LA014: notes when a persisted rollup section no longer matches the
+/// episode payload it summarizes, so warm analysis silently falls back
+/// to the cold decode path.
+struct StaleRollup;
+
+impl Rule for StaleRollup {
+    fn code(&self) -> &'static str {
+        "LA014"
+    }
+    fn name(&self) -> &'static str {
+        "stale-rollup"
+    }
+    fn default_severity(&self) -> Severity {
+        Severity::Note
+    }
+    fn summary(&self) -> &'static str {
+        "persisted rollup section matches the episode payload it summarizes"
+    }
+
+    fn begin(&mut self, subject: &CheckSubject<'_>, sink: &mut Sink<'_>) {
+        let Some(RollupHealth::Stale {
+            reason,
+            section_bytes,
+        }) = subject.rollup
+        else {
+            return;
+        };
+        sink.emit(Finding::new(format!(
+            "rollup section is stale ({reason}): {section_bytes} byte(s) ignored; \
+             warm analysis falls back to a cold episode decode"
+        )));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1031,6 +1067,7 @@ mod tests {
             health: None,
             salvage: None,
             file_len: Some(128),
+            rollup: None,
         };
         let report = RuleSet::standard().run(&subject);
         let la009: Vec<_> = report
@@ -1053,6 +1090,7 @@ mod tests {
             health: None,
             salvage: None,
             file_len: None,
+            rollup: None,
         };
         let report = RuleSet::standard().run(&subject);
         assert!(report.diagnostics().iter().any(|d| d.code == "LA009"));
@@ -1068,6 +1106,7 @@ mod tests {
             health: None,
             salvage: None,
             file_len: Some(128),
+            rollup: None,
         };
         let report = RuleSet::standard().run(&subject);
         assert!(report.diagnostics().iter().all(|d| d.code != "LA009"));
@@ -1111,6 +1150,7 @@ mod tests {
             health: None,
             salvage: Some(&report),
             file_len: Some(100),
+            rollup: None,
         };
         let out = RuleSet::standard().run(&subject);
         let skips: Vec<_> = out
@@ -1136,6 +1176,7 @@ mod tests {
             health: None,
             salvage: Some(&report),
             file_len: Some(100),
+            rollup: None,
         };
         let out = RuleSet::standard().run(&subject);
         assert!(out.is_clean());
@@ -1154,6 +1195,7 @@ mod tests {
             health: None,
             salvage: Some(&report),
             file_len: Some(100),
+            rollup: None,
         };
         let out = RuleSet::standard().run(&subject);
         let hits: Vec<_> = out
@@ -1179,6 +1221,7 @@ mod tests {
             health: None,
             salvage: Some(&report),
             file_len: Some(100),
+            rollup: None,
         };
         assert!(RuleSet::standard().run(&subject).is_clean());
     }
@@ -1197,6 +1240,7 @@ mod tests {
                 health: Some(&health),
                 salvage: None,
                 file_len: None,
+                rollup: None,
             };
             let out = RuleSet::standard().run(&subject);
             let hits: Vec<_> = out
@@ -1219,8 +1263,90 @@ mod tests {
             health: Some(&health),
             salvage: None,
             file_len: None,
+            rollup: None,
         };
         assert!(RuleSet::standard().run(&subject).is_clean());
+    }
+
+    #[test]
+    fn la014_stale_rollup_notes() {
+        let trace = trace_of(vec![]);
+        let health = RollupHealth::Stale {
+            reason: "content checksum mismatch".into(),
+            section_bytes: 512,
+        };
+        let subject = CheckSubject {
+            trace: &trace,
+            extents: None,
+            health: None,
+            salvage: None,
+            file_len: None,
+            rollup: Some(&health),
+        };
+        let out = RuleSet::standard().run(&subject);
+        let hits: Vec<_> = out
+            .diagnostics()
+            .iter()
+            .filter(|d| d.code == "LA014")
+            .collect();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].severity, Severity::Note);
+        assert!(hits[0].message.contains("content checksum mismatch"));
+        assert!(hits[0].message.contains("512"));
+    }
+
+    #[test]
+    fn la014_valid_or_absent_rollup_is_silent() {
+        let trace = trace_of(vec![]);
+        for health in [None, Some(RollupHealth::Absent)] {
+            let subject = CheckSubject {
+                trace: &trace,
+                extents: None,
+                health: None,
+                salvage: None,
+                file_len: None,
+                rollup: health.as_ref(),
+            };
+            assert!(RuleSet::standard().run(&subject).is_clean(), "{health:?}");
+        }
+        let valid = RollupHealth::Valid { section_bytes: 512 };
+        let subject = CheckSubject {
+            trace: &trace,
+            extents: None,
+            health: None,
+            salvage: None,
+            file_len: None,
+            rollup: Some(&valid),
+        };
+        assert!(RuleSet::standard().run(&subject).is_clean());
+    }
+
+    #[test]
+    fn la014_fires_through_check_bytes_on_a_mutated_payload() {
+        // Serialize with a rollup, then flip one byte inside the episode
+        // payload region: the rollup's content checksum no longer matches
+        // so the section reads as stale. The trailer checksum breaks too,
+        // so decode through the salvage path.
+        let trace = trace_of(vec![bare_episode(0, 0, 50)]);
+        let rollup = lagalyzer_core::rollup::build(&trace);
+        let mut bytes = Vec::new();
+        lagalyzer_trace::binary::write_with_rollup(&trace, &mut bytes, rollup).unwrap();
+
+        let clean = crate::check_bytes(&bytes, &mut RuleSet::standard()).unwrap();
+        assert!(
+            !clean.diagnostics().iter().any(|d| d.code == "LA014"),
+            "intact rollup must not trip LA014"
+        );
+
+        let indexed = lagalyzer_trace::IndexedTrace::open(bytes.clone()).unwrap();
+        let extent = indexed.extents()[0];
+        bytes[(extent.offset + extent.len / 2) as usize] ^= 0x01;
+        let report = crate::check_bytes(&bytes, &mut RuleSet::standard()).unwrap();
+        assert!(
+            report.diagnostics().iter().any(|d| d.code == "LA014"),
+            "mutated payload under a kept rollup section must trip LA014: {:?}",
+            report.diagnostics()
+        );
     }
 
     #[test]

@@ -130,7 +130,7 @@ fn print_usage() {
                     [--sessions N] [--compress]\n\
                                               synthesize a session trace; --sessions N\n\
                                               writes an N-session .lgzc corpus instead\n\
-           pack IN.lgz [IN.lgz...] --out OUT.lgzc [--compress] [--salvage]\n\
+           pack IN.lgz [IN.lgz...] --out OUT.lgzc [--compress] [--salvage] [--jobs N]\n\
                                               pack traces into one corpus with a\n\
                                               deduplicated corpus-wide symbol table\n\
            compact IN.lgzc --out OUT.lgzc [--compress] [--jobs N]\n\
@@ -172,6 +172,12 @@ fn print_usage() {
          --salvage decodes a damaged trace leniently, dropping corrupt\n\
          records and reporting every skip. Exit codes: 0 clean, 1 usage or\n\
          I/O error, 2 damaged but salvaged, 3 unrecoverable.\n\
+         \n\
+         analyze, patterns and outliers answer from a persisted rollup\n\
+         section when the trace (or every corpus session) carries a valid\n\
+         one — zero episode decoding, byte-identical output, a `rollup:\n\
+         cache hit` note on stderr. --no-cache forces the cold decode\n\
+         path; stale or missing rollups fall back to it automatically.\n\
          \n\
          check exits 0 when clean (notes allowed), 1 on warnings, 2 on\n\
          errors, 3 when the trace is unrecoverable. analyze --check runs\n\
@@ -296,7 +302,9 @@ fn cmd_simulate(args: &[String]) -> Result<ExitCode, Failure> {
         let mut opened = Vec::with_capacity(traces.len());
         for trace in &traces {
             let mut buf = Vec::new();
-            lagalyzer_trace::binary::write(trace, &mut buf).map_err(|e| e.to_string())?;
+            let rollup = lagalyzer_core::rollup::build(trace);
+            lagalyzer_trace::binary::write_with_rollup(trace, &mut buf, rollup)
+                .map_err(|e| e.to_string())?;
             opened.push(IndexedTrace::open(buf).map_err(|e| e.to_string())?);
         }
         let packed = corpus::pack(
@@ -320,7 +328,11 @@ fn cmd_simulate(args: &[String]) -> Result<ExitCode, Failure> {
     if opt_flag(args, "--text") {
         lagalyzer_trace::text::write(&trace, &mut writer).map_err(|e| e.to_string())?;
     } else {
-        lagalyzer_trace::binary::write(&trace, &mut writer).map_err(|e| e.to_string())?;
+        // Binary traces ship with a rollup section so every later
+        // `analyze`/`patterns`/`outliers` run takes the warm path.
+        let rollup = lagalyzer_core::rollup::build(&trace);
+        lagalyzer_trace::binary::write_with_rollup(&trace, &mut writer, rollup)
+            .map_err(|e| e.to_string())?;
     }
     writer.flush().map_err(|e| e.to_string())?;
     println!(
@@ -333,7 +345,7 @@ fn cmd_simulate(args: &[String]) -> Result<ExitCode, Failure> {
 }
 
 /// Value-taking flags of the `pack` subcommand.
-const PACK_VALUE_FLAGS: &[&str] = &["--out"];
+const PACK_VALUE_FLAGS: &[&str] = &["--out", "--jobs"];
 
 fn cmd_pack(args: &[String]) -> Result<ExitCode, Failure> {
     let out = opt_value(args, "--out").ok_or("pack requires --out FILE.lgzc")?;
@@ -385,7 +397,22 @@ fn cmd_pack(args: &[String]) -> Result<ExitCode, Failure> {
         .iter()
         .filter(|t| t.salvage_report().is_some_and(|r| !r.is_clean()))
         .count();
-    let packed = corpus::pack(&opened, options).map_err(|e| e.to_string())?;
+    // Clean inputs without a persisted rollup get one built at pack time
+    // (decode once now, answer warm forever); salvaged inputs stay cold
+    // since the warm path refuses damaged sessions anyway.
+    let jobs = parse_jobs(args)?;
+    let built: Vec<Option<lagalyzer_trace::Rollup>> = opened
+        .iter()
+        .map(|t| {
+            if t.rollup().is_some() || t.salvage_report().is_some() {
+                return None;
+            }
+            t.par_decode(jobs)
+                .ok()
+                .map(|trace| lagalyzer_core::rollup::build(&trace))
+        })
+        .collect();
+    let packed = corpus::pack_with_rollups(&opened, built, options).map_err(|e| e.to_string())?;
     fs::write(out, &packed).map_err(|e| format!("cannot write {out}: {e}"))?;
     println!(
         "packed {} session(s), {episodes} episode(s) into {out} ({} bytes): \
@@ -420,7 +447,11 @@ fn cmd_compact(args: &[String]) -> Result<ExitCode, Failure> {
     let before = bytes.len();
     let reader = CorpusReader::open(bytes)
         .map_err(|e| Failure::unrecoverable(format!("cannot load {path}: {e}")))?;
-    let compacted = corpus::compact(&reader, jobs, options).map_err(|e| e.to_string())?;
+    // Sessions keep their valid rollups through compaction; sessions
+    // without one get theirs built from the re-encoded payload.
+    let build = |trace: &lagalyzer_model::SessionTrace| lagalyzer_core::rollup::build(trace);
+    let compacted = corpus::compact_with_rollups(&reader, jobs, options, Some(&build))
+        .map_err(|e| e.to_string())?;
     let after = compacted.len();
     fs::write(out, compacted).map_err(|e| format!("cannot write {out}: {e}"))?;
     println!(
@@ -647,6 +678,9 @@ fn cmd_analyze(args: &[String]) -> Result<ExitCode, Failure> {
             );
         }
     }
+    if let Some(code) = try_warm_analyze(args, path, jobs)? {
+        return Ok(code);
+    }
     // --check gates analysis on a semantically sound trace: errors refuse
     // analysis outright (exit 2); warnings and notes are recorded on the
     // session so the report carries them.
@@ -733,42 +767,133 @@ fn cmd_analyze(args: &[String]) -> Result<ExitCode, Failure> {
     Ok(exit_for(&session))
 }
 
-/// One decoded corpus: the per-session traces (filtered at the extent
-/// index) plus the per-session rows the reports print.
-struct DecodedCorpus {
-    reader: CorpusReader,
-    traces: Vec<lagalyzer_model::SessionTrace>,
-    excluded: u64,
+/// `analyze` over a persisted rollup: Table III statistics, the outlier
+/// summary and the optional histogram, all reconstructed from summaries
+/// without decoding any episode payload. `Ok(None)` falls back to the
+/// cold decode path; everything is computed before the first byte is
+/// printed so the fallback never emits a partial report.
+fn try_warm_analyze(args: &[String], path: &str, jobs: usize) -> Result<Option<ExitCode>, Failure> {
+    let Some(indexed) = warm_trace(args, path) else {
+        return Ok(None);
+    };
+    let (config, filter) = warm_config(args)?;
+    let Some(warm) = WarmSession::of_indexed(&indexed, config, &filter) else {
+        return Ok(None);
+    };
+    let patterns = warm.mine_patterns_with_jobs(jobs);
+    let stats = warm.session_stats_from(&patterns, jobs);
+    let decode = |positions: &[usize]| indexed.par_decode_subset(jobs, positions).ok();
+    let Some(outliers) = warm.outliers(&patterns, &OutlierConfig::default(), &decode) else {
+        return Ok(None);
+    };
+    let histogram = opt_flag(args, "--histogram").then(|| warm.histogram());
+    eprintln!(
+        "rollup: cache hit ({} episode summaries, zero decode)",
+        warm.rollup().summaries.len()
+    );
+    let meta = warm.meta();
+    println!("application       {}", meta.application);
+    println!("session           {}", meta.session);
+    println!("E2E               {:.0} s", stats.end_to_end.as_secs_f64());
+    println!(
+        "in-episode        {:.0} %",
+        stats.in_episode_fraction * 100.0
+    );
+    println!("episodes < 3ms    {}", stats.short_count);
+    println!("episodes >= 3ms   {}", stats.traced_count);
+    println!("episodes >= 100ms {}", stats.perceptible_count);
+    if warm.excluded() > 0 {
+        println!("filtered out      {}", warm.excluded());
+    }
+    println!("long per minute   {:.0}", stats.long_per_minute);
+    println!("distinct patterns {}", stats.distinct_patterns);
+    println!("episodes in pats  {}", stats.episodes_in_patterns);
+    println!(
+        "singleton pats    {:.0} %",
+        stats.singleton_fraction * 100.0
+    );
+    println!("mean tree size    {:.1}", stats.mean_tree_size);
+    println!("mean tree depth   {:.1}", stats.mean_tree_depth);
+    println!("outliers          {}", outliers.summary());
+    if let Some(histogram) = histogram {
+        println!("\nepisode duration distribution:");
+        print!("{}", histogram.to_ascii(50));
+        println!(
+            "fraction handled under 128ms: {:.1} %",
+            histogram.fraction_under(DurationNs::from_millis(128)) * 100.0
+        );
+    }
+    Ok(Some(ExitCode::SUCCESS))
 }
 
-fn decode_corpus(
-    path: &str,
+/// Opens a corpus for the corpus-wide commands.
+fn open_corpus(path: &str) -> Result<CorpusReader, Failure> {
+    let bytes = fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    CorpusReader::open(bytes)
+        .map_err(|e| Failure::unrecoverable(format!("cannot load {path}: {e}")))
+}
+
+/// Decodes every corpus session through the extent index (the cold
+/// path), honouring the ingest filter.
+fn decode_corpus_sessions(
+    reader: &CorpusReader,
     filter: &EpisodeFilter,
     jobs: usize,
-) -> Result<DecodedCorpus, Failure> {
-    let bytes = fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let reader = CorpusReader::open(bytes)
-        .map_err(|e| Failure::unrecoverable(format!("cannot load {path}: {e}")))?;
-    let excluded: u64 = reader
-        .sessions()
-        .map(|v| v.excluded_by(filter) as u64)
-        .sum();
-    let traces = if filter.is_unrestricted() {
-        reader
-            .par_decode(jobs)
-            .map_err(|e| format!("cannot load {path}: {e}"))?
+) -> Result<Vec<lagalyzer_model::SessionTrace>, lagalyzer_trace::TraceError> {
+    if filter.is_unrestricted() {
+        reader.par_decode(jobs)
     } else {
         reader
             .sessions()
             .map(|v| v.decode_filtered(jobs, filter))
-            .collect::<Result<_, _>>()
-            .map_err(|e| format!("cannot load {path}: {e}"))?
-    };
-    Ok(DecodedCorpus {
-        reader,
-        traces,
-        excluded,
-    })
+            .collect()
+    }
+}
+
+/// Opens `path` as a clean v2 binary trace carrying a validated rollup —
+/// the precondition for the zero-decode warm analysis path. `None`
+/// routes the caller down the cold decode path (text traces, corpora,
+/// `--salvage`, `--check`, `--no-cache`, missing or stale rollups).
+fn warm_trace(args: &[String], path: &str) -> Option<IndexedTrace> {
+    if opt_flag(args, "--no-cache") || opt_flag(args, "--salvage") || opt_flag(args, "--check") {
+        return None;
+    }
+    let bytes = fs::read(path).ok()?;
+    if !bytes.starts_with(b"LGLZTRC") {
+        return None;
+    }
+    let trace = IndexedTrace::open(bytes).ok()?;
+    trace.rollup()?;
+    Some(trace)
+}
+
+/// The analysis config and ingest filter shared by the warm entry points.
+fn warm_config(args: &[String]) -> Result<(AnalysisConfig, EpisodeFilter), Failure> {
+    let threshold = parse_u64(args, "--threshold-ms", 100)?;
+    Ok((
+        AnalysisConfig {
+            perceptible_threshold: DurationNs::from_millis(threshold),
+        },
+        parse_filter(args)?,
+    ))
+}
+
+/// Warm-corpus precondition: every session clean with a validated rollup
+/// (and the cache not disabled). Returns the per-session warm sessions
+/// in corpus order, or `None` to decode cold.
+fn warm_corpus_sessions<'a>(
+    args: &[String],
+    reader: &'a CorpusReader,
+    config: AnalysisConfig,
+    filter: &EpisodeFilter,
+) -> Option<Vec<WarmSession<'a>>> {
+    if opt_flag(args, "--no-cache") {
+        return None;
+    }
+    reader
+        .sessions()
+        .map(|view| WarmSession::of_corpus_session(&view, config, filter))
+        .collect()
 }
 
 /// Corpus-wide `analyze`: every session decoded through the corpus
@@ -787,12 +912,6 @@ fn cmd_analyze_corpus(args: &[String], path: &str, jobs: usize) -> Result<ExitCo
         perceptible_threshold: threshold,
     };
     let filter = parse_filter(args)?;
-    let decoded = decode_corpus(path, &filter, jobs)?;
-    let DecodedCorpus {
-        reader,
-        traces,
-        excluded,
-    } = decoded;
 
     struct Row {
         application: String,
@@ -804,24 +923,69 @@ fn cmd_analyze_corpus(args: &[String], path: &str, jobs: usize) -> Result<ExitCo
         compressed: bool,
         health: String,
     }
-    let rows: Vec<Row> = traces
-        .iter()
-        .zip(reader.sessions())
-        .map(|(trace, view)| Row {
-            application: trace.meta().application.clone(),
-            session: trace.meta().session.to_string(),
-            episodes: trace.episodes().len(),
-            perceptible: trace.perceptible_episodes(threshold).count(),
-            salvaged: view.is_salvaged(),
-            damaged: view.is_damaged(),
-            compressed: view.is_compressed(),
-            health: view.health().to_string(),
-        })
-        .collect();
+    let reader = open_corpus(path)?;
+    let (rows, multi, excluded): (Vec<Row>, lagalyzer_core::MultiPatternSet, u64) =
+        match warm_corpus_sessions(args, &reader, config, &filter) {
+            Some(warms) => {
+                let rows = warms
+                    .iter()
+                    .zip(reader.sessions())
+                    .map(|(warm, view)| Row {
+                        application: warm.meta().application.clone(),
+                        session: warm.meta().session.to_string(),
+                        episodes: warm.len(),
+                        perceptible: (0..warm.len())
+                            .filter(|&i| warm.duration(i) >= threshold)
+                            .count(),
+                        salvaged: view.is_salvaged(),
+                        damaged: view.is_damaged(),
+                        compressed: view.is_compressed(),
+                        health: view.health().to_string(),
+                    })
+                    .collect();
+                let excluded = warms.iter().map(WarmSession::excluded).sum();
+                // Per-session warm mining is byte-identical to the cold
+                // per-session miner, so the merged set is too.
+                let sets: Vec<PatternSet> = warms
+                    .iter()
+                    .map(|w| w.mine_patterns_with_jobs(jobs))
+                    .collect();
+                eprintln!("rollup: cache hit ({} sessions, zero decode)", reader.len());
+                (
+                    rows,
+                    lagalyzer_core::MultiPatternSet::merge(&sets),
+                    excluded,
+                )
+            }
+            None => {
+                let excluded: u64 = reader
+                    .sessions()
+                    .map(|v| v.excluded_by(&filter) as u64)
+                    .sum();
+                let traces = decode_corpus_sessions(&reader, &filter, jobs)
+                    .map_err(|e| format!("cannot load {path}: {e}"))?;
+                let rows = traces
+                    .iter()
+                    .zip(reader.sessions())
+                    .map(|(trace, view)| Row {
+                        application: trace.meta().application.clone(),
+                        session: trace.meta().session.to_string(),
+                        episodes: trace.episodes().len(),
+                        perceptible: trace.perceptible_episodes(threshold).count(),
+                        salvaged: view.is_salvaged(),
+                        damaged: view.is_damaged(),
+                        compressed: view.is_compressed(),
+                        health: view.health().to_string(),
+                    })
+                    .collect();
+                let multi =
+                    lagalyzer_core::MultiPatternSet::mine_traces_with_jobs(traces, config, jobs);
+                (rows, multi, excluded)
+            }
+        };
     let episodes: usize = rows.iter().map(|r| r.episodes).sum();
     let perceptible: usize = rows.iter().map(|r| r.perceptible).sum();
     let damaged = rows.iter().filter(|r| r.damaged).count();
-    let multi = lagalyzer_core::MultiPatternSet::mine_traces_with_jobs(traces, config, jobs);
 
     if format == "json" {
         let sessions_json: Vec<String> = rows
@@ -906,9 +1070,22 @@ fn cmd_patterns_corpus(args: &[String], path: &str, jobs: usize) -> Result<ExitC
         perceptible_threshold: threshold,
     };
     let filter = parse_filter(args)?;
-    let decoded = decode_corpus(path, &filter, jobs)?;
-    let multi =
-        lagalyzer_core::MultiPatternSet::mine_traces_with_jobs(decoded.traces, config, jobs);
+    let reader = open_corpus(path)?;
+    let multi = match warm_corpus_sessions(args, &reader, config, &filter) {
+        Some(warms) => {
+            let sets: Vec<PatternSet> = warms
+                .iter()
+                .map(|w| w.mine_patterns_with_jobs(jobs))
+                .collect();
+            eprintln!("rollup: cache hit ({} sessions, zero decode)", reader.len());
+            lagalyzer_core::MultiPatternSet::merge(&sets)
+        }
+        None => {
+            let traces = decode_corpus_sessions(&reader, &filter, jobs)
+                .map_err(|e| format!("cannot load {path}: {e}"))?;
+            lagalyzer_core::MultiPatternSet::mine_traces_with_jobs(traces, config, jobs)
+        }
+    };
     println!(
         "{} sessions, {} merged patterns ({} recurring in every session)",
         multi.sessions(),
@@ -933,7 +1110,7 @@ fn cmd_patterns_corpus(args: &[String], path: &str, jobs: usize) -> Result<ExitC
             p.total_lag().to_string(),
         );
     }
-    Ok(ExitCode::from(decoded.reader.damage_verdict().exit_code()))
+    Ok(ExitCode::from(reader.damage_verdict().exit_code()))
 }
 
 fn cmd_patterns(args: &[String]) -> Result<ExitCode, Failure> {
@@ -941,6 +1118,9 @@ fn cmd_patterns(args: &[String]) -> Result<ExitCode, Failure> {
     let jobs = parse_jobs(args)?;
     if sniff_corpus(path) && opt_value(args, "--session").is_none() {
         return cmd_patterns_corpus(args, path, jobs);
+    }
+    if let Some(code) = try_warm_patterns(args, path, jobs)? {
+        return Ok(code);
     }
     let session = session_from(args, path)?;
     let patterns = session.mine_patterns_with_jobs(jobs);
@@ -959,6 +1139,42 @@ fn cmd_patterns(args: &[String]) -> Result<ExitCode, Failure> {
     }
     print!("{}", browser.to_table());
     Ok(exit_for(&session))
+}
+
+/// `patterns` over a persisted rollup: the browser table mined from
+/// summaries alone. `Ok(None)` falls back to the cold decode path.
+fn try_warm_patterns(
+    args: &[String],
+    path: &str,
+    jobs: usize,
+) -> Result<Option<ExitCode>, Failure> {
+    let Some(indexed) = warm_trace(args, path) else {
+        return Ok(None);
+    };
+    let (config, filter) = warm_config(args)?;
+    let Some(warm) = WarmSession::of_indexed(&indexed, config, &filter) else {
+        return Ok(None);
+    };
+    let patterns = warm.mine_patterns_with_jobs(jobs);
+    let mut browser = PatternBrowser::of_patterns(&patterns);
+    if opt_flag(args, "--perceptible-only") {
+        browser.perceptible_only(true);
+    }
+    if let Some(sort) = opt_value(args, "--sort") {
+        browser.sort_by(match sort {
+            "count" => SortBy::Count,
+            "total" => SortBy::TotalLag,
+            "max" => SortBy::MaxLag,
+            "perceptible" => SortBy::PerceptibleCount,
+            other => return Err(format!("unknown sort order {other:?}").into()),
+        });
+    }
+    eprintln!(
+        "rollup: cache hit ({} episode summaries, zero decode)",
+        warm.rollup().summaries.len()
+    );
+    print!("{}", browser.to_table());
+    Ok(Some(ExitCode::SUCCESS))
 }
 
 fn cmd_lint(args: &[String]) -> Result<ExitCode, Failure> {
@@ -993,9 +1209,10 @@ fn cmd_lint(args: &[String]) -> Result<ExitCode, Failure> {
                         "clean".to_string()
                     };
                     println!(
-                        "session {:<11} index {}; {status}",
+                        "session {:<11} index {}; rollup {}; {status}",
                         view.index(),
-                        view.health()
+                        view.health(),
+                        view.rollup_health(),
                     );
                 }
                 let verdict = reader.damage_verdict();
@@ -1025,6 +1242,12 @@ fn cmd_lint(args: &[String]) -> Result<ExitCode, Failure> {
             match lagalyzer_trace::index::probe_health(&bytes) {
                 Some(health) => println!("index               {health}"),
                 None => println!("index               not applicable (text trace)"),
+            }
+            // Rollup health is diagnostic too: a stale cache only costs
+            // the warm path, never correctness.
+            match lagalyzer_trace::probe_rollup(&bytes) {
+                Some(health) => println!("rollup              {health}"),
+                None => println!("rollup              not applicable (no v2 section region)"),
             }
             Ok(ExitCode::from(
                 DamageVerdict::of_report(&salvaged.report).exit_code(),
@@ -1137,6 +1360,9 @@ fn cmd_outliers(args: &[String]) -> Result<ExitCode, Failure> {
     }
     let jobs = parse_jobs(args)?;
     let config = parse_outlier_config(args)?;
+    if let Some(code) = try_warm_outliers(args, path, jobs, &config, format)? {
+        return Ok(code);
+    }
     let session = session_from(args, path)?;
     let patterns = session.mine_patterns_with_jobs(jobs);
     let mut report = OutlierReport::analyze_with_jobs(&session, &patterns, &config, jobs);
@@ -1184,6 +1410,68 @@ fn cmd_outliers(args: &[String]) -> Result<ExitCode, Failure> {
     Ok(exit_for(&session))
 }
 
+/// `outliers` over a persisted rollup: detection, medians, baselines and
+/// cause attribution all come from summaries; only flagged lock/wait
+/// episodes are re-decoded (through the subset decoder) for their wait
+/// graphs. `Ok(None)` falls back to the cold decode path.
+fn try_warm_outliers(
+    args: &[String],
+    path: &str,
+    jobs: usize,
+    config: &OutlierConfig,
+    format: &str,
+) -> Result<Option<ExitCode>, Failure> {
+    let Some(indexed) = warm_trace(args, path) else {
+        return Ok(None);
+    };
+    let (analysis_config, filter) = warm_config(args)?;
+    let Some(warm) = WarmSession::of_indexed(&indexed, analysis_config, &filter) else {
+        return Ok(None);
+    };
+    let patterns = warm.mine_patterns_with_jobs(jobs);
+    let decode = |positions: &[usize]| indexed.par_decode_subset(jobs, positions).ok();
+    let Some(mut report) = warm.outliers(&patterns, config, &decode) else {
+        return Ok(None);
+    };
+    report.attach_spans(|id| {
+        indexed
+            .extents()
+            .iter()
+            .find(|e| e.id == id)
+            .map(|e| (e.offset, e.offset + e.len))
+    });
+    eprintln!(
+        "rollup: cache hit ({} episode summaries, decoded only flagged lock/wait)",
+        warm.rollup().summaries.len()
+    );
+    if format == "json" {
+        println!("{}", report.render_json(warm.symbols()));
+    } else {
+        print!("{}", report.render_text(warm.symbols()));
+    }
+    if let Some(v) = opt_value(args, "--explain") {
+        let index: usize = v
+            .parse()
+            .map_err(|_| format!("--explain expects a finding index, got {v:?}"))?;
+        let finding = report
+            .findings()
+            .get(index)
+            .ok_or_else(|| format!("report has {} finding(s), no index {index}", report.len()))?;
+        let pos = indexed
+            .extents()
+            .iter()
+            .position(|e| e.id == finding.episode_id)
+            .ok_or("finding points outside the extent index")?;
+        let episode = indexed
+            .par_decode_subset(jobs, &[pos])
+            .map_err(|e| e.to_string())?
+            .pop()
+            .ok_or("flagged episode missing from the subset decode")?;
+        print_explanation(&episode, warm.symbols(), finding);
+    }
+    Ok(Some(ExitCode::SUCCESS))
+}
+
 /// Prints the deep-dive for one finding: the wait-edge evidence and an
 /// ASCII sketch. On an indexed binary trace the episode is re-decoded
 /// through [`IndexedTrace::par_decode_subset`] — only the flagged extent's
@@ -1209,7 +1497,16 @@ fn explain_finding(
             .get(finding.episode_index)
             .ok_or("finding points outside the decoded session")?,
     };
-    let symbols = session.trace().symbols();
+    print_explanation(episode, session.trace().symbols(), finding);
+    Ok(ExitCode::SUCCESS)
+}
+
+/// The deep-dive body shared by the warm and cold `--explain` paths.
+fn print_explanation(
+    episode: &Episode,
+    symbols: &SymbolTable,
+    finding: &lagalyzer_core::OutlierFinding,
+) {
     println!(
         "\nepisode {} — {} ({}), excess +{}ms over the pattern median",
         finding.episode_id.as_raw(),
@@ -1237,7 +1534,6 @@ fn explain_finding(
         println!("wait edges: none (dispatch thread never sampled blocked/waiting)");
     }
     print!("{}", ascii_sketch(episode, symbols, 100));
-    Ok(ExitCode::SUCCESS)
 }
 
 fn cmd_sketch(args: &[String]) -> Result<ExitCode, Failure> {

@@ -48,7 +48,11 @@ fn fixtures() -> Vec<(String, Vec<u8>, Vec<&'static str>)> {
     let mut lock_bytes = None;
     for gt in ground_truths() {
         let mut bytes = Vec::new();
-        binary::write(&gt.trace, &mut bytes).unwrap();
+        // Fixtures carry rollup sections like the simulator's output does;
+        // the fault-injected variant below silently invalidates its copy
+        // (checksum mismatch), locking in the stale-cache fallback.
+        let rollup = lagalyzer_core::rollup::build(&gt.trace);
+        binary::write_with_rollup(&gt.trace, &mut bytes, rollup).unwrap();
         if gt.title == "lock-contention" {
             lock_bytes = Some(bytes.clone());
         }

@@ -37,7 +37,10 @@ pub struct BrowserRow<'a> {
 
 /// An interactive view over a mined [`PatternSet`].
 pub struct PatternBrowser<'a> {
-    session: &'a AnalysisSession,
+    /// Absent when the patterns were mined from persisted summaries (the
+    /// warm path) — episode listings are then unavailable, but the table
+    /// renders identically because a warm set is clean by construction.
+    session: Option<&'a AnalysisSession>,
     patterns: &'a PatternSet,
     perceptible_only: bool,
     sort: SortBy,
@@ -47,7 +50,20 @@ impl<'a> PatternBrowser<'a> {
     /// Opens a browser over `patterns` mined from `session`.
     pub fn new(session: &'a AnalysisSession, patterns: &'a PatternSet) -> Self {
         PatternBrowser {
-            session,
+            session: Some(session),
+            patterns,
+            perceptible_only: false,
+            sort: SortBy::Count,
+        }
+    }
+
+    /// Opens a browser over `patterns` alone — the warm path has no
+    /// decoded session. [`episodes_of`](Self::episodes_of) and
+    /// [`first_episode`](Self::first_episode) must not be called on such
+    /// a browser.
+    pub fn of_patterns(patterns: &'a PatternSet) -> Self {
+        PatternBrowser {
+            session: None,
             patterns,
             perceptible_only: false,
             sort: SortBy::Count,
@@ -95,17 +111,23 @@ impl<'a> PatternBrowser<'a> {
     /// The episodes of one pattern, in dispatch order — the list the
     /// developer reveals by selecting a row.
     pub fn episodes_of(&self, pattern: &Pattern) -> Vec<&'a Episode> {
+        let session = self
+            .session
+            .expect("episode listing needs a decoded session");
         pattern
             .episode_indices()
             .iter()
-            .map(|&i| &self.session.episodes()[i])
+            .map(|&i| &session.episodes()[i])
             .collect()
     }
 
     /// The first episode of a pattern — the one the GUI sketches when a
     /// pattern is selected.
     pub fn first_episode(&self, pattern: &Pattern) -> &'a Episode {
-        &self.session.episodes()[pattern.episode_indices()[0]]
+        let session = self
+            .session
+            .expect("episode listing needs a decoded session");
+        &session.episodes()[pattern.episode_indices()[0]]
     }
 
     /// Renders the current view as a plain-text table (used by the CLI and
@@ -128,12 +150,12 @@ impl<'a> PatternBrowser<'a> {
                 truncate(row.pattern.signature().as_str(), 60),
             ));
         }
-        if self.session.is_salvaged() || self.patterns.salvaged() {
+        if self.session.is_some_and(AnalysisSession::is_salvaged) || self.patterns.salvaged() {
             out.push_str(
                 "note: trace salvaged from a damaged file; pattern population may be incomplete\n",
             );
         }
-        if let Some(check) = self.session.check_outcome() {
+        if let Some(check) = self.session.and_then(AnalysisSession::check_outcome) {
             if !check.is_clean() {
                 out.push_str(&format!(
                     "note: semantic check reported {} error(s), {} warning(s), {} note(s); run `lagalyzer check` for details\n",

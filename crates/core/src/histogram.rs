@@ -7,7 +7,7 @@
 //! episodes the tracer filtered out (which all fall below the first
 //! visible bucket but still belong in the distribution).
 
-use lagalyzer_model::DurationNs;
+use lagalyzer_model::{DurationNs, Episode};
 
 use crate::session::AnalysisSession;
 
@@ -48,6 +48,20 @@ impl DurationHistogram {
     /// Builds the histogram over all traced episodes of a session. The
     /// tracer-filtered short episodes are accounted as below-range mass.
     pub fn of(session: &AnalysisSession) -> DurationHistogram {
+        DurationHistogram::of_durations(
+            session.episodes().iter().map(Episode::duration),
+            session.trace().short_episode_count(),
+        )
+    }
+
+    /// Builds the histogram from bare episode durations plus a filtered
+    /// count — the warm path supplies durations from indexed extents
+    /// without decoding any episode. [`DurationHistogram::of`] is this
+    /// over a decoded session.
+    pub fn of_durations<I>(durations: I, filtered: u64) -> DurationHistogram
+    where
+        I: IntoIterator<Item = DurationNs>,
+    {
         // Buckets: [0,1ms), [1,2), [2,4), ... up to [8192ms, inf).
         let mut bounds = vec![0u64, 1];
         while *bounds.last().expect("non-empty") < 8192 {
@@ -67,16 +81,16 @@ impl DurationHistogram {
             hi: DurationNs::from_nanos(u64::MAX),
             count: 0,
         });
-        for episode in session.episodes() {
-            let d = episode.duration();
+        let mut traced = 0u64;
+        for d in durations {
             let idx = buckets
                 .iter()
                 .position(|b| d >= b.lo && d < b.hi)
                 .expect("buckets cover the full range");
             buckets[idx].count += 1;
+            traced += 1;
         }
-        let filtered = session.trace().short_episode_count();
-        let total = filtered + session.episodes().len() as u64;
+        let total = filtered + traced;
         DurationHistogram {
             buckets,
             filtered,

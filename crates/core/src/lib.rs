@@ -36,6 +36,10 @@
 //! * [`histogram`] — Endo-style response-time distributions over a
 //!   session (the related-work view of §VI);
 //! * [`browser`] — the pattern browser the paper's §II-E describes;
+//! * [`rollup`] — building persisted per-episode summary rollups from
+//!   decoded traces (the format lives in `lagalyzer_trace::rollup`);
+//! * [`warm`] — zero-decode warm analysis over persisted rollups,
+//!   byte-identical to the cold path;
 //! * [`analysis`] — the extension trait for custom analyses.
 //!
 //! # Example
@@ -69,10 +73,12 @@ pub mod occurrence;
 pub mod outliers;
 pub mod parallel;
 pub mod patterns;
+pub mod rollup;
 pub mod session;
 pub mod shape;
 pub mod stats;
 pub mod trigger;
+pub mod warm;
 
 pub use aggregate::{characterize_with_jobs, AppAggregate, CharacterizationTable};
 pub use analysis::Analysis;
@@ -89,11 +95,12 @@ pub use outliers::{
     CauseCode, Culprit, LagBreakdown, OutlierConfig, OutlierFinding, OutlierReport,
 };
 pub use parallel::{available_jobs, map_shards, resolve_jobs};
-pub use patterns::{Pattern, PatternSet, PatternTable};
+pub use patterns::{Pattern, PatternSet, PatternTable, SummarizedEpisode};
 pub use session::{AnalysisConfig, AnalysisSession, CheckOutcome, Provenance};
 pub use shape::ShapeSignature;
 pub use stats::SessionStats;
 pub use trigger::Trigger;
+pub use warm::WarmSession;
 
 /// Convenient glob import for downstream users.
 pub mod prelude {
@@ -112,9 +119,10 @@ pub mod prelude {
         CauseCode, Culprit, LagBreakdown, OutlierConfig, OutlierFinding, OutlierReport,
     };
     pub use crate::parallel::{available_jobs, map_shards, resolve_jobs};
-    pub use crate::patterns::{Pattern, PatternSet, PatternTable};
+    pub use crate::patterns::{Pattern, PatternSet, PatternTable, SummarizedEpisode};
     pub use crate::session::{AnalysisConfig, AnalysisSession, CheckOutcome, Provenance};
     pub use crate::shape::ShapeSignature;
     pub use crate::stats::SessionStats;
     pub use crate::trigger::Trigger;
+    pub use crate::warm::WarmSession;
 }

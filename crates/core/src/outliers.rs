@@ -242,7 +242,7 @@ impl LagBreakdown {
         }
     }
 
-    fn set(&mut self, cause: CauseCode, value: DurationNs) {
+    pub(crate) fn set(&mut self, cause: CauseCode, value: DurationNs) {
         match cause {
             CauseCode::Lock => self.lock = value,
             CauseCode::Wait => self.wait = value,
@@ -252,6 +252,25 @@ impl LagBreakdown {
             CauseCode::Native => self.native = value,
             CauseCode::SelfTime => self.self_time = value,
         }
+    }
+
+    /// Lowers the breakdown to nanosecond counts in [`CauseCode::ALL`]
+    /// order — the representation persisted rollups use.
+    pub fn to_array(&self) -> [u64; 7] {
+        let mut out = [0u64; 7];
+        for (slot, &cause) in out.iter_mut().zip(CauseCode::ALL.iter()) {
+            *slot = self.get(cause).as_nanos();
+        }
+        out
+    }
+
+    /// Inverse of [`to_array`](Self::to_array).
+    pub fn from_array(values: [u64; 7]) -> LagBreakdown {
+        let mut out = LagBreakdown::default();
+        for (&v, &cause) in values.iter().zip(CauseCode::ALL.iter()) {
+            out.set(cause, DurationNs::from_nanos(v));
+        }
+        out
     }
 }
 
@@ -335,6 +354,25 @@ struct PatternWork {
 }
 
 impl OutlierReport {
+    /// Assembles a report from findings computed elsewhere — the warm path
+    /// (see [`crate::warm`]) runs detection over rollup summaries and
+    /// builds findings without an [`AnalysisSession`].
+    pub(crate) fn from_parts(
+        findings: Vec<OutlierFinding>,
+        patterns_scanned: usize,
+        patterns_total: usize,
+        episodes_considered: usize,
+        salvaged: bool,
+    ) -> OutlierReport {
+        OutlierReport {
+            findings,
+            patterns_scanned,
+            patterns_total,
+            episodes_considered,
+            salvaged,
+        }
+    }
+
     /// Runs detection and attribution serially.
     pub fn analyze(
         session: &AnalysisSession,
@@ -610,7 +648,7 @@ pub fn detect(durations: &[DurationNs], config: &OutlierConfig) -> Vec<usize> {
 }
 
 /// Lower median of `values` (sorts in place). Zero when empty.
-fn median_ns(values: &mut [u64]) -> u64 {
+pub(crate) fn median_ns(values: &mut [u64]) -> u64 {
     if values.is_empty() {
         return 0;
     }

@@ -334,6 +334,28 @@ fn sort_patterns(patterns: &mut [Pattern]) {
     });
 }
 
+/// One episode's mining-relevant facts, lifted out of a persisted rollup
+/// (see `lagalyzer_trace::rollup`) so [`PatternTable::scan_summaries`] can
+/// mine patterns without decoding episode payloads. The token slice
+/// borrows from the rollup's deduplicated shape table.
+#[derive(Clone, Copy, Debug)]
+pub struct SummarizedEpisode<'a> {
+    /// True when the dispatch interval has no children; counted, never
+    /// grouped.
+    pub structureless: bool,
+    /// True when the episode contains a GC bracket.
+    pub has_gc: bool,
+    /// Canonical shape token stream (as produced by
+    /// [`write_shape_tokens`]).
+    pub tokens: &'a [u8],
+    /// `descendant_count(root)` of the episode's interval tree.
+    pub tree_size: usize,
+    /// `max_depth()` of the episode's interval tree.
+    pub tree_depth: u32,
+    /// Wall-clock duration of the episode.
+    pub duration: DurationNs,
+}
+
 /// Per-shape accumulator inside a [`PatternTable`]. All fields are exact,
 /// so two accumulators for the same shape merge without loss.
 #[derive(Clone, Debug)]
@@ -358,6 +380,27 @@ impl PatternAccum {
         threshold: DurationNs,
         has_gc: bool,
     ) -> PatternAccum {
+        Self::single_metrics(
+            idx,
+            tree.descendant_count(tree.root()),
+            tree.max_depth(),
+            d,
+            threshold,
+            has_gc,
+        )
+    }
+
+    /// As [`single`](Self::single), but with the representative tree
+    /// metrics supplied directly — the warm path reads them from a
+    /// persisted rollup instead of a decoded tree.
+    fn single_metrics(
+        idx: usize,
+        tree_size: usize,
+        tree_depth: u32,
+        d: DurationNs,
+        threshold: DurationNs,
+        has_gc: bool,
+    ) -> PatternAccum {
         PatternAccum {
             episodes: vec![idx],
             stats: LagStats {
@@ -369,8 +412,8 @@ impl PatternAccum {
             perceptible: u64::from(d >= threshold),
             gc_episode_count: u64::from(has_gc),
             first_is_perceptible: d >= threshold,
-            tree_size: tree.descendant_count(tree.root()),
-            tree_depth: tree.max_depth(),
+            tree_size,
+            tree_depth,
         }
     }
 
@@ -385,11 +428,40 @@ impl PatternAccum {
         threshold: DurationNs,
         has_gc: bool,
     ) {
+        if idx < self.episodes[0] {
+            self.add_member_metrics(
+                idx,
+                tree.descendant_count(tree.root()),
+                tree.max_depth(),
+                d,
+                threshold,
+                has_gc,
+            );
+        } else {
+            // Representative metrics are untouched on the hot path, so the
+            // placeholder values are never read.
+            self.add_member_metrics(idx, 0, 0, d, threshold, has_gc);
+        }
+    }
+
+    /// As [`add_member`](Self::add_member), but with the candidate
+    /// representative's tree metrics supplied directly (the warm path reads
+    /// them from a persisted rollup). `tree_size`/`tree_depth` are only
+    /// consulted when `idx` becomes the new representative.
+    fn add_member_metrics(
+        &mut self,
+        idx: usize,
+        tree_size: usize,
+        tree_depth: u32,
+        d: DurationNs,
+        threshold: DurationNs,
+        has_gc: bool,
+    ) {
         let perceptible = d >= threshold;
         if idx < self.episodes[0] {
             self.first_is_perceptible = perceptible;
-            self.tree_size = tree.descendant_count(tree.root());
-            self.tree_depth = tree.max_depth();
+            self.tree_size = tree_size;
+            self.tree_depth = tree_depth;
         }
         match self.episodes.last() {
             Some(&last) if last > idx => {
@@ -548,6 +620,48 @@ impl PatternTable {
                     .push(PatternAccum::single(idx, tree, d, threshold, has_gc));
             } else {
                 self.groups[id.index()].add_member(idx, tree, d, threshold, has_gc);
+            }
+        }
+    }
+
+    /// Accumulates pre-summarized episodes (whose session-wide indices
+    /// start at `base_index`) into the table, without ever touching a
+    /// decoded tree: the shape token stream and representative tree
+    /// metrics come from a persisted rollup. The resulting table is
+    /// identical to the one [`PatternTable::scan_episodes`] builds over
+    /// the decoded episodes the summaries were computed from.
+    pub fn scan_summaries(
+        &mut self,
+        episodes: &[SummarizedEpisode<'_>],
+        base_index: usize,
+        threshold: DurationNs,
+    ) {
+        for (offset, episode) in episodes.iter().enumerate() {
+            let idx = base_index + offset;
+            if episode.structureless {
+                self.structureless += 1;
+                continue;
+            }
+            let (id, fresh) = self.interner.intern(episode.tokens);
+            if fresh {
+                debug_assert_eq!(id.index(), self.groups.len(), "interner ids must be dense");
+                self.groups.push(PatternAccum::single_metrics(
+                    idx,
+                    episode.tree_size,
+                    episode.tree_depth,
+                    episode.duration,
+                    threshold,
+                    episode.has_gc,
+                ));
+            } else {
+                self.groups[id.index()].add_member_metrics(
+                    idx,
+                    episode.tree_size,
+                    episode.tree_depth,
+                    episode.duration,
+                    threshold,
+                    episode.has_gc,
+                );
             }
         }
     }

@@ -52,24 +52,24 @@ pub(crate) mod tag {
 
 /// Streaming FNV-1a hasher used for the trailer checksum.
 #[derive(Clone, Debug)]
-struct Fnv1a(u64);
+pub(crate) struct Fnv1a(u64);
 
 impl Fnv1a {
     const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
     const PRIME: u64 = 0x0000_0100_0000_01b3;
 
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Fnv1a(Self::OFFSET)
     }
 
-    fn update(&mut self, bytes: &[u8]) {
+    pub(crate) fn update(&mut self, bytes: &[u8]) {
         for &b in bytes {
             self.0 ^= u64::from(b);
             self.0 = self.0.wrapping_mul(Self::PRIME);
         }
     }
 
-    fn finish(&self) -> u64 {
+    pub(crate) fn finish(&self) -> u64 {
         self.0
     }
 }
@@ -118,7 +118,7 @@ impl<R: Read> Read for HashingReader<R> {
 ///
 /// Propagates I/O failures from `w`.
 pub fn write<W: Write>(trace: &SessionTrace, w: W) -> Result<(), TraceError> {
-    write_impl(trace, w, true)
+    write_impl(trace, w, true, None)
 }
 
 /// Serializes a trace in the legacy v1 layout — no extent index footer —
@@ -128,10 +128,32 @@ pub fn write<W: Write>(trace: &SessionTrace, w: W) -> Result<(), TraceError> {
 ///
 /// Propagates I/O failures from `w`.
 pub fn write_legacy<W: Write>(trace: &SessionTrace, w: W) -> Result<(), TraceError> {
-    write_impl(trace, w, false)
+    write_impl(trace, w, false, None)
 }
 
-fn write_impl<W: Write>(trace: &SessionTrace, w: W, with_footer: bool) -> Result<(), TraceError> {
+/// Serializes a trace to the v2 binary format with a persisted rollup
+/// section appended after the extent footer (inside the trailer-checksummed
+/// region). The rollup's content checksum is stamped here — it is the
+/// trailer hash's running state at the section boundary — so callers
+/// cannot produce a rollup that disagrees with its own trace.
+///
+/// # Errors
+///
+/// Propagates I/O failures from `w`.
+pub fn write_with_rollup<W: Write>(
+    trace: &SessionTrace,
+    w: W,
+    rollup: crate::rollup::Rollup,
+) -> Result<(), TraceError> {
+    write_impl(trace, w, true, Some(rollup))
+}
+
+fn write_impl<W: Write>(
+    trace: &SessionTrace,
+    w: W,
+    with_footer: bool,
+    rollup: Option<crate::rollup::Rollup>,
+) -> Result<(), TraceError> {
     let mut hw = HashingWriter {
         inner: w,
         hash: Fnv1a::new(),
@@ -174,6 +196,17 @@ fn write_impl<W: Write>(trace: &SessionTrace, w: W, with_footer: bool) -> Result
         let footer = crate::index::encode_footer(&extents)?;
         // Through the hasher: the trailer checksum covers the footer.
         hw.write_all(&footer)?;
+    }
+    if let Some(mut rollup) = rollup {
+        // The content checksum is the trailer hash's running state at the
+        // section boundary. The reader re-derives it as a snapshot of its
+        // own (single) trailer pass, so validating the cache costs no
+        // second pass over the payload; a rollup-unaware rewriter that
+        // recomputes the trailer still cannot keep this snapshot current.
+        rollup.content_checksum = hw.hash.finish();
+        let section = crate::rollup::encode_section(&rollup)?;
+        // Also through the hasher: the trailer checksum covers the rollup.
+        hw.write_all(&section)?;
     }
     let checksum = hw.hash.finish();
     hw.inner.write_all(&checksum.to_le_bytes())?;
@@ -312,9 +345,19 @@ impl<R: Read> Reader<R> {
                 if self.version >= 2 {
                     self.consume_footer()?;
                 }
-                let computed = self.source.hash.finish();
+                // After the footer either the 8-byte trailer checksum or an
+                // optional rollup section follows. Read the next 8 bytes
+                // outside the hasher to decide which: a rollup's magic must
+                // be folded into the hash by hand (the trailer covers the
+                // section), the trailer itself must not be.
                 let mut trailer = [0u8; 8];
                 self.source.inner.read_exact(&mut trailer)?;
+                if self.version >= 2 && &trailer == crate::rollup::ROLLUP_MAGIC {
+                    self.source.hash.update(&trailer);
+                    self.consume_section_body(crate::rollup::ROLLUP_MAGIC, "rollup section")?;
+                    self.source.inner.read_exact(&mut trailer)?;
+                }
+                let computed = self.source.hash.finish();
                 let stored = u64::from_le_bytes(trailer);
                 if stored != computed {
                     return Err(TraceError::ChecksumMismatch { stored, computed });
@@ -337,26 +380,38 @@ impl<R: Read> Reader<R> {
         if &fmagic != crate::index::FOOTER_MAGIC {
             return Err(TraceError::corrupt("index footer", "bad footer magic"));
         }
+        self.consume_section_body(crate::index::FOOTER_MAGIC, "index footer")
+    }
+
+    /// Streams the rest of a footer-framed section (payload length through
+    /// trailing magic) through the hasher, after the leading magic has
+    /// already been consumed and hashed. Shared by the extent footer and
+    /// the rollup section — both use the same end-located framing.
+    fn consume_section_body(
+        &mut self,
+        magic: &[u8; 8],
+        context: &'static str,
+    ) -> Result<(), TraceError> {
         let payload_len = varint::read_u64(&mut self.source)?;
         let skipped = std::io::copy(
             &mut (&mut self.source).take(payload_len),
             &mut std::io::sink(),
         )?;
         if skipped != payload_len {
-            return Err(TraceError::corrupt("index footer", "truncated payload"));
+            return Err(TraceError::corrupt(context, "truncated payload"));
         }
         let mut tail = [0u8; 24];
         self.source.read_exact(&mut tail)?;
-        // tail[0..8] is the footer's own checksum — the trailer hash
-        // already covers every footer byte, so it needs no re-check here.
+        // tail[0..8] is the section's own checksum — the trailer hash
+        // already covers every section byte, so it needs no re-check here.
         let total = u64::from_le_bytes(tail[8..16].try_into().expect("8-byte slice"));
-        if &tail[16..24] != crate::index::FOOTER_MAGIC {
-            return Err(TraceError::corrupt("index footer", "bad trailing magic"));
+        if &tail[16..24] != magic {
+            return Err(TraceError::corrupt(context, "bad trailing magic"));
         }
         let expected = 8 + varint::len_u64(payload_len) + payload_len + 24;
         if total != expected {
             return Err(TraceError::corrupt(
-                "index footer",
+                context,
                 format!("declared length {total}, consumed {expected}"),
             ));
         }
@@ -477,11 +532,15 @@ impl<'a> SalvageCursor<'a> {
             (bytes.len(), None)
         };
         // An indexed trace's record region ends where the footer starts.
-        // When the footer cannot be located (damaged), the record scan
-        // instead stops at the declared count or the footer magic — see
-        // `next_event` — so footer bytes are never misread as records.
+        // An optional rollup section sits between the footer and the
+        // trailer; peel it first so a clean v2-with-rollup trace does not
+        // report a damaged footer. When the footer cannot be located
+        // (damaged), the record scan instead stops at the declared count or
+        // the footer magic — see `next_event` — so footer bytes are never
+        // misread as records.
         let (payload_end, footer_located) = if indexed {
-            match crate::index::locate_footer(bytes, payload_end) {
+            let peeled_end = crate::rollup::peel(bytes, payload_end).end;
+            match crate::index::locate_footer(bytes, peeled_end) {
                 Ok((footer_start, _)) => (footer_start, true),
                 Err(_) => (payload_end, false),
             }

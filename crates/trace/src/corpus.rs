@@ -23,8 +23,11 @@
 //!              provenance (salvaged/damaged flags, skip + lost counts),
 //!              the local→global symbol remap, GC events, short-episode
 //!              counters
-//! sections     per session payload section: kind, session, compression
-//!              flags, offset into the data region, stored len, raw len
+//! sections     one record per section: kind, session, compression
+//!              flags, offset into the data region, stored len, raw len.
+//!              Exactly one payload section per session (kind 0, in
+//!              session order); an optional rollup cache per session
+//!              (kind 1); unknown kinds are skipped by readers
 //! extents      per session: the extent table (same delta-coded wire
 //!              shape as the v2 footer), offsets relative to the
 //!              session's decompressed payload
@@ -56,6 +59,7 @@ use crate::index::{
     decode_extent, decode_extents, encode_extents_into, DecodeScratch, EpisodeExtent,
     EpisodeFilter, IndexHealth, IndexedTrace,
 };
+use crate::rollup::{Rollup, RollupHealth};
 use crate::salvage::DamageVerdict;
 use crate::varint;
 
@@ -72,9 +76,17 @@ const HEADER_LEN: usize = 8 + 4 + 4 + 5 * 8;
 /// authoritative bit is per-section).
 const FLAG_COMPRESSED: u32 = 1;
 
-/// Section kinds. Only session payloads exist today; new kinds require a
-/// version bump (see the forward-compat rules in DESIGN.md).
+/// Section kinds. Payload sections are mandatory (exactly one per
+/// session, in session order); every other kind is optional. Section
+/// index records are self-delimiting (kind, session, flags, offset,
+/// stored len, raw len), so readers skip unknown kinds instead of
+/// rejecting the corpus (forward-compat, DESIGN 5e).
 const SECTION_PAYLOAD: u8 = 0;
+
+/// Optional per-session rollup cache: the encoded rollup payload
+/// (possibly LZ-compressed). Ignored when stale or malformed — the warm
+/// path silently falls back to decoding.
+const SECTION_ROLLUP: u8 = 1;
 
 /// Per-section flag: the stored bytes are LZ-compressed.
 const SECTION_FLAG_LZ: u8 = 1;
@@ -115,6 +127,7 @@ struct PackSession {
     episodes_lost: u64,
     extents: Vec<EpisodeExtent>,
     payload: Vec<u8>,
+    rollup: Option<Rollup>,
 }
 
 impl PackSession {
@@ -148,6 +161,7 @@ impl PackSession {
             episodes_lost: report.map_or(0, |r| r.episodes_lost),
             extents,
             payload,
+            rollup: trace.rollup().cloned(),
         }
     }
 }
@@ -165,7 +179,36 @@ impl PackSession {
 /// Fails on a symbol table with an unresolvable id (impossible for
 /// tables produced by the decoders) or an I/O-level encoding failure.
 pub fn pack(traces: &[IndexedTrace], options: PackOptions) -> Result<Vec<u8>, TraceError> {
-    let sessions: Vec<PackSession> = traces.iter().map(PackSession::of_indexed).collect();
+    pack_with_rollups(traces, Vec::new(), options)
+}
+
+/// Like [`pack`], but attaches externally built rollup caches: `built[i]`
+/// (when `Some`) is used for session `i` if its trace does not already
+/// carry a validated rollup. Content checksums are recomputed over the
+/// rebased payloads at write time, so carried and supplied rollups are
+/// equally trustworthy; `built` may be shorter than `traces` (missing
+/// tails mean "no cache").
+///
+/// # Errors
+///
+/// Same failure modes as [`pack`].
+pub fn pack_with_rollups(
+    traces: &[IndexedTrace],
+    mut built: Vec<Option<Rollup>>,
+    options: PackOptions,
+) -> Result<Vec<u8>, TraceError> {
+    built.resize(traces.len(), None);
+    let sessions: Vec<PackSession> = traces
+        .iter()
+        .zip(built)
+        .map(|(trace, extra)| {
+            let mut session = PackSession::of_indexed(trace);
+            if session.rollup.is_none() {
+                session.rollup = extra;
+            }
+            session
+        })
+        .collect();
     pack_sessions(&sessions, options)
 }
 
@@ -187,6 +230,24 @@ pub fn compact(
     jobs: usize,
     options: PackOptions,
 ) -> Result<Vec<u8>, TraceError> {
+    compact_with_rollups(reader, jobs, options, None)
+}
+
+/// Like [`compact`], but rebuilds missing rollup caches: sessions whose
+/// original entry carried a valid rollup keep it (summaries are semantic,
+/// so canonical re-encoding does not invalidate them; the content
+/// checksum is recomputed at write time), and sessions without one are
+/// handed to `build` (when provided) along with their decoded trace.
+///
+/// # Errors
+///
+/// Same failure modes as [`compact`].
+pub fn compact_with_rollups(
+    reader: &CorpusReader,
+    jobs: usize,
+    options: PackOptions,
+    build: Option<&dyn Fn(&SessionTrace) -> Rollup>,
+) -> Result<Vec<u8>, TraceError> {
     let decoded = reader.par_decode(jobs)?;
     let mut sessions = Vec::with_capacity(decoded.len());
     for (i, trace) in decoded.iter().enumerate() {
@@ -201,6 +262,10 @@ pub fn compact(
         session.damaged = entry.damaged;
         session.skips = entry.skips;
         session.episodes_lost = entry.episodes_lost;
+        session.rollup = entry
+            .rollup
+            .clone()
+            .or_else(|| build.map(|build| build(trace)));
         sessions.push(session);
     }
     pack_sessions(&sessions, options)
@@ -272,31 +337,47 @@ fn pack_sessions(sessions: &[PackSession], options: PackOptions) -> Result<Vec<u
     let mut data = Vec::new();
     let mut sections = Vec::new();
     let mut any_compressed = false;
-    varint::write_u64(&mut sections, sessions.len() as u64)?;
-    for (i, session) in sessions.iter().enumerate() {
+    // Incompressible inputs are stored raw — never pay stored_len >
+    // raw_len. Returns (flags, offset, stored_len) for the index record.
+    let mut store = |data: &mut Vec<u8>, bytes: &[u8]| -> (u8, u64, u64) {
         let offset = data.len() as u64;
-        let (flags, stored_len) = if options.compress {
-            let compressed = lz::compress(&session.payload);
-            if compressed.len() < session.payload.len() {
+        if options.compress {
+            let compressed = lz::compress(bytes);
+            if compressed.len() < bytes.len() {
                 data.extend_from_slice(&compressed);
-                (SECTION_FLAG_LZ, compressed.len() as u64)
-            } else {
-                // Incompressible payloads are stored raw — never pay
-                // stored_len > raw_len.
-                data.extend_from_slice(&session.payload);
-                (0, session.payload.len() as u64)
+                any_compressed = true;
+                return (SECTION_FLAG_LZ, offset, compressed.len() as u64);
             }
-        } else {
-            data.extend_from_slice(&session.payload);
-            (0, session.payload.len() as u64)
-        };
-        any_compressed |= flags & SECTION_FLAG_LZ != 0;
+        }
+        data.extend_from_slice(bytes);
+        (0, offset, bytes.len() as u64)
+    };
+    let section_count = sessions.len() + sessions.iter().filter(|s| s.rollup.is_some()).count();
+    varint::write_u64(&mut sections, section_count as u64)?;
+    for (i, session) in sessions.iter().enumerate() {
+        let (flags, offset, stored_len) = store(&mut data, &session.payload);
         sections.push(SECTION_PAYLOAD);
         varint::write_u64(&mut sections, i as u64)?;
         sections.push(flags);
         varint::write_u64(&mut sections, offset)?;
         varint::write_u64(&mut sections, stored_len)?;
         varint::write_u64(&mut sections, session.payload.len() as u64)?;
+        if let Some(rollup) = &session.rollup {
+            // The payload is exactly the concatenation of the extent
+            // spans, so the content checksum is the FNV of the whole
+            // payload region; recompute it so a supplied rollup is
+            // stamped against the bytes actually written.
+            let mut rollup = rollup.clone();
+            rollup.content_checksum = crate::rollup::content_checksum(&session.payload);
+            let raw = rollup.encode_payload()?;
+            let (flags, offset, stored_len) = store(&mut data, &raw);
+            sections.push(SECTION_ROLLUP);
+            varint::write_u64(&mut sections, i as u64)?;
+            sections.push(flags);
+            varint::write_u64(&mut sections, offset)?;
+            varint::write_u64(&mut sections, stored_len)?;
+            varint::write_u64(&mut sections, raw.len() as u64)?;
+        }
     }
 
     let mut extents = Vec::new();
@@ -363,6 +444,8 @@ struct SessionEntry {
     compressed: bool,
     extents: Vec<EpisodeExtent>,
     payload: Payload,
+    rollup: Option<Rollup>,
+    rollup_health: RollupHealth,
 }
 
 /// A corpus opened for indexed, zero-copy access.
@@ -464,7 +547,7 @@ impl CorpusReader {
             session_count,
             &global,
         )?;
-        let sections = read_sections(
+        let (sections, rollup_sections) = read_sections(
             &bytes[sections_off as usize..extents_off as usize],
             session_count,
             (payload_end as u64) - data_off,
@@ -474,7 +557,9 @@ impl CorpusReader {
         let extents_bytes = &bytes[..extents_off as usize + (data_off - extents_off) as usize];
         let mut pos = extents_off as usize;
         let extents_end = data_off as usize;
-        for (dir, section) in directory.into_iter().zip(&sections) {
+        for ((dir, section), rollup_section) in
+            directory.into_iter().zip(&sections).zip(rollup_sections)
+        {
             let extents = decode_extents(extents_bytes, &mut pos, extents_end, section.raw_len)?;
             let start = (data_off + section.offset) as usize;
             let stored = &bytes[start..start + section.stored_len as usize];
@@ -489,6 +574,12 @@ impl CorpusReader {
                 }
                 Payload::Raw(start..start + section.raw_len as usize)
             };
+            let payload_bytes = match &payload {
+                Payload::Raw(range) => &bytes[range.clone()],
+                Payload::Decompressed(buf) => buf.as_slice(),
+            };
+            let (rollup, rollup_health) =
+                open_rollup(&bytes, data_off, rollup_section, payload_bytes, &extents);
             sessions.push(SessionEntry {
                 meta: dir.meta,
                 symbols: dir.symbols,
@@ -503,6 +594,8 @@ impl CorpusReader {
                 compressed: section.compressed,
                 extents,
                 payload,
+                rollup,
+                rollup_health,
             });
         }
         if pos != extents_end {
@@ -738,6 +831,19 @@ impl<'a> SessionView<'a> {
         self.reader.entry(self.index).compressed
     }
 
+    /// The session's validated rollup cache, when one is present and its
+    /// content checksum matches the payload — the warm analysis path's
+    /// input. `None` means cold decode (absent or stale section).
+    pub fn rollup(&self) -> Option<&'a Rollup> {
+        self.reader.entry(self.index).rollup.as_ref()
+    }
+
+    /// Diagnostic health of the session's rollup section (see
+    /// `lagalyzer lint`).
+    pub fn rollup_health(&self) -> &'a RollupHealth {
+        &self.reader.entry(self.index).rollup_health
+    }
+
     /// The session's damage verdict.
     pub fn damage_verdict(&self) -> DamageVerdict {
         if self.is_damaged() {
@@ -942,22 +1048,42 @@ fn read_directory(
                 format!("{remap_len} symbols exceeds cap"),
             ));
         }
-        let mut symbols = SymbolTable::with_capacity(remap_len.min(1 << 16) as usize);
-        for local in 0..remap_len {
-            let global_id = SymbolId::from_raw(varint::read_u32(&mut r)?);
-            let name = global.resolve(global_id).ok_or_else(|| {
-                TraceError::corrupt(
-                    "session directory",
-                    format!("remap names unknown global symbol {}", global_id.as_raw()),
-                )
-            })?;
-            if symbols.intern(name) != SymbolId::from_raw(local.min(u64::from(u32::MAX)) as u32) {
-                return Err(TraceError::corrupt(
-                    "session directory",
-                    "remap produces a non-dense local symbol table",
-                ));
-            }
+        let mut remap_ids = Vec::with_capacity(remap_len.min(1 << 16) as usize);
+        for _ in 0..remap_len {
+            remap_ids.push(varint::read_u32(&mut r)?);
         }
+        // Dense-pool fast path: a session whose remap is the identity
+        // over the entire global pool reconstructs to a table equal to
+        // the pool itself (the pool was already validated dense and
+        // duplicate-free), so clone the interner instead of re-interning
+        // every name. Fleets of same-workload sessions hit this for all
+        // but the first session.
+        let identity = remap_ids.len() == global.len()
+            && remap_ids
+                .iter()
+                .enumerate()
+                .all(|(i, &id)| id as usize == i);
+        let symbols = if identity {
+            global.clone()
+        } else {
+            let mut symbols = SymbolTable::with_capacity(remap_len.min(1 << 16) as usize);
+            for (local, &raw) in remap_ids.iter().enumerate() {
+                let global_id = SymbolId::from_raw(raw);
+                let name = global.resolve(global_id).ok_or_else(|| {
+                    TraceError::corrupt(
+                        "session directory",
+                        format!("remap names unknown global symbol {}", global_id.as_raw()),
+                    )
+                })?;
+                if symbols.intern(name) != SymbolId::from_raw(local.min(u32::MAX as usize) as u32) {
+                    return Err(TraceError::corrupt(
+                        "session directory",
+                        "remap produces a non-dense local symbol table",
+                    ));
+                }
+            }
+            symbols
+        };
         let gc_count = varint::read_u64(&mut r)?;
         if gc_count > MAX_STRINGS {
             return Err(TraceError::corrupt(
@@ -1017,40 +1143,27 @@ fn read_sections(
     region: &[u8],
     session_count: u64,
     data_len: u64,
-) -> Result<Vec<Section>, TraceError> {
+) -> Result<(Vec<Section>, Vec<Option<Section>>), TraceError> {
     let mut r = region;
     let count = varint::read_u64(&mut r)?;
-    if count != session_count {
+    // Payload + rollup today; headroom for future kinds without letting a
+    // corrupt count force an absurd parse.
+    if count > session_count.saturating_mul(8).saturating_add(8) {
         return Err(TraceError::corrupt(
             "section index",
-            format!("{count} sections for {session_count} sessions"),
+            format!("{count} sections for {session_count} sessions exceeds cap"),
         ));
     }
-    let mut out = Vec::with_capacity(count.min(1 << 12) as usize);
-    for i in 0..count {
+    let mut payloads = Vec::with_capacity(session_count.min(1 << 12) as usize);
+    let mut rollups: Vec<Option<Section>> = std::iter::repeat_with(|| None)
+        .take(session_count.min(1 << 20) as usize)
+        .collect();
+    for _ in 0..count {
         let (kind, rest) = split_byte(r, "section index")?;
         r = rest;
-        if kind != SECTION_PAYLOAD {
-            return Err(TraceError::corrupt(
-                "section index",
-                format!("unsupported section kind {kind}"),
-            ));
-        }
         let session = varint::read_u64(&mut r)?;
-        if session != i {
-            return Err(TraceError::corrupt(
-                "section index",
-                format!("section {i} names session {session}"),
-            ));
-        }
         let (flags, rest) = split_byte(r, "section index")?;
         r = rest;
-        if flags & !SECTION_FLAG_LZ != 0 {
-            return Err(TraceError::corrupt(
-                "section index",
-                format!("unknown section flags {flags:#x}"),
-            ));
-        }
         let offset = varint::read_u64(&mut r)?;
         let stored_len = varint::read_u64(&mut r)?;
         let raw_len = varint::read_u64(&mut r)?;
@@ -1063,12 +1176,63 @@ fn read_sections(
                 format!("section {offset}+{stored_len} outside the data region"),
             ));
         }
-        out.push(Section {
+        let section = Section {
             compressed: flags & SECTION_FLAG_LZ != 0,
             offset,
             stored_len,
             raw_len,
-        });
+        };
+        match kind {
+            SECTION_PAYLOAD => {
+                if flags & !SECTION_FLAG_LZ != 0 {
+                    return Err(TraceError::corrupt(
+                        "section index",
+                        format!("unknown section flags {flags:#x}"),
+                    ));
+                }
+                if session != payloads.len() as u64 {
+                    return Err(TraceError::corrupt(
+                        "section index",
+                        format!("payload section {} names session {session}", payloads.len()),
+                    ));
+                }
+                payloads.push(section);
+            }
+            SECTION_ROLLUP => {
+                if flags & !SECTION_FLAG_LZ != 0 {
+                    return Err(TraceError::corrupt(
+                        "section index",
+                        format!("unknown section flags {flags:#x}"),
+                    ));
+                }
+                let slot = rollups.get_mut(session as usize).ok_or_else(|| {
+                    TraceError::corrupt(
+                        "section index",
+                        format!("rollup section names session {session}"),
+                    )
+                })?;
+                if slot.is_some() {
+                    return Err(TraceError::corrupt(
+                        "section index",
+                        format!("duplicate rollup section for session {session}"),
+                    ));
+                }
+                *slot = Some(section);
+            }
+            // Unknown kinds are skipped: the record shape is
+            // self-delimiting, so newer writers can add sections without
+            // breaking this reader (DESIGN 5e).
+            _ => {}
+        }
+    }
+    if payloads.len() as u64 != session_count {
+        return Err(TraceError::corrupt(
+            "section index",
+            format!(
+                "{} payload sections for {session_count} sessions",
+                payloads.len()
+            ),
+        ));
     }
     if !r.is_empty() {
         return Err(TraceError::corrupt(
@@ -1076,7 +1240,60 @@ fn read_sections(
             "trailing bytes after the last section",
         ));
     }
-    Ok(out)
+    Ok((payloads, rollups))
+}
+
+/// Decodes and validates one session's optional rollup section. Never
+/// fails the corpus open: a malformed or stale cache degrades to
+/// `(None, Stale)` and the warm path silently recomputes.
+fn open_rollup(
+    bytes: &[u8],
+    data_off: u64,
+    section: Option<Section>,
+    payload_bytes: &[u8],
+    extents: &[EpisodeExtent],
+) -> (Option<Rollup>, RollupHealth) {
+    let Some(section) = section else {
+        return (None, RollupHealth::Absent);
+    };
+    let section_bytes = section.stored_len;
+    let stale = |reason: String| {
+        (
+            None,
+            RollupHealth::Stale {
+                reason,
+                section_bytes,
+            },
+        )
+    };
+    let start = (data_off + section.offset) as usize;
+    let stored = &bytes[start..start + section.stored_len as usize];
+    let raw;
+    let raw_bytes: &[u8] = if section.compressed {
+        match lz::decompress(stored, section.raw_len as usize) {
+            Ok(buf) => {
+                raw = buf;
+                &raw
+            }
+            Err(err) => return stale(format!("section does not decompress: {err}")),
+        }
+    } else {
+        if section.stored_len != section.raw_len {
+            return stale("raw section with stored_len != raw_len".into());
+        }
+        stored
+    };
+    let mut pos = 0usize;
+    let rollup = match Rollup::decode_payload(raw_bytes, &mut pos, raw_bytes.len()) {
+        Ok(rollup) if pos == raw_bytes.len() => rollup,
+        Ok(_) => return stale("trailing bytes after the rollup payload".into()),
+        Err(err) => return stale(format!("payload does not decode: {err}")),
+    };
+    let expected = crate::rollup::content_checksum(payload_bytes);
+    match crate::rollup::validate(rollup, expected, extents.len()) {
+        Some(rollup) => (Some(rollup), RollupHealth::Valid { section_bytes }),
+        None => stale("content checksum mismatch".into()),
+    }
 }
 
 fn split_byte<'a>(r: &'a [u8], context: &'static str) -> Result<(u8, &'a [u8]), TraceError> {

@@ -661,6 +661,12 @@ struct Opened {
     extents: Vec<EpisodeExtent>,
     health: IndexHealth,
     declared: u64,
+    /// A decoded (but not yet content-validated) rollup section.
+    rollup: Option<crate::rollup::Rollup>,
+    /// The trailer hash's running state at the rollup section boundary —
+    /// the content checksum a trustworthy rollup must carry. `None` when
+    /// no section is framed (nothing to validate against).
+    content_snapshot: Option<u64>,
 }
 
 /// A binary trace opened for indexed, zero-copy access.
@@ -701,6 +707,7 @@ pub struct IndexedTrace {
     extents: Vec<EpisodeExtent>,
     health: IndexHealth,
     salvage: Option<SalvageReport>,
+    rollup: Option<crate::rollup::Rollup>,
 }
 
 impl IndexedTrace {
@@ -757,12 +764,28 @@ impl IndexedTrace {
                     extents,
                     health: IndexHealth::SalvageScan,
                     salvage: Some(report),
+                    // Any rollup on a damaged file describes episodes that
+                    // may not have survived salvage — never trust it.
+                    rollup: None,
                 })
             }
         }
     }
 
     fn assemble(bytes: Vec<u8>, opened: Opened, salvage: Option<SalvageReport>) -> IndexedTrace {
+        // A rollup is only trusted when the extent index came from a valid
+        // footer (the spans it was computed over) and its content checksum
+        // matches the episode bytes actually present.
+        let rollup = if opened.health == IndexHealth::FooterValid {
+            match (opened.rollup, opened.content_snapshot) {
+                (Some(r), Some(expected)) => {
+                    crate::rollup::validate(r, expected, opened.extents.len())
+                }
+                _ => None,
+            }
+        } else {
+            None
+        };
         IndexedTrace {
             bytes,
             meta: opened.meta,
@@ -773,6 +796,7 @@ impl IndexedTrace {
             extents: opened.extents,
             health: opened.health,
             salvage,
+            rollup,
         }
     }
 
@@ -791,7 +815,22 @@ impl IndexedTrace {
         }
         let payload_end = bytes.len() - 8;
         let stored = u64::from_le_bytes(bytes[payload_end..].try_into().expect("8-byte slice"));
-        let computed = fnv1a(&bytes[8..payload_end]);
+        // One pass serves two checks: when a rollup section is framed at
+        // the back (v2 only), snapshot the running trailer hash at the
+        // section boundary — the writer stamped that exact state into the
+        // section as its content checksum, so the cache is validated
+        // without a second pass over the payload.
+        let section_start = if version >= 2 {
+            crate::rollup::pre_locate(bytes, payload_end)
+        } else {
+            None
+        };
+        let split = section_start.unwrap_or(payload_end);
+        let mut hash = crate::binary::Fnv1a::new();
+        hash.update(&bytes[8..split]);
+        let content_snapshot = section_start.map(|_| hash.finish());
+        hash.update(&bytes[split..payload_end]);
+        let computed = hash.finish();
         if stored != computed {
             return Err(TraceError::ChecksumMismatch { stored, computed });
         }
@@ -806,8 +845,15 @@ impl IndexedTrace {
         }
         let records_start = payload_end - r.len();
         let mut session = SessionLevel::new();
+        let mut rollup = None;
         let (extents, health) = if version >= 2 {
-            match locate_footer(bytes, payload_end) {
+            // Peel the optional rollup section off the back first: the
+            // footer (when present) sits directly below it. An unusable
+            // section is simply dropped — the cache degrades, never the
+            // decode.
+            let peeled = crate::rollup::peel(bytes, payload_end);
+            rollup = peeled.rollup.and_then(Result::ok);
+            match locate_footer(bytes, peeled.end) {
                 Ok((footer_start, extents)) => {
                     Self::decode_gaps(bytes, records_start, footer_start, &extents, &mut session)?;
                     (extents, IndexHealth::FooterValid)
@@ -839,6 +885,8 @@ impl IndexedTrace {
             extents,
             health,
             declared,
+            rollup,
+            content_snapshot,
         })
     }
 
@@ -915,6 +963,15 @@ impl IndexedTrace {
     /// open.
     pub fn salvage_report(&self) -> Option<&SalvageReport> {
         self.salvage.as_ref()
+    }
+
+    /// The persisted rollup, when one is present **and** trustworthy: the
+    /// footer validated, the summary table is 1:1 with the extent index,
+    /// and the content checksum matches the episode bytes. A stale,
+    /// damaged, or absent rollup yields `None` — callers fall back to the
+    /// cold decode path.
+    pub fn rollup(&self) -> Option<&crate::rollup::Rollup> {
+        self.rollup.as_ref()
     }
 
     /// Number of indexed episodes.
@@ -1280,8 +1337,47 @@ pub fn probe_health(bytes: &[u8]) -> Option<IndexHealth> {
     if bytes[7] < 2 {
         return Some(IndexHealth::FooterAbsent);
     }
-    match locate_footer(bytes, bytes.len() - 8) {
+    let peeled = crate::rollup::peel(bytes, bytes.len() - 8);
+    match locate_footer(bytes, peeled.end) {
         Ok(_) => Some(IndexHealth::FooterValid),
         Err(reason) => Some(IndexHealth::FooterInvalid(reason)),
     }
+}
+
+/// Cheap rollup-health probe for diagnostics (`lagalyzer lint` and the
+/// `LA014` check rule): reports whether `bytes` carries a rollup section
+/// and whether it would be trusted, without decoding any episode. `None`
+/// when the input is not a v2 binary trace (v1 has no section region).
+pub fn probe_rollup(bytes: &[u8]) -> Option<crate::rollup::RollupHealth> {
+    use crate::rollup::RollupHealth;
+    if bytes.len() < 16 || &bytes[..7] != MAGIC_PREFIX || bytes[7] < 2 {
+        return None;
+    }
+    let payload_end = bytes.len() - 8;
+    let peeled = crate::rollup::peel(bytes, payload_end);
+    let section_bytes = (payload_end - peeled.end) as u64;
+    Some(match peeled.rollup {
+        None => RollupHealth::Absent,
+        Some(Err(reason)) => RollupHealth::Stale {
+            reason,
+            section_bytes,
+        },
+        Some(Ok(rollup)) => match locate_footer(bytes, peeled.end) {
+            Err(reason) => RollupHealth::Stale {
+                reason: format!("extent footer unusable ({reason})"),
+                section_bytes,
+            },
+            Ok((_, extents)) => {
+                let expected = crate::rollup::content_checksum(&bytes[8..peeled.end]);
+                if crate::rollup::validate(rollup, expected, extents.len()).is_some() {
+                    RollupHealth::Valid { section_bytes }
+                } else {
+                    RollupHealth::Stale {
+                        reason: "content checksum mismatch".into(),
+                        section_bytes,
+                    }
+                }
+            }
+        },
+    })
 }

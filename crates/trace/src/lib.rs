@@ -58,6 +58,7 @@ pub mod faults;
 pub mod filter;
 pub mod index;
 pub mod record;
+pub mod rollup;
 pub mod salvage;
 pub mod stream;
 pub mod text;
@@ -67,8 +68,11 @@ pub use auto::{read_bytes, read_path};
 pub use corpus::{is_corpus, CorpusReader, PackOptions, SessionView};
 pub use error::TraceError;
 pub use filter::TraceFilter;
-pub use index::{DurationBand, EpisodeExtent, EpisodeFilter, IndexHealth, IndexedTrace};
+pub use index::{
+    probe_rollup, DurationBand, EpisodeExtent, EpisodeFilter, IndexHealth, IndexedTrace,
+};
 pub use record::{records_from_trace, trace_from_records, TraceRecord};
+pub use rollup::{Rollup, RollupHealth};
 pub use salvage::{
     read_bytes_salvage, read_path_salvage, DamageVerdict, SalvageReport, SalvageSkip, Salvaged,
     SkipAt,
