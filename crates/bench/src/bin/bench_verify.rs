@@ -453,6 +453,31 @@ fn check_mining(doc: &Json, out: &mut Findings) {
     }
 }
 
+/// Validates the `hazard_scan` section of the hazards artifact. No gate
+/// rides on it — shard-merge cost makes the build speedup
+/// hardware-dependent — so only structure is enforced.
+fn check_hazards(doc: &Json, out: &mut Findings) {
+    let Some(section) = doc.get("hazard_scan") else {
+        out.push("required section `hazard_scan` is missing".into());
+        return;
+    };
+    let path = "hazard_scan";
+    require_str(section, "corpus", path, out);
+    require_num(section, "episodes", 0.0, path, out);
+    require_num(section, "available_jobs", 0.0, path, out);
+    require_num(section, "waits", 0.0, path, out);
+    require_num(section, "locks", 0.0, path, out);
+    match section.get("build") {
+        Some(pair) => {
+            let pair_path = format!("{path}.build");
+            require_num(pair, "serial_ns_per_iter", 0.0, &pair_path, out);
+            require_num(pair, "sharded_ns_per_iter", 0.0, &pair_path, out);
+            require_num(pair, "speedup", 0.0, &pair_path, out);
+        }
+        None => out.push(format!("`{path}.build` is missing")),
+    }
+}
+
 /// Validates the `analysis_warm` section of the warm-analysis artifact
 /// and returns the warm-over-cold speedup for the `gate` subcommand.
 fn check_warm(doc: &Json, out: &mut Findings) -> Option<f64> {
@@ -517,7 +542,9 @@ fn check_corpus(doc: &Json, out: &mut Findings) -> Option<f64> {
 /// trace-ingest rules.
 fn artifact_kind(path: &str) -> Option<&'static str> {
     let name = path.rsplit('/').next().unwrap_or(path);
-    if name.contains("corpus") {
+    if name.contains("hazard") {
+        Some("hazards")
+    } else if name.contains("corpus") {
         Some("corpus")
     } else if name.contains("warm") {
         Some("warm")
@@ -563,6 +590,7 @@ fn check_doc(path: &str, doc: &Json) -> Checked {
         Some("mining") => check_mining(doc, &mut findings),
         Some("corpus") => corpus_speedup = check_corpus(doc, &mut findings),
         Some("warm") => warm_speedup = check_warm(doc, &mut findings),
+        Some("hazards") => check_hazards(doc, &mut findings),
         _ => {}
     }
     Checked {
@@ -960,7 +988,44 @@ mod tests {
         assert_eq!(artifact_kind("BENCH_mining.json"), Some("mining"));
         assert_eq!(artifact_kind("BENCH_warm.json"), Some("warm"));
         assert_eq!(artifact_kind("target/smoke/BENCH_warm.json"), Some("warm"));
+        assert_eq!(artifact_kind("BENCH_hazards.json"), Some("hazards"));
+        assert_eq!(
+            artifact_kind("target/smoke/BENCH_hazards.json"),
+            Some("hazards")
+        );
         assert_eq!(artifact_kind("notes.json"), None);
+    }
+
+    #[test]
+    fn check_validates_hazards_structure() {
+        let doc = parse(
+            r#"{"hazard_scan": {
+                "corpus": "jEdit-hazards", "episodes": 1200, "budget_ms": 500,
+                "available_jobs": 4, "waits": 900, "locks": 5, "held_edges": 7,
+                "build": {"serial_ns_per_iter": 9000000.0,
+                    "sharded_ns_per_iter": 3000000.0, "speedup": 3.0}
+            }}"#,
+        );
+        let checked = check_doc("BENCH_hazards.json", &doc);
+        assert!(
+            checked.findings.problems.is_empty(),
+            "{:?}",
+            checked.findings.problems
+        );
+
+        let findings = check_doc("BENCH_hazards.json", &parse(r#"{"other": {}}"#)).findings;
+        assert!(findings
+            .problems
+            .iter()
+            .any(|p| p.contains("`hazard_scan` is missing")));
+
+        let doc = parse(r#"{"hazard_scan": {"corpus": "x"}}"#);
+        let findings = check_doc("BENCH_hazards.json", &doc).findings;
+        assert!(findings
+            .problems
+            .iter()
+            .any(|p| p.contains("build` is missing")));
+        assert!(findings.problems.iter().any(|p| p.contains("waits")));
     }
 
     fn warm_doc(speedup: f64) -> String {

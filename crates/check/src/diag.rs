@@ -173,23 +173,7 @@ impl CheckReport {
     pub fn render_text(&self, source: &str) -> String {
         let mut out = String::new();
         for d in &self.diagnostics {
-            out.push_str(&format!("{}[{}]: {}\n", d.severity, d.code, d.message));
-            let mut arrow = format!("  --> {source}");
-            if let Some(span) = d.byte_span {
-                arrow.push_str(&format!(" {span}"));
-            }
-            if let Some(id) = d.episode_id {
-                arrow.push_str(&format!(" (episode {id})"));
-            }
-            out.push_str(&arrow);
-            out.push('\n');
-            for rel in &d.related {
-                out.push_str(&format!("  note: {}", rel.message));
-                if let Some(span) = rel.byte_span {
-                    out.push_str(&format!(" ({span})"));
-                }
-                out.push('\n');
-            }
+            render_diagnostic_text(&mut out, d, source);
         }
         out.push_str(&format!(
             "check: {}: {} — {} error(s), {} warning(s), {} note(s)\n",
@@ -228,7 +212,29 @@ impl CheckReport {
     }
 }
 
-fn render_diagnostic_json(out: &mut String, d: &Diagnostic) {
+/// Renders one diagnostic in the compiler-lint text shape shared by
+/// `check` and `hazards` reports.
+pub(crate) fn render_diagnostic_text(out: &mut String, d: &Diagnostic, source: &str) {
+    out.push_str(&format!("{}[{}]: {}\n", d.severity, d.code, d.message));
+    let mut arrow = format!("  --> {source}");
+    if let Some(span) = d.byte_span {
+        arrow.push_str(&format!(" {span}"));
+    }
+    if let Some(id) = d.episode_id {
+        arrow.push_str(&format!(" (episode {id})"));
+    }
+    out.push_str(&arrow);
+    out.push('\n');
+    for rel in &d.related {
+        out.push_str(&format!("  note: {}", rel.message));
+        if let Some(span) = rel.byte_span {
+            out.push_str(&format!(" ({span})"));
+        }
+        out.push('\n');
+    }
+}
+
+pub(crate) fn render_diagnostic_json(out: &mut String, d: &Diagnostic) {
     out.push_str(&format!(
         "{{\"code\":\"{}\",\"severity\":\"{}\",\"message\":",
         d.code, d.severity
@@ -263,7 +269,7 @@ fn json_span(out: &mut String, span: Option<ByteSpan>) {
 }
 
 /// Appends `s` as a JSON string literal with full escaping.
-fn json_string(out: &mut String, s: &str) {
+pub(crate) fn json_string(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {

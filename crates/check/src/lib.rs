@@ -44,10 +44,12 @@
 
 pub mod diag;
 pub mod engine;
+pub mod hazards;
 pub mod rules;
 
 pub use diag::{ByteSpan, CheckReport, Diagnostic, Related, Severity};
 pub use engine::{CheckSubject, EpisodeCtx, Finding, Rule, RuleSet, Sink, UnknownRule};
+pub use hazards::{HazardConfig, HazardReport};
 pub use rules::standard_rules;
 
 use lagalyzer_model::SessionTrace;

@@ -19,6 +19,15 @@
 //! | LA012 | checksum-mismatch       | error    | the FNV-1a trailer checksum verifies |
 //! | LA013 | index-degraded          | note     | the episode index came from the footer, not a fallback scan |
 //! | LA014 | stale-rollup            | note     | the persisted rollup section matches the episode payload it summarizes |
+//! | LA020 | lock-order-inversion    | error    | no held-while-acquiring cycle in the session lock graph (hazards) |
+//! | LA021 | lock-held-across-io     | warning  | no contended lock is held while its holder runs blocking IO (hazards) |
+//! | LA022 | lock-held-across-pause  | warning  | no contended lock is held across Thread.sleep or a GC pause (hazards) |
+//! | LA023 | lock-starvation         | warning  | no waiter starves on one lock while holders churn (hazards) |
+//! | LA024 | self-wait               | warning  | no thread blocks entering a lock its own stack already holds (hazards) |
+//! | LA025 | corpus-lock-inversion   | error    | no lock-order cycle closes only across corpus sessions (hazards) |
+//!
+//! `LA020`–`LA025` are the concurrency-hazard family over the
+//! session-wide lock graph; see [`crate::hazards`].
 
 use std::collections::HashSet;
 
@@ -45,6 +54,12 @@ pub fn standard_rules() -> Vec<Box<dyn Rule>> {
         Box::new(ChecksumMismatch),
         Box::new(IndexDegraded),
         Box::new(StaleRollup),
+        Box::new(crate::hazards::LockOrderInversion::default()),
+        Box::new(crate::hazards::LockHeldAcrossIo::default()),
+        Box::new(crate::hazards::LockHeldAcrossPause::default()),
+        Box::new(crate::hazards::LockStarvation::default()),
+        Box::new(crate::hazards::SelfWait::default()),
+        Box::new(crate::hazards::CorpusLockInversion),
     ]
 }
 
@@ -395,8 +410,7 @@ impl Rule for SubFloorEpisode {
         if duration < floor {
             sink.emit(
                 Finding::new(format!(
-                    "episode lasted {}, below the tracer's {} filter floor; it should only appear in the short-episode count",
-                    duration, floor
+                    "episode lasted {duration}, below the tracer's {floor} filter floor; it should only appear in the short-episode count"
                 ))
                 .episode(ctx.episode.id())
                 .span(ctx.byte_span()),
@@ -1369,6 +1383,35 @@ mod tests {
         assert_eq!(report.exit_code(), 0);
 
         assert!(RuleSet::standard().allow("LA999").is_err());
+    }
+
+    #[test]
+    fn doc_table_agrees_with_registered_rules() {
+        // Parse the `//! | LA0xx | name | severity | ... |` rows of this
+        // file's module doc and assert they match the implementation, so
+        // the registry in the doc comment cannot drift.
+        let rows: Vec<(String, String, String)> = include_str!("rules.rs")
+            .lines()
+            .filter_map(|line| {
+                let row = line.strip_prefix("//! | LA")?;
+                let mut cols = row.split('|').map(str::trim);
+                let code = format!("LA{}", cols.next()?);
+                Some((code, cols.next()?.to_owned(), cols.next()?.to_owned()))
+            })
+            .collect();
+        let descriptions = RuleSet::standard().descriptions();
+        assert_eq!(
+            rows.len(),
+            descriptions.len(),
+            "doc table lists every registered rule exactly once"
+        );
+        for ((code, name, severity), (dcode, dname, dsev, _)) in
+            rows.iter().zip(descriptions.iter())
+        {
+            assert_eq!(code, dcode, "doc table order matches registration order");
+            assert_eq!(name, dname, "{code}: doc-table name drifted");
+            assert_eq!(severity, dsev.name(), "{code}: doc-table severity drifted");
+        }
     }
 
     #[test]

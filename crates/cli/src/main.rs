@@ -30,7 +30,7 @@ use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use lagalyzer_check::{check_bytes, RuleSet, Severity};
+use lagalyzer_check::{check_bytes, HazardConfig, HazardReport, RuleSet, Severity};
 use lagalyzer_core::browser::{PatternBrowser, SortBy};
 use lagalyzer_core::prelude::*;
 use lagalyzer_model::{DurationNs, Episode, SymbolTable, TimeNs};
@@ -108,6 +108,7 @@ fn run(args: &[String]) -> Result<ExitCode, Failure> {
         "diff" => cmd_diff(rest),
         "lint" => cmd_lint(rest),
         "check" => cmd_check(rest),
+        "hazards" => cmd_hazards(rest),
         "outliers" => cmd_outliers(rest),
         "experiments" => cmd_experiments(rest),
         "help" | "--help" | "-h" => {
@@ -147,7 +148,15 @@ fn print_usage() {
                                               cross-session merged table\n\
            lint FILE                          check a trace (or corpus) for damage; print the salvage report and index health\n\
            check FILE [--format text|json] [--allow CODE] [--deny CODE] [--level CODE=SEV] [--fix-report FILE.json]\n\
-                                              run the semantic rule checker (codes LA001..)\n\
+                                              run the semantic rule checker (codes LA001..);\n\
+                                              check --list-rules prints the full rule table\n\
+           hazards FILE [--format text|json] [--jobs N] [--salvage] [--explain N]\n\
+                   [--min-samples N] [--starvation-streak N]\n\
+                                              concurrency-hazard analysis over the session\n\
+                                              lock graph (LA020 lock-order inversion, LA021\n\
+                                              held-across-IO, LA022 held-across-pause, LA023\n\
+                                              starvation, LA024 self-wait); on a .lgzc\n\
+                                              corpus also LA025 cross-session inversions\n\
            outliers FILE [--format text|json] [--mad-k K] [--min-excess-ms MS] [--min-count N]\n\
                     [--explain N] [--jobs N] [--salvage]\n\
                                               flag per-pattern duration outliers and attribute\n\
@@ -1282,6 +1291,13 @@ fn check_ruleset(args: &[String]) -> Result<RuleSet, Failure> {
 }
 
 fn cmd_check(args: &[String]) -> Result<ExitCode, Failure> {
+    if opt_flag(args, "--list-rules") {
+        println!("{:<7} {:<25} {:<8} summary", "code", "name", "level");
+        for (code, name, severity, summary) in RuleSet::standard().descriptions() {
+            println!("{code:<7} {name:<25} {:<8} {summary}", severity.name());
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
     let positionals = positional_args(args, CHECK_VALUE_FLAGS);
     let path = positionals.first().ok_or("check requires a trace file")?;
     let format = opt_value(args, "--format").unwrap_or("text");
@@ -1303,6 +1319,190 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, Failure> {
         fs::write(out, json).map_err(|e| format!("cannot write {out}: {e}"))?;
     }
     Ok(ExitCode::from(report.exit_code()))
+}
+
+/// Value-taking flags of the `hazards` subcommand.
+const HAZARD_VALUE_FLAGS: &[&str] = &[
+    "--format",
+    "--jobs",
+    "--explain",
+    "--min-samples",
+    "--starvation-streak",
+];
+
+/// Builds the hazard detection config from `--min-samples` and
+/// `--starvation-streak`.
+fn parse_hazard_config(args: &[String]) -> Result<HazardConfig, Failure> {
+    let mut config = HazardConfig::default();
+    if let Some(v) = opt_value(args, "--min-samples") {
+        let n: u64 = v
+            .parse()
+            .map_err(|_| format!("--min-samples expects a number, got {v:?}"))?;
+        config.min_wait_samples = n.max(1);
+        config.min_edge_samples = n.max(1);
+    }
+    if let Some(v) = opt_value(args, "--starvation-streak") {
+        let n: u64 = v
+            .parse()
+            .map_err(|_| format!("--starvation-streak expects a number, got {v:?}"))?;
+        config.starvation_streak = n.max(2);
+    }
+    Ok(config)
+}
+
+fn cmd_hazards(args: &[String]) -> Result<ExitCode, Failure> {
+    let positionals = positional_args(args, HAZARD_VALUE_FLAGS);
+    let path = positionals.first().ok_or("hazards requires a trace file")?;
+    let format = opt_value(args, "--format").unwrap_or("text");
+    if format != "text" && format != "json" {
+        return Err(format!("unknown format {format:?}; expected text or json").into());
+    }
+    let jobs = parse_jobs(args)?;
+    let config = parse_hazard_config(args)?;
+    let salvage = opt_flag(args, "--salvage");
+    let bytes = fs::read(path.as_str()).map_err(|e| format!("cannot read {path}: {e}"))?;
+
+    if corpus::is_corpus(&bytes) {
+        // Corpus: per-session lock graphs re-interned through the
+        // corpus-wide symbol table, then the cross-session merge (LA025).
+        let reader = CorpusReader::open(bytes)
+            .map_err(|e| Failure::unrecoverable(format!("cannot load {path}: {e}")))?;
+        let mut traces = Vec::with_capacity(reader.len());
+        let mut damaged = false;
+        for k in 0..reader.len() {
+            let view = reader.session(k);
+            damaged |= view.is_damaged();
+            traces.push(
+                view.decode(jobs)
+                    .map_err(|e| format!("cannot load {path} session {k}: {e}"))?,
+            );
+        }
+        if opt_value(args, "--explain").is_some() {
+            return Err("--explain works on single traces, not corpora".into());
+        }
+        let mut symbols = reader.global_symbols().clone();
+        let report = HazardReport::analyze_corpus(&traces, &mut symbols, jobs, &config);
+        if format == "json" {
+            println!("{}", report.render_json(path));
+        } else {
+            print!("{}", report.render_text(path));
+        }
+        return Ok(if damaged {
+            ExitCode::from(EXIT_SALVAGED)
+        } else {
+            ExitCode::SUCCESS
+        });
+    }
+
+    // Single trace: binary traces go through the extent index (byte-span
+    // provenance, subset re-decode for --explain); text traces decode
+    // serially without spans.
+    let indexed: Option<IndexedTrace> = if bytes.starts_with(b"LGLZTRC") {
+        Some(if salvage {
+            IndexedTrace::open_salvage(bytes.clone())
+                .map_err(|e| Failure::unrecoverable(format!("cannot salvage {path}: {e}")))?
+        } else {
+            IndexedTrace::open(bytes.clone()).map_err(|e| format!("cannot load {path}: {e}"))?
+        })
+    } else {
+        None
+    };
+    let (trace, salvaged) = match &indexed {
+        Some(ix) => (
+            ix.par_decode(jobs)
+                .map_err(|e| format!("cannot load {path}: {e}"))?,
+            ix.salvage_report().is_some(),
+        ),
+        None if salvage => {
+            let out = lagalyzer_trace::read_bytes_salvage(&bytes)
+                .map_err(|e| Failure::unrecoverable(format!("cannot salvage {path}: {e}")))?;
+            let salvaged = !out.report.skips.is_empty() || out.report.episodes_lost > 0;
+            (out.trace, salvaged)
+        }
+        None => (
+            lagalyzer_trace::read_bytes(&bytes).map_err(|e| format!("cannot load {path}: {e}"))?,
+            false,
+        ),
+    };
+    let report = HazardReport::analyze(
+        &trace,
+        indexed.as_ref().map(IndexedTrace::extents),
+        jobs,
+        &config,
+    );
+    if format == "json" {
+        println!("{}", report.render_json(path));
+    } else {
+        print!("{}", report.render_text(path));
+    }
+    if let Some(v) = opt_value(args, "--explain") {
+        let index: usize = v
+            .parse()
+            .map_err(|_| format!("--explain expects a finding index, got {v:?}"))?;
+        let finding = report.findings.get(index).ok_or_else(|| {
+            format!(
+                "report has {} finding(s), no index {index}",
+                report.findings.len()
+            )
+        })?;
+        explain_hazard(&trace, indexed.as_ref(), finding, jobs)?;
+    }
+    Ok(if salvaged {
+        ExitCode::from(EXIT_SALVAGED)
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
+/// Deep-dive for one hazard finding: the episode's contended waits and an
+/// ASCII sketch. On an indexed binary trace the flagged episode is
+/// re-decoded alone through [`IndexedTrace::par_decode_subset`] — the
+/// skip-decode path the finding's byte span points at.
+fn explain_hazard(
+    trace: &lagalyzer_model::SessionTrace,
+    indexed: Option<&IndexedTrace>,
+    finding: &lagalyzer_check::Diagnostic,
+    jobs: usize,
+) -> Result<(), Failure> {
+    let id = finding
+        .episode_id
+        .ok_or("this finding is graph-wide, not tied to one episode")?;
+    let subset_decoded: Option<Episode> = indexed.and_then(|ix| {
+        let pos = ix.extents().iter().position(|e| e.id == id)?;
+        ix.par_decode_subset(jobs, &[pos]).ok()?.pop()
+    });
+    let episode = match &subset_decoded {
+        Some(e) => e,
+        None => trace
+            .episodes()
+            .iter()
+            .find(|e| e.id() == id)
+            .ok_or("finding points outside the decoded session")?,
+    };
+    let symbols = trace.symbols();
+    println!(
+        "\nepisode {} — {}: {}",
+        id.as_raw(),
+        finding.code,
+        finding.message
+    );
+    let waits = lagalyzer_model::lockgraph::extract_waits(episode);
+    if waits.is_empty() {
+        println!("contended waits: none");
+    } else {
+        println!("contended waits:");
+        for wait in &waits {
+            println!(
+                "  t{:<4} {:>4} sample(s)  {:<9} on {}",
+                wait.thread.as_raw(),
+                wait.samples,
+                wait.kind.name(),
+                symbols.render(wait.lock),
+            );
+        }
+    }
+    print!("{}", ascii_sketch(episode, symbols, 100));
+    Ok(())
 }
 
 /// Value-taking flags of the `outliers` subcommand (on top of the shared

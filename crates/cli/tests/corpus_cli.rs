@@ -269,7 +269,7 @@ fn pack_and_corpus_analyze_through_the_binary() {
     args.extend(paths.iter().map(String::as_str));
     args.extend(["--out", out.to_str().unwrap()]);
     let output = lagalyzer(&args);
-    assert_eq!(output.status.code(), Some(0), "{:?}", output);
+    assert_eq!(output.status.code(), Some(0), "{output:?}");
     let stdout = String::from_utf8(output.stdout).unwrap();
     assert!(stdout.contains("deduplicated"), "{stdout}");
 
@@ -319,7 +319,7 @@ fn compact_through_the_binary_is_idempotent() {
         "--jobs",
         "2",
     ]);
-    assert_eq!(output.status.code(), Some(0), "{:?}", output);
+    assert_eq!(output.status.code(), Some(0), "{output:?}");
     let output = lagalyzer(&[
         "compact",
         once.to_str().unwrap(),
@@ -355,7 +355,7 @@ fn simulate_writes_a_corpus() {
         "--out",
         out.to_str().unwrap(),
     ]);
-    assert_eq!(output.status.code(), Some(0), "{:?}", output);
+    assert_eq!(output.status.code(), Some(0), "{output:?}");
     let lint = lagalyzer(&["lint", out.to_str().unwrap()]);
     assert_eq!(lint.status.code(), Some(0));
     let stdout = String::from_utf8(lint.stdout).unwrap();

@@ -125,6 +125,40 @@ mod tests {
     }
 
     #[test]
+    fn empty_episode_iterator_reports_none() {
+        // No episodes at all — distinct from "episodes without samples".
+        assert_eq!(concurrency_over(std::iter::empty()), None);
+    }
+
+    #[test]
+    fn zero_sample_episodes_do_not_dilute_the_average() {
+        // Episodes without samples contribute nothing to either side of
+        // the average — the measure is per *sample*, not per episode.
+        let with = episode(0, 0, 50, &[2, 2]);
+        let without_a = episode(1, 100, 50, &[]);
+        let without_b = episode(2, 200, 50, &[]);
+        let mixed = concurrency_over([&without_a, &with, &without_b]).unwrap();
+        let alone = concurrency_over([&with]).unwrap();
+        assert!((mixed - alone).abs() < 1e-12);
+        assert!((mixed - 2.0).abs() < 1e-12);
+        // All-empty sets still report None, like an empty iterator.
+        assert_eq!(concurrency_over([&without_a, &without_b]), None);
+    }
+
+    #[test]
+    fn mixed_set_matches_hand_computed_fig7_value() {
+        // Hand-computed Fig 7 average: 7 samples across three episodes
+        // with runnable counts 1,2,3 | 0,1 | 3,3 -> 13/7.
+        let s = session(vec![
+            episode(0, 0, 50, &[1, 2, 3]),
+            episode(1, 100, 50, &[0, 1]),
+            episode(2, 200, 50, &[3, 3]),
+        ]);
+        let got = concurrency_over(s.episodes()).unwrap();
+        assert!((got - 13.0 / 7.0).abs() < 1e-12, "got {got}");
+    }
+
+    #[test]
     fn below_one_means_gui_blocked() {
         let s = session(vec![episode(0, 0, 200, &[0, 0, 1, 1])]);
         let c = concurrency_stats(&s);

@@ -41,6 +41,7 @@ pub mod episode;
 pub mod error;
 pub mod ids;
 pub mod interval;
+pub mod lockgraph;
 pub mod parallel;
 pub mod sample;
 pub mod session;
@@ -53,6 +54,7 @@ pub use episode::{Episode, EpisodeBuilder};
 pub use error::ModelError;
 pub use ids::{EpisodeId, NodeId, SessionId, SymbolId, ThreadId};
 pub use interval::{Interval, IntervalKind};
+pub use lockgraph::{ContendedWait, HolderSight, LockGraph, WaitKind};
 pub use sample::{SampleSnapshot, StackFrame, ThreadSample, ThreadState};
 pub use session::{EpisodeFragment, GcEvent, SessionMeta, SessionTrace, SessionTraceBuilder};
 pub use symbols::{CodeOrigin, MethodRef, OriginClassifier, SymbolTable};
@@ -72,6 +74,7 @@ pub mod prelude {
     pub use crate::error::ModelError;
     pub use crate::ids::{EpisodeId, NodeId, SessionId, SymbolId, ThreadId};
     pub use crate::interval::{Interval, IntervalKind};
+    pub use crate::lockgraph::{ContendedWait, HolderSight, LockGraph, WaitKind};
     pub use crate::sample::{SampleSnapshot, StackFrame, ThreadSample, ThreadState};
     pub use crate::session::{
         EpisodeFragment, GcEvent, SessionMeta, SessionTrace, SessionTraceBuilder,

@@ -13,6 +13,16 @@
 //! there are no syscall-level or monitor-ownership edges (the LiLa tracer
 //! records neither), so attribution is probabilistic and degrades with the
 //! sampling rate. See DESIGN.md for the limits of this model.
+//!
+//! An episode whose samples contain only `Waiting` (or `Blocked`) snapshots
+//! with *no* concurrently-runnable thread is **not** dropped from
+//! attribution: extraction still counts its wait samples
+//! ([`WaitGraph::wait_samples`] is non-zero) and produces a zero-edge graph
+//! ([`WaitGraph::is_empty`] is true, [`WaitGraph::top_holder`] is `None`).
+//! Callers must distinguish "no wait evidence at all" (`wait_samples() ==
+//! 0`) from "waited, but no candidate culprit was ever runnable" — the
+//! latter typically means the culprit lives outside the sampled process
+//! (disk, network, the OS scheduler).
 
 use crate::episode::Episode;
 use crate::ids::ThreadId;
@@ -243,6 +253,32 @@ mod tests {
         assert_eq!(g.top_holder().unwrap().thread, tid(3));
         // Empty stacks yield no frame evidence.
         assert_eq!(g.top_holder().unwrap().top_frame, None);
+    }
+
+    #[test]
+    fn waiting_only_with_no_runnable_peer_yields_zero_edge_graph() {
+        // Every snapshot has the waiter in Waiting and every peer idle:
+        // the episode must not be dropped — its wait samples are counted
+        // — but the graph carries no edges and names no culprit.
+        let samples: Vec<SampleSnapshot> = (0..4u64)
+            .map(|i| {
+                SampleSnapshot::new(
+                    ms(10 + 10 * i),
+                    vec![
+                        ThreadSample::new(tid(0), ThreadState::Waiting, vec![]),
+                        ThreadSample::new(tid(7), ThreadState::Waiting, vec![]),
+                        ThreadSample::new(tid(9), ThreadState::Sleeping, vec![]),
+                    ],
+                )
+            })
+            .collect();
+        let g = WaitGraph::extract(&episode_with(samples));
+        assert_eq!(g.waiting_samples, 4);
+        assert_eq!(g.blocked_samples, 0);
+        assert_eq!(g.wait_samples(), 4, "wait evidence must not be dropped");
+        assert!(g.is_empty(), "no runnable peer means zero edges");
+        assert!(g.top_holder().is_none());
+        assert!(g.holders().is_empty());
     }
 
     #[test]

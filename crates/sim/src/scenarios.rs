@@ -515,6 +515,247 @@ pub fn slow_io() -> GroundTruth {
     }
 }
 
+/// A scripted session with a *known injected concurrency hazard* for
+/// validating the `LA020`… hazard rules: a minority of episodes carry a
+/// deliberate lock-order inversion or a lock held across IO, recorded
+/// alongside the lock identities and culprit threads the analyzer must
+/// name. The control scenario has heavy but consistent-order contention
+/// and must stay hazard-free.
+#[derive(Clone, Debug)]
+pub struct HazardTruth {
+    /// Scenario name (doubles as the trace's application name).
+    pub title: &'static str,
+    /// The session trace containing the injected episodes.
+    pub trace: SessionTrace,
+    /// Ids of the episodes that received the injected hazard.
+    pub injected: Vec<EpisodeId>,
+    /// The hazard code expected for the injection, `None` for the
+    /// hazard-free control.
+    pub expected_code: Option<&'static str>,
+    /// Rendered lock identities (`class.method`) the finding must name.
+    pub locks: Vec<&'static str>,
+    /// Culprit thread names (`t0`…) the finding must name.
+    pub culprits: Vec<&'static str>,
+}
+
+/// All injected-hazard scenarios, in a fixed order. Deliberately a
+/// separate accessor from [`ground_truths`]: the committed golden
+/// corpus fixtures serialize `ground_truths()` byte-for-byte, so new
+/// scenarios must never change that list.
+pub fn hazard_truths() -> Vec<HazardTruth> {
+    vec![abba_inversion(), held_lock_io(), hazard_control()]
+}
+
+/// Interns the two ordered locks every hazard scenario contends on.
+fn hazard_locks(symbols: &mut SymbolTable) -> (MethodRef, MethodRef) {
+    (
+        symbols.method("com.app.sync.OrderA", "enter"),
+        symbols.method("com.app.sync.OrderB", "enter"),
+    )
+}
+
+/// Builds one hazard-scenario episode: a dispatch+listener tree with
+/// one snapshot every 10 ms produced by `snapshot(t)`.
+fn hazard_episode(
+    id: u32,
+    action: MethodRef,
+    dur: u64,
+    snapshot: impl Fn(TimeNs) -> Vec<ThreadSample>,
+) -> Episode {
+    let s = episode_start(id);
+    let end = s + DurationNs::from_millis(dur);
+    let mut b = IntervalTreeBuilder::new();
+    b.enter(IntervalKind::Dispatch, None, s).unwrap();
+    b.leaf(
+        IntervalKind::Listener,
+        Some(action),
+        s + DurationNs::from_millis(2),
+        s + DurationNs::from_millis(dur - 2),
+    )
+    .unwrap();
+    b.exit(end).unwrap();
+    let mut samples = Vec::new();
+    let mut t = s + DurationNs::from_millis(5);
+    while t < end {
+        samples.push(SampleSnapshot::new(t, snapshot(t)));
+        t += DurationNs::from_millis(10);
+    }
+    EpisodeBuilder::new(EpisodeId::from_raw(id), ThreadId::from_raw(0))
+        .tree(b.finish().unwrap())
+        .samples(samples)
+        .build()
+        .unwrap()
+}
+
+/// Injects an ABBA lock-order inversion: in the injected episodes the
+/// GUI thread blocks acquiring `OrderB` while holding `OrderA`, and
+/// worker `t7` blocks acquiring `OrderA` while holding `OrderB` — the
+/// held-while-acquiring cycle `LA020` must report with both lock
+/// identities and both culprit threads.
+pub fn abba_inversion() -> HazardTruth {
+    let mut symbols = SymbolTable::new();
+    let (a, b) = hazard_locks(&mut symbols);
+    let action = symbols.method("com.app.ui.RefreshAction", "actionPerformed");
+    let worker = symbols.method("com.app.Worker", "run");
+    let idle = symbols.method("java.lang.Object", "wait");
+    let gui = ThreadId::from_raw(0);
+    let bg = ThreadId::from_raw(7);
+
+    let mut episodes = Vec::new();
+    for i in 0..MAIN_EPISODES {
+        let injected = INJECTED.contains(&i);
+        let dur = if injected {
+            injected_ms(i)
+        } else {
+            normal_ms(i)
+        };
+        episodes.push(hazard_episode(i, action, dur, |_| {
+            if injected {
+                vec![
+                    ThreadSample::new(
+                        gui,
+                        ThreadState::Blocked,
+                        vec![
+                            StackFrame::java(b),
+                            StackFrame::java(a),
+                            StackFrame::java(action),
+                        ],
+                    ),
+                    ThreadSample::new(
+                        bg,
+                        ThreadState::Blocked,
+                        vec![
+                            StackFrame::java(a),
+                            StackFrame::java(b),
+                            StackFrame::java(worker),
+                        ],
+                    ),
+                ]
+            } else {
+                vec![
+                    ThreadSample::new(gui, ThreadState::Runnable, vec![StackFrame::java(action)]),
+                    ThreadSample::new(bg, ThreadState::Waiting, vec![StackFrame::java(idle)]),
+                ]
+            }
+        }));
+    }
+    push_control_episodes(&mut symbols, &mut episodes);
+    HazardTruth {
+        title: "abba-inversion",
+        trace: ground_truth_trace("abba-inversion", symbols, episodes),
+        injected: INJECTED.iter().map(|&i| EpisodeId::from_raw(i)).collect(),
+        expected_code: Some("LA020"),
+        locks: vec!["com.app.sync.OrderA.enter", "com.app.sync.OrderB.enter"],
+        culprits: vec!["t0", "t7"],
+    }
+}
+
+/// Injects a lock held across IO: in the injected episodes the GUI
+/// thread blocks entering `OrderA` while worker `t9` — the inferred
+/// holder — keeps running `java.io.RandomAccessFile.readBytes`. `LA021`
+/// must name the lock, the holder, and the IO frame.
+pub fn held_lock_io() -> HazardTruth {
+    let mut symbols = SymbolTable::new();
+    let (a, _) = hazard_locks(&mut symbols);
+    let action = symbols.method("com.app.ui.SaveAction", "actionPerformed");
+    let read = symbols.method("java.io.RandomAccessFile", "readBytes");
+    let idle = symbols.method("java.lang.Object", "wait");
+    let gui = ThreadId::from_raw(0);
+    let bg = ThreadId::from_raw(9);
+
+    let mut episodes = Vec::new();
+    for i in 0..MAIN_EPISODES {
+        let injected = INJECTED.contains(&i);
+        let dur = if injected {
+            injected_ms(i)
+        } else {
+            normal_ms(i)
+        };
+        episodes.push(hazard_episode(i, action, dur, |_| {
+            if injected {
+                vec![
+                    ThreadSample::new(
+                        gui,
+                        ThreadState::Blocked,
+                        vec![StackFrame::java(a), StackFrame::java(action)],
+                    ),
+                    ThreadSample::new(bg, ThreadState::Runnable, vec![StackFrame::native(read)]),
+                ]
+            } else {
+                vec![
+                    ThreadSample::new(gui, ThreadState::Runnable, vec![StackFrame::java(action)]),
+                    ThreadSample::new(bg, ThreadState::Waiting, vec![StackFrame::java(idle)]),
+                ]
+            }
+        }));
+    }
+    push_control_episodes(&mut symbols, &mut episodes);
+    HazardTruth {
+        title: "held-lock-io",
+        trace: ground_truth_trace("held-lock-io", symbols, episodes),
+        injected: INJECTED.iter().map(|&i| EpisodeId::from_raw(i)).collect(),
+        expected_code: Some("LA021"),
+        locks: vec!["com.app.sync.OrderA.enter"],
+        culprits: vec!["t9"],
+    }
+}
+
+/// The hazard-free control: the same heavy contention on the same two
+/// locks, but every thread acquires them in the *same* order, the
+/// holder never sleeps or does IO, and the lock never changes hands —
+/// a correct analyzer reports no hazard at all.
+pub fn hazard_control() -> HazardTruth {
+    let mut symbols = SymbolTable::new();
+    let (a, b) = hazard_locks(&mut symbols);
+    let action = symbols.method("com.app.ui.RefreshAction", "actionPerformed");
+    let rebuild = symbols.method("com.app.CacheLock", "rebuild");
+    let idle = symbols.method("java.lang.Object", "wait");
+    let gui = ThreadId::from_raw(0);
+    let bg = ThreadId::from_raw(7);
+
+    let mut episodes = Vec::new();
+    for i in 0..MAIN_EPISODES {
+        let contended = INJECTED.contains(&i);
+        let dur = if contended {
+            injected_ms(i)
+        } else {
+            normal_ms(i)
+        };
+        episodes.push(hazard_episode(i, action, dur, |_| {
+            if contended {
+                // Both threads acquire B while holding A: consistent
+                // order, so the graph stays acyclic.
+                vec![
+                    ThreadSample::new(
+                        gui,
+                        ThreadState::Blocked,
+                        vec![
+                            StackFrame::java(b),
+                            StackFrame::java(a),
+                            StackFrame::java(action),
+                        ],
+                    ),
+                    ThreadSample::new(bg, ThreadState::Runnable, vec![StackFrame::java(rebuild)]),
+                ]
+            } else {
+                vec![
+                    ThreadSample::new(gui, ThreadState::Runnable, vec![StackFrame::java(action)]),
+                    ThreadSample::new(bg, ThreadState::Waiting, vec![StackFrame::java(idle)]),
+                ]
+            }
+        }));
+    }
+    push_control_episodes(&mut symbols, &mut episodes);
+    HazardTruth {
+        title: "hazard-control",
+        trace: ground_truth_trace("hazard-control", symbols, episodes),
+        injected: Vec::new(),
+        expected_code: None,
+        locks: vec![],
+        culprits: vec![],
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
